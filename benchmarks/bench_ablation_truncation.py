@@ -1,0 +1,46 @@
+"""Ablation A3: HTM truncation order — cost and convergence.
+
+How large must K be before truncated quantities stabilise?  For this loop's
+relative-degree-2 gain the dense baseband element converges like O(1/K);
+the automatic selector finds the knee, and cost grows as K^3 per point.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.operators import FeedbackOperator
+from repro.core.truncation import choose_truncation_order, truncation_error_estimate
+from repro.pll.openloop import open_loop_operator
+
+RATIO = 0.1
+
+
+@pytest.fixture(scope="module")
+def closed_operator(loop_at_ratio):
+    return FeedbackOperator(open_loop_operator(loop_at_ratio(RATIO)))
+
+
+@pytest.mark.benchmark(group="ablation-truncation")
+@pytest.mark.parametrize("order", [4, 16, 64])
+def test_dense_evaluation_cost(benchmark, closed_operator, reference_omega0, order):
+    s = 1j * 0.1 * reference_omega0
+    htm = benchmark(closed_operator.htm, s, order)
+    assert htm.order == order
+
+
+@pytest.mark.benchmark(group="ablation-truncation")
+def test_automatic_selection(benchmark, closed_operator, reference_omega0):
+    omega = np.array([0.07, 0.2]) * reference_omega0
+    report = benchmark(
+        choose_truncation_order, closed_operator, omega, 1e-3, 2, 256
+    )
+    assert report.order <= 256
+    assert report.achieved_change <= 1e-3
+
+
+def test_error_falls_with_order(closed_operator, reference_omega0):
+    omega = [0.1 * reference_omega0]
+    errors = [
+        truncation_error_estimate(closed_operator, omega, order=k) for k in (4, 8, 16, 32)
+    ]
+    assert all(b < a for a, b in zip(errors, errors[1:]))

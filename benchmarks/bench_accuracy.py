@@ -1,0 +1,19 @@
+"""Bench for claim C1: HTM within 2% of the time-marching simulation."""
+
+import pytest
+
+from repro.experiments.accuracy import run_accuracy_claim
+
+
+@pytest.mark.benchmark(group="claims")
+def test_accuracy_claim(benchmark):
+    result = benchmark(
+        run_accuracy_claim,
+        ratios=(0.05, 0.1, 0.2),
+        omega_normalized=(0.3, 1.0, 2.0),
+        measure_cycles=150,
+        discard_cycles=100,
+    )
+    assert result.within_paper_claim(0.02)
+    # Our exact-integration simulator agrees far tighter than the paper's 2%.
+    assert result.max_relative_error < 0.01

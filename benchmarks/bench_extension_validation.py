@@ -1,0 +1,38 @@
+"""Extension benches: pole search, Floquet map, symbolic build — the
+cross-validation machinery beyond the paper's figures."""
+
+import numpy as np
+import pytest
+
+from repro.pll.poles import find_closed_loop_poles
+from repro.simulator.floquet import floquet_multipliers
+from repro.symbolic import effective_gain_expression
+
+RATIO = 0.1
+
+
+@pytest.mark.benchmark(group="extension-validation")
+def test_pole_search(benchmark, loop_at_ratio):
+    pll = loop_at_ratio(RATIO)
+    poles = benchmark(find_closed_loop_poles, pll)
+    assert len(poles) == 3
+    assert all(p.residual < 1e-9 for p in poles)
+
+
+@pytest.mark.benchmark(group="extension-validation")
+def test_floquet_map(benchmark, loop_at_ratio):
+    pll = loop_at_ratio(RATIO)
+    result = benchmark(floquet_multipliers, pll)
+    assert result.is_stable
+
+
+@pytest.mark.benchmark(group="extension-validation")
+def test_symbolic_build_and_eval(benchmark, loop_at_ratio, reference_omega0):
+    pll = loop_at_ratio(RATIO)
+
+    def build_and_eval():
+        expr = effective_gain_expression(pll)
+        return expr.evaluate({"s": 1j * 0.1 * reference_omega0})
+
+    value = benchmark(build_and_eval)
+    assert np.isfinite(value)

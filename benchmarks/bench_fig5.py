@@ -1,0 +1,31 @@
+"""Bench for paper Fig. 5: the typical open-loop characteristic A(j omega).
+
+Regenerates the Bode magnitude/phase data and checks the defining features:
+unity gain at omega_UG, -40 dB/dec asymptotes, phase margin ~62 degrees for
+the separation-4 zero/pole placement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5 import run_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_characteristic(benchmark):
+    result = benchmark(run_fig5, separation=4.0, points=200)
+    assert result.unity_gain_check == pytest.approx(1.0, rel=1e-6)
+    assert result.phase_margin_deg == pytest.approx(61.93, abs=0.05)
+    # -40 dB/dec two decades out on both sides.
+    assert result.magnitude_db[0] == pytest.approx(68.0, abs=1.0)
+    assert result.magnitude_db[-1] == pytest.approx(-68.0, abs=1.0)
+    # Phase returns toward -180 on both ends and peaks at the crossover.
+    assert result.phase_deg[0] < -175.0
+    assert np.max(result.phase_deg) == pytest.approx(-118.07, abs=0.2)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_wide_separation(benchmark):
+    """Larger zero/pole separation buys more LTI phase margin."""
+    result = benchmark(run_fig5, separation=8.0, points=200)
+    assert result.phase_margin_deg == pytest.approx(75.75, abs=0.1)

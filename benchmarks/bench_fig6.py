@@ -1,0 +1,45 @@
+"""Bench for paper Fig. 6: closed-loop |H00| curves with simulation marks.
+
+Checks the paper's qualitative findings — bandwidth extends and peaking
+grows with omega_UG/omega_0 — and the quantitative 2% HTM-vs-simulation
+agreement, while timing the full figure regeneration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig6 import run_fig6
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_full_figure(benchmark):
+    result = benchmark(
+        run_fig6,
+        ratios=(0.05, 0.1, 0.2),
+        points=120,
+        mark_points=4,
+        measure_cycles=150,
+        discard_cycles=100,
+    )
+    # Claim C1 at the marks.
+    assert result.max_mark_error() < 0.02
+    # Peaking grows from the slowest to the fastest loop (paper: "peaking at
+    # the passband's edge becomes worse").
+    assert result.curves[-1].peaking_db > result.curves[0].peaking_db
+    # The fast loop's H00 visibly departs from the LTI prediction.
+    fast = result.curves[-1]
+    assert np.max(np.abs(fast.h00_db - fast.lti_db)) > 1.0
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_htm_curve_only(benchmark, loop_at_ratio):
+    """The pure HTM sweep — the 'matter of seconds' path of claim C2."""
+    from repro.pll.closedloop import ClosedLoopHTM
+
+    pll = loop_at_ratio(0.1)
+    closed = ClosedLoopHTM(pll)
+    omega = np.logspace(np.log10(0.03), np.log10(3.0), 200) * 0.1 * pll.omega0
+
+    response = benchmark(closed.frequency_response, omega)
+    assert response.shape == omega.shape
+    assert abs(response[0]) == pytest.approx(1.0, abs=0.05)

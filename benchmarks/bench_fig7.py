@@ -1,0 +1,37 @@
+"""Bench for paper Fig. 7: effective unity-gain frequency and phase margin.
+
+Regenerates the sweep over omega_UG/omega_0 and asserts the paper's story:
+bandwidth extension grows above 1, effective phase margin collapses below
+the (horizontal) LTI prediction, ~9-11% degradation at ratio 0.1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig7 import run_fig7
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_sweep(benchmark):
+    result = benchmark(run_fig7, ratio_min=0.01, ratio_max=0.26, points=10)
+    pm = result.phase_margin_eff_deg
+    ext = result.bandwidth_extension
+    assert np.all(np.diff(pm) < 0)
+    assert np.all(np.diff(ext) > 0)
+    assert pm[0] == pytest.approx(result.phase_margin_lti_deg, abs=1.0)
+    assert pm[-1] < 25.0
+    assert ext[-1] > 1.3
+    # Claim C3.
+    assert 0.06 < result.degradation_at(0.1) < 0.15
+    # Independent z-domain boundary agrees with the margin collapse point.
+    assert 0.25 < result.stability_limit < 0.31
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_single_margin_point(benchmark, loop_at_ratio):
+    """One compare_margins evaluation — the unit of the Fig. 7 sweep."""
+    from repro.pll.margins import compare_margins
+
+    pll = loop_at_ratio(0.1)
+    margins = benchmark(compare_margins, pll)
+    assert margins.phase_margin_eff_deg < margins.phase_margin_lti_deg

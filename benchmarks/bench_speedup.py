@@ -1,0 +1,60 @@
+"""Bench for claim C2: HTM evaluation in seconds vs minutes of simulation.
+
+Two benchmarks over the same 6-point frequency sweep; compare their recorded
+means to read off the speedup factor (paper: "a matter of seconds" vs
+"several minutes" — we assert at least an order of magnitude).
+"""
+
+import numpy as np
+import pytest
+
+from repro.pll.closedloop import ClosedLoopHTM
+from repro.simulator.transfer_extraction import measure_closed_loop_transfer
+
+RATIO = 0.1
+POINTS = 6
+
+
+def _omegas(pll):
+    return np.logspace(np.log10(0.1), np.log10(2.0), POINTS) * RATIO * pll.omega0
+
+
+@pytest.mark.benchmark(group="speedup")
+def test_htm_path(benchmark, loop_at_ratio):
+    pll = loop_at_ratio(RATIO)
+    omegas = _omegas(pll)
+
+    def htm_sweep():
+        closed = ClosedLoopHTM(pll)
+        return closed.frequency_response(omegas)
+
+    response = benchmark(htm_sweep)
+    assert np.all(np.isfinite(response))
+
+
+@pytest.mark.benchmark(group="speedup")
+def test_simulation_path(benchmark, loop_at_ratio):
+    pll = loop_at_ratio(RATIO)
+    omegas = _omegas(pll)
+
+    def simulation_sweep():
+        return [
+            measure_closed_loop_transfer(
+                pll, float(w), measure_cycles=150, discard_cycles=100
+            ).response
+            for w in omegas
+        ]
+
+    responses = benchmark(simulation_sweep)
+    assert len(responses) == POINTS
+
+
+@pytest.mark.benchmark(group="speedup")
+def test_speedup_factor(benchmark):
+    """Direct claim check with wall-clock timing inside one benchmark run."""
+    from repro.experiments.accuracy import run_speedup_claim
+
+    result = benchmark(
+        run_speedup_claim, frequency_points=5, measure_cycles=120, discard_cycles=80
+    )
+    assert result.speedup > 10.0

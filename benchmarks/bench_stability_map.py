@@ -1,0 +1,17 @@
+"""Extension bench: the stability map over the design plane.
+
+Not a paper figure — the design chart the paper's analysis motivates
+(Gardner-style limits from the z-domain baseline).  Timed because each
+boundary point is a bisection over full loop designs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stability_map import run_stability_map
+
+
+@pytest.mark.benchmark(group="extension-stability-map")
+def test_stability_map(benchmark):
+    result = benchmark(run_stability_map, separations=(2.0, 4.0, 8.0), tol=3e-3)
+    assert np.all((result.stability_limits > 0.2) & (result.stability_limits < 0.35))

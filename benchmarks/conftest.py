@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one table/figure/claim of the paper (see
+DESIGN.md section 3) and asserts the reproduced *shape* while
+pytest-benchmark records the runtime.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pll.design import design_typical_loop
+
+W0 = 2 * np.pi
+
+
+@pytest.fixture(scope="session")
+def reference_omega0():
+    """Normalised reference frequency used across all benches."""
+    return W0
+
+
+@pytest.fixture(scope="session")
+def loop_at_ratio():
+    """Factory: PLL designed at a given w_UG / w0 ratio."""
+
+    def factory(ratio: float, separation: float = 4.0):
+        return design_typical_loop(
+            omega0=W0, omega_ug=ratio * W0, separation=separation
+        )
+
+    return factory

@@ -1,0 +1,81 @@
+"""LPTV VCO: when the oscillator's sensitivity depends on its own cycle.
+
+A real oscillator's response to a control perturbation depends on *where in
+its cycle* the perturbation lands — the impulse sensitivity function v(t)
+(Demir et al.; the paper's eq. 22).  The paper's HTM model covers this
+(eq. 25) but its experiments use only the time-invariant case.  This example
+exercises the general machinery:
+
+* build a loop whose VCO has a sinusoidally rippled ISF;
+* compare conversion sidebands with / without the ripple: the ISF adds
+  frequency translation beyond the sampler's, with a characteristic
+  upper/lower asymmetry;
+* verify the closed-form prediction against the engine's exact LPTV
+  time-domain simulation.
+
+Run:  python examples/lptv_vco_conversion.py
+"""
+
+import numpy as np
+
+from repro import PLL, VCO, design_typical_loop
+from repro.pll.closedloop import ClosedLoopHTM
+from repro.signals.isf import ImpulseSensitivity
+from repro.simulator.transfer_extraction import measure_closed_loop_transfer
+
+OMEGA0 = 2 * np.pi
+RATIO = 0.08
+
+
+def with_ripple(base, ripple, phase=0.7):
+    return PLL(
+        pfd=base.pfd,
+        charge_pump=base.charge_pump,
+        filter_impedance=base.filter_impedance,
+        vco=VCO(ImpulseSensitivity.sinusoidal(1.0, ripple, OMEGA0, phase=phase)),
+    )
+
+
+def main():
+    base = design_typical_loop(omega0=OMEGA0, omega_ug=RATIO * OMEGA0)
+    probe = 0.06 * OMEGA0
+
+    print(f"{'ISF ripple':>11} {'|H00|':>8} {'|H(-1,0)|':>10} {'|H(+1,0)|':>10} {'asym':>6}")
+    for ripple in (0.0, 0.2, 0.5):
+        pll = base if ripple == 0.0 else with_ripple(base, ripple)
+        closed = ClosedLoopHTM(pll)
+        s = 1j * probe
+        h00 = abs(closed.h00(s))
+        lower = abs(closed.element(s, -1, 0))
+        upper = abs(closed.element(s, 1, 0))
+        asym = upper / lower
+        print(f"{ripple:>11.1f} {h00:>8.4f} {lower:>10.5f} {upper:>10.5f} {asym:>6.2f}")
+
+    # End-to-end check against the exact LPTV time-domain engine.
+    pll = with_ripple(base, 0.5)
+    closed = ClosedLoopHTM(pll)
+    meas = measure_closed_loop_transfer(
+        pll, probe, measure_cycles=250, discard_cycles=200, sideband_orders=(-1, 1)
+    )
+    print("\nclosed form vs exact LPTV simulation (ripple 0.5):")
+    pred = closed.h00(1j * meas.omega)
+    print(
+        f"  H00     : {abs(meas.response):.5f} measured, {abs(pred):.5f} predicted "
+        f"({100 * abs(meas.response - pred) / abs(pred):.3f}% off)"
+    )
+    for n in (-1, 1):
+        p = closed.element(1j * meas.omega, n, 0)
+        m = meas.sidebands[n]
+        print(
+            f"  H({n:+d},0) : {abs(m):.5f} measured, {abs(p):.5f} predicted "
+            f"({100 * abs(m - p) / abs(p):.2f}% off)"
+        )
+    print(
+        "\nThe sampler alone fixes the sideband ratio (0.80 here, set by |A| at\n"
+        "w -/+ w0); the rippled ISF *moves* it (0.80 -> 1.84) — the signature\n"
+        "of oscillator-cycle-dependent sensitivity."
+    )
+
+
+if __name__ == "__main__":
+    main()

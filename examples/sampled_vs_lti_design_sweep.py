@@ -1,0 +1,75 @@
+"""Design-space sweep: margin-aware loop design under sampling.
+
+A designer picks a zero/pole separation for phase margin and a bandwidth
+ratio for settling speed.  Classically those axes are independent — the LTI
+margin depends only on the separation.  With a sampling PFD they are
+coupled: this sweep maps the *effective* phase margin over (separation,
+w_UG/w0) and extracts, per separation, the fastest loop that still keeps a
+target margin — a design rule classical analysis cannot produce.
+
+Run:  python examples/sampled_vs_lti_design_sweep.py
+"""
+
+import numpy as np
+
+from repro import design_typical_loop
+from repro.baselines.zdomain import stability_limit_ratio
+from repro.pll.design import shape_phase_margin_deg
+from repro.pll.margins import compare_margins
+
+OMEGA0 = 2 * np.pi
+TARGET_MARGIN_DEG = 45.0
+
+
+def max_ratio_with_margin(separation, target_deg, lo=0.01, hi=0.30, steps=18):
+    """Bisect for the largest w_UG/w0 keeping the effective PM above target."""
+
+    def margin_ok(ratio):
+        pll = design_typical_loop(
+            omega0=OMEGA0, omega_ug=ratio * OMEGA0, separation=separation
+        )
+        try:
+            return compare_margins(pll).phase_margin_eff_deg >= target_deg
+        except Exception:
+            return False  # no crossover below the alias fold: definitely not ok
+
+    if not margin_ok(lo):
+        return float("nan")
+    for _ in range(steps):
+        mid = np.sqrt(lo * hi)
+        if margin_ok(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def main():
+    print(
+        f"target effective margin: {TARGET_MARGIN_DEG:.0f} deg\n"
+        f"{'separation':>11} {'LTI PM':>8} {'max wUG/w0':>11} {'z-limit':>9} "
+        f"{'LTI verdict':>12}"
+    )
+    for separation in (2.5, 4.0, 6.0, 10.0):
+        lti_pm = shape_phase_margin_deg(separation)
+        max_ratio = max_ratio_with_margin(separation, TARGET_MARGIN_DEG)
+        z_limit = stability_limit_ratio(
+            lambda r, sep=separation: design_typical_loop(
+                omega0=OMEGA0, omega_ug=r * OMEGA0, separation=sep
+            )
+        )
+        verdict = "any speed ok" if lti_pm >= TARGET_MARGIN_DEG else "never ok"
+        print(
+            f"{separation:>11.1f} {lti_pm:>8.1f} {max_ratio:>11.4f} "
+            f"{z_limit:>9.4f} {verdict:>12}"
+        )
+
+    print(
+        "\nReading: LTI says margin is set by separation alone ('any speed ok'),\n"
+        "but the sampled loop caps the usable bandwidth ratio per row — and\n"
+        "more LTI margin buys surprisingly little extra speed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""repro — time-varying, frequency-domain PLL analysis with HTMs.
+
+A full reproduction of Vanassche, Gielen & Sansen, *"Time-Varying,
+Frequency-Domain Modeling and Analysis of Phase-Locked Loops with Sampling
+Phase-Frequency Detectors"* (DATE 2003), as a production-quality Python
+library.
+
+Quick start::
+
+    from repro import design_typical_loop, ClosedLoopHTM, compare_margins
+
+    pll = design_typical_loop(omega0=2 * 3.14159, omega_ug=0.3 * 2 * 3.14159)
+    closed = ClosedLoopHTM(pll)              # rank-one SMW closed form
+    h00 = closed.h00(1j * 0.1)               # baseband transfer (eq. 38)
+    print(compare_margins(pll).summary())    # LTI vs effective margins
+
+Package layout:
+
+* :mod:`repro.lti` — transfer functions, Bode margins, state space;
+* :mod:`repro.signals` — Fourier series, waveforms, ISF models;
+* :mod:`repro.core` — the HTM formalism (operators, rank-one SMW closure,
+  exact aliasing sums);
+* :mod:`repro.blocks` — PFD / charge pump / loop filter / VCO models;
+* :mod:`repro.pll` — closed-loop analysis, effective margins, loop design,
+  noise;
+* :mod:`repro.baselines` — classical LTI and z-domain comparison models;
+* :mod:`repro.simulator` — event-driven behavioural simulator (the
+  verification testbench);
+* :mod:`repro.experiments` — regeneration of every figure in the paper.
+"""
+
+from repro._errors import (
+    ConvergenceError,
+    DesignError,
+    LockError,
+    ReproError,
+    StabilityError,
+    TruncationError,
+    ValidationError,
+)
+from repro.blocks import (
+    ChargePump,
+    Divider,
+    LoopDelay,
+    MultiplyingPFD,
+    SampleHoldPFD,
+    SamplingPFD,
+    SeriesRCShuntCFilter,
+    VCO,
+)
+from repro.core import HTM, AliasedSum, truncated_alias_sum
+from repro.lti import RationalFunction, StateSpace, TransferFunction
+from repro.pll import (
+    PLL,
+    ClosedLoopHTM,
+    NoiseAnalysis,
+    compare_margins,
+    design_typical_loop,
+    lti_open_loop,
+    margin_sweep,
+    typical_open_loop_shape,
+)
+from repro.signals import FourierSeries, ImpulseSensitivity
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "TruncationError",
+    "ConvergenceError",
+    "StabilityError",
+    "LockError",
+    "DesignError",
+    "ChargePump",
+    "Divider",
+    "LoopDelay",
+    "MultiplyingPFD",
+    "SampleHoldPFD",
+    "SamplingPFD",
+    "SeriesRCShuntCFilter",
+    "VCO",
+    "HTM",
+    "AliasedSum",
+    "truncated_alias_sum",
+    "RationalFunction",
+    "StateSpace",
+    "TransferFunction",
+    "PLL",
+    "ClosedLoopHTM",
+    "NoiseAnalysis",
+    "compare_margins",
+    "design_typical_loop",
+    "lti_open_loop",
+    "margin_sweep",
+    "typical_open_loop_shape",
+    "FourierSeries",
+    "ImpulseSensitivity",
+    "__version__",
+]

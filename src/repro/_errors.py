@@ -1,0 +1,37 @@
+"""Shared exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors (``TypeError`` etc. raised by
+NumPy or Python itself are left alone).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong range, shape or combination)."""
+
+
+class TruncationError(ReproError):
+    """An HTM truncation order was too small for the requested operation."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative computation (aliasing sum, root search) did not converge."""
+
+
+class StabilityError(ReproError):
+    """A stability-dependent quantity was requested for an unstable system."""
+
+
+class LockError(ReproError):
+    """The behavioural simulator failed to acquire or hold phase lock."""
+
+
+class DesignError(ReproError):
+    """A loop-design request cannot be met (e.g. impossible margin target)."""

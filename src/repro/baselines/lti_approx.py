@@ -1,0 +1,87 @@
+"""Classical continuous-time LTI PLL analysis (paper refs [2], [7]).
+
+This is the textbook treatment the paper generalises: model the sampling
+PFD as a continuous gain ``w0/2pi``, the VCO as ``v0/s``, and analyse the
+rational loop ``A(s)`` with ordinary feedback theory.  The approximation
+``H00 ~= A / (1 + A)`` (rightmost form of paper eq. 38) "works fine as long
+as the unity gain frequency of the feedback loop is well below the frequency
+of the reference signal" — the experiments quantify where it breaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.lti.bode import (
+    bandwidth_3db,
+    gain_crossover,
+    peaking_db,
+    phase_margin,
+    stability_margins,
+)
+from repro.lti.stability import hurwitz_stable
+from repro.lti.timedomain import step_response
+from repro.lti.transfer import TransferFunction
+from repro.pll.architecture import PLL
+from repro.pll.openloop import lti_open_loop
+
+
+class ClassicalLTIAnalysis:
+    """All classical loop metrics of a PLL, computed from ``A(s)`` alone."""
+
+    def __init__(self, pll: PLL, pade_order: int = 0):
+        self.pll = pll
+        self.open_loop = lti_open_loop(pll, pade_order=pade_order)
+        self.closed_loop = self.open_loop.feedback()
+
+    # -- frequency domain -------------------------------------------------------
+
+    def unity_gain_frequency(self, omega_min_factor: float = 1e-4, points: int = 4000) -> float:
+        """LTI unity-gain frequency of ``A(s)`` (rad/s)."""
+        w0 = self.pll.omega0
+        return gain_crossover(self.open_loop, omega_min_factor * w0, 10 * w0, points)
+
+    def phase_margin_deg(self, omega_min_factor: float = 1e-4, points: int = 4000) -> float:
+        """LTI phase margin (degrees)."""
+        w0 = self.pll.omega0
+        return phase_margin(self.open_loop, omega_min_factor * w0, 10 * w0, points)
+
+    def closed_loop_response(self, omega) -> np.ndarray:
+        """``A/(1+A)`` on a frequency grid — the LTI approximation of H00."""
+        return self.closed_loop.frequency_response(np.asarray(omega, dtype=float))
+
+    def bandwidth(self, omega_min_factor: float = 1e-4, points: int = 4000) -> float:
+        """Closed-loop -3 dB bandwidth (rad/s)."""
+        w0 = self.pll.omega0
+        return bandwidth_3db(self.closed_loop, omega_min_factor * w0, 10 * w0, points)
+
+    def peaking(self, omega_min_factor: float = 1e-4, points: int = 4000) -> float:
+        """Closed-loop passband peaking in dB."""
+        w0 = self.pll.omega0
+        return peaking_db(self.closed_loop, omega_min_factor * w0, 10 * w0, points)
+
+    def margins(self):
+        """Full :class:`~repro.lti.bode.MarginReport` of ``A(s)``."""
+        w0 = self.pll.omega0
+        return stability_margins(self.open_loop, 1e-4 * w0, 10 * w0)
+
+    def is_stable(self) -> bool:
+        """Closed-loop stability of the LTI approximation (pole test)."""
+        return hurwitz_stable(self.closed_loop.den)
+
+    # -- time domain ----------------------------------------------------------------
+
+    def phase_step_response(self, t) -> np.ndarray:
+        """Response of the VCO phase to a unit reference phase step.
+
+        A type-2 loop settles to 1 with zero steady-state error; overshoot
+        grows as phase margin shrinks.
+        """
+        return step_response(self.closed_loop, np.asarray(t, dtype=float))
+
+    def error_transfer(self) -> TransferFunction:
+        """The phase-error transfer ``1/(1+A)`` (highpass)."""
+        one = TransferFunction.gain(1.0)
+        return TransferFunction.from_rational(
+            (one.rational / (one.rational + self.open_loop.rational)).simplified()
+        )

@@ -1,0 +1,50 @@
+"""PLL building-block models (paper sec. 3).
+
+Each block knows how to produce its harmonic-operator (HTM) representation:
+
+* :class:`~repro.blocks.pfd.SamplingPFD` — the impulse-train sampler, the
+  rank-one HTM of eqs. (19)–(20);
+* :class:`~repro.blocks.pfd.SampleHoldPFD` /
+  :class:`~repro.blocks.pfd.MultiplyingPFD` — alternative detectors showing
+  the framework's generality ("extension to arbitrary PFDs is possible");
+* :class:`~repro.blocks.chargepump.ChargePump` — pump current and
+  non-idealities; combines with a loop-filter impedance into ``H_LF`` (eq. 21);
+* :mod:`~repro.blocks.loopfilter` — charge-pump filter topologies and their
+  impedances ``Z_LF(s)``;
+* :class:`~repro.blocks.vco.VCO` — ISF-based oscillator, eq. (25);
+* :class:`~repro.blocks.divider.Divider` — feedback divider (identity in the
+  phase-in-seconds convention, edge decimation in the simulator);
+* :class:`~repro.blocks.delay.LoopDelay` — optional feedback transport delay.
+"""
+
+from repro.blocks.pfd import MultiplyingPFD, SampleHoldPFD, SamplingPFD
+from repro.blocks.chargepump import ChargePump
+from repro.blocks.loopfilter import (
+    ActivePIFilter,
+    LoopFilterComponents,
+    SeriesRCFilter,
+    SeriesRCShuntCFilter,
+    SingleCapacitorFilter,
+    ThirdOrderFilter,
+    normalized_filter,
+)
+from repro.blocks.vco import VCO
+from repro.blocks.divider import Divider
+from repro.blocks.delay import LoopDelay
+
+__all__ = [
+    "MultiplyingPFD",
+    "SampleHoldPFD",
+    "SamplingPFD",
+    "ChargePump",
+    "ActivePIFilter",
+    "LoopFilterComponents",
+    "SeriesRCFilter",
+    "SeriesRCShuntCFilter",
+    "SingleCapacitorFilter",
+    "ThirdOrderFilter",
+    "normalized_filter",
+    "VCO",
+    "Divider",
+    "LoopDelay",
+]

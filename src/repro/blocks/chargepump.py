@@ -1,0 +1,103 @@
+"""Charge-pump model: pump current, non-idealities and pulse generation.
+
+In the small-signal HTM model the charge pump only contributes its current
+``I_cp`` to the loop-filter transfer ``H_LF(s) = I_cp * Z_LF(s)`` (paper
+eq. 21; the impulse-train weight carries the sampling).  For the behavioural
+simulator the pump additionally turns PFD UP/DOWN intervals into current
+segments, including optional mismatch and leakage non-idealities used by the
+robustness tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._errors import ValidationError
+from repro._validation import check_finite, check_nonnegative, check_positive
+from repro.lti.transfer import TransferFunction
+
+
+@dataclass(frozen=True)
+class CurrentSegment:
+    """A piecewise-constant charge-pump output: ``current`` over [start, stop)."""
+
+    start: float
+    stop: float
+    current: float
+
+    def __post_init__(self):
+        if self.stop < self.start:
+            raise ValidationError(
+                f"segment stop ({self.stop}) before start ({self.start})"
+            )
+
+    @property
+    def charge(self) -> float:
+        """Total charge delivered by this segment (coulombs)."""
+        return self.current * (self.stop - self.start)
+
+
+@dataclass(frozen=True)
+class ChargePump:
+    """Charge pump with nominal current and optional non-idealities.
+
+    Parameters
+    ----------
+    current:
+        Nominal pump current ``I_cp`` (amperes), used for both polarities.
+    mismatch:
+        Fractional mismatch between UP and DOWN currents:
+        ``I_up = I_cp (1 + mismatch/2)``, ``I_down = I_cp (1 - mismatch/2)``.
+    leakage:
+        Constant leakage current (amperes) always sinking from the filter.
+    """
+
+    current: float
+    mismatch: float = 0.0
+    leakage: float = 0.0
+
+    def __post_init__(self):
+        check_positive("current", self.current)
+        check_finite("mismatch", self.mismatch)
+        if abs(self.mismatch) >= 2.0:
+            raise ValidationError(f"mismatch must satisfy |mismatch| < 2, got {self.mismatch}")
+        check_nonnegative("leakage", abs(self.leakage))
+
+    @property
+    def up_current(self) -> float:
+        """Sourcing current when UP is active."""
+        return self.current * (1.0 + self.mismatch / 2.0)
+
+    @property
+    def down_current(self) -> float:
+        """Sinking current magnitude when DOWN is active."""
+        return self.current * (1.0 - self.mismatch / 2.0)
+
+    def loop_filter_transfer(self, impedance: TransferFunction) -> TransferFunction:
+        """The combined block transfer ``H_LF(s) = I_cp * Z_LF(s)`` (eq. 21)."""
+        return TransferFunction.from_rational(
+            self.current * impedance.rational, name="H_LF"
+        )
+
+    def pulse_segments(
+        self, t_ref_edge: float, t_vco_edge: float
+    ) -> list[CurrentSegment]:
+        """Current segments for one PFD comparison (tri-state behaviour).
+
+        The earlier edge raises its flip-flop; the later edge resets both.
+        A reference edge leading the VCO edge produces a net UP pulse of
+        width ``|dt|``, and vice versa.  The reset is modelled as
+        instantaneous (no dead-zone, no reset pulse overlap) — matching the
+        idealisation the HTM model linearises.
+        """
+        if t_ref_edge <= t_vco_edge:
+            return [CurrentSegment(t_ref_edge, t_vco_edge, self.up_current)]
+        return [CurrentSegment(t_vco_edge, t_ref_edge, -self.down_current)]
+
+    def error_charge(self, phase_error: float) -> float:
+        """Net charge for a phase error expressed in seconds (small-signal).
+
+        This is the impulse weight the HTM model assigns to one sampling
+        instant: ``Q = I_cp * (thetaref - theta)``.
+        """
+        return self.current * phase_error

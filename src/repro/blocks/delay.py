@@ -1,0 +1,69 @@
+"""Loop transport delay ``e^{-s tau}``.
+
+A feedback delay (buffer chains, divider latency, PFD reset time) erodes
+phase margin linearly with frequency and interacts with the sampling
+aliasing studied in the paper.  The delay is irrational, so it is provided
+as a callable transfer usable directly by
+:class:`~repro.core.operators.LTIOperator`, plus a Padé rational
+approximation for code paths that need poles/zeros.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro._validation import check_nonnegative, check_order, check_positive
+from repro.core.operators import HarmonicOperator, LTIOperator
+from repro.lti.rational import RationalFunction
+from repro.lti.transfer import TransferFunction
+
+
+class LoopDelay:
+    """Pure transport delay of ``tau`` seconds."""
+
+    def __init__(self, tau: float, omega0: float):
+        self.tau = check_nonnegative("tau", tau)
+        self.omega0 = check_positive("omega0", omega0)
+
+    def transfer(self, s: complex | np.ndarray) -> complex | np.ndarray:
+        """Evaluate ``e^{-s tau}``."""
+        return np.exp(-np.asarray(s, dtype=complex) * self.tau)
+
+    def operator(self) -> HarmonicOperator:
+        """Diagonal HTM of the delay."""
+        return LTIOperator(self.transfer, self.omega0)
+
+    def phase_lag_deg(self, omega: float) -> float:
+        """Phase lag contributed at ``omega`` (degrees, positive = lag)."""
+        return math.degrees(omega * self.tau)
+
+    def pade(self, order: int = 2) -> TransferFunction:
+        """Diagonal Padé [order/order] rational approximation of the delay.
+
+        Coefficients follow the closed form
+        ``p_k = (2n - k)! n! / ((2n)! k! (n-k)!)`` with the numerator the
+        alternating-sign mirror; accurate for ``omega * tau`` up to roughly
+        the approximation order.
+        """
+        order = check_order("order", order, minimum=1)
+        if self.tau == 0.0:
+            return TransferFunction.gain(1.0, name="delay")
+        n = order
+        den = np.zeros(n + 1)
+        for k in range(n + 1):
+            den[n - k] = (
+                math.factorial(2 * n - k)
+                * math.factorial(n)
+                / (math.factorial(2 * n) * math.factorial(k) * math.factorial(n - k))
+            ) * self.tau**k
+        num = den.copy()
+        # Numerator flips the sign of odd powers of (s tau).
+        for k in range(n + 1):
+            if k % 2 == 1:
+                num[n - k] = -num[n - k]
+        return TransferFunction.from_rational(RationalFunction(num, den), name="delay")
+
+    def __repr__(self) -> str:
+        return f"LoopDelay(tau={self.tau:.6g})"

@@ -1,0 +1,61 @@
+"""Feedback divider / prescaler.
+
+The paper folds prescalers into the VCO model (footnote 1).  This module
+makes the underlying reasoning explicit: in the *phase-in-seconds*
+convention a noiseless divide-by-N passes edge time displacements through
+unchanged — a VCO edge delayed by ``theta`` seconds produces a divider edge
+delayed by the same ``theta`` seconds — so the small-signal divider HTM is
+the identity.  (The familiar ``1/N`` of textbook models lives in the
+*radian*-phase convention, where the carrier frequencies differ by N.)
+
+What the divider does change is the *edge rate* seen by the PFD, which is
+what the behavioural simulator needs, plus the radian-phase conversion
+helpers for interfacing with textbook quantities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_order, check_positive
+from repro.core.operators import HarmonicOperator, IdentityOperator
+
+
+class Divider:
+    """Ideal divide-by-N edge decimator.
+
+    Parameters
+    ----------
+    ratio:
+        Integer division ratio N >= 1.
+    omega0:
+        Reference (output-side) angular frequency in rad/s.
+    """
+
+    def __init__(self, ratio: int, omega0: float):
+        self.ratio = check_order("ratio", ratio, minimum=1)
+        self.omega0 = check_positive("omega0", omega0)
+
+    def operator(self) -> HarmonicOperator:
+        """Identity HTM: time-displacement phase passes through a divider."""
+        return IdentityOperator(self.omega0)
+
+    def decimate_edges(self, edge_times: np.ndarray, phase: int = 0) -> np.ndarray:
+        """Keep every N-th input edge, starting at index ``phase``."""
+        edges = np.asarray(edge_times, dtype=float)
+        if not 0 <= phase < self.ratio:
+            raise ValueError(f"phase must lie in [0, {self.ratio}), got {phase}")
+        return edges[phase :: self.ratio].copy()
+
+    def radian_gain(self) -> float:
+        """Radian-phase divider gain ``1/N`` for textbook cross-checks.
+
+        ``theta_rad_out = theta_rad_in / N`` while the seconds-phase is
+        preserved; the two conventions are linked by
+        ``theta_rad = omega_carrier * theta_sec`` with carrier frequencies
+        differing by N.
+        """
+        return 1.0 / self.ratio
+
+    def __repr__(self) -> str:
+        return f"Divider(ratio={self.ratio}, omega0={self.omega0:.6g})"

@@ -1,0 +1,259 @@
+"""Charge-pump loop-filter topologies and their impedances ``Z_LF(s)``.
+
+For the charge-pump architecture of paper Fig. 3 the loop-filter transfer is
+``H_LF(s) = I_cp * Z_LF(s)`` (eq. 21) where ``Z_LF`` is the impedance seen by
+the pump.  The topologies here cover the standard progression:
+
+* :class:`SingleCapacitorFilter` — pure integrator, type-2 loop with zero
+  phase margin (unstable reference case);
+* :class:`SeriesRCFilter` — integrator + stabilising zero (type-2,
+  second-order loop, no high-frequency pole);
+* :class:`SeriesRCShuntCFilter` — the classic R-C1 branch shunted by C2:
+  integrator + zero + high-frequency pole.  Cascaded with the VCO's ``1/s``
+  this produces exactly the Fig. 5 characteristic — three poles (two at DC)
+  and one zero;
+* :class:`ActivePIFilter` — op-amp PI equivalent, for completeness.
+
+:func:`normalized_filter` designs the shape directly from ``(w_z, w_p)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._errors import ValidationError
+from repro._validation import check_positive
+from repro.lti.transfer import TransferFunction
+
+__all__ = [
+    "LoopFilterComponents",
+    "SingleCapacitorFilter",
+    "SeriesRCFilter",
+    "SeriesRCShuntCFilter",
+    "ThirdOrderFilter",
+    "ActivePIFilter",
+    "normalized_filter",
+]
+
+
+@dataclass(frozen=True)
+class LoopFilterComponents:
+    """Physical R/C values realizing a :class:`SeriesRCShuntCFilter`."""
+
+    resistance: float
+    capacitance_series: float
+    capacitance_shunt: float
+
+    def __post_init__(self):
+        check_positive("resistance", self.resistance)
+        check_positive("capacitance_series", self.capacitance_series)
+        check_positive("capacitance_shunt", self.capacitance_shunt)
+
+
+class SingleCapacitorFilter:
+    """A single shunt capacitor: ``Z(s) = 1 / (s C)``."""
+
+    def __init__(self, capacitance: float):
+        self.capacitance = check_positive("capacitance", capacitance)
+
+    def impedance(self) -> TransferFunction:
+        """The impedance ``1 / (s C)``."""
+        return TransferFunction([1.0], [self.capacitance, 0.0], name="Z_C")
+
+
+class SeriesRCFilter:
+    """Series R-C to ground: ``Z(s) = R + 1/(sC) = (1 + s R C) / (s C)``."""
+
+    def __init__(self, resistance: float, capacitance: float):
+        self.resistance = check_positive("resistance", resistance)
+        self.capacitance = check_positive("capacitance", capacitance)
+
+    @property
+    def zero_frequency(self) -> float:
+        """The stabilising zero ``w_z = 1 / (R C)`` (rad/s)."""
+        return 1.0 / (self.resistance * self.capacitance)
+
+    def impedance(self) -> TransferFunction:
+        """The impedance ``(1 + s R C) / (s C)``."""
+        rc = self.resistance * self.capacitance
+        return TransferFunction([rc, 1.0], [self.capacitance, 0.0], name="Z_RC")
+
+
+class SeriesRCShuntCFilter:
+    """Series R-C1 branch in parallel with shunt C2 (the Fig. 3 filter).
+
+    ``Z(s) = (1 + s R C1) / (s (C1 + C2) (1 + s / w_p))`` with
+    ``w_z = 1/(R C1)`` and ``w_p = (C1 + C2) / (R C1 C2)``.
+    """
+
+    def __init__(self, resistance: float, capacitance_series: float, capacitance_shunt: float):
+        self.components = LoopFilterComponents(
+            resistance, capacitance_series, capacitance_shunt
+        )
+
+    @classmethod
+    def from_components(cls, components: LoopFilterComponents) -> "SeriesRCShuntCFilter":
+        """Build from a components record."""
+        return cls(
+            components.resistance,
+            components.capacitance_series,
+            components.capacitance_shunt,
+        )
+
+    @classmethod
+    def from_pole_zero(
+        cls, zero_frequency: float, pole_frequency: float, total_capacitance: float
+    ) -> "SeriesRCShuntCFilter":
+        """Solve component values from ``(w_z, w_p, C1 + C2)``.
+
+        Requires ``w_p > w_z`` (the zero must precede the parasitic pole).
+        """
+        wz = check_positive("zero_frequency", zero_frequency)
+        wp = check_positive("pole_frequency", pole_frequency)
+        ctot = check_positive("total_capacitance", total_capacitance)
+        if wp <= wz:
+            raise ValidationError(
+                f"pole frequency ({wp:.3g}) must exceed zero frequency ({wz:.3g})"
+            )
+        c1 = ctot * (1.0 - wz / wp)
+        c2 = ctot * wz / wp
+        r = 1.0 / (wz * c1)
+        return cls(r, c1, c2)
+
+    @property
+    def zero_frequency(self) -> float:
+        """``w_z = 1 / (R C1)`` (rad/s)."""
+        c = self.components
+        return 1.0 / (c.resistance * c.capacitance_series)
+
+    @property
+    def pole_frequency(self) -> float:
+        """``w_p = (C1 + C2) / (R C1 C2)`` (rad/s)."""
+        c = self.components
+        return (c.capacitance_series + c.capacitance_shunt) / (
+            c.resistance * c.capacitance_series * c.capacitance_shunt
+        )
+
+    @property
+    def total_capacitance(self) -> float:
+        """``C1 + C2`` (farads)."""
+        c = self.components
+        return c.capacitance_series + c.capacitance_shunt
+
+    def impedance(self) -> TransferFunction:
+        """The impedance ``(1 + s R C1) / (s (C1+C2) (1 + s/w_p))``."""
+        c = self.components
+        ctot = self.total_capacitance
+        rc1 = c.resistance * c.capacitance_series
+        # Z(s) = (1 + s R C1) / (s Ctot + s^2 R C1 C2)
+        quad = c.resistance * c.capacitance_series * c.capacitance_shunt
+        return TransferFunction([rc1, 1.0], [quad, ctot, 0.0], name="Z_RC||C")
+
+
+class ThirdOrderFilter:
+    """Second-order RC//C stage followed by a series-R shunt-C smoothing pole.
+
+    The extra pole attenuates reference-rate ripple (spur reduction) at the
+    cost of phase margin.  The pump-current-to-control transfer uses the
+    standard unloaded approximation ``Z(s) = Z2(s) / (1 + s / w_3)``, valid
+    when the second-stage resistor is large compared to ``|Z2|`` near the
+    crossover (the usual design regime; see Banerjee-style references).
+    """
+
+    def __init__(self, second_order: SeriesRCShuntCFilter, resistance3: float, capacitance3: float):
+        if not isinstance(second_order, SeriesRCShuntCFilter):
+            raise ValidationError("ThirdOrderFilter wraps a SeriesRCShuntCFilter first stage")
+        self.second_order = second_order
+        self.resistance3 = check_positive("resistance3", resistance3)
+        self.capacitance3 = check_positive("capacitance3", capacitance3)
+
+    @classmethod
+    def from_pole_frequencies(
+        cls,
+        zero_frequency: float,
+        pole_frequency: float,
+        third_pole_frequency: float,
+        total_capacitance: float,
+        resistance3: float = 1.0,
+    ) -> "ThirdOrderFilter":
+        """Build from the three break frequencies of the shape."""
+        stage1 = SeriesRCShuntCFilter.from_pole_zero(
+            zero_frequency, pole_frequency, total_capacitance
+        )
+        w3 = check_positive("third_pole_frequency", third_pole_frequency)
+        c3 = 1.0 / (resistance3 * w3)
+        return cls(stage1, resistance3, c3)
+
+    @property
+    def zero_frequency(self) -> float:
+        """The stabilising zero of the first stage (rad/s)."""
+        return self.second_order.zero_frequency
+
+    @property
+    def pole_frequency(self) -> float:
+        """The first stage's high-frequency pole (rad/s)."""
+        return self.second_order.pole_frequency
+
+    @property
+    def third_pole_frequency(self) -> float:
+        """The smoothing pole ``w_3 = 1 / (R3 C3)`` (rad/s)."""
+        return 1.0 / (self.resistance3 * self.capacitance3)
+
+    def impedance(self) -> TransferFunction:
+        """Unloaded transfer ``Z2(s) / (1 + s / w_3)``."""
+        post = TransferFunction([1.0], [1.0 / self.third_pole_frequency, 1.0])
+        return TransferFunction.from_rational(
+            (self.second_order.impedance() * post).rational, name="Z_3rd"
+        )
+
+    def ripple_attenuation_db(self, omega: float) -> float:
+        """Extra ripple attenuation the third pole buys at ``omega`` (dB > 0)."""
+        check_positive("omega", omega)
+        import math
+
+        return 10.0 * math.log10(1.0 + (omega / self.third_pole_frequency) ** 2)
+
+
+class ActivePIFilter:
+    """Active proportional-integral filter ``Z_eq(s) = K_p + K_i / s``.
+
+    Expressed as an equivalent impedance so it plugs into the same
+    ``H_LF = I_cp * Z`` slot as the passive topologies.
+    """
+
+    def __init__(self, proportional: float, integral: float):
+        self.proportional = check_positive("proportional", proportional)
+        self.integral = check_positive("integral", integral)
+
+    @property
+    def zero_frequency(self) -> float:
+        """``w_z = K_i / K_p`` (rad/s)."""
+        return self.integral / self.proportional
+
+    def impedance(self) -> TransferFunction:
+        """The equivalent impedance ``(K_p s + K_i) / s``."""
+        return TransferFunction(
+            [self.proportional, self.integral], [1.0, 0.0], name="Z_PI"
+        )
+
+
+def normalized_filter(
+    zero_frequency: float, pole_frequency: float, gain: float = 1.0
+) -> TransferFunction:
+    """Shape-first loop-filter transfer ``gain (1 + s/w_z) / (s (1 + s/w_p))``.
+
+    This is ``H_LF(s)`` directly (charge-pump current already folded into
+    ``gain``); combined with the VCO integrator it yields the paper's Fig. 5
+    open-loop characteristic.  Use when only the loop *shape* matters and
+    component values do not.
+    """
+    wz = check_positive("zero_frequency", zero_frequency)
+    wp = check_positive("pole_frequency", pole_frequency)
+    check_positive("gain", gain)
+    if wp <= wz:
+        raise ValidationError(
+            f"pole frequency ({wp:.3g}) must exceed zero frequency ({wz:.3g})"
+        )
+    num = [gain / wz, gain]
+    den = [1.0 / wp, 1.0, 0.0]
+    return TransferFunction(num, den, name="H_LF")

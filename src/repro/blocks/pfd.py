@@ -1,0 +1,159 @@
+"""Phase-frequency detector models.
+
+The paper's central block is the *sampling* PFD: a digital tri-state
+detector that measures the phase error as the distance between the
+zero-crossings of the reference and VCO signals, once per reference period.
+When the produced pulses are narrow compared to the loop time constant they
+act as Dirac impulses whose weight equals the pulse width (Fig. 4), so the
+small-signal model is multiplication with an impulse train::
+
+    y(t) = sum_m delta(t - m T) * (thetaref(t) - theta(t))       (eq. 16)
+
+whose HTM is the rank-one matrix ``(w0/2pi) l l^T`` (eqs. 19–20).  Two other
+detector styles are provided to exercise the "arbitrary PFD" generality the
+paper claims: a sample-and-hold PFD (zero-order hold, still rank one but
+frequency-shaped) and a memoryless multiplying (mixer-style) detector (an
+LTI gain).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import check_finite, check_positive
+from repro.core.operators import (
+    HarmonicOperator,
+    LTIOperator,
+    SamplingOperator,
+    SeriesOperator,
+)
+
+
+class SamplingPFD:
+    """Ideal sampling PFD: impulse-train phase-error sampler (paper sec. 3.1).
+
+    Parameters
+    ----------
+    omega0:
+        Reference angular frequency (rad/s); the sampling rate.
+    sampling_offset:
+        Instant within the period at which the error is sampled (seconds).
+        Zero matches the paper's alignment with reference edges.
+    """
+
+    def __init__(self, omega0: float, sampling_offset: float = 0.0):
+        self.omega0 = check_positive("omega0", omega0)
+        self.sampling_offset = check_finite("sampling_offset", sampling_offset)
+
+    @property
+    def gain(self) -> float:
+        """The impulse-train weight ``w0 / 2pi = 1/T`` appearing in eq. (19)."""
+        return self.omega0 / (2 * np.pi)
+
+    @property
+    def period(self) -> float:
+        """Sampling period ``T`` (seconds)."""
+        return 2 * np.pi / self.omega0
+
+    def operator(self) -> HarmonicOperator:
+        """The rank-one sampling operator (lazy HTM)."""
+        return SamplingOperator(self.omega0, offset=self.sampling_offset)
+
+    def column_vector(self, order: int) -> np.ndarray:
+        """Rank-one column factor including the ``w0/2pi`` gain.
+
+        For zero offset this is ``(w0/2pi) * l`` of eq. (20).
+        """
+        op = SamplingOperator(self.omega0, offset=self.sampling_offset)
+        return self.gain * op.column_vector(order)
+
+    def row_vector(self, order: int) -> np.ndarray:
+        """Rank-one row factor (the ``l^T`` of eq. 20, phase-rotated by offset)."""
+        op = SamplingOperator(self.omega0, offset=self.sampling_offset)
+        return op.row_vector(order)
+
+    def __repr__(self) -> str:
+        return f"SamplingPFD(omega0={self.omega0:.6g}, offset={self.sampling_offset:.3g})"
+
+
+class SampleHoldPFD:
+    """Sample-and-hold PFD: impulse sampling followed by a zero-order hold.
+
+    The hold filter ``ZOH(s) = (1 - e^{-sT}) / s`` is LTI, so the cascade is
+    ``LTIOperator(ZOH) @ SamplingOperator`` — still rank one, but with a
+    frequency-shaped column factor ``d_n(s) = ZOH(s + j n w0) * (w0/2pi)``.
+    Holding the error over the whole period adds the classic extra ~half-period
+    delay to the loop, further eroding phase margin.
+    """
+
+    def __init__(self, omega0: float):
+        self.omega0 = check_positive("omega0", omega0)
+        # Sampling instants at t = mT, as for the impulse-train detector.
+        self.sampling_offset = 0.0
+
+    @property
+    def gain(self) -> float:
+        """Impulse-train weight ``1/T``; the hold restores DC gain 1 overall."""
+        return self.omega0 / (2 * np.pi)
+
+    @property
+    def period(self) -> float:
+        """Sampling/hold period ``T`` (seconds)."""
+        return 2 * np.pi / self.omega0
+
+    def hold_transfer(self, s: complex | np.ndarray) -> complex | np.ndarray:
+        """The zero-order-hold transfer ``(1 - e^{-sT}) / s`` (value ``T`` at DC)."""
+        s_arr = np.asarray(s, dtype=complex)
+        period = self.period
+        small = np.abs(s_arr) * period < 1e-8
+        with np.errstate(divide="ignore", invalid="ignore"):
+            generic = (1.0 - np.exp(-s_arr * period)) / s_arr
+        limit = period * (1.0 - s_arr * period / 2.0)
+        out = np.where(small, limit, generic)
+        if np.ndim(s) == 0:
+            return complex(out)
+        return out
+
+    def operator(self) -> HarmonicOperator:
+        """The cascaded hold-after-sample operator."""
+        hold = LTIOperator(self.hold_transfer, self.omega0)
+        return SeriesOperator(hold, SamplingOperator(self.omega0))
+
+    def column_vector(self, order: int, s: complex) -> np.ndarray:
+        """Rank-one column factor at frequency ``s``: ``(w0/2pi) ZOH(s + j n w0)``."""
+        n = np.arange(-order, order + 1)
+        return self.gain * np.asarray(
+            [self.hold_transfer(s + 1j * k * self.omega0) for k in n], dtype=complex
+        )
+
+    def row_vector(self, order: int) -> np.ndarray:
+        """Rank-one row factor: the all-ones ``l^T``."""
+        return np.ones(2 * order + 1, dtype=complex)
+
+    def __repr__(self) -> str:
+        return f"SampleHoldPFD(omega0={self.omega0:.6g})"
+
+
+class MultiplyingPFD:
+    """Memoryless multiplying (mixer-style) phase detector.
+
+    Produces ``y = k_pd * (thetaref - theta)`` continuously: an LTI gain with
+    a diagonal HTM.  Included as the baseline detector for which classical
+    LTI analysis is exact — the contrast case for the sampling PFD.
+    """
+
+    def __init__(self, omega0: float, k_pd: float = 1.0):
+        self.omega0 = check_positive("omega0", omega0)
+        self.k_pd = check_finite("k_pd", k_pd)
+
+    @property
+    def gain(self) -> float:
+        """The detector gain ``k_pd``."""
+        return self.k_pd
+
+    def operator(self) -> HarmonicOperator:
+        """Diagonal (LTI) operator of the constant gain."""
+        return LTIOperator(lambda s: self.k_pd, self.omega0)
+
+    def __repr__(self) -> str:
+        return f"MultiplyingPFD(omega0={self.omega0:.6g}, k_pd={self.k_pd:.6g})"

@@ -1,0 +1,98 @@
+"""Voltage-controlled oscillator model (paper sec. 3.3, after Demir et al.).
+
+A perturbation ``du(t)`` on the control input shifts the VCO phase
+(in seconds) as ``d theta/dt = v(t) du(t)`` (eq. 24): multiplication with
+the periodic impulse sensitivity function followed by integration.  The
+HTM is ``[H_VCO]_{n,m}(s) = v_{n-m} / (s + j n w0)`` (eq. 25).
+
+With a constant ISF (``v_k = 0`` for ``k != 0``) the HTM is diagonal and the
+VCO reduces to the classical ``v0 / s`` integrator — the case the paper's
+experiments use (sec. 5).
+"""
+
+from __future__ import annotations
+
+from repro._errors import ValidationError
+from repro._validation import check_positive
+from repro.core.operators import HarmonicOperator, IsfIntegrationOperator
+from repro.lti.transfer import TransferFunction
+from repro.signals.isf import ImpulseSensitivity
+
+
+class VCO:
+    """Controlled oscillator described by its ISF and free-running frequency.
+
+    Parameters
+    ----------
+    isf:
+        Impulse sensitivity of the control input (phase-in-seconds
+        convention; see :mod:`repro.signals.isf`).
+    f0:
+        Free-running output frequency in Hz.  Only the behavioural simulator
+        needs it; the small-signal HTM depends on the ISF alone.
+    """
+
+    def __init__(self, isf: ImpulseSensitivity, f0: float = 1.0):
+        if not isinstance(isf, ImpulseSensitivity):
+            raise ValidationError("VCO requires an ImpulseSensitivity instance")
+        self.isf = isf
+        self.f0 = check_positive("f0", f0)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def time_invariant(cls, v0: float, omega0: float, f0: float = 1.0) -> "VCO":
+        """VCO with constant sensitivity ``v0`` (the paper's sec. 5 setting)."""
+        return cls(ImpulseSensitivity.constant(v0, omega0), f0=f0)
+
+    @classmethod
+    def from_gain(cls, kvco_hz_per_unit: float, f0: float, omega0: float) -> "VCO":
+        """VCO from the conventional gain ``K_v`` (Hz per input unit) at ``f0``."""
+        return cls(
+            ImpulseSensitivity.from_vco_gain(kvco_hz_per_unit, f0, omega0), f0=f0
+        )
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def omega0(self) -> float:
+        """Fundamental angular frequency of the ISF periodicity (rad/s)."""
+        return self.isf.omega0
+
+    @property
+    def v0(self) -> complex:
+        """Average sensitivity — the LTI-approximation integrator gain."""
+        return self.isf.v0
+
+    def is_time_invariant(self) -> bool:
+        """True when the ISF has no harmonics beyond DC."""
+        return self.isf.is_time_invariant()
+
+    # -- models ---------------------------------------------------------------
+
+    def operator(self) -> HarmonicOperator:
+        """The LPTV phase operator of eq. (25)."""
+        return IsfIntegrationOperator(self.isf)
+
+    def lti_transfer(self) -> TransferFunction:
+        """The classical LTI approximation ``v0 / s``.
+
+        Raises
+        ------
+        ValidationError
+            If the ISF is genuinely time varying — collapsing it to ``v0/s``
+            would silently discard the harmonic conversion terms.
+        """
+        if not self.is_time_invariant():
+            raise ValidationError(
+                "VCO has a time-varying ISF; its LTI reduction v0/s discards "
+                "harmonic conversion — use operator() instead"
+            )
+        v0 = self.v0
+        if abs(v0.imag) > 1e-12 * max(abs(v0.real), 1.0):
+            raise ValidationError("constant ISF must be real for the v0/s reduction")
+        return TransferFunction.integrator(v0.real, name="VCO")
+
+    def __repr__(self) -> str:
+        kind = "time-invariant" if self.is_time_invariant() else "LPTV"
+        return f"VCO({kind}, v0={self.v0:.6g}, f0={self.f0:.6g})"

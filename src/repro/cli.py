@@ -1,0 +1,159 @@
+"""Command-line loop-analysis report.
+
+Usage::
+
+    python -m repro --ratio 0.15 [--separation 4] [--omega0 6.2832]
+                    [--icp 1e-3] [--leakage 0] [--plots] [--symbolic]
+
+Designs the typical loop at the requested ``omega_UG / omega_0`` and prints
+a full report: LTI metrics, effective (time-varying) metrics, z-domain
+stability, Floquet multipliers, and optionally the symbolic closed forms
+and an ASCII Bode chart — the complete workflow of the library in one
+command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro._errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HTM-based PLL loop analysis report"
+    )
+    parser.add_argument(
+        "--ratio", type=float, default=0.1, help="omega_UG / omega_0 (default 0.1)"
+    )
+    parser.add_argument(
+        "--separation", type=float, default=4.0, help="zero/pole separation (default 4)"
+    )
+    parser.add_argument(
+        "--omega0", type=float, default=2 * np.pi, help="reference frequency rad/s"
+    )
+    parser.add_argument("--icp", type=float, default=1e-3, help="charge-pump current A")
+    parser.add_argument("--leakage", type=float, default=0.0, help="pump leakage A")
+    parser.add_argument("--plots", action="store_true", help="ASCII Bode chart of A and lambda")
+    parser.add_argument("--symbolic", action="store_true", help="print symbolic closed forms")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns an exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _report(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _report(args) -> int:
+    from repro.baselines.zdomain import closed_loop_z, sampled_open_loop
+    from repro.blocks.chargepump import ChargePump
+    from repro.pll.architecture import PLL
+    from repro.pll.closedloop import ClosedLoopHTM
+    from repro.pll.design import design_typical_loop, shape_phase_margin_deg
+    from repro.pll.margins import compare_margins
+    from repro.simulator.floquet import floquet_multipliers
+
+    omega0 = args.omega0
+    base = design_typical_loop(
+        omega0=omega0,
+        omega_ug=args.ratio * omega0,
+        separation=args.separation,
+        charge_pump_current=args.icp,
+    )
+    pll = base
+    if args.leakage > 0:
+        pll = PLL(
+            pfd=base.pfd,
+            charge_pump=ChargePump(args.icp, leakage=args.leakage),
+            filter_impedance=base.filter_impedance,
+            vco=base.vco,
+        )
+
+    print(pll.describe())
+    print(f"target: wUG/w0 = {args.ratio:g}, separation {args.separation:g} "
+          f"(LTI PM {shape_phase_margin_deg(args.separation):.2f} deg)")
+    print("-" * 64)
+
+    try:
+        margins = compare_margins(pll)
+        print(margins.summary())
+    except ReproError as exc:
+        print(f"effective margins: not measurable ({exc})")
+
+    cz = closed_loop_z(sampled_open_loop(base))
+    poles = np.sort_complex(cz.poles())
+    print(f"z-domain closed-loop poles: {np.round(poles, 4)}")
+    print(f"z-domain stable: {cz.is_stable()}")
+
+    flo = floquet_multipliers(base)
+    print(f"Floquet multipliers:        {np.round(np.sort_complex(flo.multipliers), 4)}")
+    print(
+        f"Floquet stable: {flo.is_stable} "
+        f"(spectral radius {flo.spectral_radius:.4f})"
+    )
+
+    from repro.pll.poles import find_closed_loop_poles
+
+    s_poles = find_closed_loop_poles(base)
+    print("s-domain Floquet exponents (roots of 1 + lambda(s)):")
+    for pole in s_poles:
+        print(
+            f"  s = {pole.s:.4f}  |e^sT| = {abs(pole.multiplier):.4f}"
+            + ("  [UNSTABLE]" if not pole.is_stable else "")
+        )
+
+    if args.leakage > 0:
+        from repro.pll.spurs import predict_reference_spurs
+
+        pred = predict_reference_spurs(pll, harmonics=3)
+        print("-" * 64)
+        print(f"leakage {args.leakage:g} A -> static phase offset "
+              f"{pred.static_phase_offset:.3e} s")
+        for k in (1, 2, 3):
+            print(f"  reference spur k={k}: {pred.spur_dbc(k, pll.vco.f0):.1f} dBc")
+
+    if args.symbolic:
+        from repro.symbolic import effective_gain_expression, open_loop_expression
+
+        print("-" * 64)
+        print("A(s)      =", open_loop_expression(base).render())
+        print("lambda(s) =", effective_gain_expression(base).render())
+
+    if args.plots:
+        from repro.reporting.ascii_plot import AsciiPlot
+
+        closed = ClosedLoopHTM(base)
+        from repro.pll.openloop import lti_open_loop
+
+        a = lti_open_loop(base)
+        grid = np.logspace(-2, np.log10(0.49), 120) * omega0
+        plot = AsciiPlot(
+            width=70,
+            height=14,
+            log_x=True,
+            title="|A| (a) vs |lambda| (L), dB",
+            x_label="omega (rad/s)",
+        )
+        plot.add(grid, 20 * np.log10(np.abs(a.frequency_response(grid))), glyph="a", label="LTI A")
+        plot.add(
+            grid,
+            20 * np.log10(np.abs(closed.effective_gain_response(grid))),
+            glyph="L",
+            label="effective lambda",
+        )
+        print("-" * 64)
+        print(plot.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

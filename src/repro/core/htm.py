@@ -1,0 +1,195 @@
+"""Dense truncated harmonic transfer matrices.
+
+An :class:`HTM` is a snapshot of a harmonic transfer matrix at one complex
+frequency ``s``, truncated to harmonics ``-K .. K`` and stored as a dense
+``(2K+1, 2K+1)`` complex matrix.  Row/column index ``i`` corresponds to
+harmonic ``i - K``; :meth:`HTM.element` uses the paper's ``(n, m)`` harmonic
+indices directly.
+
+Snapshots support the composition rules of paper eqs. (10)–(11) — parallel
+connection is matrix addition, series connection ``y = H2[H1[u]]`` is the
+matrix product ``H2 @ H1`` — plus truncated inversion for feedback loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._errors import TruncationError, ValidationError
+from repro._validation import check_positive
+
+
+class HTM:
+    """A truncated harmonic transfer matrix evaluated at one frequency.
+
+    Parameters
+    ----------
+    matrix:
+        Square complex array of odd size ``2K+1``.
+    omega0:
+        Fundamental angular frequency of the underlying LPTV system (rad/s).
+    s:
+        The complex frequency the snapshot was evaluated at.
+    """
+
+    __slots__ = ("_matrix", "_omega0", "_s")
+
+    def __init__(self, matrix: np.ndarray, omega0: float, s: complex = 0j):
+        matrix = np.asarray(matrix, dtype=complex)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValidationError(f"HTM matrix must be square, got shape {matrix.shape}")
+        if matrix.shape[0] % 2 == 0:
+            raise ValidationError(
+                f"HTM size must be odd (harmonics -K..K), got {matrix.shape[0]}"
+            )
+        self._matrix = matrix.copy()
+        self._omega0 = check_positive("omega0", omega0)
+        self._s = complex(s)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """Copy of the dense matrix (index ``i`` = harmonic ``i - K``)."""
+        return self._matrix.copy()
+
+    @property
+    def omega0(self) -> float:
+        """Fundamental angular frequency (rad/s)."""
+        return self._omega0
+
+    @property
+    def s(self) -> complex:
+        """Evaluation frequency of this snapshot."""
+        return self._s
+
+    @property
+    def order(self) -> int:
+        """Truncation order K."""
+        return (self._matrix.shape[0] - 1) // 2
+
+    @property
+    def size(self) -> int:
+        """Matrix dimension ``2K + 1``."""
+        return self._matrix.shape[0]
+
+    def element(self, n: int, m: int) -> complex:
+        """Matrix element ``H_{n,m}(s)``: transfer from band ``m w0`` to ``n w0``."""
+        k = self.order
+        if abs(n) > k or abs(m) > k:
+            raise TruncationError(
+                f"harmonic index ({n}, {m}) outside truncation ±{k}"
+            )
+        return complex(self._matrix[n + k, m + k])
+
+    def harmonic_transfer(self, k: int) -> np.ndarray:
+        """The ``k``-th diagonal: samples of the harmonic transfer function ``H_k``.
+
+        Entry ``i`` is ``H_k(s + j m w0)`` for ``m = -K+max(k,0) .. K+min(k,0)``
+        ordered by increasing ``m`` (paper eq. 5 with ``n - m = k``).
+        """
+        if abs(k) > 2 * self.order:
+            raise TruncationError(f"diagonal {k} outside matrix of order {self.order}")
+        return np.diagonal(self._matrix, offset=-k).copy()
+
+    def baseband_transfer(self) -> complex:
+        """The ``(0, 0)`` element — baseband-to-baseband transfer (eq. 38)."""
+        return self.element(0, 0)
+
+    def is_diagonal(self, tol: float = 1e-12) -> bool:
+        """True when all off-diagonal entries are negligible (LTI behaviour)."""
+        off = self._matrix - np.diag(np.diag(self._matrix))
+        scale = max(np.max(np.abs(self._matrix)), 1.0)
+        return bool(np.max(np.abs(off)) <= tol * scale)
+
+    def numerical_rank(self, tol: float = 1e-9) -> int:
+        """Rank by singular-value threshold relative to the largest."""
+        svals = np.linalg.svd(self._matrix, compute_uv=False)
+        if svals.size == 0 or svals[0] == 0:
+            return 0
+        return int(np.sum(svals > tol * svals[0]))
+
+    # -- composition (paper eqs. 10-11) ---------------------------------------
+
+    def _check_compatible(self, other: "HTM") -> None:
+        if self.size != other.size:
+            raise ValidationError(f"HTM size mismatch: {self.size} vs {other.size}")
+        if abs(self._omega0 - other._omega0) > 1e-12 * self._omega0:
+            raise ValidationError("HTM fundamental frequencies differ")
+        if abs(self._s - other._s) > 1e-9 * (1.0 + abs(self._s)):
+            raise ValidationError(
+                f"HTM snapshots evaluated at different s: {self._s} vs {other._s}"
+            )
+
+    def __add__(self, other: "HTM") -> "HTM":
+        """Parallel connection (eq. 10)."""
+        self._check_compatible(other)
+        return HTM(self._matrix + other._matrix, self._omega0, self._s)
+
+    def __sub__(self, other: "HTM") -> "HTM":
+        self._check_compatible(other)
+        return HTM(self._matrix - other._matrix, self._omega0, self._s)
+
+    def __neg__(self) -> "HTM":
+        return HTM(-self._matrix, self._omega0, self._s)
+
+    def __matmul__(self, other: "HTM") -> "HTM":
+        """Series connection ``self`` after ``other`` (eq. 11: ``H2 @ H1``)."""
+        self._check_compatible(other)
+        return HTM(self._matrix @ other._matrix, self._omega0, self._s)
+
+    def __mul__(self, scalar) -> "HTM":
+        if not isinstance(scalar, (int, float, complex, np.number)):
+            raise TypeError("use @ for series composition; * is scalar scaling")
+        return HTM(self._matrix * complex(scalar), self._omega0, self._s)
+
+    __rmul__ = __mul__
+
+    def apply(self, vector: np.ndarray) -> np.ndarray:
+        """Apply to a stacked signal vector ``[U_{-K} .. U_{K}]`` (eq. 6/9)."""
+        vector = np.asarray(vector, dtype=complex)
+        if vector.shape != (self.size,):
+            raise ValidationError(f"vector must have shape ({self.size},), got {vector.shape}")
+        return self._matrix @ vector
+
+    @classmethod
+    def identity(cls, order: int, omega0: float, s: complex = 0j) -> "HTM":
+        """The identity HTM (the memoryless unity system)."""
+        return cls(np.eye(2 * order + 1, dtype=complex), omega0, s)
+
+    def inverse(self, rcond: float = 1e-12) -> "HTM":
+        """Truncated matrix inverse.
+
+        Raises
+        ------
+        TruncationError
+            If the matrix is numerically singular at this truncation: the
+            operator may be rank-deficient in the full space (e.g. the
+            sampling operator) or the truncation too small.
+        """
+        svals = np.linalg.svd(self._matrix, compute_uv=False)
+        if svals[-1] <= rcond * svals[0]:
+            raise TruncationError(
+                f"HTM numerically singular (cond ~ {svals[0] / max(svals[-1], 1e-300):.3g}); "
+                "cannot invert at this truncation"
+            )
+        return HTM(np.linalg.inv(self._matrix), self._omega0, self._s)
+
+    def feedback_closure(self) -> "HTM":
+        """Closed loop ``(I + H)^{-1} H`` of a negative-feedback loop (eq. 28)."""
+        eye = np.eye(self.size, dtype=complex)
+        closed = np.linalg.solve(eye + self._matrix, self._matrix)
+        return HTM(closed, self._omega0, self._s)
+
+    def truncated(self, order: int) -> "HTM":
+        """Central sub-matrix at a smaller truncation order."""
+        if order > self.order:
+            raise TruncationError(
+                f"cannot grow snapshot from order {self.order} to {order}"
+            )
+        k = self.order
+        sl = slice(k - order, k + order + 1)
+        return HTM(self._matrix[sl, sl], self._omega0, self._s)
+
+    def __repr__(self) -> str:
+        return f"HTM(order={self.order}, omega0={self._omega0:.6g}, s={self._s:.6g})"

@@ -1,0 +1,254 @@
+"""Lazy, composable LPTV operators with HTM evaluation.
+
+A :class:`HarmonicOperator` represents an LPTV system symbolically and can
+produce its truncated HTM at any complex frequency and truncation order.
+Keeping operators lazy (instead of fixing a truncation up front) lets the
+same loop description be evaluated at whatever order an accuracy target
+demands — the truncation study of DESIGN.md ablation A3 relies on this.
+
+Primitive operators mirror the paper's building blocks:
+
+* :class:`LTIOperator` — diagonal HTM ``H(s + j n w0)`` (eq. 12);
+* :class:`MultiplicationOperator` — Toeplitz HTM ``P_{n-m}`` (eq. 13);
+* :class:`SamplingOperator` — the impulse-train sampler, rank-one
+  ``(w0/2pi) l l^T`` (eqs. 19–20);
+* :class:`IsfIntegrationOperator` — the VCO phase operator
+  ``v_{n-m} / (s + j n w0)`` (eq. 25).
+
+Composites: :class:`SeriesOperator`, :class:`ParallelOperator`,
+:class:`ScaledOperator`, :class:`FeedbackOperator`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro._validation import check_order, check_positive
+from repro.core.htm import HTM
+from repro.signals.fourier import FourierSeries
+from repro.signals.isf import ImpulseSensitivity
+
+
+class HarmonicOperator(ABC):
+    """Abstract LPTV operator on a fundamental frequency ``omega0``."""
+
+    def __init__(self, omega0: float):
+        self._omega0 = check_positive("omega0", omega0)
+
+    @property
+    def omega0(self) -> float:
+        """Fundamental angular frequency (rad/s)."""
+        return self._omega0
+
+    @property
+    def period(self) -> float:
+        """Fundamental period in seconds."""
+        return 2 * np.pi / self._omega0
+
+    @abstractmethod
+    def dense(self, s: complex, order: int) -> np.ndarray:
+        """Dense ``(2*order+1)^2`` matrix of the truncated HTM at ``s``."""
+
+    def htm(self, s: complex, order: int) -> HTM:
+        """Evaluate the truncated HTM snapshot at ``s``."""
+        order = check_order("order", order, minimum=0)
+        return HTM(self.dense(complex(s), order), self._omega0, complex(s))
+
+    def element(self, s: complex, n: int, m: int, order: int | None = None) -> complex:
+        """Single HTM element ``H_{n,m}(s)``; order defaults to ``max(|n|,|m|)``."""
+        if order is None:
+            order = max(abs(n), abs(m))
+        return self.htm(s, order).element(n, m)
+
+    # -- composition sugar ------------------------------------------------------
+
+    def _check_same_fundamental(self, other: "HarmonicOperator") -> None:
+        if abs(self._omega0 - other._omega0) > 1e-12 * self._omega0:
+            raise ValidationError("operators have different fundamental frequencies")
+
+    def __matmul__(self, other: "HarmonicOperator") -> "SeriesOperator":
+        """Series: ``self`` applied after ``other`` (paper eq. 11)."""
+        return SeriesOperator(self, other)
+
+    def __add__(self, other: "HarmonicOperator") -> "ParallelOperator":
+        """Parallel connection (paper eq. 10)."""
+        return ParallelOperator(self, other)
+
+    def __mul__(self, scalar) -> "ScaledOperator":
+        if not isinstance(scalar, (int, float, complex, np.number)):
+            raise TypeError("operator * expects a scalar; use @ for composition")
+        return ScaledOperator(self, complex(scalar))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "ScaledOperator":
+        return ScaledOperator(self, -1.0)
+
+    def feedback(self) -> "FeedbackOperator":
+        """Negative-feedback closure ``(I + self)^{-1} self`` (eq. 28)."""
+        return FeedbackOperator(self)
+
+
+class IdentityOperator(HarmonicOperator):
+    """The identity system ``y = u``."""
+
+    def dense(self, s: complex, order: int) -> np.ndarray:
+        return np.eye(2 * order + 1, dtype=complex)
+
+
+class LTIOperator(HarmonicOperator):
+    """An LTI system embedded as a diagonal HTM (paper eq. 12).
+
+    ``transfer`` may be a :class:`~repro.lti.transfer.TransferFunction`, a
+    :class:`~repro.lti.rational.RationalFunction`, or any scalar callable
+    ``H(s)`` (which permits irrational responses such as delays).
+    """
+
+    def __init__(self, transfer, omega0: float):
+        super().__init__(omega0)
+        if not callable(transfer):
+            raise ValidationError("transfer must be callable as H(s)")
+        self.transfer = transfer
+
+    def dense(self, s: complex, order: int) -> np.ndarray:
+        n = np.arange(-order, order + 1)
+        diag = np.array([self.transfer(s + 1j * k * self._omega0) for k in n], dtype=complex)
+        return np.diag(diag)
+
+
+class MultiplicationOperator(HarmonicOperator):
+    """Memoryless multiplication ``y(t) = p(t) u(t)`` (paper eq. 13)."""
+
+    def __init__(self, series: FourierSeries):
+        super().__init__(series.omega0)
+        self.series = series
+
+    def dense(self, s: complex, order: int) -> np.ndarray:
+        # The Toeplitz HTM is independent of s.
+        return self.series.toeplitz(2 * order + 1)
+
+
+class SamplingOperator(HarmonicOperator):
+    """Ideal impulse-train sampler ``y(t) = sum_m delta(t - mT - offset) u(t)``.
+
+    With zero offset this is the paper's sampling-PFD kernel: the rank-one
+    all-ones HTM scaled by ``w0 / 2pi`` (eqs. 19–20).  A non-zero sampling
+    phase ``offset`` (sampling instants ``t_m = m T + offset``) rotates the
+    kernel coefficients to ``P_k = (1/T) exp(-j k w0 offset)`` but preserves
+    rank one.
+    """
+
+    def __init__(self, omega0: float, offset: float = 0.0):
+        super().__init__(omega0)
+        self.offset = float(offset)
+
+    def column_vector(self, order: int) -> np.ndarray:
+        """The rank-one column factor: ``exp(-j n w0 offset)`` per output harmonic."""
+        n = np.arange(-order, order + 1)
+        return np.exp(-1j * n * self._omega0 * self.offset)
+
+    def row_vector(self, order: int) -> np.ndarray:
+        """The rank-one row factor: ``exp(-j m w0 offset)`` per input harmonic."""
+        return np.conj(self.column_vector(order))
+
+    def dense(self, s: complex, order: int) -> np.ndarray:
+        gain = self._omega0 / (2 * np.pi)
+        col = self.column_vector(order)
+        row = self.row_vector(order)
+        return gain * np.outer(col, row)
+
+
+class IsfIntegrationOperator(HarmonicOperator):
+    """The VCO phase operator: ISF multiplication followed by integration.
+
+    Implements paper eq. (25): ``H[n, m](s) = v_{n-m} / (s + j n w0)``.
+    For a time-invariant ISF the matrix is diagonal ``v0 / (s + j n w0)``,
+    i.e. the LTI integrator of the classical analysis.
+    """
+
+    def __init__(self, isf: ImpulseSensitivity):
+        super().__init__(isf.omega0)
+        self.isf = isf
+
+    def dense(self, s: complex, order: int) -> np.ndarray:
+        size = 2 * order + 1
+        mat = np.zeros((size, size), dtype=complex)
+        for n in range(-order, order + 1):
+            denom = s + 1j * n * self._omega0
+            for m in range(-order, order + 1):
+                vk = self.isf.coefficient(n - m)
+                if vk != 0:
+                    mat[n + order, m + order] = vk / denom
+        return mat
+
+
+class SeriesOperator(HarmonicOperator):
+    """Cascade ``y = first-then-second``: stored as (second, first)."""
+
+    def __init__(self, second: HarmonicOperator, first: HarmonicOperator):
+        second._check_same_fundamental(first)
+        super().__init__(second.omega0)
+        self.second = second
+        self.first = first
+
+    def dense(self, s: complex, order: int) -> np.ndarray:
+        return self.second.dense(s, order) @ self.first.dense(s, order)
+
+
+class ParallelOperator(HarmonicOperator):
+    """Summing junction of two operators driven by the same input."""
+
+    def __init__(self, left: HarmonicOperator, right: HarmonicOperator):
+        left._check_same_fundamental(right)
+        super().__init__(left.omega0)
+        self.left = left
+        self.right = right
+
+    def dense(self, s: complex, order: int) -> np.ndarray:
+        return self.left.dense(s, order) + self.right.dense(s, order)
+
+
+class ScaledOperator(HarmonicOperator):
+    """Scalar multiple of an operator."""
+
+    def __init__(self, inner: HarmonicOperator, scalar: complex):
+        super().__init__(inner.omega0)
+        self.inner = inner
+        self.scalar = complex(scalar)
+
+    def dense(self, s: complex, order: int) -> np.ndarray:
+        return self.scalar * self.inner.dense(s, order)
+
+
+class FeedbackOperator(HarmonicOperator):
+    """Dense negative-feedback closure ``(I + G)^{-1} G`` (paper eq. 28).
+
+    This is the brute-force route the paper contrasts with the rank-one SMW
+    closed form (:mod:`repro.core.rank_one`); it is kept as the reference
+    implementation and as the general path for loops whose forward operator
+    is *not* rank one.
+    """
+
+    def __init__(self, open_loop: HarmonicOperator):
+        super().__init__(open_loop.omega0)
+        self.open_loop = open_loop
+
+    def dense(self, s: complex, order: int) -> np.ndarray:
+        g = self.open_loop.dense(s, order)
+        eye = np.eye(g.shape[0], dtype=complex)
+        return np.linalg.solve(eye + g, g)
+
+
+def lti_diagonal(transfer, omega0: float, s: complex, order: int) -> np.ndarray:
+    """Convenience: dense diagonal embedding of an LTI transfer at ``s``."""
+    return LTIOperator(transfer, omega0).dense(s, order)
+
+
+def ones_vector(order: int) -> np.ndarray:
+    """The truncated all-ones vector ``l`` of paper eq. (20)."""
+    check_order("order", order, minimum=0)
+    return np.ones(2 * order + 1, dtype=complex)

@@ -1,0 +1,95 @@
+"""Frequency sweeps and band-transfer maps of harmonic operators.
+
+These helpers turn a lazy :class:`~repro.core.operators.HarmonicOperator`
+into the arrays the experiments plot: an element ``H_{n,m}(j omega)`` versus
+frequency, the full matrix stack over a grid, or the Fig. 2-style map of how
+much power each input band contributes to each output band.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro._validation import as_float_array, check_order
+from repro.core.operators import HarmonicOperator
+
+
+def sweep_matrix(
+    operator: HarmonicOperator,
+    omega: Sequence[float] | np.ndarray,
+    order: int,
+) -> np.ndarray:
+    """Evaluate the truncated HTM on ``s = j omega`` for each grid frequency.
+
+    Returns an array of shape ``(len(omega), 2*order+1, 2*order+1)`` suitable
+    for :meth:`repro.signals.spectra.BasebandVector.apply_matrix`.
+    """
+    omega_arr = as_float_array("omega", omega)
+    order = check_order("order", order, minimum=0)
+    size = 2 * order + 1
+    out = np.empty((omega_arr.size, size, size), dtype=complex)
+    for i, w in enumerate(omega_arr):
+        out[i] = operator.dense(1j * w, order)
+    return out
+
+
+def sweep_element(
+    operator: HarmonicOperator,
+    omega: Sequence[float] | np.ndarray,
+    n: int,
+    m: int,
+    order: int | None = None,
+) -> np.ndarray:
+    """Evaluate a single element ``H_{n,m}(j omega)`` over a frequency grid.
+
+    ``order`` defaults to ``max(|n|, |m|, 1)``; note that for operators whose
+    element values depend on truncation (feedback closures), the order should
+    be chosen with :func:`repro.core.truncation.choose_truncation_order`.
+    """
+    omega_arr = as_float_array("omega", omega)
+    if order is None:
+        order = max(abs(n), abs(m), 1)
+    order = check_order("order", order, minimum=0)
+    if max(abs(n), abs(m)) > order:
+        raise ValidationError(f"element ({n},{m}) outside truncation order {order}")
+    out = np.empty(omega_arr.size, dtype=complex)
+    for i, w in enumerate(omega_arr):
+        out[i] = operator.htm(1j * w, order).element(n, m)
+    return out
+
+
+def band_transfer_map(
+    operator: HarmonicOperator,
+    omega: float,
+    order: int,
+) -> np.ndarray:
+    """Magnitude map ``|H_{n,m}(j omega)|`` — the Fig. 2 picture at one frequency.
+
+    Row ``n + order`` / column ``m + order`` gives the gain from input band
+    ``m w0`` to output band ``n w0`` for baseband offset ``omega``.
+    """
+    order = check_order("order", order, minimum=0)
+    mat = operator.dense(1j * float(omega), order)
+    return np.abs(mat)
+
+
+def dominant_conversion(
+    operator: HarmonicOperator,
+    omega: float,
+    order: int,
+    exclude_diagonal: bool = True,
+) -> tuple[int, int, float]:
+    """Strongest frequency-converting entry ``(n, m, gain)`` at one frequency.
+
+    With ``exclude_diagonal`` the direct (non-converting) transfers are
+    ignored, isolating the genuinely time-varying behaviour; an LTI operator
+    then reports zero gain.
+    """
+    mags = band_transfer_map(operator, omega, order)
+    if exclude_diagonal:
+        np.fill_diagonal(mags, 0.0)
+    idx = np.unravel_index(int(np.argmax(mags)), mags.shape)
+    return idx[0] - order, idx[1] - order, float(mags[idx])

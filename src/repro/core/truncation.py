@@ -1,0 +1,115 @@
+"""Automatic truncation-order selection for HTM computations.
+
+Truncating the doubly-infinite HTM to harmonics ``-K..K`` introduces an
+error that falls with ``K`` at a rate set by how fast the loop gain rolls
+off past ``K * w0``.  :func:`choose_truncation_order` doubles ``K`` until a
+probe quantity (by default the baseband element of the operator) changes by
+less than a tolerance, and reports the convergence history — this is the
+machinery behind DESIGN.md ablation A3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro._errors import ConvergenceError, ValidationError
+from repro._validation import as_float_array, check_order
+from repro.core.operators import HarmonicOperator
+
+
+@dataclass(frozen=True)
+class TruncationReport:
+    """Convergence record of a truncation-order search.
+
+    Attributes
+    ----------
+    order:
+        The accepted truncation order K.
+    achieved_change:
+        Relative change of the probe between the last two orders tried.
+    history:
+        ``(order, max |probe change|)`` pairs for each refinement step.
+    """
+
+    order: int
+    achieved_change: float
+    history: tuple[tuple[int, float], ...] = field(default_factory=tuple)
+
+
+def probe_baseband(operator: HarmonicOperator, omega: np.ndarray, order: int) -> np.ndarray:
+    """Default probe: the baseband-to-baseband element over the grid."""
+    out = np.empty(omega.size, dtype=complex)
+    for i, w in enumerate(omega):
+        out[i] = operator.htm(1j * w, order).element(0, 0)
+    return out
+
+
+def choose_truncation_order(
+    operator: HarmonicOperator,
+    omega: Sequence[float] | np.ndarray,
+    rtol: float = 1e-6,
+    initial_order: int = 2,
+    max_order: int = 256,
+    probe: Callable[[HarmonicOperator, np.ndarray, int], np.ndarray] | None = None,
+) -> TruncationReport:
+    """Grow the truncation order until the probe stabilises.
+
+    The order doubles each step (2, 4, 8, ...) and the probe (default:
+    baseband transfer over the supplied grid) is compared between steps with
+    a relative max-norm.  Stops at the first step whose change is below
+    ``rtol``.
+
+    Raises
+    ------
+    ConvergenceError
+        If ``max_order`` is reached without meeting the tolerance.
+    """
+    omega_arr = as_float_array("omega", omega)
+    initial_order = check_order("initial_order", initial_order, minimum=1)
+    max_order = check_order("max_order", max_order, minimum=initial_order)
+    if rtol <= 0:
+        raise ValidationError(f"rtol must be positive, got {rtol}")
+    probe_fn = probe or probe_baseband
+    order = initial_order
+    previous = probe_fn(operator, omega_arr, order)
+    history: list[tuple[int, float]] = []
+    while order < max_order:
+        next_order = min(order * 2, max_order)
+        current = probe_fn(operator, omega_arr, next_order)
+        scale = max(float(np.max(np.abs(current))), 1e-300)
+        change = float(np.max(np.abs(current - previous))) / scale
+        history.append((next_order, change))
+        if change <= rtol:
+            return TruncationReport(
+                order=next_order, achieved_change=change, history=tuple(history)
+            )
+        order = next_order
+        previous = current
+    raise ConvergenceError(
+        f"truncation did not converge to rtol={rtol} by order {max_order}; "
+        f"last change {history[-1][1]:.3g}" if history else "no refinement performed"
+    )
+
+
+def truncation_error_estimate(
+    operator: HarmonicOperator,
+    omega: Sequence[float] | np.ndarray,
+    order: int,
+    reference_order: int | None = None,
+) -> float:
+    """Estimate the truncation error of ``order`` against a larger reference.
+
+    Returns the relative max-norm difference of the baseband probe between
+    ``order`` and ``reference_order`` (default ``2 * order``).
+    """
+    omega_arr = as_float_array("omega", omega)
+    order = check_order("order", order, minimum=1)
+    ref = reference_order if reference_order is not None else 2 * order
+    ref = check_order("reference_order", ref, minimum=order + 1)
+    coarse = probe_baseband(operator, omega_arr, order)
+    fine = probe_baseband(operator, omega_arr, ref)
+    scale = max(float(np.max(np.abs(fine))), 1e-300)
+    return float(np.max(np.abs(fine - coarse))) / scale

@@ -1,0 +1,42 @@
+"""Experiment harness: regenerates every figure of the paper's evaluation.
+
+The paper's evaluation (sec. 5) consists of Figures 5–7 plus two in-text
+claims; each has a module here returning plain data records (no plotting
+dependency) and a printable table:
+
+* :mod:`~repro.experiments.fig5` — the typical open-loop characteristic
+  ``A(j omega)`` (magnitude/phase vs ``omega/omega_UG``);
+* :mod:`~repro.experiments.fig6` — baseband closed-loop transfer
+  ``|H00(j omega)|`` for several ``omega_UG/omega_0``, HTM lines vs
+  time-marching marks;
+* :mod:`~repro.experiments.fig7` — effective unity-gain frequency and phase
+  margin vs ``omega_UG/omega_0`` against the LTI horizontal;
+* :mod:`~repro.experiments.accuracy` — the "within 2%" and "seconds vs
+  minutes" claims (C1, C2) and the ~9% margin-degradation claim (C3).
+
+``python -m repro.experiments.runner`` prints everything.
+"""
+
+from repro.experiments.fig5 import Fig5Result, run_fig5
+from repro.experiments.fig6 import Fig6Curve, Fig6Result, run_fig6
+from repro.experiments.fig7 import Fig7Result, run_fig7
+from repro.experiments.accuracy import (
+    AccuracyResult,
+    SpeedupResult,
+    run_accuracy_claim,
+    run_speedup_claim,
+)
+
+__all__ = [
+    "Fig5Result",
+    "run_fig5",
+    "Fig6Curve",
+    "Fig6Result",
+    "run_fig6",
+    "Fig7Result",
+    "run_fig7",
+    "AccuracyResult",
+    "SpeedupResult",
+    "run_accuracy_claim",
+    "run_speedup_claim",
+]

@@ -1,0 +1,65 @@
+"""CSV export of the figure data — reproducible plotting artifacts.
+
+Writes one CSV per figure so the curves can be re-plotted with any external
+tool without re-running the (simulation-backed) experiments.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.experiments.fig5 import Fig5Result
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.fig7 import Fig7Result
+
+
+def export_fig5(directory: Path, result: Fig5Result) -> Path:
+    """Write ``fig5.csv``: omega/wUG, |A| dB, arg A deg."""
+    path = directory / "fig5.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["omega_over_wug", "magnitude_db", "phase_deg"])
+        for row in result.as_rows():
+            writer.writerow([f"{v:.10g}" for v in row])
+    return path
+
+
+def export_fig6(directory: Path, result: Fig6Result) -> Path:
+    """Write ``fig6.csv``: per-curve H00 samples plus the simulation marks."""
+    path = directory / "fig6.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["ratio", "kind", "omega_over_wug", "h00_db"])
+        for curve in result.curves:
+            for w, mag in zip(curve.omega_normalized, curve.h00_db):
+                writer.writerow([curve.ratio, "htm", f"{w:.10g}", f"{mag:.10g}"])
+            for w, mag in zip(curve.mark_omega_normalized, curve.mark_h00_db):
+                writer.writerow([curve.ratio, "sim", f"{w:.10g}", f"{mag:.10g}"])
+    return path
+
+
+def export_fig7(directory: Path, result: Fig7Result) -> Path:
+    """Write ``fig7.csv``: ratio, bandwidth extension, effective/LTI margins."""
+    path = directory / "fig7.csv"
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["wug_over_w0", "bandwidth_extension", "pm_eff_deg", "pm_lti_deg"]
+        )
+        for ratio, ext, pm in zip(
+            result.ratios, result.bandwidth_extension, result.phase_margin_eff_deg
+        ):
+            writer.writerow(
+                [f"{ratio:.10g}", f"{ext:.10g}", f"{pm:.10g}", f"{result.phase_margin_lti_deg:.10g}"]
+            )
+    return path
+
+
+def export_all(
+    directory: str | Path, r5: Fig5Result, r6: Fig6Result, r7: Fig7Result
+) -> list[Path]:
+    """Write every figure CSV into ``directory`` (created if missing)."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    return [export_fig5(out, r5), export_fig6(out, r6), export_fig7(out, r7)]

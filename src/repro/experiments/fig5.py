@@ -1,0 +1,78 @@
+"""Figure 5: the typical open-loop gain characteristic ``A(j omega)``.
+
+Three poles (two at DC) and one zero, frequency axis normalised to the
+unity-gain frequency ``omega_UG`` — magnitude falls at -40 dB/dec, flattens
+to -20 dB/dec between the zero and the high-frequency pole (where the phase
+margin peaks), then returns to -40 dB/dec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_order, check_positive
+from repro.lti.bode import gain_crossover, phase_margin
+from repro.pll.design import typical_open_loop_shape
+
+
+@dataclass(frozen=True)
+class Fig5Result:
+    """Sampled Bode characteristic of the normalised loop gain."""
+
+    omega_normalized: np.ndarray  # omega / omega_UG
+    magnitude_db: np.ndarray
+    phase_deg: np.ndarray
+    separation: float
+    unity_gain_check: float  # measured w_UG / requested w_UG (should be 1)
+    phase_margin_deg: float
+
+    def as_rows(self) -> list[tuple[float, float, float]]:
+        """``(omega/omega_UG, |A| dB, arg A deg)`` rows for tabulation."""
+        return [
+            (float(w), float(m), float(p))
+            for w, m, p in zip(self.omega_normalized, self.magnitude_db, self.phase_deg)
+        ]
+
+
+def run_fig5(
+    separation: float = 4.0,
+    decades_below: float = 2.0,
+    decades_above: float = 2.0,
+    points: int = 200,
+) -> Fig5Result:
+    """Generate the Fig. 5 characteristic on a normalised log grid.
+
+    ``omega_UG = 1`` without loss of generality (the shape is scale-free).
+    """
+    check_positive("separation", separation)
+    check_order("points", points, minimum=8)
+    a = typical_open_loop_shape(omega_ug=1.0, separation=separation)
+    grid = np.logspace(-decades_below, decades_above, points)
+    response = a.frequency_response(grid)
+    magnitude_db = 20.0 * np.log10(np.abs(response))
+    phase_deg = np.degrees(np.unwrap(np.angle(response)))
+    w_ug = gain_crossover(a, grid[0], grid[-1])
+    pm = phase_margin(a, grid[0], grid[-1])
+    return Fig5Result(
+        omega_normalized=grid,
+        magnitude_db=magnitude_db,
+        phase_deg=phase_deg,
+        separation=separation,
+        unity_gain_check=w_ug,
+        phase_margin_deg=pm,
+    )
+
+
+def format_table(result: Fig5Result, stride: int = 20) -> str:
+    """Printable table of the characteristic (every ``stride``-th point)."""
+    lines = [
+        f"Fig. 5 — open-loop gain A(j w), separation={result.separation:g}, "
+        f"PM={result.phase_margin_deg:.2f} deg, wUG check={result.unity_gain_check:.6f}",
+        f"{'w/wUG':>10} {'|A| (dB)':>10} {'arg A (deg)':>12}",
+    ]
+    rows = result.as_rows()
+    for row in rows[::stride] + [rows[-1]]:
+        lines.append(f"{row[0]:>10.4g} {row[1]:>10.2f} {row[2]:>12.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Figure 7: effective unity-gain frequency and phase margin vs loop speed.
+
+Upper plot: ``omega_UG,eff / omega_UG`` — the unity-gain frequency of the
+effective open-loop gain ``lambda(s)``, normalised to the LTI value, rising
+above 1 as ``omega_UG / omega_0`` grows (the closed-loop bandwidth extends).
+
+Lower plot: the phase margin of ``lambda(s)`` collapsing as the ratio grows,
+against the horizontal line of the (ratio-independent) LTI prediction —
+"this clearly illustrates the need to take time-varying effects into
+account" (paper sec. 5).
+
+The sweep also reports the stability boundary predicted independently by
+the z-domain baseline; the effective phase margin extrapolates to zero
+there, which LTI analysis cannot see at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_positive
+from repro.baselines.zdomain import stability_limit_ratio
+from repro.pll.design import design_typical_loop, shape_phase_margin_deg
+from repro.pll.margins import margin_sweep
+
+
+@dataclass(frozen=True)
+class Fig7Result:
+    """Swept margin data."""
+
+    ratios: np.ndarray  # omega_UG / omega_0
+    bandwidth_extension: np.ndarray  # omega_UG,eff / omega_UG (upper plot)
+    phase_margin_eff_deg: np.ndarray  # lower plot
+    phase_margin_lti_deg: float  # the horizontal line
+    stability_limit: float  # z-domain boundary (independent check)
+    separation: float
+
+    def degradation_at(self, ratio: float) -> float:
+        """Interpolated fractional phase-margin loss at ``ratio`` (claim C3)."""
+        pm = np.interp(ratio, self.ratios, self.phase_margin_eff_deg)
+        return 1.0 - pm / self.phase_margin_lti_deg
+
+
+def run_fig7(
+    ratio_min: float = 0.01,
+    ratio_max: float = 0.26,
+    points: int = 14,
+    separation: float = 4.0,
+    omega0: float = 2 * np.pi,
+) -> Fig7Result:
+    """Sweep ``omega_UG / omega_0`` and measure the effective margins."""
+    check_positive("ratio_min", ratio_min)
+    if not ratio_min < ratio_max < 0.5:
+        raise ValueError("need ratio_min < ratio_max < 0.5")
+    ratios = np.logspace(np.log10(ratio_min), np.log10(ratio_max), points)
+
+    def designer(ratio: float):
+        return design_typical_loop(
+            omega0=omega0, omega_ug=ratio * omega0, separation=separation
+        )
+
+    margins = margin_sweep(ratios, designer)
+    limit = stability_limit_ratio(designer)
+    return Fig7Result(
+        ratios=ratios,
+        bandwidth_extension=np.array([m.bandwidth_extension for m in margins]),
+        phase_margin_eff_deg=np.array([m.phase_margin_eff_deg for m in margins]),
+        phase_margin_lti_deg=shape_phase_margin_deg(separation),
+        stability_limit=limit,
+        separation=separation,
+    )
+
+
+def format_table(result: Fig7Result) -> str:
+    """Printable sweep table."""
+    lines = [
+        "Fig. 7 — effective unity-gain frequency and phase margin vs wUG/w0",
+        f"LTI phase margin (horizontal line): {result.phase_margin_lti_deg:.2f} deg; "
+        f"z-domain stability limit: wUG/w0 = {result.stability_limit:.4f}",
+        f"{'wUG/w0':>8} {'wUGeff/wUG':>11} {'PM_eff (deg)':>13} {'loss':>7}",
+    ]
+    for r, ext, pm in zip(
+        result.ratios, result.bandwidth_extension, result.phase_margin_eff_deg
+    ):
+        loss = 100 * (1 - pm / result.phase_margin_lti_deg)
+        lines.append(f"{r:>8.4f} {ext:>11.4f} {pm:>13.2f} {loss:>6.1f}%")
+    return "\n".join(lines)

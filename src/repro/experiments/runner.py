@@ -1,0 +1,97 @@
+"""Run every experiment and print the paper-versus-measured tables.
+
+Usage::
+
+    python -m repro.experiments.runner [--fast]
+
+``--fast`` shrinks simulation spans for a quick smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import fig5, fig6, fig7
+from repro.experiments.accuracy import run_accuracy_claim, run_speedup_claim
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="smaller spans, quicker run")
+    parser.add_argument("--plots", action="store_true", help="render ASCII figures too")
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None, help="write figure data as CSV files into DIR"
+    )
+    args = parser.parse_args(argv)
+
+    cycles = 120 if args.fast else 300
+    discard = 80 if args.fast else 200
+
+    print("=" * 72)
+    r5 = fig5.run_fig5()
+    print(fig5.format_table(r5))
+    if args.plots:
+        from repro.reporting import render_fig5
+
+        print(render_fig5(r5))
+
+    print("=" * 72)
+    r6 = fig6.run_fig6(measure_cycles=cycles, discard_cycles=discard)
+    print(fig6.format_table(r6))
+    if args.plots:
+        from repro.reporting import render_fig6
+
+        print(render_fig6(r6))
+
+    print("=" * 72)
+    r7 = fig7.run_fig7(points=8 if args.fast else 14)
+    print(fig7.format_table(r7))
+    if args.plots:
+        from repro.reporting import render_fig7
+
+        print(render_fig7(r7))
+    print(
+        f"claim C3 — margin loss at wUG/w0=0.1: {100 * r7.degradation_at(0.1):.1f}% "
+        "(paper: ~9%)"
+    )
+
+    if args.csv:
+        from repro.experiments.export import export_all
+
+        paths = export_all(args.csv, r5, r6, r7)
+        print("CSV written: " + ", ".join(str(p) for p in paths))
+
+    print("=" * 72)
+    from repro.experiments import band_map
+
+    print(band_map.format_table(band_map.run_band_map()))
+
+    print("=" * 72)
+    from repro.experiments import stability_map
+
+    rmap = stability_map.run_stability_map(
+        separations=(2.0, 4.0, 8.0) if args.fast else (1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0)
+    )
+    print(stability_map.format_table(rmap))
+
+    print("=" * 72)
+    acc = run_accuracy_claim(measure_cycles=cycles, discard_cycles=discard)
+    print(
+        f"claim C1 — max |HTM - simulation| relative error: "
+        f"{100 * acc.max_relative_error:.3f}% (paper: within 2%)"
+    )
+
+    speed = run_speedup_claim(measure_cycles=cycles, discard_cycles=discard)
+    print(
+        f"claim C2 — HTM sweep {speed.htm_seconds:.3f}s vs simulation "
+        f"{speed.simulation_seconds:.3f}s over {speed.frequency_points} points: "
+        f"{speed.speedup:.0f}x speedup (paper: seconds vs minutes)"
+    )
+    print("=" * 72)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

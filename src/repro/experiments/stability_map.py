@@ -1,0 +1,71 @@
+"""Stability map over the (separation, omega_UG/omega_0) design plane.
+
+An extension experiment: chart the maximum stable bandwidth ratio of the
+sampled loop as a function of the zero/pole separation (i.e. of the LTI
+phase margin), using the z-domain pole test.  This is the modern form of
+Gardner's stability-limit analysis (the paper's ref. [3]) produced directly
+from our baselines, and the design chart the paper's method motivates:
+LTI analysis draws no boundary anywhere on this plane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_float_array
+from repro.baselines.zdomain import stability_limit_ratio
+from repro.pll.design import design_typical_loop, shape_phase_margin_deg
+
+
+@dataclass(frozen=True)
+class StabilityMapResult:
+    """The boundary curve over the design plane."""
+
+    separations: np.ndarray
+    lti_phase_margins_deg: np.ndarray
+    stability_limits: np.ndarray  # max stable omega_UG / omega_0 per separation
+
+    def as_rows(self) -> list[tuple[float, float, float]]:
+        """``(separation, LTI PM, limit)`` rows."""
+        return [
+            (float(s), float(pm), float(lim))
+            for s, pm, lim in zip(
+                self.separations, self.lti_phase_margins_deg, self.stability_limits
+            )
+        ]
+
+
+def run_stability_map(
+    separations=(1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0),
+    omega0: float = 2 * np.pi,
+    tol: float = 1e-3,
+) -> StabilityMapResult:
+    """Compute the stability boundary for each separation."""
+    seps = as_float_array("separations", separations)
+    margins = np.array([shape_phase_margin_deg(float(s)) for s in seps])
+    limits = np.empty(seps.size)
+    for i, sep in enumerate(seps):
+
+        def designer(ratio: float, sep=float(sep)):
+            return design_typical_loop(
+                omega0=omega0, omega_ug=ratio * omega0, separation=sep
+            )
+
+        limits[i] = stability_limit_ratio(designer, tol=tol)
+    return StabilityMapResult(
+        separations=seps, lti_phase_margins_deg=margins, stability_limits=limits
+    )
+
+
+def format_table(result: StabilityMapResult) -> str:
+    """Printable design chart."""
+    lines = [
+        "Stability map — max stable wUG/w0 vs zero/pole separation",
+        f"{'separation':>11} {'LTI PM (deg)':>13} {'max wUG/w0':>11}",
+    ]
+    for sep, pm, lim in result.as_rows():
+        lines.append(f"{sep:>11.2f} {pm:>13.2f} {lim:>11.4f}")
+    lines.append("(classical LTI analysis: stable at every point of this plane)")
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Stability tests: pole locations, Routh–Hurwitz and Nyquist counting.
+
+The closed-loop PLL with time-varying effects is *not* rational, so pole
+inspection alone is not enough; the Nyquist encirclement counter here works
+on sampled frequency responses and is what the time-varying stability
+assessment (:mod:`repro.pll.margins`) uses for the effective open-loop gain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro.lti.bode import as_response
+
+
+def hurwitz_stable(den: Sequence[float] | np.ndarray, margin: float = 0.0) -> bool:
+    """True when all roots of ``den`` have real part < ``-margin``.
+
+    Direct root computation; robust for the modest polynomial degrees used
+    in loop analysis and immune to the zero-row corner cases of the Routh
+    tabulation.
+    """
+    den_arr = np.atleast_1d(np.asarray(den, dtype=complex))
+    if den_arr.size == 0 or np.all(den_arr == 0):
+        raise ValidationError("denominator must be a non-zero polynomial")
+    roots = np.roots(den_arr)
+    if roots.size == 0:
+        return True
+    return bool(np.all(roots.real < -margin))
+
+
+def routh_table(den: Sequence[float] | np.ndarray, epsilon: float = 1e-9) -> np.ndarray:
+    """Build the Routh array of a *real* polynomial.
+
+    Zero leading elements are replaced by ``epsilon`` (the classical
+    perturbation workaround).  The first column's sign changes equal the
+    number of right-half-plane roots.
+
+    Returns
+    -------
+    ndarray of shape ``(degree + 1, ceil((degree + 1) / 2))``.
+    """
+    den_arr = np.atleast_1d(np.asarray(den, dtype=float))
+    den_arr = den_arr[np.argmax(den_arr != 0) :] if np.any(den_arr != 0) else den_arr
+    if den_arr.size == 0 or den_arr[0] == 0:
+        raise ValidationError("denominator must have a non-zero leading coefficient")
+    n = den_arr.size - 1
+    cols = (n + 2) // 2
+    table = np.zeros((n + 1, cols))
+    table[0, : len(den_arr[0::2])] = den_arr[0::2]
+    if n >= 1:
+        table[1, : len(den_arr[1::2])] = den_arr[1::2]
+    for row in range(2, n + 1):
+        pivot = table[row - 1, 0]
+        if pivot == 0:
+            pivot = epsilon
+        for col in range(cols - 1):
+            table[row, col] = (
+                pivot * table[row - 2, col + 1] - table[row - 2, 0] * table[row - 1, col + 1]
+            ) / pivot
+    return table
+
+
+def routh_rhp_count(den: Sequence[float] | np.ndarray) -> int:
+    """Number of right-half-plane roots according to the Routh criterion."""
+    table = routh_table(den)
+    first_col = table[:, 0]
+    first_col = np.where(first_col == 0, 1e-12, first_col)
+    return int(np.sum(np.diff(np.sign(first_col)) != 0))
+
+
+@dataclass(frozen=True)
+class NyquistSummary:
+    """Result of a sampled Nyquist evaluation of an open-loop gain ``L``.
+
+    Attributes
+    ----------
+    encirclements:
+        Net counter-clockwise encirclements of -1 by ``L(j omega)`` as omega
+        sweeps the full (two-sided) imaginary axis.
+    open_loop_rhp_poles:
+        RHP pole count supplied by the caller (0 for the usual stable-plus-
+        integrator loop gains once the indentation is handled by symmetry).
+    closed_loop_stable:
+        Nyquist verdict ``Z = P - N == 0``.
+    """
+
+    encirclements: int
+    open_loop_rhp_poles: int
+
+    @property
+    def closed_loop_stable(self) -> bool:
+        return self.open_loop_rhp_poles + self.encirclements == 0
+
+    @property
+    def closed_loop_rhp_poles(self) -> int:
+        """Predicted number of unstable closed-loop poles ``Z = P + N_cw``."""
+        return self.open_loop_rhp_poles + self.encirclements
+
+
+def nyquist_encirclements(
+    system,
+    omega_min: float = 1e-4,
+    omega_max: float = 1e4,
+    points: int = 20000,
+    open_loop_rhp_poles: int = 0,
+) -> NyquistSummary:
+    """Count clockwise encirclements of -1 by a sampled Nyquist contour.
+
+    The contour runs ``-omega_max .. -omega_min, +omega_min .. +omega_max``;
+    for loop gains with poles at the origin the small-semicircle indentation
+    contributes no net encirclement when the two sides are closed through
+    the conjugate-symmetric response, which holds for all real-coefficient
+    loops analysed here.  Accuracy depends on ``points``; the winding number
+    is integer-rounded and the residual is checked.
+    """
+    response = as_response(system)
+    grid = np.logspace(math.log10(omega_min), math.log10(omega_max), points)
+    upper = response(grid)
+    # Real-coefficient symmetry: L(-jw) = conj(L(jw)).
+    contour = np.concatenate([np.conj(upper[::-1]), upper])
+    rel = contour - (-1.0 + 0.0j)
+    angles = np.unwrap(np.angle(rel))
+    total_turns = (angles[-1] - angles[0]) / (2 * math.pi)
+    # Clockwise encirclements are negative winding; report net CW count.
+    winding = -total_turns
+    rounded = int(round(winding))
+    if abs(winding - rounded) > 0.2:
+        raise ValidationError(
+            f"Nyquist winding number {winding:.3f} is not close to an integer; "
+            "increase the sweep range or point count"
+        )
+    return NyquistSummary(encirclements=rounded, open_loop_rhp_poles=open_loop_rhp_poles)

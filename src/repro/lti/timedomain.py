@@ -1,0 +1,89 @@
+"""Analytic time-domain responses from partial fractions.
+
+Impulse and step responses are evaluated in closed form from the
+partial-fraction expansion: a term ``r / (s - p)^k`` contributes
+``r * t^(k-1) e^{p t} / (k-1)!``.  This gives machine-precision references
+against which the state-space integrator of the behavioural simulator is
+validated in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro.lti.rational import RationalFunction
+from repro.lti.transfer import TransferFunction
+
+
+def _as_rational(system) -> RationalFunction:
+    if isinstance(system, TransferFunction):
+        return system.rational
+    if isinstance(system, RationalFunction):
+        return system
+    raise ValidationError(
+        f"time-domain responses need a rational system, got {type(system).__name__}"
+    )
+
+
+def impulse_response(system, t: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Impulse response ``h(t)`` evaluated at the given times (t >= 0).
+
+    The system must be strictly proper — a direct feedthrough term would
+    contribute a Dirac impulse which has no pointwise value.
+    """
+    rf = _as_rational(system)
+    if not rf.is_strictly_proper():
+        raise ValidationError("impulse response requires a strictly proper system")
+    t_arr = np.asarray(t, dtype=float)
+    if np.any(t_arr < 0):
+        raise ValidationError("impulse response is defined for t >= 0 only")
+    _, terms = rf.partial_fractions()
+    out = np.zeros(t_arr.shape, dtype=complex)
+    for term in terms:
+        k = term.order
+        out += (
+            term.residue
+            * t_arr ** (k - 1)
+            * np.exp(term.pole * t_arr)
+            / math.factorial(k - 1)
+        )
+    return _realify(out)
+
+
+def step_response(system, t: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Unit-step response evaluated at the given times (t >= 0).
+
+    Computed as the impulse response of ``H(s) / s``; the extra integrator
+    pole merges automatically with any existing pole at the origin through
+    the multiplicity-aware partial-fraction machinery.
+    """
+    rf = _as_rational(system)
+    if not rf.is_proper():
+        raise ValidationError("step response requires a proper system")
+    stepped = rf * RationalFunction.integrator()
+    t_arr = np.asarray(t, dtype=float)
+    if np.any(t_arr < 0):
+        raise ValidationError("step response is defined for t >= 0 only")
+    _, terms = stepped.partial_fractions()
+    out = np.zeros(t_arr.shape, dtype=complex)
+    for term in terms:
+        k = term.order
+        out += (
+            term.residue
+            * t_arr ** (k - 1)
+            * np.exp(term.pole * t_arr)
+            / math.factorial(k - 1)
+        )
+    return _realify(out)
+
+
+def _realify(values: np.ndarray) -> np.ndarray:
+    """Drop the imaginary part when it is numerical noise, else keep complex."""
+    scale = np.max(np.abs(values)) if values.size else 0.0
+    if scale == 0.0 or np.max(np.abs(values.imag)) <= 1e-9 * scale:
+        return values.real.copy()
+    return values

@@ -1,0 +1,223 @@
+"""Transfer functions: rational functions with system semantics.
+
+:class:`TransferFunction` wraps :class:`~repro.lti.rational.RationalFunction`
+with the interconnection operations used throughout the PLL analysis —
+series, parallel and (negative) feedback — plus frequency-response helpers
+and conversion to state space.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro.lti.rational import RationalFunction
+
+
+class TransferFunction:
+    """A single-input single-output continuous-time LTI system ``H(s)``.
+
+    Parameters
+    ----------
+    num, den:
+        Polynomial coefficients in descending powers of ``s``, or a
+        pre-built :class:`RationalFunction` may be supplied via
+        :meth:`from_rational`.
+    name:
+        Optional label carried through interconnections for reporting.
+    """
+
+    __slots__ = ("_rf", "name")
+
+    def __init__(self, num: Sequence[complex], den: Sequence[complex], name: str = ""):
+        self._rf = RationalFunction(num, den)
+        self.name = name
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_rational(cls, rf: RationalFunction, name: str = "") -> "TransferFunction":
+        """Wrap an existing rational function without copying coefficients."""
+        obj = cls.__new__(cls)
+        object.__setattr__(obj, "_rf", rf)
+        object.__setattr__(obj, "name", name)
+        return obj
+
+    @classmethod
+    def from_zpk(
+        cls,
+        zeros: Iterable[complex],
+        poles: Iterable[complex],
+        gain: complex = 1.0,
+        name: str = "",
+    ) -> "TransferFunction":
+        """Build from zeros, poles and gain."""
+        return cls.from_rational(RationalFunction.from_zpk(zeros, poles, gain), name)
+
+    @classmethod
+    def gain(cls, value: complex, name: str = "") -> "TransferFunction":
+        """A pure (frequency-independent) gain block."""
+        return cls([value], [1.0], name=name)
+
+    @classmethod
+    def integrator(cls, gain: complex = 1.0, name: str = "") -> "TransferFunction":
+        """The ideal integrator ``gain / s`` (e.g. a time-invariant VCO)."""
+        return cls([gain], [1.0, 0.0], name=name)
+
+    @classmethod
+    def first_order_lowpass(cls, pole_frequency: float, dc_gain: complex = 1.0) -> "TransferFunction":
+        """``dc_gain / (1 + s/pole_frequency)`` with ``pole_frequency`` in rad/s."""
+        if pole_frequency <= 0:
+            raise ValidationError(f"pole_frequency must be positive, got {pole_frequency}")
+        return cls([dc_gain], [1.0 / pole_frequency, 1.0])
+
+    # -- delegation ---------------------------------------------------------
+
+    @property
+    def rational(self) -> RationalFunction:
+        """The underlying rational function."""
+        return self._rf
+
+    @property
+    def num(self) -> np.ndarray:
+        """Numerator coefficients (descending powers)."""
+        return self._rf.num
+
+    @property
+    def den(self) -> np.ndarray:
+        """Denominator coefficients (descending powers, monic)."""
+        return self._rf.den
+
+    def poles(self) -> np.ndarray:
+        """System poles."""
+        return self._rf.poles()
+
+    def zeros(self) -> np.ndarray:
+        """System zeros."""
+        return self._rf.zeros()
+
+    def dc_gain(self) -> complex:
+        """Gain at ``s = 0``."""
+        return self._rf.dc_gain()
+
+    def is_proper(self) -> bool:
+        """True when realizable as a state-space system with feedthrough."""
+        return self._rf.is_proper()
+
+    def is_stable(self, margin: float = 0.0) -> bool:
+        """True when every pole satisfies ``Re(p) < -margin``.
+
+        Poles exactly on the imaginary axis (integrators) count as unstable
+        under the default ``margin = 0``, matching the usual BIBO criterion.
+        """
+        poles = self.poles()
+        if poles.size == 0:
+            return True
+        return bool(np.all(poles.real < -margin))
+
+    def __call__(self, s: complex | np.ndarray) -> complex | np.ndarray:
+        """Evaluate ``H(s)``."""
+        return self._rf(s)
+
+    def frequency_response(self, omega: Sequence[float] | np.ndarray) -> np.ndarray:
+        """Evaluate ``H(j omega)`` for an array of real frequencies (rad/s)."""
+        return self._rf.eval_jomega(omega)
+
+    # -- interconnections ----------------------------------------------------
+
+    def series(self, other: "TransferFunction") -> "TransferFunction":
+        """Cascade: output of ``self`` drives ``other`` (returns ``other * self``)."""
+        return TransferFunction.from_rational(
+            self._rf * other._rf, name=_join(self.name, other.name, "*")
+        )
+
+    def parallel(self, other: "TransferFunction") -> "TransferFunction":
+        """Summing junction: ``self + other`` driven by the same input."""
+        return TransferFunction.from_rational(
+            self._rf + other._rf, name=_join(self.name, other.name, "+")
+        )
+
+    def feedback(self, other: "TransferFunction" | None = None, sign: int = -1) -> "TransferFunction":
+        """Close a feedback loop around ``self``.
+
+        With the default negative feedback and unity return path this is the
+        textbook ``H / (1 + H)``; a non-trivial return path ``other`` yields
+        ``H / (1 - sign * H * other)``.
+        """
+        if sign not in (-1, 1):
+            raise ValidationError(f"feedback sign must be +1 or -1, got {sign}")
+        ret = other._rf if other is not None else RationalFunction.constant(1.0)
+        closed = self._rf / (RationalFunction.constant(1.0) - sign * self._rf * ret)
+        return TransferFunction.from_rational(closed.simplified(), name=self.name)
+
+    # -- operators ------------------------------------------------------------
+
+    def _coerce(self, other) -> "TransferFunction":
+        if isinstance(other, TransferFunction):
+            return other
+        if isinstance(other, RationalFunction):
+            return TransferFunction.from_rational(other)
+        if isinstance(other, (int, float, complex, np.integer, np.floating, np.complexfloating)):
+            return TransferFunction.gain(complex(other))
+        raise TypeError(f"cannot combine TransferFunction with {type(other).__name__}")
+
+    def __mul__(self, other) -> "TransferFunction":
+        other = self._coerce(other)
+        return TransferFunction.from_rational(self._rf * other._rf)
+
+    __rmul__ = __mul__
+
+    def __add__(self, other) -> "TransferFunction":
+        other = self._coerce(other)
+        return TransferFunction.from_rational(self._rf + other._rf)
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "TransferFunction":
+        other = self._coerce(other)
+        return TransferFunction.from_rational(self._rf - other._rf)
+
+    def __rsub__(self, other) -> "TransferFunction":
+        other = self._coerce(other)
+        return TransferFunction.from_rational(other._rf - self._rf)
+
+    def __neg__(self) -> "TransferFunction":
+        return TransferFunction.from_rational(-self._rf)
+
+    def __truediv__(self, other) -> "TransferFunction":
+        other = self._coerce(other)
+        return TransferFunction.from_rational(self._rf / other._rf)
+
+    def __rtruediv__(self, other) -> "TransferFunction":
+        other = self._coerce(other)
+        return TransferFunction.from_rational(other._rf / self._rf)
+
+    def scaled_frequency(self, factor: float) -> "TransferFunction":
+        """Return ``H(s / factor)`` — stretch the frequency axis by ``factor``."""
+        return TransferFunction.from_rational(self._rf.scaled_frequency(factor), self.name)
+
+    def shifted(self, offset: complex) -> "TransferFunction":
+        """Return ``H(s + offset)`` (HTM diagonal embedding uses ``j m w0``)."""
+        return TransferFunction.from_rational(self._rf.shifted(offset), self.name)
+
+    def simplified(self, tol: float = 1e-8) -> "TransferFunction":
+        """Cancel numerically-coincident pole/zero pairs."""
+        return TransferFunction.from_rational(self._rf.simplified(tol), self.name)
+
+    def to_statespace(self):
+        """Convert to a controllable-canonical :class:`~repro.lti.statespace.StateSpace`."""
+        from repro.lti.statespace import StateSpace
+
+        return StateSpace.from_transfer_function(self)
+
+    def __repr__(self) -> str:
+        label = f" {self.name!r}" if self.name else ""
+        return f"TransferFunction{label}({self._rf!r})"
+
+
+def _join(a: str, b: str, op: str) -> str:
+    if a and b:
+        return f"({a} {op} {b})"
+    return a or b

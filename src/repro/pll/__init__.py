@@ -1,0 +1,75 @@
+"""Closed-loop PLL analysis (paper secs. 4–5).
+
+Ties the building-block HTMs together into the loop equation
+``theta = (I + G)^{-1} G thetaref`` (eq. 28) and exploits the rank-one
+structure of the sampling PFD to collapse it to the scalar closed form of
+eq. (34).  The quantities of interest:
+
+* ``A(s)`` — the classical LTI open-loop gain (eq. 35);
+* ``lambda(s) = sum_m A(s + j m w0)`` — the *effective* open-loop gain
+  (eq. 37), the paper's central object;
+* ``H00(s) = A(s) / (1 + lambda(s))`` — baseband closed-loop transfer
+  (eq. 38), and the full rank-one matrix ``V l^T / (1 + lambda)``;
+* effective unity-gain frequency and phase margin of ``lambda`` versus the
+  LTI predictions (Fig. 7).
+"""
+
+from repro.pll.architecture import PLL
+from repro.pll.openloop import lti_open_loop, open_loop_callable, open_loop_operator
+from repro.pll.closedloop import ClosedLoopHTM
+from repro.pll.margins import (
+    EffectiveMargins,
+    compare_margins,
+    effective_open_loop,
+    margin_sweep,
+)
+from repro.pll.design import (
+    design_for_effective_margin,
+    design_typical_loop,
+    typical_open_loop_shape,
+)
+from repro.pll.noise import NoiseAnalysis
+from repro.pll.spurs import (
+    SpurMeasurement,
+    SpurPrediction,
+    measure_reference_spurs,
+    predict_reference_spurs,
+)
+from repro.pll.transient import (
+    lti_step_response,
+    reference_step_response,
+    ripple_amplitude,
+)
+from repro.pll.poles import (
+    ClosedLoopPole,
+    dominant_pole,
+    find_closed_loop_poles,
+    refine_pole,
+)
+
+__all__ = [
+    "PLL",
+    "lti_open_loop",
+    "open_loop_callable",
+    "open_loop_operator",
+    "ClosedLoopHTM",
+    "EffectiveMargins",
+    "compare_margins",
+    "effective_open_loop",
+    "margin_sweep",
+    "design_for_effective_margin",
+    "design_typical_loop",
+    "typical_open_loop_shape",
+    "NoiseAnalysis",
+    "SpurMeasurement",
+    "SpurPrediction",
+    "measure_reference_spurs",
+    "predict_reference_spurs",
+    "lti_step_response",
+    "reference_step_response",
+    "ripple_amplitude",
+    "ClosedLoopPole",
+    "dominant_pole",
+    "find_closed_loop_poles",
+    "refine_pole",
+]

@@ -1,0 +1,151 @@
+"""Lock-acquisition analysis with the behavioural simulator (extension).
+
+The HTM model is a *small-signal* description around lock; acquisition —
+pulling in from a frequency error — is the large-signal regime where the
+tri-state PFD's frequency-detection behaviour matters.  This module measures
+acquisition with the event-driven engine and relates the results to the
+classical estimates:
+
+* during a frequency ramp the pump slews the filter's integrating
+  capacitor at ``I_cp / C_tot`` volts/s, giving a slew-limited estimate of
+  the pull-in time for large offsets;
+* once the frequency error is inside the loop bandwidth, settling is
+  exponential with the small-signal time constant (the dominant closed-loop
+  pole this library computes three different ways).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._errors import LockError, ValidationError
+from repro._validation import check_order, check_positive
+from repro.pll.architecture import PLL
+from repro.simulator.engine import BehavioralPLLSimulator, SimulationConfig
+
+
+@dataclass(frozen=True)
+class AcquisitionResult:
+    """Outcome of one acquisition run.
+
+    Attributes
+    ----------
+    locked:
+        Whether the lock criterion was met within the simulated span.
+    lock_time:
+        First time (seconds) after which the phase error stays below the
+        threshold for the required confirmation span; ``nan`` if never.
+    lock_cycle:
+        Reference cycle index of ``lock_time``.
+    peak_error:
+        Largest per-cycle phase error seen (seconds).
+    """
+
+    locked: bool
+    lock_time: float
+    lock_cycle: int
+    peak_error: float
+
+
+def measure_acquisition(
+    pll: PLL,
+    frequency_offset: float,
+    threshold_fraction: float = 1e-3,
+    confirm_cycles: int = 20,
+    max_cycles: int = 2000,
+    oversample: int = 4,
+) -> AcquisitionResult:
+    """Run the engine from a fractional frequency offset and time the lock.
+
+    Parameters
+    ----------
+    frequency_offset:
+        Initial fractional VCO frequency error ``delta f / f0``.
+    threshold_fraction:
+        Lock declared when ``|phase error| < threshold_fraction * T``.
+    confirm_cycles:
+        The error must stay below threshold for this many consecutive
+        cycles (rejects zero crossings of a still-ringing error).
+    """
+    check_order("confirm_cycles", confirm_cycles, minimum=1)
+    check_order("max_cycles", max_cycles, minimum=confirm_cycles)
+    check_positive("threshold_fraction", threshold_fraction)
+    config = SimulationConfig(
+        cycles=max_cycles, oversample=oversample, frequency_offset=frequency_offset
+    )
+    try:
+        result = BehavioralPLLSimulator(pll, config=config).run()
+    except LockError:
+        return AcquisitionResult(
+            locked=False, lock_time=float("nan"), lock_cycle=-1, peak_error=float("nan")
+        )
+    errors = np.abs(result.phase_errors)
+    threshold = threshold_fraction * pll.period
+    below = errors < threshold
+    lock_cycle = -1
+    run_length = 0
+    for i, ok in enumerate(below):
+        run_length = run_length + 1 if ok else 0
+        if run_length >= confirm_cycles:
+            lock_cycle = i - confirm_cycles + 1
+            break
+    if lock_cycle < 0 or not bool(below[lock_cycle:].all()):
+        return AcquisitionResult(
+            locked=False,
+            lock_time=float("nan"),
+            lock_cycle=-1,
+            peak_error=float(errors.max()),
+        )
+    return AcquisitionResult(
+        locked=True,
+        lock_time=float(result.ref_edges[lock_cycle]),
+        lock_cycle=int(lock_cycle),
+        peak_error=float(errors.max()),
+    )
+
+
+def slew_limited_estimate(pll: PLL, frequency_offset: float) -> float:
+    """Slew-limited pull-in time estimate for large offsets (seconds).
+
+    The frequency error is removed by charging the filter's total
+    capacitance with the pump current: ``t ~ |delta u| * C_tot / I_cp``
+    where ``delta u = delta / v0`` is the control change needed (the
+    PFD's frequency detection keeps the pump on nearly continuously).
+    A crude but classical upper-bound-flavoured estimate.
+    """
+    v0 = float(pll.vco.v0.real)
+    check_positive("v0", v0)
+    delta_u = abs(frequency_offset) / v0
+    # Total capacitance from the impedance's DC slope: Z -> 1/(s C_tot).
+    s = 1e-9j
+    c_tot = float(abs(1.0 / (s * pll.filter_impedance(s))))
+    return delta_u * c_tot / pll.charge_pump.current
+
+
+def settling_time_estimate(pll: PLL, settle_fraction: float = 1e-3) -> float:
+    """Small-signal settling time from the dominant closed-loop pole.
+
+    ``t = ln(1/settle_fraction) * tau`` with ``tau`` from the rightmost
+    Floquet exponent — the time-varying-correct time constant.
+    """
+    if not 0 < settle_fraction < 1:
+        raise ValidationError("settle_fraction must lie in (0, 1)")
+    from repro.pll.poles import dominant_pole
+
+    pole = dominant_pole(pll)
+    tau = pole.damping_time_constant
+    if not math.isfinite(tau):
+        raise ValidationError("loop is not small-signal stable; no settling time")
+    return math.log(1.0 / settle_fraction) * tau
+
+
+def acquisition_sweep(
+    pll: PLL,
+    offsets,
+    **kwargs,
+) -> list[AcquisitionResult]:
+    """Measure acquisition across a list of fractional frequency offsets."""
+    return [measure_acquisition(pll, float(d), **kwargs) for d in np.asarray(offsets)]

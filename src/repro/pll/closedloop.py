@@ -1,0 +1,240 @@
+"""Closed-loop HTM via the rank-one Sherman–Morrison–Woodbury closure.
+
+This module implements paper sec. 4.  Because the sampling PFD's HTM is rank
+one, the open-loop HTM factors as ``G(s) = V(s) l^T`` (eq. 30) with
+
+    V_n(s) = (w0/2pi) * sum_k v_k H_LF(s + j(n-k) w0) / (s + j n w0)   (eq. 29)
+
+and the closed loop collapses to (eq. 34)
+
+    theta(s) = V(s) l^T thetaref(s) / (1 + lambda(s)),
+    lambda(s) = l^T V(s) = sum_n V_n(s).
+
+``lambda`` — the **effective open-loop gain** — is evaluated two ways:
+
+* ``method='closed'``: exactly, by recognising ``lambda`` as a finite sum of
+  aliasing sums ``sum_m B_k(s + j m w0)`` of rational functions
+  ``B_k(sig) = (w0/2pi) v_k H_LF(sig) / (sig + j k w0)`` and using the coth
+  closed forms of :mod:`repro.core.aliasing`.  For a time-invariant VCO this
+  reduces to the paper's ``lambda(s) = sum_m A(s + j m w0)`` (eq. 37).
+* ``method='truncated'``: by symmetric truncation of ``sum_n V_n(s)`` —
+  required when the loop contains a transport delay or a non-zero sampling
+  offset (irrational summands), and used by ablation A1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro._validation import check_order
+from repro.core.aliasing import AliasedSum
+from repro.core.htm import HTM
+from repro.core.operators import FeedbackOperator
+from repro.lti.rational import RationalFunction
+from repro.pll.architecture import PLL
+from repro.pll.openloop import open_loop_operator
+
+
+class ClosedLoopHTM:
+    """Closed-loop small-signal model ``theta(s) = H(s) thetaref(s)``.
+
+    Parameters
+    ----------
+    pll:
+        The PLL description.
+    method:
+        ``'closed'`` (default) for the exact coth-based aliasing sums, or
+        ``'truncated'`` for symmetric finite sums.  Loops with transport
+        delay or sampling offset force ``'truncated'``.
+    harmonics:
+        Truncation half-width M for ``method='truncated'``.
+    """
+
+    def __init__(self, pll: PLL, method: str = "closed", harmonics: int = 64):
+        if method not in ("closed", "truncated"):
+            raise ValidationError(f"method must be 'closed' or 'truncated', got {method!r}")
+        from repro.blocks.pfd import SampleHoldPFD
+
+        self._hold = (
+            pll.pfd.hold_transfer if isinstance(pll.pfd, SampleHoldPFD) else None
+        )
+        needs_truncated = (
+            pll.has_delay or pll.pfd.sampling_offset != 0.0 or self._hold is not None
+        )
+        if method == "closed" and needs_truncated:
+            raise ValidationError(
+                "closed-form aliasing sums require a delay-free impulse-sampling "
+                "loop with zero sampling offset; use method='truncated'"
+            )
+        self.pll = pll
+        self.method = method
+        self.harmonics = check_order("harmonics", harmonics, minimum=1)
+        self._gain = pll.pfd.gain  # w0 / 2pi
+        self._h_lf = pll.h_lf
+        self._isf = pll.vco.isf
+        self._delay = pll.delay
+        self._offset = pll.pfd.sampling_offset
+        self._alias_sums: list[AliasedSum] = []
+        if method == "closed":
+            self._alias_sums = self._build_alias_sums()
+
+    # -- construction helpers ---------------------------------------------------
+
+    def _build_alias_sums(self) -> list[AliasedSum]:
+        """One AliasedSum per non-zero ISF harmonic ``v_k``."""
+        omega0 = self.pll.omega0
+        sums = []
+        for k in range(-self._isf.order, self._isf.order + 1):
+            vk = self._isf.coefficient(k)
+            if vk == 0:
+                continue
+            shift_pole = RationalFunction([1.0], [1.0, 1j * k * omega0])
+            b_k = (self._gain * vk) * self._h_lf.rational * shift_pole
+            sums.append(AliasedSum.of(b_k, omega0))
+        return sums
+
+    def _band_transfer(self, s: np.ndarray) -> np.ndarray:
+        """``hold(s) * H_LF(s) * delay(s)`` — the scalar chain after the sampler."""
+        value = np.asarray(self._h_lf(s), dtype=complex)
+        if self._hold is not None:
+            value = value * np.asarray(self._hold(s), dtype=complex)
+        if self._delay is not None:
+            value = value * self._delay.transfer(s)
+        return value
+
+    # -- the rank-one column V (eq. 29) -------------------------------------------
+
+    def vtilde_element(self, s: complex | np.ndarray, n: int) -> complex | np.ndarray:
+        """Column element ``V_n(s)`` (vectorized over ``s``).
+
+        Includes the sampling-offset phase rotation when present.
+        """
+        omega0 = self.pll.omega0
+        s_arr = np.atleast_1d(np.asarray(s, dtype=complex))
+        total = np.zeros(s_arr.shape, dtype=complex)
+        for k in range(-self._isf.order, self._isf.order + 1):
+            vk = self._isf.coefficient(k)
+            if vk == 0:
+                continue
+            total += vk * self._band_transfer(s_arr + 1j * (n - k) * omega0)
+        total *= self._gain / (s_arr + 1j * n * omega0)
+        if self._offset != 0.0:
+            total *= np.exp(-1j * n * omega0 * self._offset)
+        if np.ndim(s) == 0:
+            return complex(total[0])
+        return total
+
+    def vtilde(self, s: complex, order: int) -> np.ndarray:
+        """The truncated column vector ``[V_{-K}(s) .. V_{K}(s)]``."""
+        order = check_order("order", order, minimum=0)
+        return np.array(
+            [self.vtilde_element(s, n) for n in range(-order, order + 1)], dtype=complex
+        )
+
+    def row_vector(self, order: int) -> np.ndarray:
+        """The rank-one row factor ``l^T`` (phase-rotated by a sampling offset)."""
+        return self.pll.pfd.row_vector(order)
+
+    # -- effective open-loop gain (eq. 33 / 37) --------------------------------------
+
+    def effective_gain(self, s: complex | np.ndarray) -> complex | np.ndarray:
+        """``lambda(s)`` — the effective open-loop gain.
+
+        Exact (closed form) or truncated depending on the configured method.
+        """
+        if self.method == "closed":
+            s_arr = np.atleast_1d(np.asarray(s, dtype=complex))
+            total = np.zeros(s_arr.shape, dtype=complex)
+            for alias in self._alias_sums:
+                total += np.asarray(alias(s_arr), dtype=complex)
+            if np.ndim(s) == 0:
+                return complex(total[0])
+            return total
+        return self._effective_gain_truncated(s)
+
+    def _effective_gain_truncated(self, s: complex | np.ndarray) -> complex | np.ndarray:
+        """Symmetric truncation ``sum_{n=-M}^{M} row_n V_n(s)`` (outside-in)."""
+        s_arr = np.atleast_1d(np.asarray(s, dtype=complex))
+        omega0 = self.pll.omega0
+        total = np.zeros(s_arr.shape, dtype=complex)
+        for n in range(self.harmonics, 0, -1):
+            for sign in (n, -n):
+                term = np.asarray(self.vtilde_element(s_arr, sign), dtype=complex)
+                if self._offset != 0.0:
+                    # Row factor exp(+j n w0 offset) cancels the column phase.
+                    term = term * np.exp(1j * sign * omega0 * self._offset)
+                total += term
+        total += np.asarray(self.vtilde_element(s_arr, 0), dtype=complex)
+        if np.ndim(s) == 0:
+            return complex(total[0])
+        return total
+
+    def effective_gain_response(self, omega: Sequence[float] | np.ndarray) -> np.ndarray:
+        """``lambda(j omega)`` on a real frequency grid (margin tooling input)."""
+        omega_arr = np.asarray(omega, dtype=float)
+        return np.asarray(self.effective_gain(1j * omega_arr), dtype=complex)
+
+    # -- closed-loop transfers (eq. 34 / 38) --------------------------------------------
+
+    def element(self, s: complex | np.ndarray, n: int, m: int) -> complex | np.ndarray:
+        """Closed-loop HTM element ``H_{n,m}(s) = V_n(s) row_m / (1 + lambda(s))``.
+
+        Note the element is independent of ``m`` up to the offset phase: the
+        sampler aliases every input band onto the error sequence with equal
+        weight (the rank-one structure of eq. 36).
+        """
+        lam = self.effective_gain(s)
+        vn = self.vtilde_element(s, n)
+        row_m = 1.0
+        if self._offset != 0.0:
+            row_m = np.exp(1j * m * self.pll.omega0 * self._offset)
+        return vn * row_m / (1.0 + lam)
+
+    def h00(self, s: complex | np.ndarray) -> complex | np.ndarray:
+        """Baseband-to-baseband closed-loop transfer (eq. 38)."""
+        return self.element(s, 0, 0)
+
+    def frequency_response(self, omega: Sequence[float] | np.ndarray) -> np.ndarray:
+        """``H00(j omega)`` on a real frequency grid."""
+        omega_arr = np.asarray(omega, dtype=float)
+        return np.asarray(self.h00(1j * omega_arr), dtype=complex)
+
+    # Alias so Bode/margin tooling accepts a ClosedLoopHTM directly.
+    eval_jomega = frequency_response
+
+    def sensitivity_element(self, s: complex | np.ndarray, n: int, m: int) -> complex | np.ndarray:
+        """Element of ``(I + G)^{-1} = I - V l^T / (1 + lambda)`` (eq. 32).
+
+        The ``(n, m)`` entry is ``delta_{nm} - H_{n,m}``; the baseband entry
+        is the error (sensitivity) transfer that shapes VCO-referred noise.
+        """
+        delta = 1.0 if n == m else 0.0
+        return delta - self.element(s, n, m)
+
+    def closed_loop_row(self, s: complex, order: int) -> np.ndarray:
+        """Column of band transfers ``H_{n,0}(s)`` for ``n = -order..order``.
+
+        Shows where reference-band signal content re-emerges across output
+        bands (the Fig. 2 picture for the closed loop).
+        """
+        lam = self.effective_gain(s)
+        return self.vtilde(s, order) / (1.0 + lam)
+
+    # -- brute-force reference (eq. 28 directly) -------------------------------------------
+
+    def dense_reference(self, s: complex, order: int) -> HTM:
+        """Dense ``(I + G)^{-1} G`` at truncation ``order`` — the SMW cross-check.
+
+        This is the expensive path the paper's rank-one closed form avoids;
+        kept as the validation oracle (ablation A2).
+        """
+        return FeedbackOperator(open_loop_operator(self.pll)).htm(s, order)
+
+    def __repr__(self) -> str:
+        return (
+            f"ClosedLoopHTM(method={self.method!r}, harmonics={self.harmonics}, "
+            f"pll={self.pll.describe()})"
+        )

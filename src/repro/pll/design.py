@@ -1,0 +1,211 @@
+"""Loop design helper producing the paper's "typical characteristic" (Fig. 5).
+
+The experiments use an open-loop gain with three poles (two at DC) and one
+zero::
+
+    A(s) = K (1 + s/w_z) / (s^2 (1 + s/w_p))
+
+with the zero and pole placed geometrically symmetric about the target
+unity-gain frequency (``w_z = w_UG / sep``, ``w_p = w_UG * sep``) so the
+phase margin peaks at ``w_UG``; the gain ``K`` normalises
+``|A(j w_UG)| = 1``.  :func:`design_typical_loop` realises this shape as an
+actual charge-pump PLL (series R-C1 shunt C2 filter, eq. 21 topology) so the
+same object drives the HTM analysis *and* the behavioural simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro._errors import DesignError
+from repro._validation import check_positive
+from repro.blocks.chargepump import ChargePump
+from repro.blocks.loopfilter import SeriesRCShuntCFilter
+from repro.blocks.pfd import SamplingPFD
+from repro.blocks.vco import VCO
+from repro.lti.transfer import TransferFunction
+from repro.pll.architecture import PLL
+
+
+@dataclass(frozen=True)
+class TypicalLoopDesign:
+    """Resolved parameters of a designed loop (for reporting/tests)."""
+
+    omega0: float
+    omega_ug: float
+    separation: float
+    zero_frequency: float
+    pole_frequency: float
+    gain_k: float
+    phase_margin_deg: float
+
+
+def typical_open_loop_shape(
+    omega_ug: float, separation: float = 4.0
+) -> TransferFunction:
+    """The normalised Fig. 5 shape ``A(s) = K (1+s/wz) / (s^2 (1+s/wp))``.
+
+    ``K`` is chosen so ``|A(j w_UG)| = 1`` exactly.  Useful when only the
+    loop shape matters (symbolic work, unit tests); for a realizable PLL use
+    :func:`design_typical_loop`.
+    """
+    omega_ug = check_positive("omega_ug", omega_ug)
+    separation = check_positive("separation", separation)
+    if separation <= 1.0:
+        raise DesignError(f"separation must exceed 1 (zero below pole), got {separation}")
+    wz = omega_ug / separation
+    wp = omega_ug * separation
+    k = _unity_gain_constant(omega_ug, wz, wp)
+    num = [k / wz, k]
+    den = [1.0 / wp, 1.0, 0.0, 0.0]
+    return TransferFunction(num, den, name="A")
+
+
+def _unity_gain_constant(omega_ug: float, wz: float, wp: float) -> float:
+    """Solve ``K`` from ``|A(j w_UG)| = 1`` for the 2-pole-at-DC + zero shape."""
+    mag_zero = math.hypot(1.0, omega_ug / wz)
+    mag_pole = math.hypot(1.0, omega_ug / wp)
+    return omega_ug**2 * mag_pole / mag_zero
+
+
+def shape_phase_margin_deg(separation: float) -> float:
+    """Analytic LTI phase margin of the symmetric shape: atan(sep) - atan(1/sep).
+
+    Independent of ``w_UG`` — which is exactly why the LTI prediction appears
+    as a horizontal line in the paper's Fig. 7.
+    """
+    if separation <= 1.0:
+        raise DesignError(f"separation must exceed 1, got {separation}")
+    return math.degrees(math.atan(separation) - math.atan(1.0 / separation))
+
+
+def design_typical_loop(
+    omega0: float,
+    omega_ug: float,
+    separation: float = 4.0,
+    charge_pump_current: float = 1e-3,
+    vco_sensitivity: float = 1.0,
+    vco_f0: float | None = None,
+) -> PLL:
+    """Design a realizable charge-pump PLL hitting the Fig. 5 characteristic.
+
+    Parameters
+    ----------
+    omega0:
+        Reference angular frequency (rad/s).
+    omega_ug:
+        Target LTI unity-gain frequency of ``A(s)`` (rad/s).  The paper's
+        experiments sweep ``omega_ug / omega0`` from deep-LTI (0.01) to
+        fast-loop (0.5).
+    separation:
+        Geometric zero/pole spacing about ``omega_ug``; sets the LTI phase
+        margin ``atan(sep) - atan(1/sep)``.
+    charge_pump_current:
+        Pump current ``I_cp`` (amperes).
+    vco_sensitivity:
+        Constant ISF value ``v0`` (phase-in-seconds per volt-second).
+    vco_f0:
+        VCO free-running frequency in Hz; defaults to the reference
+        frequency (divider folded into the VCO, as the paper assumes).
+
+    Returns
+    -------
+    PLL
+        With a :class:`SeriesRCShuntCFilter` solved so that
+        ``A(s) = (w0/2pi)(v0/s) I_cp Z(s)`` matches the target shape exactly.
+    """
+    omega0 = check_positive("omega0", omega0)
+    omega_ug = check_positive("omega_ug", omega_ug)
+    separation = check_positive("separation", separation)
+    if separation <= 1.0:
+        raise DesignError(f"separation must exceed 1, got {separation}")
+    check_positive("charge_pump_current", charge_pump_current)
+    check_positive("vco_sensitivity", vco_sensitivity)
+    wz = omega_ug / separation
+    wp = omega_ug * separation
+    k = _unity_gain_constant(omega_ug, wz, wp)
+    # A(s) = (w0/2pi) v0 Icp Z(s) / s and Z(s) = (1+s/wz)/(s Ctot (1+s/wp))
+    # gives K = (w0/2pi) v0 Icp / Ctot.
+    gain_front = (omega0 / (2 * math.pi)) * vco_sensitivity * charge_pump_current
+    total_capacitance = gain_front / k
+    filt = SeriesRCShuntCFilter.from_pole_zero(wz, wp, total_capacitance)
+    f0 = vco_f0 if vco_f0 is not None else omega0 / (2 * math.pi)
+    return PLL(
+        pfd=SamplingPFD(omega0),
+        charge_pump=ChargePump(charge_pump_current),
+        filter_impedance=filt.impedance(),
+        vco=VCO.time_invariant(vco_sensitivity, omega0, f0=f0),
+    )
+
+
+def design_for_effective_margin(
+    omega0: float,
+    omega_ug: float,
+    target_margin_deg: float,
+    separation_bounds: tuple[float, float] = (1.5, 40.0),
+    tol_deg: float = 0.05,
+    **loop_kwargs,
+) -> PLL:
+    """Inverse design: pick the separation that hits a target *effective* margin.
+
+    Classical design reads the margin off the separation alone
+    (``atan(sep) - atan(1/sep)``); with a sampling PFD the achieved margin
+    is lower and ratio-dependent, so the separation must be solved against
+    the effective gain.  Bisects on the separation (the effective margin is
+    monotone in it over the bracket).
+
+    Raises
+    ------
+    DesignError
+        If the target cannot be met within the separation bounds — e.g. a
+        loop so fast that no zero/pole placement recovers the margin.
+    """
+    from repro.pll.margins import compare_margins
+
+    lo, hi = separation_bounds
+    if not 1.0 < lo < hi:
+        raise DesignError(f"separation bounds must satisfy 1 < lo < hi, got {separation_bounds}")
+
+    def margin_at(separation: float) -> float:
+        pll = design_typical_loop(
+            omega0=omega0, omega_ug=omega_ug, separation=separation, **loop_kwargs
+        )
+        try:
+            return compare_margins(pll).phase_margin_eff_deg
+        except Exception:
+            return -180.0  # no crossover below the alias fold: hopeless
+
+    m_lo, m_hi = margin_at(lo), margin_at(hi)
+    if target_margin_deg > max(m_lo, m_hi):
+        raise DesignError(
+            f"target effective margin {target_margin_deg:.1f} deg unreachable: "
+            f"achievable range [{min(m_lo, m_hi):.1f}, {max(m_lo, m_hi):.1f}] deg "
+            f"at omega_ug/omega0 = {omega_ug / omega0:.3g}"
+        )
+    while hi - lo > 1e-4 * hi:
+        mid = math.sqrt(lo * hi)
+        if margin_at(mid) < target_margin_deg:
+            lo = mid
+        else:
+            hi = mid
+        if abs(margin_at(hi) - target_margin_deg) < tol_deg:
+            break
+    return design_typical_loop(
+        omega0=omega0, omega_ug=omega_ug, separation=hi, **loop_kwargs
+    )
+
+
+def describe_design(pll: PLL, omega_ug: float, separation: float) -> TypicalLoopDesign:
+    """Resolve the designed parameters into a report record."""
+    wz = omega_ug / separation
+    wp = omega_ug * separation
+    return TypicalLoopDesign(
+        omega0=pll.omega0,
+        omega_ug=omega_ug,
+        separation=separation,
+        zero_frequency=wz,
+        pole_frequency=wp,
+        gain_k=_unity_gain_constant(omega_ug, wz, wp),
+        phase_margin_deg=shape_phase_margin_deg(separation),
+    )

@@ -1,0 +1,155 @@
+"""Effective stability margins of the time-varying loop (paper Fig. 7).
+
+Classical analysis reads bandwidth and phase margin off ``A(j omega)``.  The
+paper's point is that the *effective* open-loop gain
+``lambda(s) = sum_m A(s + j m w0)`` is what the closed loop actually divides
+by (eq. 38), so margins must be measured on ``lambda``:
+
+* the effective unity-gain frequency ``w_UG,eff`` grows above ``w_UG`` as
+  ``w_UG / w0`` increases (closed-loop bandwidth extends);
+* the effective phase margin collapses — "for w_UG/w0 = 0.1 this phase
+  margin is already 9% worse than predicted by LTI analysis" (sec. 5).
+
+:func:`compare_margins` measures both on one loop; :func:`margin_sweep`
+produces the Fig. 7 series over a range of ``w_UG / w0``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro.lti.bode import gain_crossover, phase_margin
+from repro.pll.architecture import PLL
+from repro.pll.closedloop import ClosedLoopHTM
+
+
+@dataclass(frozen=True)
+class EffectiveMargins:
+    """LTI versus effective (time-varying) loop margins.
+
+    Attributes
+    ----------
+    omega_ug_lti / phase_margin_lti_deg:
+        Unity-gain frequency and phase margin of the classical ``A(s)``.
+    omega_ug_eff / phase_margin_eff_deg:
+        Same quantities measured on the effective gain ``lambda(s)``.
+    """
+
+    omega_ug_lti: float
+    phase_margin_lti_deg: float
+    omega_ug_eff: float
+    phase_margin_eff_deg: float
+
+    @property
+    def bandwidth_extension(self) -> float:
+        """``w_UG,eff / w_UG`` — the upper Fig. 7 quantity."""
+        return self.omega_ug_eff / self.omega_ug_lti
+
+    @property
+    def margin_degradation(self) -> float:
+        """Fractional phase-margin loss relative to the LTI prediction."""
+        return 1.0 - self.phase_margin_eff_deg / self.phase_margin_lti_deg
+
+    def summary(self) -> str:
+        """Human-readable comparison line."""
+        return (
+            f"LTI: wUG={self.omega_ug_lti:.4g} PM={self.phase_margin_lti_deg:.2f} deg | "
+            f"effective: wUG={self.omega_ug_eff:.4g} PM={self.phase_margin_eff_deg:.2f} deg "
+            f"({100 * self.margin_degradation:.1f}% worse)"
+        )
+
+
+def effective_open_loop(pll: PLL, **closed_loop_kwargs) -> Callable[[np.ndarray], np.ndarray]:
+    """The effective gain ``lambda(j omega)`` as a margin-tool-ready callable.
+
+    Loops the coth closed form cannot express (sample-and-hold PFD, delay,
+    sampling offset) automatically fall back to the truncated sum.
+    """
+    if "method" not in closed_loop_kwargs:
+        from repro.blocks.pfd import SampleHoldPFD
+
+        needs_truncated = (
+            pll.has_delay
+            or pll.pfd.sampling_offset != 0.0
+            or isinstance(pll.pfd, SampleHoldPFD)
+        )
+        if needs_truncated:
+            closed_loop_kwargs["method"] = "truncated"
+            closed_loop_kwargs.setdefault("harmonics", 400)
+    closed = ClosedLoopHTM(pll, **closed_loop_kwargs)
+    return closed.effective_gain_response
+
+
+def compare_margins(
+    pll: PLL,
+    omega_min_factor: float = 1e-3,
+    omega_max_factor: float | None = None,
+    points: int = 4000,
+    **closed_loop_kwargs,
+) -> EffectiveMargins:
+    """Measure LTI and effective margins of one loop design.
+
+    The scan range is expressed relative to the reference frequency: from
+    ``omega_min_factor * w0`` up to ``omega_max_factor * w0`` (default just
+    below the ``w0/2`` alias symmetry point, beyond which lambda repeats).
+    """
+    omega0 = pll.omega0
+    if omega_max_factor is None:
+        omega_max_factor = 0.499
+    if not 0 < omega_min_factor < omega_max_factor:
+        raise ValidationError("need 0 < omega_min_factor < omega_max_factor")
+    w_lo = omega_min_factor * omega0
+    w_hi = omega_max_factor * omega0
+    # The exact callable covers irrational loop elements (ZOH hold, delay)
+    # that the rational A(s) cannot represent.
+    from repro.pll.openloop import open_loop_callable
+
+    a_fn = open_loop_callable(pll)
+
+    def a(omega):
+        return np.asarray(a_fn(1j * np.asarray(omega, dtype=float)), dtype=complex)
+
+    lam = effective_open_loop(pll, **closed_loop_kwargs)
+    # A(s) rolls off monotonically, so a wide scan is safe for the LTI pair.
+    w_ug_lti = gain_crossover(a, w_lo, w_hi, points)
+    pm_lti = phase_margin(a, w_lo, w_hi, points)
+    w_ug_eff = gain_crossover(lam, w_lo, w_hi, points)
+    pm_eff = phase_margin(lam, w_lo, w_hi, points)
+    return EffectiveMargins(
+        omega_ug_lti=w_ug_lti,
+        phase_margin_lti_deg=pm_lti,
+        omega_ug_eff=w_ug_eff,
+        phase_margin_eff_deg=pm_eff,
+    )
+
+
+def margin_sweep(
+    ratios: Sequence[float] | np.ndarray,
+    designer: Callable[[float], PLL],
+    points: int = 3000,
+    **closed_loop_kwargs,
+) -> list[EffectiveMargins]:
+    """Sweep ``w_UG / w0`` and collect margins — the Fig. 7 data series.
+
+    Parameters
+    ----------
+    ratios:
+        Target ``w_UG / w0`` values (each must lie in (0, 0.5)).
+    designer:
+        Callable mapping a ratio to a :class:`PLL` (typically
+        :func:`repro.pll.design.design_typical_loop` with everything else
+        fixed).
+    """
+    out = []
+    for ratio in np.asarray(ratios, dtype=float):
+        if not 0.0 < ratio < 0.5:
+            raise ValidationError(
+                f"w_UG/w0 ratio must lie in (0, 0.5) below the alias fold, got {ratio}"
+            )
+        pll = designer(float(ratio))
+        out.append(compare_margins(pll, points=points, **closed_loop_kwargs))
+    return out

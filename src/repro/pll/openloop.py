@@ -1,0 +1,99 @@
+"""Open-loop gain construction (paper eqs. 27 and 35).
+
+Two views of the same loop:
+
+* :func:`lti_open_loop` — the classical continuous-time LTI approximation
+  ``A(s) = (w0/2pi) (v0/s) H_LF(s)`` (eq. 35), a rational function;
+* :func:`open_loop_operator` — the full LPTV operator
+  ``G = H_VCO @ H_LF @ H_PFD`` (eq. 27), whose truncated HTM feeds the dense
+  reference path and the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro.core.operators import HarmonicOperator, LTIOperator, SeriesOperator
+from repro.lti.transfer import TransferFunction
+from repro.pll.architecture import PLL
+
+
+def lti_open_loop(pll: PLL, pade_order: int = 0) -> TransferFunction:
+    """The classical LTI open-loop gain ``A(s)`` of eq. (35).
+
+    The factor ``w0/2pi`` in front arises from the sampling-PFD impulse
+    weight (eq. 19); the VCO contributes ``v0/s``.
+
+    Parameters
+    ----------
+    pade_order:
+        When the loop has a transport delay, a Padé approximation of this
+        order is folded in (the exact exponential is irrational).  The
+        default 0 raises instead of silently approximating.
+
+    Raises
+    ------
+    ValidationError
+        For a sample-and-hold PFD: the hold transfer is irrational, so use
+        :func:`open_loop_callable` instead.
+    """
+    from repro.blocks.pfd import SampleHoldPFD
+
+    if isinstance(pll.pfd, SampleHoldPFD):
+        raise ValidationError(
+            "sample-and-hold PFD has an irrational (ZOH) transfer; use "
+            "open_loop_callable for A(s)"
+        )
+    vco_tf = pll.vco.lti_transfer()
+    gain = pll.pfd.gain
+    a = gain * vco_tf * pll.h_lf
+    if pll.has_delay:
+        if pade_order < 1:
+            raise ValidationError(
+                "loop has a transport delay; pass pade_order >= 1 for a rational "
+                "A(s) or use open_loop_callable for the exact response"
+            )
+        a = a * pll.delay.pade(pade_order)
+    return TransferFunction.from_rational(a.rational, name="A")
+
+
+def open_loop_callable(pll: PLL) -> Callable[[complex | np.ndarray], complex | np.ndarray]:
+    """Exact scalar open-loop gain ``A(s)`` as a callable.
+
+    Includes irrational loop elements a rational
+    :class:`TransferFunction` cannot represent: transport delay and the
+    zero-order hold of a sample-and-hold PFD.
+    """
+    from repro.blocks.pfd import SampleHoldPFD
+
+    vco_tf = pll.vco.lti_transfer()
+    h_lf = pll.h_lf
+    gain = pll.pfd.gain
+    delay = pll.delay
+    hold = pll.pfd.hold_transfer if isinstance(pll.pfd, SampleHoldPFD) else None
+
+    def a_of_s(s):
+        value = gain * np.asarray(vco_tf(s), dtype=complex) * np.asarray(h_lf(s), dtype=complex)
+        if hold is not None:
+            value = value * np.asarray(hold(s), dtype=complex)
+        if delay is not None:
+            value = value * delay.transfer(s)
+        return value
+
+    return a_of_s
+
+
+def open_loop_operator(pll: PLL) -> HarmonicOperator:
+    """The full LPTV open-loop operator ``G = H_VCO @ H_LF @ H_PFD`` (eq. 27).
+
+    The loop delay (if any) is inserted between filter and VCO; since both
+    are diagonal the placement is immaterial.
+    """
+    lf_op = LTIOperator(pll.h_lf, pll.omega0)
+    chain: HarmonicOperator = SeriesOperator(lf_op, pll.pfd.operator())
+    if pll.has_delay:
+        chain = SeriesOperator(pll.delay.operator(), chain)
+    return SeriesOperator(pll.vco.operator(), chain)

@@ -1,0 +1,126 @@
+"""Generic design-space sweeps with structured results.
+
+The examples and experiments repeatedly sweep a loop parameter and collect
+margins/poles/bandwidth; this module consolidates the pattern into one
+utility with named metrics, NaN-safe collection (a metric that fails for a
+design — e.g. no unity crossing — records NaN instead of aborting the whole
+sweep) and CSV export.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro.pll.architecture import PLL
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Structured result of a one-parameter sweep.
+
+    Attributes
+    ----------
+    parameter_name:
+        Label of the swept quantity.
+    values:
+        The swept parameter values.
+    metrics:
+        ``name -> array`` of collected metric values (NaN where a metric
+        failed for a design).
+    """
+
+    parameter_name: str
+    values: np.ndarray
+    metrics: dict[str, np.ndarray]
+
+    def metric(self, name: str) -> np.ndarray:
+        """One metric's values across the sweep."""
+        try:
+            return self.metrics[name].copy()
+        except KeyError:
+            raise ValidationError(
+                f"unknown metric {name!r}; available: {sorted(self.metrics)}"
+            ) from None
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the sweep as a CSV table."""
+        out = Path(path)
+        with out.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            names = sorted(self.metrics)
+            writer.writerow([self.parameter_name] + names)
+            for i, value in enumerate(self.values):
+                writer.writerow(
+                    [f"{value:.10g}"] + [f"{self.metrics[n][i]:.10g}" for n in names]
+                )
+        return out
+
+
+def sweep(
+    parameter_name: str,
+    values: Sequence[float],
+    designer: Callable[[float], PLL],
+    metrics: Mapping[str, Callable[[PLL], float]],
+) -> SweepResult:
+    """Evaluate named metrics over designs produced by ``designer``.
+
+    A metric callable that raises any :class:`Exception` records NaN for
+    that design; sweep-level errors (empty inputs) still raise.
+    """
+    values_arr = np.asarray(values, dtype=float)
+    if values_arr.ndim != 1 or values_arr.size == 0:
+        raise ValidationError("values must be a non-empty 1-D sequence")
+    if not metrics:
+        raise ValidationError("at least one metric is required")
+    collected = {name: np.full(values_arr.size, np.nan) for name in metrics}
+    for i, value in enumerate(values_arr):
+        pll = designer(float(value))
+        for name, fn in metrics.items():
+            try:
+                collected[name][i] = float(fn(pll))
+            except Exception:
+                pass  # recorded as NaN
+    return SweepResult(
+        parameter_name=parameter_name, values=values_arr, metrics=collected
+    )
+
+
+def standard_metrics() -> dict[str, Callable[[PLL], float]]:
+    """The commonly wanted metric set.
+
+    ``pm_lti`` / ``pm_eff`` (degrees), ``bandwidth_extension``,
+    ``dominant_pole_real`` (rad/s; positive = unstable), ``modulus_margin``.
+    """
+    from repro.lti.bode import modulus_margin
+    from repro.pll.margins import compare_margins, effective_open_loop
+    from repro.pll.poles import dominant_pole
+
+    def pm_lti(pll: PLL) -> float:
+        return compare_margins(pll).phase_margin_lti_deg
+
+    def pm_eff(pll: PLL) -> float:
+        return compare_margins(pll).phase_margin_eff_deg
+
+    def bandwidth_extension(pll: PLL) -> float:
+        return compare_margins(pll).bandwidth_extension
+
+    def dominant_pole_real(pll: PLL) -> float:
+        return dominant_pole(pll).s.real
+
+    def modulus(pll: PLL) -> float:
+        lam = effective_open_loop(pll)
+        return modulus_margin(lam, 1e-3 * pll.omega0, 0.499 * pll.omega0)
+
+    return {
+        "pm_lti": pm_lti,
+        "pm_eff": pm_eff,
+        "bandwidth_extension": bandwidth_extension,
+        "dominant_pole_real": dominant_pole_real,
+        "modulus_margin": modulus,
+    }

@@ -1,0 +1,16 @@
+"""Terminal-friendly rendering of the experiment figures.
+
+Offline reproduction means no plotting stack; this subpackage renders the
+paper's figures as Unicode/ASCII charts so ``python -m repro.experiments.runner
+--plots`` shows the actual curve shapes, not only tables.
+
+* :mod:`repro.reporting.ascii_plot` — generic log/linear line charts with
+  multiple series and markers;
+* :mod:`repro.reporting.figures` — pre-wired renderers for Fig. 5 (Bode),
+  Fig. 6 (closed-loop magnitude + marks) and Fig. 7 (margin sweep).
+"""
+
+from repro.reporting.ascii_plot import AsciiPlot, Series
+from repro.reporting.figures import render_fig5, render_fig6, render_fig7
+
+__all__ = ["AsciiPlot", "Series", "render_fig5", "render_fig6", "render_fig7"]

@@ -1,0 +1,163 @@
+"""Minimal ASCII line charts for terminal reports.
+
+A deliberately small plotting surface: multiple series on shared axes,
+optional logarithmic x-axis, per-series glyphs, axis labels and tick
+annotations.  Rendering maps data onto a character raster; later series
+overwrite earlier ones where they collide, and marker series are drawn last.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro._validation import check_order
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plottable data series."""
+
+    x: np.ndarray
+    y: np.ndarray
+    glyph: str = "*"
+    label: str = ""
+    markers_only: bool = False
+
+    def __post_init__(self):
+        x = np.asarray(self.x, dtype=float)
+        y = np.asarray(self.y, dtype=float)
+        if x.ndim != 1 or y.shape != x.shape or x.size == 0:
+            raise ValidationError("series x/y must be equal-length non-empty 1-D arrays")
+        if len(self.glyph) != 1:
+            raise ValidationError(f"glyph must be a single character, got {self.glyph!r}")
+        object.__setattr__(self, "x", x.copy())
+        object.__setattr__(self, "y", y.copy())
+
+
+@dataclass
+class AsciiPlot:
+    """A character-raster chart.
+
+    Parameters
+    ----------
+    width, height:
+        Raster size in characters (plot area, excluding axes).
+    log_x:
+        Use a logarithmic x-axis (all x values must then be positive).
+    title, x_label, y_label:
+        Annotations.
+    """
+
+    width: int = 72
+    height: int = 18
+    log_x: bool = False
+    title: str = ""
+    x_label: str = ""
+    y_label: str = ""
+    series: list[Series] = field(default_factory=list)
+
+    def add(self, x, y, glyph: str = "*", label: str = "", markers_only: bool = False):
+        """Add a series; returns self for chaining."""
+        self.series.append(
+            Series(np.asarray(x), np.asarray(y), glyph=glyph, label=label, markers_only=markers_only)
+        )
+        return self
+
+    def _x_transform(self, x: np.ndarray) -> np.ndarray:
+        if not self.log_x:
+            return x
+        if np.any(x <= 0):
+            raise ValidationError("log_x requires strictly positive x values")
+        return np.log10(x)
+
+    def render(self) -> str:
+        """Render the chart to a multi-line string."""
+        check_order("width", self.width, minimum=16)
+        check_order("height", self.height, minimum=4)
+        if not self.series:
+            raise ValidationError("nothing to plot: add at least one series")
+        finite_masks = [np.isfinite(s.y) & np.isfinite(s.x) for s in self.series]
+        if not any(mask.any() for mask in finite_masks):
+            raise ValidationError("all series values are non-finite")
+        all_x = np.concatenate(
+            [self._x_transform(s.x[m]) for s, m in zip(self.series, finite_masks)]
+        )
+        all_y = np.concatenate([s.y[m] for s, m in zip(self.series, finite_masks)])
+        x_lo, x_hi = float(np.min(all_x)), float(np.max(all_x))
+        y_lo, y_hi = float(np.min(all_y)), float(np.max(all_y))
+        if x_hi == x_lo:
+            x_hi = x_lo + 1.0
+        if y_hi == y_lo:
+            y_hi = y_lo + 1.0
+        pad = 0.05 * (y_hi - y_lo)
+        y_lo -= pad
+        y_hi += pad
+
+        raster = [[" "] * self.width for _ in range(self.height)]
+
+        def to_col(xv: float) -> int:
+            frac = (xv - x_lo) / (x_hi - x_lo)
+            return min(self.width - 1, max(0, int(round(frac * (self.width - 1)))))
+
+        def to_row(yv: float) -> int:
+            frac = (yv - y_lo) / (y_hi - y_lo)
+            return min(
+                self.height - 1, max(0, self.height - 1 - int(round(frac * (self.height - 1))))
+            )
+
+        ordered = sorted(self.series, key=lambda s: s.markers_only)
+        for s in ordered:
+            mask = np.isfinite(s.y) & np.isfinite(s.x)
+            xs = self._x_transform(s.x[mask])
+            ys = s.y[mask]
+            if s.markers_only or xs.size < 2:
+                for xv, yv in zip(xs, ys):
+                    raster[to_row(yv)][to_col(xv)] = s.glyph
+                continue
+            # Dense interpolation so lines look continuous.
+            order = np.argsort(xs)
+            xs, ys = xs[order], ys[order]
+            cols = np.linspace(x_lo, x_hi, self.width * 2)
+            interp = np.interp(cols, xs, ys, left=np.nan, right=np.nan)
+            for xv, yv in zip(cols, interp):
+                if math.isnan(yv):
+                    continue
+                raster[to_row(yv)][to_col(xv)] = s.glyph
+
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        y_hi_text = f"{y_hi:.4g}"
+        y_lo_text = f"{y_lo:.4g}"
+        margin = max(len(y_hi_text), len(y_lo_text)) + 1
+        for i, row in enumerate(raster):
+            if i == 0:
+                prefix = y_hi_text.rjust(margin)
+            elif i == self.height - 1:
+                prefix = y_lo_text.rjust(margin)
+            else:
+                prefix = " " * margin
+            lines.append(f"{prefix}|{''.join(row)}")
+        x_lo_label = 10**x_lo if self.log_x else x_lo
+        x_hi_label = 10**x_hi if self.log_x else x_hi
+        axis = f"{' ' * margin}+{'-' * self.width}"
+        lines.append(axis)
+        ticks = f"{x_lo_label:.4g}".ljust(self.width // 2) + f"{x_hi_label:.4g}".rjust(
+            self.width // 2
+        )
+        lines.append(" " * (margin + 1) + ticks)
+        if self.x_label or self.y_label:
+            lines.append(
+                " " * (margin + 1)
+                + self.x_label
+                + (f"   [y: {self.y_label}]" if self.y_label else "")
+            )
+        legend = [f"{s.glyph} {s.label}" for s in self.series if s.label]
+        if legend:
+            lines.append(" " * (margin + 1) + "   ".join(legend))
+        return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Pre-wired ASCII renderers for the paper's figures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.fig5 import Fig5Result
+from repro.experiments.fig6 import Fig6Result
+from repro.experiments.fig7 import Fig7Result
+from repro.reporting.ascii_plot import AsciiPlot
+
+
+def render_fig5(result: Fig5Result, width: int = 72, height: int = 14) -> str:
+    """Magnitude and phase charts of the open-loop characteristic."""
+    mag = AsciiPlot(
+        width=width,
+        height=height,
+        log_x=True,
+        title=f"Fig. 5a |A(jw)| (dB), separation={result.separation:g}",
+        x_label="w / wUG",
+        y_label="dB",
+    ).add(result.omega_normalized, result.magnitude_db, glyph="*")
+    phase = AsciiPlot(
+        width=width,
+        height=height,
+        log_x=True,
+        title="Fig. 5b  arg A(jw) (deg)",
+        x_label="w / wUG",
+        y_label="deg",
+    ).add(result.omega_normalized, result.phase_deg, glyph="*")
+    return mag.render() + "\n\n" + phase.render()
+
+
+def render_fig6(result: Fig6Result, width: int = 72, height: int = 16) -> str:
+    """Closed-loop |H00| curves (lines) with simulation marks (o)."""
+    plot = AsciiPlot(
+        width=width,
+        height=height,
+        log_x=True,
+        title="Fig. 6  |H00(jw)| (dB): HTM lines, time-marching marks 'o'",
+        x_label="w / wUG",
+        y_label="dB",
+    )
+    glyphs = "*x+#"
+    for i, curve in enumerate(result.curves):
+        plot.add(
+            curve.omega_normalized,
+            curve.h00_db,
+            glyph=glyphs[i % len(glyphs)],
+            label=f"wUG/w0={curve.ratio:g}",
+        )
+    for curve in result.curves:
+        plot.add(
+            curve.mark_omega_normalized,
+            curve.mark_h00_db,
+            glyph="o",
+            markers_only=True,
+        )
+    return plot.render()
+
+
+def render_fig7(result: Fig7Result, width: int = 72, height: int = 12) -> str:
+    """Bandwidth-extension and phase-margin sweep charts."""
+    upper = AsciiPlot(
+        width=width,
+        height=height,
+        log_x=True,
+        title="Fig. 7a  wUG,eff / wUG",
+        x_label="wUG / w0",
+    ).add(result.ratios, result.bandwidth_extension, glyph="*")
+    lower = AsciiPlot(
+        width=width,
+        height=height,
+        log_x=True,
+        title="Fig. 7b  effective phase margin (deg); '-' = LTI prediction",
+        x_label="wUG / w0",
+    )
+    lower.add(result.ratios, result.phase_margin_eff_deg, glyph="*", label="effective")
+    lower.add(
+        result.ratios,
+        np.full(result.ratios.size, result.phase_margin_lti_deg),
+        glyph="-",
+        label="LTI",
+    )
+    return upper.render() + "\n\n" + lower.render()

@@ -1,0 +1,34 @@
+"""Periodic-signal substrate: Fourier series, waveforms, ISF models, spectra.
+
+The HTM formalism manipulates T-periodic kernels through their Fourier
+coefficients; this subpackage provides those coefficients for the waveforms
+appearing in the paper — the reference/VCO carriers ``x_ref``/``x_osc``
+(eqs. 4–5), the PFD's Dirac impulse train (eq. 17) and the oscillator's
+impulse sensitivity function ``v(t)`` (eq. 22, after Demir et al.).
+"""
+
+from repro.signals.fourier import FourierSeries
+from repro.signals.waveforms import (
+    dirac_comb_coefficients,
+    pulse_train_coefficients,
+    sawtooth_coefficients,
+    sine_coefficients,
+    square_coefficients,
+    triangle_coefficients,
+)
+from repro.signals.isf import ImpulseSensitivity
+from repro.signals.spectra import BasebandVector, band_decompose, band_reassemble
+
+__all__ = [
+    "FourierSeries",
+    "dirac_comb_coefficients",
+    "pulse_train_coefficients",
+    "sawtooth_coefficients",
+    "sine_coefficients",
+    "square_coefficients",
+    "triangle_coefficients",
+    "ImpulseSensitivity",
+    "BasebandVector",
+    "band_decompose",
+    "band_reassemble",
+]

@@ -1,0 +1,238 @@
+"""Finite Fourier series of T-periodic signals.
+
+A :class:`FourierSeries` stores the complex coefficients ``c_k`` for
+``k = -K .. K`` of ``p(t) = sum_k c_k exp(j k w0 t)``.  It supports exact
+algebra (addition, multiplication = coefficient convolution, derivative),
+evaluation, and the Toeplitz matrix ``P_{n-m}`` that is the HTM of the
+memoryless multiplication operator ``y(t) = p(t) u(t)`` (paper eq. 13).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro._validation import check_order, check_positive
+
+
+class FourierSeries:
+    """A truncated Fourier series on the fundamental ``omega0``.
+
+    Parameters
+    ----------
+    coefficients:
+        Complex coefficients ordered ``c_{-K} .. c_0 .. c_{K}`` (odd length).
+    omega0:
+        Fundamental angular frequency in rad/s.
+    """
+
+    __slots__ = ("_coeffs", "_omega0")
+
+    def __init__(self, coefficients: Sequence[complex] | np.ndarray, omega0: float):
+        coeffs = np.atleast_1d(np.asarray(coefficients, dtype=complex))
+        if coeffs.ndim != 1 or coeffs.size % 2 == 0:
+            raise ValidationError(
+                f"coefficients must be a 1-D odd-length array (-K..K), got shape {coeffs.shape}"
+            )
+        if not np.all(np.isfinite(coeffs)):
+            raise ValidationError("coefficients must be finite")
+        self._coeffs = coeffs.copy()
+        self._omega0 = check_positive("omega0", omega0)
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def from_function(
+        cls, func: Callable[[np.ndarray], np.ndarray], omega0: float, order: int, samples: int = 0
+    ) -> "FourierSeries":
+        """Numerically project a T-periodic function onto ``-order..order``.
+
+        Uses a uniform-grid FFT projection, which is exact for band-limited
+        functions sampled above Nyquist.  ``samples`` defaults to
+        ``8 * (2*order + 1)``.
+        """
+        omega0 = check_positive("omega0", omega0)
+        order = check_order("order", order, minimum=0)
+        n = samples or 8 * (2 * order + 1)
+        if n < 2 * order + 1:
+            raise ValidationError(f"samples must be >= {2 * order + 1} for order {order}")
+        period = 2 * np.pi / omega0
+        t = np.arange(n) * (period / n)
+        values = np.asarray(func(t), dtype=complex)
+        if values.shape != t.shape:
+            raise ValidationError("func must return one value per sample time")
+        spectrum = np.fft.fft(values) / n
+        coeffs = np.zeros(2 * order + 1, dtype=complex)
+        for k in range(-order, order + 1):
+            coeffs[k + order] = spectrum[k % n]
+        return cls(coeffs, omega0)
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[complex] | np.ndarray, omega0: float, order: int
+    ) -> "FourierSeries":
+        """Project uniform samples of one period onto harmonics ``-order..order``.
+
+        The samples are taken at ``t_k = k T / N``; exact for signals
+        band-limited within the retained harmonics when ``N >= 2*order + 1``.
+        """
+        omega0 = check_positive("omega0", omega0)
+        order = check_order("order", order, minimum=0)
+        values = np.atleast_1d(np.asarray(samples, dtype=complex))
+        if values.ndim != 1 or values.size < 2 * order + 1:
+            raise ValidationError(
+                f"need at least {2 * order + 1} samples for order {order}, got {values.size}"
+            )
+        spectrum = np.fft.fft(values) / values.size
+        coeffs = np.zeros(2 * order + 1, dtype=complex)
+        for k in range(-order, order + 1):
+            coeffs[k + order] = spectrum[k % values.size]
+        return cls(coeffs, omega0)
+
+    @classmethod
+    def constant(cls, value: complex, omega0: float) -> "FourierSeries":
+        """The constant function ``value`` (only the DC coefficient set)."""
+        return cls([value], omega0)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def omega0(self) -> float:
+        """Fundamental angular frequency (rad/s)."""
+        return self._omega0
+
+    @property
+    def period(self) -> float:
+        """Fundamental period ``T = 2 pi / omega0`` in seconds."""
+        return 2 * np.pi / self._omega0
+
+    @property
+    def order(self) -> int:
+        """Highest retained harmonic index K."""
+        return (self._coeffs.size - 1) // 2
+
+    @property
+    def coefficients(self) -> np.ndarray:
+        """Copy of the coefficient vector ``c_{-K} .. c_{K}``."""
+        return self._coeffs.copy()
+
+    def coefficient(self, k: int) -> complex:
+        """Coefficient ``c_k``; zero outside the stored truncation."""
+        if abs(k) > self.order:
+            return 0.0 + 0.0j
+        return complex(self._coeffs[k + self.order])
+
+    def is_real_signal(self, tol: float = 1e-12) -> bool:
+        """True when the time-domain signal is real: ``c_{-k} = conj(c_k)``."""
+        flipped = np.conj(self._coeffs[::-1])
+        scale = max(np.max(np.abs(self._coeffs)), 1.0)
+        return bool(np.allclose(self._coeffs, flipped, rtol=0, atol=tol * scale))
+
+    def mean(self) -> complex:
+        """DC value ``c_0``."""
+        return self.coefficient(0)
+
+    def power(self) -> float:
+        """Mean-square value over one period (Parseval)."""
+        return float(np.sum(np.abs(self._coeffs) ** 2))
+
+    # -- evaluation -----------------------------------------------------------
+
+    def __call__(self, t: float | np.ndarray) -> complex | np.ndarray:
+        """Evaluate the series at time(s) ``t``."""
+        t_arr = np.asarray(t, dtype=float)
+        k = np.arange(-self.order, self.order + 1)
+        phases = np.exp(1j * self._omega0 * np.multiply.outer(t_arr, k))
+        values = phases @ self._coeffs
+        if np.isscalar(t) or t_arr.ndim == 0:
+            return complex(values)
+        return values
+
+    def sample(self, n: int) -> np.ndarray:
+        """Evaluate on ``n`` uniform samples over one period."""
+        n = check_order("n", n, minimum=1)
+        t = np.arange(n) * (self.period / n)
+        return np.asarray(self(t), dtype=complex)
+
+    # -- algebra ---------------------------------------------------------------
+
+    def _check_compatible(self, other: "FourierSeries") -> None:
+        if abs(self._omega0 - other._omega0) > 1e-12 * self._omega0:
+            raise ValidationError(
+                f"fundamental mismatch: {self._omega0} vs {other._omega0}"
+            )
+
+    def __add__(self, other) -> "FourierSeries":
+        if isinstance(other, (int, float, complex)):
+            coeffs = self._coeffs.copy()
+            coeffs[self.order] += other
+            return FourierSeries(coeffs, self._omega0)
+        self._check_compatible(other)
+        order = max(self.order, other.order)
+        coeffs = np.zeros(2 * order + 1, dtype=complex)
+        coeffs[order - self.order : order + self.order + 1] += self._coeffs
+        coeffs[order - other.order : order + other.order + 1] += other._coeffs
+        return FourierSeries(coeffs, self._omega0)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "FourierSeries":
+        return FourierSeries(-self._coeffs, self._omega0)
+
+    def __sub__(self, other) -> "FourierSeries":
+        return self + (-other if isinstance(other, FourierSeries) else -complex(other))
+
+    def __mul__(self, other) -> "FourierSeries":
+        if isinstance(other, (int, float, complex)):
+            return FourierSeries(self._coeffs * other, self._omega0)
+        self._check_compatible(other)
+        coeffs = np.convolve(self._coeffs, other._coeffs)
+        return FourierSeries(coeffs, self._omega0)
+
+    __rmul__ = __mul__
+
+    def conjugate(self) -> "FourierSeries":
+        """Series of the complex-conjugate signal."""
+        return FourierSeries(np.conj(self._coeffs[::-1]), self._omega0)
+
+    def derivative(self) -> "FourierSeries":
+        """Series of ``dp/dt``: multiplies ``c_k`` by ``j k omega0``."""
+        k = np.arange(-self.order, self.order + 1)
+        return FourierSeries(self._coeffs * 1j * k * self._omega0, self._omega0)
+
+    def delayed(self, tau: float) -> "FourierSeries":
+        """Series of ``p(t - tau)``: multiplies ``c_k`` by ``exp(-j k w0 tau)``."""
+        k = np.arange(-self.order, self.order + 1)
+        return FourierSeries(self._coeffs * np.exp(-1j * k * self._omega0 * tau), self._omega0)
+
+    def truncated(self, order: int) -> "FourierSeries":
+        """Keep only harmonics ``-order..order`` (pads with zeros if larger)."""
+        order = check_order("order", order, minimum=0)
+        coeffs = np.zeros(2 * order + 1, dtype=complex)
+        span = min(order, self.order)
+        coeffs[order - span : order + span + 1] = self._coeffs[
+            self.order - span : self.order + span + 1
+        ]
+        return FourierSeries(coeffs, self._omega0)
+
+    # -- HTM bridge ---------------------------------------------------------------
+
+    def toeplitz(self, size: int) -> np.ndarray:
+        """Dense Toeplitz matrix ``M[n, m] = c_{n-m}`` of given odd ``size``.
+
+        This is the HTM of multiplication by this signal (paper eq. 13),
+        truncated to harmonics ``-(size-1)/2 .. (size-1)/2``.
+        """
+        if size % 2 == 0 or size < 1:
+            raise ValidationError(f"toeplitz size must be odd and positive, got {size}")
+        half = (size - 1) // 2
+        mat = np.zeros((size, size), dtype=complex)
+        for n in range(-half, half + 1):
+            for m in range(-half, half + 1):
+                mat[n + half, m + half] = self.coefficient(n - m)
+        return mat
+
+    def __repr__(self) -> str:
+        return f"FourierSeries(order={self.order}, omega0={self._omega0:.6g})"

@@ -1,0 +1,122 @@
+"""Impulse sensitivity function (ISF) models for controlled oscillators.
+
+Following Demir, Mehrotra & Roychowdhury (the paper's ref. [1]), a small
+perturbation ``du(t)`` on the oscillator control input shifts the oscillator
+phase (expressed in *seconds*) according to
+
+    d theta / dt = v(t + theta) * du(t)  ~  v(t) * du(t)        (paper eq. 22-24)
+
+where ``v(t)`` is the T-periodic ISF associated with that input.  The HTM of
+the resulting LPTV operator is built in :mod:`repro.blocks.vco`; this module
+only models ``v(t)`` itself.
+
+For the common "time-invariant VCO" abstraction with voltage-to-frequency
+gain ``K_v`` (Hz per input unit) running at ``f0`` Hz, the phase-in-seconds
+convention gives a *constant* ISF ``v(t) = v0 = K_v / f0``: the instantaneous
+period scales as ``1 + theta'``, so ``theta' = (K_v / f0) du``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro._validation import check_positive
+from repro.signals.fourier import FourierSeries
+
+
+class ImpulseSensitivity:
+    """The periodic ISF ``v(t)`` of a controlled oscillator input.
+
+    Wraps a :class:`FourierSeries` and exposes the pieces the VCO HTM needs:
+    the coefficient vector ``v_k`` and the DC sensitivity ``v0``.
+    """
+
+    __slots__ = ("_series",)
+
+    def __init__(self, series: FourierSeries):
+        if not isinstance(series, FourierSeries):
+            raise ValidationError("ImpulseSensitivity requires a FourierSeries")
+        self._series = series
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def constant(cls, v0: float, omega0: float) -> "ImpulseSensitivity":
+        """Time-invariant sensitivity ``v(t) = v0`` — the paper's sec. 5 case."""
+        check_positive("omega0", omega0)
+        return cls(FourierSeries([complex(v0)], omega0))
+
+    @classmethod
+    def from_vco_gain(cls, kvco_hz_per_unit: float, f0_hz: float, omega0: float) -> "ImpulseSensitivity":
+        """Constant ISF from a conventional VCO gain ``K_v`` (Hz/unit) at ``f0``.
+
+        ``v0 = K_v / f0`` converts frequency sensitivity into the
+        phase-in-seconds convention of the paper (see module docstring).
+        """
+        check_positive("f0_hz", f0_hz)
+        return cls.constant(kvco_hz_per_unit / f0_hz, omega0)
+
+    @classmethod
+    def from_coefficients(
+        cls, coefficients: Sequence[complex] | np.ndarray, omega0: float
+    ) -> "ImpulseSensitivity":
+        """LPTV sensitivity from explicit Fourier coefficients ``v_{-K}..v_K``."""
+        return cls(FourierSeries(coefficients, omega0))
+
+    @classmethod
+    def sinusoidal(
+        cls, v0: float, ripple: float, omega0: float, phase: float = 0.0
+    ) -> "ImpulseSensitivity":
+        """``v(t) = v0 (1 + ripple * cos(omega0 t + phase))``.
+
+        A one-harmonic LPTV model: the simplest oscillator whose sensitivity
+        depends on where in its cycle the perturbation lands — the case the
+        paper's general eq. (25) covers beyond its time-invariant experiments.
+        """
+        c1 = v0 * ripple * np.exp(1j * phase) / 2
+        return cls(FourierSeries([np.conj(c1), complex(v0), c1], omega0))
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def series(self) -> FourierSeries:
+        """The underlying Fourier series of ``v(t)``."""
+        return self._series
+
+    @property
+    def omega0(self) -> float:
+        """Fundamental angular frequency (rad/s)."""
+        return self._series.omega0
+
+    @property
+    def order(self) -> int:
+        """Highest retained ISF harmonic."""
+        return self._series.order
+
+    @property
+    def v0(self) -> complex:
+        """DC (time-average) sensitivity — the LTI-approximation VCO gain."""
+        return self._series.coefficient(0)
+
+    def coefficient(self, k: int) -> complex:
+        """Harmonic coefficient ``v_k``."""
+        return self._series.coefficient(k)
+
+    def is_time_invariant(self, tol: float = 1e-12) -> bool:
+        """True when all harmonics other than ``v_0`` vanish."""
+        coeffs = self._series.coefficients
+        center = self._series.order
+        others = np.delete(coeffs, center)
+        scale = max(abs(coeffs[center]), 1.0)
+        return bool(np.all(np.abs(others) <= tol * scale))
+
+    def __call__(self, t: float | np.ndarray) -> complex | np.ndarray:
+        """Evaluate ``v(t)``."""
+        return self._series(t)
+
+    def __repr__(self) -> str:
+        kind = "time-invariant" if self.is_time_invariant() else f"order-{self.order} LPTV"
+        return f"ImpulseSensitivity({kind}, v0={self.v0:.6g})"

@@ -1,0 +1,158 @@
+"""Baseband-equivalent signal vectors (paper eqs. 7–9).
+
+A signal ``u(t) = sum_m u_m(t) exp(j m w0 t)`` with band-limited envelopes
+``u_m`` is represented by the vector of envelope spectra
+``U_B(jw) = [U_{-K}(jw) .. U_{K}(jw)]``.  Applying an HTM evaluated at
+``s = jw`` to this vector gives the output envelope vector (eq. 9); this is
+the semantic ground truth the HTM tests validate against time-domain LPTV
+filtering.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro._validation import check_order, check_positive
+
+
+class BasebandVector:
+    """Envelope spectra of a multi-band signal around harmonics of ``omega0``.
+
+    Parameters
+    ----------
+    omega:
+        Baseband frequency grid (rad/s); must lie within
+        ``(-omega0/2, omega0/2)`` so the bands do not overlap.
+    envelopes:
+        Array of shape ``(2K+1, len(omega))``; row ``m + K`` is the spectrum
+        of the envelope riding on carrier ``m * omega0``.
+    omega0:
+        Carrier spacing in rad/s.
+    """
+
+    __slots__ = ("omega", "envelopes", "omega0")
+
+    def __init__(self, omega: np.ndarray, envelopes: np.ndarray, omega0: float):
+        self.omega0 = check_positive("omega0", omega0)
+        omega = np.asarray(omega, dtype=float)
+        envelopes = np.asarray(envelopes, dtype=complex)
+        if omega.ndim != 1:
+            raise ValidationError("omega must be 1-D")
+        if np.any(np.abs(omega) >= omega0 / 2):
+            raise ValidationError("baseband grid must lie strictly inside (-omega0/2, omega0/2)")
+        if envelopes.ndim != 2 or envelopes.shape[1] != omega.size:
+            raise ValidationError(
+                f"envelopes must have shape (2K+1, {omega.size}), got {envelopes.shape}"
+            )
+        if envelopes.shape[0] % 2 == 0:
+            raise ValidationError("envelope count must be odd (bands -K..K)")
+        self.omega = omega.copy()
+        self.envelopes = envelopes.copy()
+
+    @property
+    def order(self) -> int:
+        """Band truncation K."""
+        return (self.envelopes.shape[0] - 1) // 2
+
+    def band(self, m: int) -> np.ndarray:
+        """Envelope spectrum of the band around ``m * omega0``."""
+        if abs(m) > self.order:
+            raise ValidationError(f"band index {m} outside truncation ±{self.order}")
+        return self.envelopes[m + self.order].copy()
+
+    def apply_matrix(self, matrices: np.ndarray) -> "BasebandVector":
+        """Apply one ``(2K+1, 2K+1)`` matrix per frequency point (eq. 9).
+
+        ``matrices`` has shape ``(len(omega), 2K+1, 2K+1)`` — typically an
+        HTM evaluated on ``j * omega``.
+        """
+        matrices = np.asarray(matrices, dtype=complex)
+        size = self.envelopes.shape[0]
+        if matrices.shape != (self.omega.size, size, size):
+            raise ValidationError(
+                f"matrices must have shape ({self.omega.size}, {size}, {size}), "
+                f"got {matrices.shape}"
+            )
+        out = np.einsum("fnm,mf->nf", matrices, self.envelopes)
+        return BasebandVector(self.omega, out, self.omega0)
+
+    def total_power(self) -> float:
+        """Sum of squared envelope magnitudes over all bands and frequencies."""
+        return float(np.sum(np.abs(self.envelopes) ** 2))
+
+
+def band_decompose(
+    signal: Sequence[float] | np.ndarray,
+    dt: float,
+    omega0: float,
+    order: int,
+) -> BasebandVector:
+    """Split a uniformly-sampled signal into band-limited envelope spectra.
+
+    The FFT of the signal is sliced into windows of width ``omega0`` centred
+    on each harmonic ``m * omega0`` for ``|m| <= order``; each slice becomes
+    the envelope spectrum of that band, shifted down to baseband.  Content
+    beyond ``(order + 1/2) * omega0`` is discarded, so reassembly is exact
+    only for signals band-limited to the retained harmonics.
+    """
+    values = np.asarray(signal, dtype=complex)
+    if values.ndim != 1 or values.size < 2:
+        raise ValidationError("signal must be a 1-D array with at least 2 samples")
+    dt = check_positive("dt", dt)
+    omega0 = check_positive("omega0", omega0)
+    order = check_order("order", order, minimum=0)
+    n = values.size
+    freqs = 2 * np.pi * np.fft.fftfreq(n, d=dt)
+    spectrum = np.fft.fft(values)
+    nyquist = np.pi / dt
+    if (order + 0.5) * omega0 > nyquist:
+        raise ValidationError(
+            f"sampling too coarse: need Nyquist >= {(order + 0.5) * omega0:.3g}, have {nyquist:.3g}"
+        )
+    half = omega0 / 2
+    # Build a common baseband grid from the band around DC.
+    base_mask = np.abs(freqs) < half
+    base_order = np.argsort(freqs[base_mask])
+    omega_grid = freqs[base_mask][base_order]
+    envelopes = np.zeros((2 * order + 1, omega_grid.size), dtype=complex)
+    for m in range(-order, order + 1):
+        shifted = freqs - m * omega0
+        mask = np.abs(shifted) < half
+        # Guard against off-by-one bin counts at band edges.
+        vals = spectrum[mask]
+        grid = shifted[mask]
+        sorter = np.argsort(grid)
+        vals = vals[sorter]
+        grid = grid[sorter]
+        if grid.size == omega_grid.size:
+            envelopes[m + order] = vals
+        else:
+            envelopes[m + order] = np.interp(omega_grid, grid, vals.real) + 1j * np.interp(
+                omega_grid, grid, vals.imag
+            )
+    return BasebandVector(omega_grid, envelopes, omega0)
+
+
+def band_reassemble(vector: BasebandVector, dt: float, n: int) -> np.ndarray:
+    """Inverse of :func:`band_decompose`: rebuild ``n`` time samples.
+
+    Each envelope spectrum is placed back around its carrier in a length-``n``
+    FFT buffer and inverse-transformed.
+    """
+    dt = check_positive("dt", dt)
+    n = check_order("n", n, minimum=2)
+    freqs = 2 * np.pi * np.fft.fftfreq(n, d=dt)
+    spectrum = np.zeros(n, dtype=complex)
+    half = vector.omega0 / 2
+    for m in range(-vector.order, vector.order + 1):
+        shifted = freqs - m * vector.omega0
+        mask = np.abs(shifted) < half
+        grid = shifted[mask]
+        env = vector.band(m)
+        spectrum[mask] += np.interp(grid, vector.omega, env.real) + 1j * np.interp(
+            grid, vector.omega, env.imag
+        )
+    return np.fft.ifft(spectrum)

@@ -1,0 +1,111 @@
+"""Analytic Fourier coefficients of standard T-periodic waveforms.
+
+Each helper returns a :class:`~repro.signals.fourier.FourierSeries` whose
+coefficients are the closed-form values, so the numerical projection path in
+``FourierSeries.from_function`` can be cross-validated against them in the
+test suite.
+
+Conventions: all waveforms have period ``T = 2 pi / omega0`` and are defined
+on ``t in [0, T)`` as stated per function.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro._validation import check_fraction, check_order, check_positive
+from repro.signals.fourier import FourierSeries
+
+
+def sine_coefficients(omega0: float, amplitude: float = 1.0, phase: float = 0.0) -> FourierSeries:
+    """``amplitude * sin(omega0 t + phase)`` — only the ``k = ±1`` lines."""
+    check_positive("omega0", omega0)
+    c1 = amplitude * np.exp(1j * phase) / 2j
+    return FourierSeries([np.conj(c1), 0.0, c1], omega0)
+
+
+def square_coefficients(omega0: float, order: int, amplitude: float = 1.0) -> FourierSeries:
+    """Odd square wave: ``+A`` on the first half-period, ``-A`` on the second.
+
+    ``c_k = 2A / (j pi k)`` for odd ``k``, zero otherwise.
+    """
+    check_positive("omega0", omega0)
+    order = check_order("order", order, minimum=1)
+    coeffs = np.zeros(2 * order + 1, dtype=complex)
+    for k in range(-order, order + 1):
+        if k != 0 and k % 2 != 0:
+            coeffs[k + order] = 2 * amplitude / (1j * np.pi * k)
+    return FourierSeries(coeffs, omega0)
+
+
+def sawtooth_coefficients(omega0: float, order: int, amplitude: float = 1.0) -> FourierSeries:
+    """Sawtooth rising from ``-A`` to ``+A`` over each period, mean zero.
+
+    ``x(t) = A (2 t / T - 1)`` on ``[0, T)``; ``c_k = j A / (pi k)`` for
+    ``k != 0``.
+    """
+    check_positive("omega0", omega0)
+    order = check_order("order", order, minimum=1)
+    coeffs = np.zeros(2 * order + 1, dtype=complex)
+    for k in range(-order, order + 1):
+        if k != 0:
+            coeffs[k + order] = 1j * amplitude / (np.pi * k)
+    return FourierSeries(coeffs, omega0)
+
+
+def triangle_coefficients(omega0: float, order: int, amplitude: float = 1.0) -> FourierSeries:
+    """Even triangle wave peaking at ``+A`` at ``t = 0``, ``-A`` at ``t = T/2``.
+
+    ``c_k = 4A / (pi k)^2`` for odd ``k``, zero otherwise.
+    """
+    check_positive("omega0", omega0)
+    order = check_order("order", order, minimum=1)
+    coeffs = np.zeros(2 * order + 1, dtype=complex)
+    for k in range(-order, order + 1):
+        if k % 2 != 0:
+            coeffs[k + order] = 4 * amplitude / (np.pi * k) ** 2
+    return FourierSeries(coeffs, omega0)
+
+
+def pulse_train_coefficients(
+    omega0: float, order: int, duty: float, amplitude: float = 1.0
+) -> FourierSeries:
+    """Rectangular pulse train: ``A`` on ``[0, duty*T)``, ``0`` elsewhere.
+
+    ``c_k = A * duty * sinc(k * duty) * exp(-j pi k duty)`` with the
+    normalised sinc.  As ``duty -> 0`` with ``A = 1/(duty*T)`` this tends to
+    the Dirac comb of :func:`dirac_comb_coefficients` — the limit underlying
+    the paper's impulse-train PFD model (Fig. 4).
+    """
+    check_positive("omega0", omega0)
+    order = check_order("order", order, minimum=1)
+    duty = check_fraction("duty", duty)
+    coeffs = np.zeros(2 * order + 1, dtype=complex)
+    for k in range(-order, order + 1):
+        coeffs[k + order] = (
+            amplitude * duty * np.sinc(k * duty) * np.exp(-1j * np.pi * k * duty)
+        )
+    return FourierSeries(coeffs, omega0)
+
+
+def dirac_comb_coefficients(omega0: float, order: int) -> FourierSeries:
+    """Dirac impulse train ``sum_m delta(t - m T)``: every ``c_k = 1/T = w0/2pi``.
+
+    This is the multiplication kernel of the sampling PFD (paper eq. 17); its
+    Toeplitz HTM is the all-ones rank-one matrix scaled by ``w0/2pi``
+    (eq. 19).
+    """
+    check_positive("omega0", omega0)
+    order = check_order("order", order, minimum=0)
+    value = omega0 / (2 * np.pi)
+    return FourierSeries(np.full(2 * order + 1, value, dtype=complex), omega0)
+
+
+def pulse_train_samples(t: np.ndarray, period: float, duty: float, amplitude: float = 1.0) -> np.ndarray:
+    """Time-domain samples of the rectangular pulse train (for cross-checks)."""
+    if period <= 0:
+        raise ValidationError(f"period must be positive, got {period}")
+    duty = check_fraction("duty", duty)
+    frac = np.mod(np.asarray(t, dtype=float), period) / period
+    return np.where(frac < duty, amplitude, 0.0)

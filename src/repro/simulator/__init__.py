@@ -1,0 +1,61 @@
+"""Event-driven behavioural PLL simulator (the paper's verification bench).
+
+The paper validates its HTM model against "time-marching simulations in
+Matlab/Simulink" whose PFD is implemented "using flip-flops and therefore
+encodes the phase error through the width of the pulses it produces".  This
+package is that testbench in pure Python:
+
+* :mod:`~repro.simulator.pfd_behavior` — the tri-state flip-flop PFD state
+  machine producing real finite-width UP/DOWN pulses;
+* :mod:`~repro.simulator.events` — edge-time solvers (reference edges under
+  phase modulation, VCO edges by Newton iteration on the exactly-integrated
+  phase);
+* :mod:`~repro.simulator.engine` — cycle-by-cycle simulation with
+  **zero-discretization-error** integration: the loop filter + VCO phase
+  form an augmented LTI system driven by piecewise-constant pump current,
+  advanced by matrix exponentials;
+* :mod:`~repro.simulator.transfer_extraction` — small-signal transfer
+  measurement: sinusoidal reference-phase modulation, leakage-free
+  single-bin DFT demodulation, returning ``H00(j omega)`` and the harmonic
+  conversion elements ``H_{n,0}`` for direct comparison with the HTM model.
+"""
+
+from repro.simulator.pfd_behavior import PFDState, TriStatePFD, PumpInterval
+from repro.simulator.engine import (
+    BehavioralPLLSimulator,
+    SimulationConfig,
+    TransientResult,
+)
+from repro.simulator.transfer_extraction import (
+    TransferMeasurement,
+    measure_closed_loop_transfer,
+    measure_harmonic_elements,
+)
+from repro.simulator.floquet import (
+    FloquetResult,
+    compare_with_zdomain,
+    floquet_multipliers,
+    one_cycle_map,
+)
+from repro.simulator.steady_state import (
+    PeriodicSteadyState,
+    solve_periodic_steady_state,
+)
+
+__all__ = [
+    "FloquetResult",
+    "compare_with_zdomain",
+    "floquet_multipliers",
+    "one_cycle_map",
+    "PeriodicSteadyState",
+    "solve_periodic_steady_state",
+    "PFDState",
+    "TriStatePFD",
+    "PumpInterval",
+    "BehavioralPLLSimulator",
+    "SimulationConfig",
+    "TransientResult",
+    "TransferMeasurement",
+    "measure_closed_loop_transfer",
+    "measure_harmonic_elements",
+]

@@ -1,0 +1,104 @@
+"""Edge-time solvers for the event-driven simulator.
+
+Two root-finding problems arise each reference cycle:
+
+* **reference edges**: with the reference modelled as
+  ``V_ref(t) = x_ref(t + thetaref(t))`` (paper eq. 4), the n-th rising edge
+  satisfies ``t + thetaref(t) = n T``.  For the small-signal excursions the
+  paper assumes (``thetaref << T``) a fixed-point iteration converges in a
+  few steps;
+* **VCO edges**: ``t + theta(t) = n T`` where ``theta`` is the integrated
+  loop state.  Solved by a guarded Newton iteration; each evaluation of
+  ``theta(t)`` is an exact matrix-exponential step, so the edge time is
+  accurate to root-solver tolerance, not integration step size.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro._errors import ConvergenceError, ValidationError
+
+
+def solve_reference_edge(
+    theta_ref: Callable[[float], float],
+    target: float,
+    max_iter: int = 50,
+    tol: float = 1e-14,
+) -> float:
+    """Solve ``t + theta_ref(t) = target`` by damped fixed-point iteration.
+
+    ``theta_ref`` must be a small, slowly-varying excursion (|d theta/dt| < 1,
+    which the small-signal assumption theta << T guarantees in practice).
+    """
+    t = target - theta_ref(target)
+    for _ in range(max_iter):
+        residual = t + theta_ref(t) - target
+        if abs(residual) <= tol * max(abs(target), 1.0):
+            return t
+        t -= residual
+    raise ConvergenceError(
+        f"reference edge solve did not converge toward target {target!r}; "
+        "is the phase modulation small-signal (|theta| << T)?"
+    )
+
+
+def solve_phase_crossing(
+    theta_at: Callable[[float], float],
+    theta_rate_at: Callable[[float], float],
+    target: float,
+    t_lo: float,
+    t_hi: float,
+    max_iter: int = 60,
+    tol: float = 1e-13,
+) -> float | None:
+    """Solve ``t + theta(t) = target`` on ``[t_lo, t_hi]``; None if no crossing.
+
+    ``theta_at``/``theta_rate_at`` evaluate the exactly-integrated phase and
+    its derivative at arbitrary times inside the interval.  Uses Newton with
+    bisection fallback (the derivative ``1 + theta'`` is positive near lock,
+    but the guard keeps pathological cases safe).
+
+    Returns ``None`` when the crossing lies beyond ``t_hi`` — the caller then
+    extends the integration segment first.
+    """
+    if t_hi < t_lo:
+        raise ValidationError(f"empty bracket [{t_lo}, {t_hi}]")
+
+    def g(t: float) -> float:
+        return t + theta_at(t) - target
+
+    g_lo = g(t_lo)
+    if g_lo > tol * max(abs(target), 1.0):
+        raise ValidationError(
+            "crossing already passed at segment start: the previous segment "
+            "should have caught this edge"
+        )
+    g_hi = g(t_hi)
+    if g_hi < 0.0:
+        return None
+    lo, hi = t_lo, t_hi
+    t = min(max(target - theta_at(t_lo), lo), hi)
+    scale = max(abs(target), 1.0)
+    for _ in range(max_iter):
+        gt = g(t)
+        if abs(gt) <= tol * scale:
+            return t
+        if gt > 0:
+            hi = t
+        else:
+            lo = t
+        slope = 1.0 + theta_rate_at(t)
+        if slope > 0.1:
+            t_next = t - gt / slope
+        else:
+            t_next = 0.5 * (lo + hi)
+        if not lo <= t_next <= hi:
+            t_next = 0.5 * (lo + hi)
+        if abs(t_next - t) <= 1e-16 * scale:
+            return t_next
+        t = t_next
+    raise ConvergenceError(
+        f"phase-crossing solve did not converge to target {target!r} in "
+        f"[{t_lo}, {t_hi}]"
+    )

@@ -1,0 +1,166 @@
+"""Floquet analysis of the sampled loop's one-cycle return map.
+
+A locked PLL is a periodically-driven nonlinear system whose small-signal
+stability is governed by the **Floquet multipliers** — the eigenvalues of
+the linearised map taking the loop state across one reference period.  This
+module computes that map *numerically from the behavioural engine* (central
+differences of the exact event-driven propagation) and so provides a third,
+completely independent route to the loop dynamics:
+
+* HTM route: poles of ``1/(1 + lambda(s))``;
+* z-domain route: poles of ``G_z/(1 + G_z)``;
+* Floquet route: eigenvalues of the measured return map.
+
+The three agree: the multipliers equal the z-domain closed-loop poles (the
+z-transform variable *is* the per-cycle propagator ``z = e^{sT}``), which is
+asserted in the integration tests.
+
+The Poincaré section is taken at mid-cycle, ``t = (n + 1/2) T``, where the
+pump is guaranteed off near lock, making the map smooth in the state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro._validation import check_positive
+from repro.pll.architecture import PLL
+from repro.simulator.engine import BehavioralPLLSimulator, SimulationConfig
+
+
+@dataclass(frozen=True)
+class FloquetResult:
+    """The linearised one-cycle return map and its multipliers.
+
+    Attributes
+    ----------
+    matrix:
+        The monodromy matrix M: ``dz[n+1] = M dz[n]`` with state
+        ``z = [filter states..., theta]`` sampled at mid-cycle.
+    multipliers:
+        Eigenvalues of M, sorted by decreasing magnitude.
+    """
+
+    matrix: np.ndarray
+    multipliers: np.ndarray
+
+    @property
+    def is_stable(self) -> bool:
+        """True when every multiplier lies strictly inside the unit circle."""
+        return bool(np.all(np.abs(self.multipliers) < 1.0))
+
+    @property
+    def spectral_radius(self) -> float:
+        """Largest multiplier magnitude — the per-cycle growth factor."""
+        return float(np.max(np.abs(self.multipliers))) if self.multipliers.size else 0.0
+
+    def decay_time_constant_cycles(self) -> float:
+        """Cycles for the dominant mode to decay by 1/e (inf if marginal)."""
+        rho = self.spectral_radius
+        if rho >= 1.0:
+            return float("inf")
+        return -1.0 / np.log(rho)
+
+
+class _CycleMap:
+    """Propagate the reduced state ``[x_filter, theta]`` across one period."""
+
+    def __init__(self, pll: PLL):
+        self.sim = BehavioralPLLSimulator(
+            pll, config=SimulationConfig(cycles=1, max_phase_error=0.45)
+        )
+        self.period = pll.period
+        self.dim = self.sim._n_filter + 1
+
+    def __call__(self, reduced: np.ndarray, cycle: int = 1) -> np.ndarray:
+        """Map state at ``(cycle - 1/2) T`` to state at ``(cycle + 1/2) T``."""
+        sim = self.sim
+        state = np.zeros(self.dim + 1)  # + frozen delta slot
+        state[: self.dim] = reduced
+        t_start = (cycle - 0.5) * self.period
+
+        def advance(t_from, t_to, current, st):
+            return sim._advance(st, t_to - t_from, current, t_start=t_from)
+
+        state, t_cur, _, _ = sim._process_cycle(state, t_start, cycle, advance)
+        # Coast (pump off apart from leakage) to the next section.
+        t_end = (cycle + 0.5) * self.period
+        leakage = sim.pll.charge_pump.leakage
+        if t_end > t_cur:
+            state = sim._advance(state, t_end - t_cur, -leakage, t_start=t_cur)
+        return state[: self.dim]
+
+
+def one_cycle_map(pll: PLL, eps: float | None = None) -> np.ndarray:
+    """Central-difference linearisation of the one-cycle return map at lock.
+
+    Parameters
+    ----------
+    eps:
+        Perturbation size per state component; defaults to ``1e-7`` in the
+        natural units of the loop (theta in seconds scaled by the period,
+        filter states scaled by their coupling into theta).
+    """
+    cycle_map = _CycleMap(pll)
+    dim = cycle_map.dim
+    period = pll.period
+    if eps is None:
+        eps = 1e-7
+    check_positive("eps", eps)
+    # Per-component scales: theta ~ period; filter states ~ the input scale
+    # that produces an O(period) phase shift over a cycle.
+    scales = np.full(dim, eps)
+    scales[-1] = eps * period
+    v0 = float(pll.vco.v0.real)
+    if v0 > 0:
+        scales[:-1] = eps * period / max(v0 * period, 1e-12)
+    matrix = np.empty((dim, dim))
+    for j in range(dim):
+        delta = np.zeros(dim)
+        delta[j] = scales[j]
+        plus = cycle_map(+delta)
+        minus = cycle_map(-delta)
+        matrix[:, j] = (plus - minus) / (2.0 * scales[j])
+    return matrix
+
+
+def floquet_multipliers(pll: PLL, eps: float | None = None) -> FloquetResult:
+    """Compute the monodromy matrix and its eigenvalues for a locked loop.
+
+    Raises
+    ------
+    ValidationError
+        Propagated from the engine for LPTV VCOs or loops with delay.
+    """
+    matrix = one_cycle_map(pll, eps=eps)
+    eigenvalues = np.linalg.eigvals(matrix)
+    order = np.argsort(-np.abs(eigenvalues))
+    return FloquetResult(matrix=matrix, multipliers=eigenvalues[order])
+
+
+def compare_with_zdomain(pll: PLL, eps: float | None = None) -> float:
+    """Max distance between Floquet multipliers and z-domain closed poles.
+
+    Utility for tests and reports: matches each multiplier to its nearest
+    z-domain closed-loop pole and returns the worst gap.
+    """
+    from repro.baselines.zdomain import closed_loop_z, sampled_open_loop
+
+    result = floquet_multipliers(pll, eps=eps)
+    z_poles = closed_loop_z(sampled_open_loop(pll)).poles()
+    if z_poles.size != result.multipliers.size:
+        raise ValidationError(
+            f"state dimension mismatch: {result.multipliers.size} multipliers vs "
+            f"{z_poles.size} z-domain poles"
+        )
+    worst = 0.0
+    remaining = list(z_poles)
+    for mu in result.multipliers:
+        gaps = [abs(mu - p) for p in remaining]
+        idx = int(np.argmin(gaps))
+        worst = max(worst, gaps[idx])
+        remaining.pop(idx)
+    return worst

@@ -1,0 +1,147 @@
+"""Periodic steady-state (PSS) analysis of the locked loop (extension).
+
+A locked PLL with deterministic non-idealities (charge-pump leakage) settles
+into a T-periodic orbit.  Instead of simulating hundreds of cycles until the
+transient dies, this module solves for the orbit directly as the fixed point
+of the one-cycle return map ``z* = F(z*)`` with a Newton iteration whose
+Jacobian is the (lock-point) monodromy matrix — the shooting method of
+periodic-steady-state circuit analysis, built from the same engine.
+
+From the orbit, one clean cycle is integrated densely, yielding the exact
+periodic ripple and hence exact spur harmonics — cross-validated against
+both the first-order analytic model (:mod:`repro.pll.spurs`) and the
+settle-and-measure route.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._errors import ConvergenceError
+from repro._validation import check_order, check_positive
+from repro.pll.architecture import PLL
+from repro.simulator.engine import BehavioralPLLSimulator, SimulationConfig
+from repro.simulator.floquet import _CycleMap, one_cycle_map
+
+
+@dataclass(frozen=True)
+class PeriodicSteadyState:
+    """The solved periodic orbit of a locked loop.
+
+    Attributes
+    ----------
+    state:
+        Fixed-point reduced state ``[filter states..., theta]`` at the
+        mid-cycle section.
+    residual:
+        ``max |F(z*) - z*|`` of the accepted fixed point.
+    times, theta, control:
+        One dense cycle of the orbit (absolute times within the cycle used
+        for the solve).
+    """
+
+    state: np.ndarray
+    residual: float
+    times: np.ndarray
+    theta: np.ndarray
+    control: np.ndarray
+
+    def phase_harmonic(self, k: int, omega0: float) -> complex:
+        """Complex amplitude of ``e^{j k w0 t}`` in the steady-state phase."""
+        phasor = np.exp(-1j * k * omega0 * self.times)
+        return complex(np.mean(self.theta * phasor))
+
+    def static_phase_offset(self) -> float:
+        """Mean phase over the orbit (seconds)."""
+        return float(np.mean(self.theta))
+
+
+def solve_periodic_steady_state(
+    pll: PLL,
+    max_iterations: int = 30,
+    tol: float = 1e-14,
+    oversample: int = 64,
+) -> PeriodicSteadyState:
+    """Shooting-method solve of the locked loop's periodic orbit.
+
+    Newton iteration ``z <- z + (I - M)^{-1} (F(z) - z)`` with ``M`` the
+    lock-point monodromy matrix; converges in a handful of iterations for
+    any stable loop (``I - M`` nonsingular when no multiplier sits at 1).
+
+    Raises
+    ------
+    ConvergenceError
+        If the iteration fails — an unstable loop, or one whose orbit drifts
+        outside the engine's slip window.
+    """
+    check_order("max_iterations", max_iterations, minimum=1)
+    check_positive("tol", tol)
+    cycle_map = _CycleMap(pll)
+    monodromy = one_cycle_map(pll)
+    dim = cycle_map.dim
+    eye = np.eye(dim)
+    try:
+        correction = np.linalg.inv(eye - monodromy)
+    except np.linalg.LinAlgError as exc:
+        raise ConvergenceError(
+            "I - M is singular: the loop has a marginal Floquet multiplier"
+        ) from exc
+    scale = pll.period
+    z = np.zeros(dim)
+    residual = float("inf")
+    for _ in range(max_iterations):
+        fz = cycle_map(z, cycle=1)
+        residual = float(np.max(np.abs(fz - z)))
+        if residual < tol * scale:
+            break
+        z = z + correction @ (fz - z)
+    else:
+        raise ConvergenceError(
+            f"PSS shooting did not converge: residual {residual:.3g} after "
+            f"{max_iterations} iterations"
+        )
+    # Record one dense cycle from the fixed point.
+    times, theta, control = _record_cycle(pll, z, oversample)
+    return PeriodicSteadyState(
+        state=z, residual=residual, times=times, theta=theta, control=control
+    )
+
+
+def _record_cycle(pll: PLL, z: np.ndarray, oversample: int):
+    """Integrate one cycle from the fixed point with dense recording."""
+    sim = BehavioralPLLSimulator(pll, config=SimulationConfig(cycles=1, oversample=oversample))
+    period = pll.period
+    dim = z.size
+    state = np.zeros(dim + 1)
+    state[:dim] = z
+    t_start = 0.5 * period
+    leakage = pll.charge_pump.leakage
+    samples_t: list[float] = []
+    samples_theta: list[float] = []
+    samples_u: list[float] = []
+    dt = period / oversample
+    next_sample = t_start + dt
+
+    def advance(t_from, t_to, current, st):
+        nonlocal next_sample
+        t_pos = t_from
+        while next_sample <= t_to + 1e-15 * period:
+            st = sim._advance(st, next_sample - t_pos, current, t_start=t_pos)
+            t_pos = next_sample
+            samples_t.append(next_sample)
+            samples_theta.append(sim.theta_of(st))
+            samples_u.append(sim.control_of(st, current))
+            next_sample += dt
+        return sim._advance(st, t_to - t_pos, current, t_start=t_pos)
+
+    state, t_cur, _, _ = sim._process_cycle(state, t_start, 1, advance)
+    t_end = t_start + period
+    if t_end > t_cur:
+        state = advance(t_cur, t_end, -leakage, state)
+    return (
+        np.asarray(samples_t),
+        np.asarray(samples_theta),
+        np.asarray(samples_u),
+    )

@@ -1,0 +1,165 @@
+"""Small-signal transfer measurement from transient simulations.
+
+The paper's Fig. 6 marks come from time-marching simulation: modulate the
+reference phase with a small sinusoid, wait out the transient, and
+demodulate the VCO phase.  This module implements that measurement with two
+refinements that make the comparison clean:
+
+* **bin-aligned modulation**: the modulation frequency is snapped to an
+  exact DFT bin of the measurement window, so the single-bin demodulation is
+  leakage-free.  Because the window spans an integer number of reference
+  periods, the harmonic-conversion sidebands at ``omega_m + n w0`` also land
+  on exact (distinct) bins — they never contaminate the baseband estimate;
+* **sideband read-out**: the same window yields the conversion amplitudes at
+  ``omega_m + n w0``, measuring the off-diagonal HTM elements ``H_{n,0}``
+  that the LTI baseline cannot even express.
+
+With the reference excursion ``thetaref(t) = eps sin(omega_m t)`` the
+positive-frequency input amplitude is ``a+ = -j eps / 2``; the estimate of a
+complex component at any (possibly negative) frequency ``nu`` is
+``c(nu) = mean(theta_k exp(-j nu t_k))`` and ``H_{n,0} = c(omega_m + n w0)/a+``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro._validation import check_order, check_positive
+from repro.pll.architecture import PLL
+from repro.simulator.engine import BehavioralPLLSimulator, SimulationConfig
+
+
+@dataclass(frozen=True)
+class TransferMeasurement:
+    """One measured closed-loop transfer point.
+
+    Attributes
+    ----------
+    omega:
+        The (bin-snapped) modulation frequency actually used (rad/s).
+    response:
+        Measured ``H00(j omega)``.
+    sidebands:
+        Mapping ``n -> H_{n,0}(j omega)`` for the requested conversion
+        orders (empty when none were requested).
+    """
+
+    omega: float
+    response: complex
+    sidebands: dict[int, complex]
+
+
+def snap_to_bin(omega: float, omega0: float, measure_cycles: int) -> float:
+    """Snap ``omega`` to the nearest DFT bin ``k * omega0 / measure_cycles``.
+
+    ``k`` is clamped to ``[1, measure_cycles // 2 - 1]`` so the modulation
+    stays strictly inside the first Nyquist band of the *reference* rate.
+    """
+    check_positive("omega", omega)
+    check_positive("omega0", omega0)
+    check_order("measure_cycles", measure_cycles, minimum=4)
+    bin_width = omega0 / measure_cycles
+    k = int(round(omega / bin_width))
+    k = max(1, min(k, measure_cycles // 2 - 1))
+    return k * bin_width
+
+
+def _complex_amplitude(times: np.ndarray, values: np.ndarray, nu: float) -> complex:
+    """Single-bin estimate of the ``exp(j nu t)`` component amplitude."""
+    phasor = np.exp(-1j * nu * times)
+    return complex(np.sum(values * phasor) / times.size)
+
+
+def measure_closed_loop_transfer(
+    pll: PLL,
+    omega: float,
+    amplitude: float | None = None,
+    measure_cycles: int = 400,
+    discard_cycles: int = 200,
+    oversample: int = 32,
+    sideband_orders: Sequence[int] = (),
+) -> TransferMeasurement:
+    """Measure ``H00(j omega)`` (and optional sidebands) by phase modulation.
+
+    Parameters
+    ----------
+    pll:
+        The loop to measure (time-invariant VCO, delay-free).
+    omega:
+        Requested modulation frequency (rad/s); snapped to a DFT bin of the
+        measurement window — read the actual value off the result.
+    amplitude:
+        Modulation amplitude ``eps`` in seconds; defaults to ``1e-4 * T``
+        (small signal, paper assumption ``theta << T``).
+    measure_cycles / discard_cycles:
+        Reference periods used for demodulation / discarded as transient.
+        More discard is needed near the stability boundary where the loop
+        rings long.
+    oversample:
+        Dense recording rate; must keep ``omega + n_max * w0`` below the
+        recording Nyquist.
+    sideband_orders:
+        Conversion orders ``n`` whose ``H_{n,0}`` should be read out too.
+    """
+    omega0 = pll.omega0
+    period = pll.period
+    check_order("discard_cycles", discard_cycles, minimum=0)
+    omega_m = snap_to_bin(omega, omega0, measure_cycles)
+    eps = amplitude if amplitude is not None else 1e-4 * period
+    check_positive("amplitude", eps)
+    if eps > 0.1 * period:
+        raise ValidationError(
+            f"modulation amplitude {eps:.3g} s is not small-signal for T={period:.3g} s"
+        )
+    max_order = max((abs(int(n)) for n in sideband_orders), default=0)
+    nyquist = oversample * omega0 / 2.0
+    if omega_m + (max_order + 0.5) * omega0 >= nyquist:
+        raise ValidationError(
+            f"oversample={oversample} cannot resolve conversion order {max_order}; "
+            "increase oversample"
+        )
+
+    def theta_ref(t: float) -> float:
+        return eps * math.sin(omega_m * t)
+
+    config = SimulationConfig(
+        cycles=discard_cycles + measure_cycles, oversample=oversample
+    )
+    sim = BehavioralPLLSimulator(pll, theta_ref=theta_ref, config=config)
+    result = sim.run()
+    # Keep samples strictly after the discard span; samples land on k*dt with
+    # the one at exactly discard_cycles*T belonging to the discarded part.
+    window = result.times > discard_cycles * period + 0.5 * period / oversample
+    times = result.times[window]
+    theta = result.theta[window]
+    expected = measure_cycles * oversample
+    if times.size != expected:
+        raise ValidationError(
+            f"internal recording mismatch: got {times.size} samples, expected {expected}"
+        )
+    a_plus = -0.5j * eps
+    response = _complex_amplitude(times, theta, omega_m) / a_plus
+    sidebands: dict[int, complex] = {}
+    for n in sideband_orders:
+        nu = omega_m + int(n) * omega0
+        sidebands[int(n)] = _complex_amplitude(times, theta, nu) / a_plus
+    return TransferMeasurement(omega=omega_m, response=response, sidebands=sidebands)
+
+
+def measure_harmonic_elements(
+    pll: PLL,
+    omega: float,
+    orders: Sequence[int],
+    **kwargs,
+) -> dict[int, complex]:
+    """Convenience wrapper returning ``{n: H_{n,0}(j omega)}`` including n=0."""
+    wanted = sorted({int(n) for n in orders} | {0})
+    meas = measure_closed_loop_transfer(pll, omega, sideband_orders=wanted, **kwargs)
+    out = dict(meas.sidebands)
+    out[0] = meas.response
+    return out

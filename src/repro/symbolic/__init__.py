@@ -1,0 +1,49 @@
+"""Symbolic closed-form expressions for PLL loop quantities.
+
+The paper's abstract promises that the HTM method "can be used to obtain
+both numerical results and symbolic expressions".  This subpackage delivers
+the symbolic half: a small, dependency-free expression tree
+(:mod:`repro.symbolic.expr`) and builders (:mod:`repro.symbolic.loop`) that
+produce human-readable / LaTeX closed forms for
+
+* the open-loop gain ``A(s)``,
+* the effective open-loop gain ``lambda(s)`` as an explicit finite sum of
+  ``coth`` terms (the aliasing sums in closed form),
+* the baseband closed-loop transfer ``H00(s) = A(s) / (1 + lambda(s))``.
+
+Every expression evaluates numerically (``expr.evaluate({"s": 1j})``) and is
+tested against the numeric :class:`~repro.pll.closedloop.ClosedLoopHTM`
+pipeline, so the symbolic output is guaranteed consistent with the numbers.
+"""
+
+from repro.symbolic.expr import (
+    Add,
+    Expr,
+    Func,
+    Mul,
+    Num,
+    Pow,
+    Sym,
+    coth_of,
+    exp_of,
+)
+from repro.symbolic.loop import (
+    effective_gain_expression,
+    h00_expression,
+    open_loop_expression,
+)
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Sym",
+    "Add",
+    "Mul",
+    "Pow",
+    "Func",
+    "coth_of",
+    "exp_of",
+    "open_loop_expression",
+    "effective_gain_expression",
+    "h00_expression",
+]

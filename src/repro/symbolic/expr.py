@@ -1,0 +1,428 @@
+"""A minimal symbolic expression tree.
+
+Deliberately small: enough to represent and render the closed-form loop
+expressions (rational functions of ``s`` plus ``coth``/``exp`` terms), with
+numeric evaluation, light simplification on construction, plain-text and
+LaTeX rendering.  Not a computer-algebra system — no expansion, collection
+or equation solving.
+
+Construction uses Python operators::
+
+    s = Sym("s")
+    expr = (1 + s / 2) ** 2 * coth_of(s)
+    expr.evaluate({"s": 0.3 + 1j})
+    expr.latex()
+"""
+
+from __future__ import annotations
+
+import cmath
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+from repro._errors import ValidationError
+
+_FUNCTIONS = {
+    "coth": lambda z: cmath.cosh(z) / cmath.sinh(z),
+    "exp": cmath.exp,
+    "sinh": cmath.sinh,
+    "cosh": cmath.cosh,
+}
+
+
+def _fmt_number(value: complex) -> str:
+    """Compact numeric literal: drop vanishing imaginary/real parts."""
+    if value.imag == 0:
+        real = value.real
+        if real == int(real) and abs(real) < 1e15:
+            return str(int(real))
+        return f"{real:.6g}"
+    if value.real == 0:
+        return f"{value.imag:.6g}j"
+    return f"({value.real:.6g}{value.imag:+.6g}j)"
+
+
+class Expr(ABC):
+    """Abstract expression node."""
+
+    @abstractmethod
+    def evaluate(self, env: Mapping[str, complex]) -> complex:
+        """Numerically evaluate with symbol values from ``env``."""
+
+    @abstractmethod
+    def render(self) -> str:
+        """Plain-text rendering."""
+
+    @abstractmethod
+    def latex(self) -> str:
+        """LaTeX rendering."""
+
+    @abstractmethod
+    def symbols(self) -> frozenset[str]:
+        """Free symbols appearing in the expression."""
+
+    @property
+    def precedence(self) -> int:
+        """Operator precedence for parenthesisation (higher binds tighter)."""
+        return 100
+
+    # -- operator sugar ------------------------------------------------------
+
+    @staticmethod
+    def _coerce(value) -> "Expr":
+        if isinstance(value, Expr):
+            return value
+        if isinstance(value, (int, float, complex)):
+            return Num(complex(value))
+        raise TypeError(f"cannot use {type(value).__name__} in a symbolic expression")
+
+    def __add__(self, other) -> "Expr":
+        return Add.of(self, Expr._coerce(other))
+
+    def __radd__(self, other) -> "Expr":
+        return Add.of(Expr._coerce(other), self)
+
+    def __sub__(self, other) -> "Expr":
+        return Add.of(self, Mul.of(Num(-1), Expr._coerce(other)))
+
+    def __rsub__(self, other) -> "Expr":
+        return Add.of(Expr._coerce(other), Mul.of(Num(-1), self))
+
+    def __mul__(self, other) -> "Expr":
+        return Mul.of(self, Expr._coerce(other))
+
+    def __rmul__(self, other) -> "Expr":
+        return Mul.of(Expr._coerce(other), self)
+
+    def __truediv__(self, other) -> "Expr":
+        return Mul.of(self, Pow.of(Expr._coerce(other), -1))
+
+    def __rtruediv__(self, other) -> "Expr":
+        return Mul.of(Expr._coerce(other), Pow.of(self, -1))
+
+    def __neg__(self) -> "Expr":
+        return Mul.of(Num(-1), self)
+
+    def __pow__(self, exponent: int) -> "Expr":
+        if not isinstance(exponent, int):
+            raise TypeError("symbolic exponents must be integers")
+        return Pow.of(self, exponent)
+
+    def __repr__(self) -> str:
+        return f"Expr({self.render()})"
+
+    def _wrapped(self, parent_precedence: int) -> str:
+        text = self.render()
+        if self.precedence < parent_precedence:
+            return f"({text})"
+        return text
+
+    def _wrapped_latex(self, parent_precedence: int) -> str:
+        text = self.latex()
+        if self.precedence < parent_precedence:
+            return rf"\left({text}\right)"
+        return text
+
+
+class Num(Expr):
+    """A numeric constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: complex):
+        self.value = complex(value)
+
+    def evaluate(self, env):
+        return self.value
+
+    def render(self):
+        return _fmt_number(self.value)
+
+    def latex(self):
+        text = _fmt_number(self.value)
+        return text.replace("j", r"\mathrm{j}")
+
+    def symbols(self):
+        return frozenset()
+
+    @property
+    def precedence(self):
+        # Negative or complex literals bind like a product for wrapping.
+        if self.value.imag != 0 or self.value.real < 0:
+            return 40
+        return 100
+
+    def __eq__(self, other):
+        return isinstance(other, Num) and other.value == self.value
+
+    def __hash__(self):
+        return hash(("Num", self.value))
+
+
+class Sym(Expr):
+    """A free symbol (e.g. the Laplace variable ``s``)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise ValidationError("symbol name must be a non-empty string")
+        self.name = name
+
+    def evaluate(self, env):
+        try:
+            return complex(env[self.name])
+        except KeyError:
+            raise ValidationError(f"no value supplied for symbol {self.name!r}") from None
+
+    def render(self):
+        return self.name
+
+    def latex(self):
+        if len(self.name) == 1:
+            return self.name
+        if "_" in self.name:
+            head, tail = self.name.split("_", 1)
+            return rf"{head}_{{{tail}}}"
+        return rf"\mathrm{{{self.name}}}"
+
+    def symbols(self):
+        return frozenset({self.name})
+
+    def __eq__(self, other):
+        return isinstance(other, Sym) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("Sym", self.name))
+
+
+class Add(Expr):
+    """A sum of terms."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: tuple[Expr, ...]):
+        self.terms = terms
+
+    @classmethod
+    def of(cls, *terms: Expr) -> Expr:
+        flat: list[Expr] = []
+        constant = 0.0 + 0.0j
+        stack = list(terms)
+        while stack:
+            term = stack.pop(0)
+            if isinstance(term, Add):
+                stack = list(term.terms) + stack
+            elif isinstance(term, Num):
+                constant += term.value
+            else:
+                flat.append(term)
+        if constant != 0:
+            flat.append(Num(constant))
+        if not flat:
+            return Num(0.0)
+        if len(flat) == 1:
+            return flat[0]
+        return cls(tuple(flat))
+
+    def evaluate(self, env):
+        return sum(term.evaluate(env) for term in self.terms)
+
+    @property
+    def precedence(self):
+        return 20
+
+    def render(self):
+        parts = [self.terms[0]._wrapped(20)]
+        for term in self.terms[1:]:
+            text = term._wrapped(21)
+            if text.startswith("-"):
+                parts.append(f"- {text[1:]}")
+            else:
+                parts.append(f"+ {text}")
+        return " ".join(parts)
+
+    def latex(self):
+        parts = [self.terms[0]._wrapped_latex(20)]
+        for term in self.terms[1:]:
+            text = term._wrapped_latex(21)
+            if text.startswith("-"):
+                parts.append(f"- {text[1:]}")
+            else:
+                parts.append(f"+ {text}")
+        return " ".join(parts)
+
+    def symbols(self):
+        out: frozenset[str] = frozenset()
+        for term in self.terms:
+            out |= term.symbols()
+        return out
+
+
+class Mul(Expr):
+    """A product of factors."""
+
+    __slots__ = ("factors",)
+
+    def __init__(self, factors: tuple[Expr, ...]):
+        self.factors = factors
+
+    @classmethod
+    def of(cls, *factors: Expr) -> Expr:
+        flat: list[Expr] = []
+        constant = 1.0 + 0.0j
+        stack = list(factors)
+        while stack:
+            factor = stack.pop(0)
+            if isinstance(factor, Mul):
+                stack = list(factor.factors) + stack
+            elif isinstance(factor, Num):
+                constant *= factor.value
+            else:
+                flat.append(factor)
+        if constant == 0:
+            return Num(0.0)
+        if constant != 1:
+            flat.insert(0, Num(constant))
+        if not flat:
+            return Num(1.0)
+        if len(flat) == 1:
+            return flat[0]
+        return cls(tuple(flat))
+
+    def evaluate(self, env):
+        out = 1.0 + 0.0j
+        for factor in self.factors:
+            out *= factor.evaluate(env)
+        return out
+
+    @property
+    def precedence(self):
+        return 40
+
+    def render(self):
+        # Separate inverse factors into a denominator for readability.
+        num_parts, den_parts = [], []
+        for factor in self.factors:
+            if isinstance(factor, Pow) and isinstance(factor.exponent, int) and factor.exponent < 0:
+                den_parts.append(Pow.of(factor.base, -factor.exponent))
+            else:
+                num_parts.append(factor)
+        num_text = "*".join(f._wrapped(40) for f in num_parts) if num_parts else "1"
+        if not den_parts:
+            return num_text
+        den_text = "*".join(f._wrapped(41) for f in den_parts)
+        if len(den_parts) > 1:
+            den_text = f"({den_text})"
+        return f"{num_text}/{den_text}"
+
+    def latex(self):
+        num_parts, den_parts = [], []
+        for factor in self.factors:
+            if isinstance(factor, Pow) and isinstance(factor.exponent, int) and factor.exponent < 0:
+                den_parts.append(Pow.of(factor.base, -factor.exponent))
+            else:
+                num_parts.append(factor)
+        num_text = (
+            r" \, ".join(f._wrapped_latex(40) for f in num_parts) if num_parts else "1"
+        )
+        if not den_parts:
+            return num_text
+        den_text = r" \, ".join(f._wrapped_latex(40) for f in den_parts)
+        return rf"\frac{{{num_text}}}{{{den_text}}}"
+
+    def symbols(self):
+        out: frozenset[str] = frozenset()
+        for factor in self.factors:
+            out |= factor.symbols()
+        return out
+
+
+class Pow(Expr):
+    """An integer power."""
+
+    __slots__ = ("base", "exponent")
+
+    def __init__(self, base: Expr, exponent: int):
+        self.base = base
+        self.exponent = exponent
+
+    @classmethod
+    def of(cls, base: Expr, exponent: int) -> Expr:
+        if exponent == 0:
+            return Num(1.0)
+        if exponent == 1:
+            return base
+        if isinstance(base, Num):
+            return Num(base.value**exponent)
+        if isinstance(base, Pow):
+            return cls.of(base.base, base.exponent * exponent)
+        return cls(base, exponent)
+
+    def evaluate(self, env):
+        return self.base.evaluate(env) ** self.exponent
+
+    @property
+    def precedence(self):
+        return 60
+
+    def render(self):
+        if self.exponent < 0:
+            inverse = Pow.of(self.base, -self.exponent)
+            return f"1/{inverse._wrapped(61)}"
+        return f"{self.base._wrapped(61)}^{self.exponent}"
+
+    def latex(self):
+        if self.exponent < 0:
+            inverse = Pow.of(self.base, -self.exponent)
+            return rf"\frac{{1}}{{{inverse.latex()}}}"
+        return rf"{self.base._wrapped_latex(61)}^{{{self.exponent}}}"
+
+    def symbols(self):
+        return self.base.symbols()
+
+
+class Func(Expr):
+    """A named unary function application (coth, exp, sinh, cosh)."""
+
+    __slots__ = ("name", "argument")
+
+    def __init__(self, name: str, argument: Expr):
+        if name not in _FUNCTIONS:
+            raise ValidationError(
+                f"unknown function {name!r}; available: {sorted(_FUNCTIONS)}"
+            )
+        self.name = name
+        self.argument = argument
+
+    def evaluate(self, env):
+        return _FUNCTIONS[self.name](self.argument.evaluate(env))
+
+    def render(self):
+        return f"{self.name}({self.argument.render()})"
+
+    def latex(self):
+        return rf"\{self.name}\!\left({self.argument.latex()}\right)"
+
+    def symbols(self):
+        return self.argument.symbols()
+
+
+def coth_of(argument: Expr) -> Func:
+    """Convenience constructor ``coth(argument)``."""
+    return Func("coth", Expr._coerce(argument))
+
+
+def exp_of(argument: Expr) -> Func:
+    """Convenience constructor ``exp(argument)``."""
+    return Func("exp", Expr._coerce(argument))
+
+
+def polynomial_in(variable: Expr, coefficients) -> Expr:
+    """Build ``sum c_k * variable**k`` from ascending coefficients."""
+    terms = []
+    for k, c in enumerate(coefficients):
+        if c == 0:
+            continue
+        terms.append(Mul.of(Num(complex(c)), Pow.of(variable, k)))
+    return Add.of(*terms) if terms else Num(0.0)

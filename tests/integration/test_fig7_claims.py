@@ -1,0 +1,81 @@
+"""Integration: Fig. 7 claims — margin collapse and stability consistency.
+
+Three independent models must tell one coherent story:
+
+1. the effective open-loop gain lambda(s) (HTM closed form) predicts the
+   phase margin collapsing toward zero as w_UG/w0 grows;
+2. the z-domain baseline predicts a hard stability boundary;
+3. the behavioural simulator develops a limit cycle past that boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.zdomain import closed_loop_z, sampled_open_loop, stability_limit_ratio
+from repro.pll.design import design_typical_loop, shape_phase_margin_deg
+from repro.pll.margins import compare_margins
+
+W0 = 2 * np.pi
+
+
+def designer(ratio):
+    return design_typical_loop(omega0=W0, omega_ug=ratio * W0)
+
+
+class TestClaimC3:
+    def test_nine_percent_degradation_at_0p1(self):
+        m = compare_margins(designer(0.1))
+        # Paper: "already 9% worse"; we measure ~10.5% on our loop shape.
+        assert 0.07 <= m.margin_degradation <= 0.14
+
+    def test_lti_line_is_horizontal(self):
+        """The LTI phase margin does not depend on w_UG/w0 at all."""
+        pms = [compare_margins(designer(r)).phase_margin_lti_deg for r in (0.02, 0.1, 0.2)]
+        assert np.ptp(pms) < 0.1
+        assert pms[0] == pytest.approx(shape_phase_margin_deg(4.0), abs=0.1)
+
+
+class TestStabilityConsistency:
+    def test_margin_zero_crossing_matches_zdomain_limit(self):
+        """PM_eff extrapolates to zero at the z-domain stability boundary."""
+        limit = stability_limit_ratio(designer)
+        closer = compare_margins(designer(limit * 0.97))
+        farther = compare_margins(designer(limit * 0.85))
+        # Margin is small near the boundary and shrinking on approach; the
+        # collapse is steep (tens of degrees over the last 15% of ratio).
+        assert 0.0 < closer.phase_margin_eff_deg < 15.0
+        assert farther.phase_margin_eff_deg > closer.phase_margin_eff_deg + 5.0
+
+    def test_zdomain_poles_cross_unit_circle_at_limit(self):
+        limit = stability_limit_ratio(designer, tol=1e-4)
+        inside = closed_loop_z(sampled_open_loop(designer(limit * 0.99)))
+        outside = closed_loop_z(sampled_open_loop(designer(limit * 1.02)))
+        assert np.max(np.abs(inside.poles())) < 1.0
+        assert np.max(np.abs(outside.poles())) > 1.0
+
+    def test_behavioural_limit_cycle_brackets_boundary(self):
+        """The nonlinear simulator confirms the linear boundary location."""
+        from repro.simulator.engine import BehavioralPLLSimulator, SimulationConfig
+
+        limit = stability_limit_ratio(designer)
+
+        def tail(ratio):
+            cfg = SimulationConfig(cycles=1200, frequency_offset=0.001)
+            result = BehavioralPLLSimulator(designer(ratio), config=cfg).run()
+            return float(np.max(np.abs(result.phase_errors[-100:])))
+
+        assert tail(limit * 0.95) < 1e-9
+        assert tail(limit * 1.10) > 1e-4
+
+
+class TestLTIBlindSpot:
+    def test_lti_misses_the_instability_entirely(self):
+        """The punchline: classical analysis calls every one of these loops
+        comfortably stable with ~62 deg margin, while the loop at ratio 0.3
+        demonstrably oscillates."""
+        from repro.baselines.lti_approx import ClassicalLTIAnalysis
+
+        hot = designer(0.3)
+        assert ClassicalLTIAnalysis(hot).is_stable()
+        assert ClassicalLTIAnalysis(hot).phase_margin_deg() > 60.0
+        assert not closed_loop_z(sampled_open_loop(hot)).is_stable()

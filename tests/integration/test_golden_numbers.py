@@ -1,0 +1,58 @@
+"""Golden-number regression tests.
+
+Pin the canonical quantities of the reference loop (ratio 0.1, separation 4,
+omega0 = 2 pi) to the values measured at release.  Any numerical regression
+anywhere in the pipeline — partial fractions, coth sums, SMW closure, margin
+search — trips one of these before subtler behavioural tests would.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.zdomain import closed_loop_z, sampled_open_loop, stability_limit_ratio
+from repro.pll.closedloop import ClosedLoopHTM
+from repro.pll.design import design_typical_loop
+from repro.pll.margins import compare_margins
+from repro.pll.poles import find_closed_loop_poles
+
+W0 = 2 * np.pi
+
+
+@pytest.fixture(scope="module")
+def pll():
+    return design_typical_loop(omega0=W0, omega_ug=0.1 * W0, separation=4.0)
+
+
+class TestGoldenNumbers:
+    def test_effective_gain_at_reference_point(self, pll):
+        lam = ClosedLoopHTM(pll).effective_gain(1j * 0.13 * W0)
+        assert lam == pytest.approx(-0.483112 - 0.641771j, abs=1e-5)
+
+    def test_h00_at_reference_point(self, pll):
+        h00 = ClosedLoopHTM(pll).h00(1j * 0.13 * W0)
+        assert abs(h00) == pytest.approx(0.904044, abs=1e-4)
+
+    def test_margins(self, pll):
+        m = compare_margins(pll)
+        assert m.phase_margin_lti_deg == pytest.approx(61.93, abs=0.02)
+        assert m.phase_margin_eff_deg == pytest.approx(55.48, abs=0.05)
+        assert m.bandwidth_extension == pytest.approx(1.0533, abs=0.002)
+
+    def test_z_domain_poles(self, pll):
+        poles = np.sort(np.abs(closed_loop_z(sampled_open_loop(pll)).poles()))
+        assert poles == pytest.approx([0.294634, 0.341659, 0.804679], abs=1e-5)
+
+    def test_s_domain_dominant_pole(self, pll):
+        dominant = find_closed_loop_poles(pll)[0]
+        assert dominant.s.real == pytest.approx(-0.21726, abs=1e-4)
+        assert abs(dominant.s.imag) < 1e-6
+
+    def test_stability_limit(self):
+        limit = stability_limit_ratio(
+            lambda r: design_typical_loop(omega0=W0, omega_ug=r * W0)
+        )
+        assert limit == pytest.approx(0.27616, abs=5e-4)
+
+    def test_margin_loss_at_0p1_claim(self, pll):
+        m = compare_margins(pll)
+        assert m.margin_degradation == pytest.approx(0.1041, abs=0.002)

@@ -1,0 +1,56 @@
+"""Smoke tests keeping the runner CLI and every example runnable."""
+
+import csv
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parents[2] / "examples").glob("*.py"))
+
+
+class TestRunner:
+    def test_fast_run_produces_all_sections(self, capsys, tmp_path):
+        from repro.experiments.runner import main
+
+        assert main(["--fast", "--csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        for token in ("Fig. 5", "Fig. 6", "Fig. 7", "claim C1", "claim C2", "claim C3"):
+            assert token in out
+        assert "Stability map" in out
+        assert "Band-conversion" in out
+
+    def test_csv_artifacts(self, capsys, tmp_path):
+        from repro.experiments.runner import main
+
+        main(["--fast", "--csv", str(tmp_path)])
+        capsys.readouterr()
+        for name in ("fig5.csv", "fig6.csv", "fig7.csv"):
+            path = tmp_path / name
+            assert path.exists()
+            with path.open() as handle:
+                rows = list(csv.reader(handle))
+            assert len(rows) > 5  # header + data
+
+    def test_fig6_csv_contains_both_kinds(self, capsys, tmp_path):
+        from repro.experiments.runner import main
+
+        main(["--fast", "--csv", str(tmp_path)])
+        capsys.readouterr()
+        with (tmp_path / "fig6.csv").open() as handle:
+            kinds = {row[1] for row in list(csv.reader(handle))[1:]}
+        assert kinds == {"htm", "sim"}
+
+
+class TestExamples:
+    @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+    def test_example_runs(self, script, capsys, monkeypatch):
+        assert script.exists()
+        monkeypatch.setattr(sys, "argv", [str(script)])
+        runpy.run_path(str(script), run_name="__main__")
+        out = capsys.readouterr().out
+        assert len(out) > 100  # produced a real report
+
+    def test_example_count(self):
+        assert len(EXAMPLES) >= 6

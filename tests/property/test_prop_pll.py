@@ -1,0 +1,91 @@
+"""Property-based tests of closed-loop invariants over random loop designs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.zdomain import sampled_open_loop
+from repro.pll.closedloop import ClosedLoopHTM
+from repro.pll.design import design_typical_loop
+from repro.pll.openloop import lti_open_loop
+
+W0 = 2 * np.pi
+
+
+@st.composite
+def loop_designs(draw):
+    """Random stable-ish loop designs over the useful parameter region."""
+    ratio = draw(st.floats(min_value=0.01, max_value=0.22))
+    separation = draw(st.floats(min_value=2.0, max_value=10.0))
+    icp = draw(st.floats(min_value=1e-4, max_value=1e-2))
+    return design_typical_loop(
+        omega0=W0, omega_ug=ratio * W0, separation=separation, charge_pump_current=icp
+    )
+
+
+probe_fraction = st.floats(min_value=0.02, max_value=0.48)
+
+
+class TestClosedLoopInvariants:
+    @given(pll=loop_designs(), frac=probe_fraction)
+    @settings(max_examples=25, deadline=None)
+    def test_transfer_plus_sensitivity_is_one(self, pll, frac):
+        closed = ClosedLoopHTM(pll)
+        s = 1j * frac * W0
+        total = closed.h00(s) + closed.sensitivity_element(s, 0, 0)
+        assert total == pytest.approx(1.0, abs=1e-10)
+
+    @given(pll=loop_designs(), frac=probe_fraction)
+    @settings(max_examples=25, deadline=None)
+    def test_lambda_periodicity(self, pll, frac):
+        closed = ClosedLoopHTM(pll)
+        s = 0.05 + 1j * frac * W0
+        assert closed.effective_gain(s + 1j * W0) == pytest.approx(
+            closed.effective_gain(s), rel=1e-8
+        )
+
+    @given(pll=loop_designs(), frac=probe_fraction)
+    @settings(max_examples=25, deadline=None)
+    def test_lambda_conjugate_symmetry(self, pll, frac):
+        closed = ClosedLoopHTM(pll)
+        w = frac * W0
+        assert closed.effective_gain(-1j * w) == pytest.approx(
+            np.conj(closed.effective_gain(1j * w)), rel=1e-9
+        )
+
+    @given(pll=loop_designs(), frac=probe_fraction)
+    @settings(max_examples=20, deadline=None)
+    def test_zdomain_identity(self, pll, frac):
+        closed = ClosedLoopHTM(pll)
+        gz = sampled_open_loop(pll)
+        s = 1j * frac * W0
+        assert gz.at_s(s) == pytest.approx(closed.effective_gain(s), rel=1e-8)
+
+    @given(pll=loop_designs(), frac=probe_fraction)
+    @settings(max_examples=20, deadline=None)
+    def test_h00_formula(self, pll, frac):
+        """H00 = A / (1 + lambda) holds for every design (eq. 38)."""
+        closed = ClosedLoopHTM(pll)
+        a = lti_open_loop(pll)
+        s = 1j * frac * W0
+        lam = closed.effective_gain(s)
+        assert closed.h00(s) == pytest.approx(complex(a(s)) / (1 + lam), rel=1e-9)
+
+    @given(pll=loop_designs())
+    @settings(max_examples=15, deadline=None)
+    def test_dc_tracking(self, pll):
+        """Type-2 loop tracks a slow reference perfectly regardless of design."""
+        closed = ClosedLoopHTM(pll)
+        assert abs(closed.h00(1e-6j * W0)) == pytest.approx(1.0, abs=1e-3)
+
+    @given(pll=loop_designs(), frac=probe_fraction)
+    @settings(max_examples=15, deadline=None)
+    def test_row_elements_equal_across_input_bands(self, pll, frac):
+        """Rank-one aliasing: H_{n,m} independent of m for every design."""
+        closed = ClosedLoopHTM(pll)
+        s = 1j * frac * W0
+        for n in (-1, 0, 1):
+            a = closed.element(s, n, -2)
+            b = closed.element(s, n, 2)
+            assert a == pytest.approx(b, rel=1e-12)

@@ -1,0 +1,135 @@
+"""Property-based tests for RationalFunction algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lti.rational import RationalFunction
+
+finite_coeff = st.floats(
+    min_value=-10.0, max_value=10.0, allow_nan=False, allow_infinity=False
+).map(lambda c: 0.0 if abs(c) < 1e-3 else c)
+
+
+@st.composite
+def rationals(draw, max_degree=3):
+    num_deg = draw(st.integers(0, max_degree))
+    den_deg = draw(st.integers(0, max_degree))
+    num = [draw(finite_coeff) for _ in range(num_deg + 1)]
+    den = [draw(finite_coeff) for _ in range(den_deg + 1)]
+    # Ensure non-degenerate leading denominator coefficient.
+    if abs(den[0]) < 1e-3:
+        den[0] = 1.0
+    return RationalFunction(num, den)
+
+
+@st.composite
+def eval_points(draw):
+    re = draw(st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
+    im = draw(st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
+    return complex(re, im)
+
+
+def safe(rf, s):
+    """Evaluation point far enough from poles for stable comparison."""
+    den_val = abs(np.polyval(rf.den, s))
+    return den_val > 1e-4
+
+
+class TestFieldAxioms:
+    @given(a=rationals(), b=rationals(), s=eval_points())
+    @settings(max_examples=60, deadline=None)
+    def test_addition_commutes(self, a, b, s):
+        if not (safe(a, s) and safe(b, s)):
+            return
+        lhs = (a + b)(s)
+        rhs = (b + a)(s)
+        assert lhs == pytest.approx(rhs, rel=1e-8, abs=1e-8)
+
+    @given(a=rationals(), b=rationals(), s=eval_points())
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_commutes(self, a, b, s):
+        if not (safe(a, s) and safe(b, s)):
+            return
+        assert (a * b)(s) == pytest.approx((b * a)(s), rel=1e-8, abs=1e-8)
+
+    @given(a=rationals(), b=rationals(), c=rationals(), s=eval_points())
+    @settings(max_examples=40, deadline=None)
+    def test_distributivity(self, a, b, c, s):
+        if not (safe(a, s) and safe(b, s) and safe(c, s)):
+            return
+        lhs = (a * (b + c))(s)
+        rhs = (a * b + a * c)(s)
+        scale = max(abs(lhs), abs(rhs), 1.0)
+        assert abs(lhs - rhs) / scale < 1e-7
+
+    @given(a=rationals(), s=eval_points())
+    @settings(max_examples=60, deadline=None)
+    def test_additive_inverse(self, a, s):
+        if not safe(a, s):
+            return
+        assert (a - a)(s) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTransformProperties:
+    @given(a=rationals(), s=eval_points(), offset=eval_points())
+    @settings(max_examples=60, deadline=None)
+    def test_shift_consistency(self, a, s, offset):
+        if not safe(a, s + offset):
+            return
+        assert a.shifted(offset)(s) == pytest.approx(a(s + offset), rel=1e-6, abs=1e-6)
+
+    @given(a=rationals(), s=eval_points())
+    @settings(max_examples=60, deadline=None)
+    def test_scale_consistency(self, a, s):
+        factor = 2.5
+        if not safe(a, s / factor):
+            return
+        assert a.scaled_frequency(factor)(s) == pytest.approx(
+            a(s / factor), rel=1e-8, abs=1e-8
+        )
+
+    @given(a=rationals())
+    @settings(max_examples=40, deadline=None)
+    def test_simplified_preserves_values(self, a):
+        if a.is_zero():
+            return
+        simple = a.simplified()
+        for s in (0.37 + 1.1j, -2.3 + 0.9j):
+            if safe(a, s) and safe(simple, s):
+                assert simple(s) == pytest.approx(a(s), rel=1e-5, abs=1e-6)
+
+
+class TestPartialFractionReconstruction:
+    @given(
+        poles=st.lists(
+            st.tuples(
+                st.floats(min_value=-3.0, max_value=-0.2, allow_nan=False),
+                st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        gain=st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_reconstruction(self, poles, gain):
+        pole_list = [complex(re, im) for re, im in poles]
+        # Snap nearly-coincident poles together: separating a multiple root
+        # from a neighbour a hair away is inherently ill-conditioned in
+        # double precision (root error ~eps^(1/m)), which is a property of
+        # the problem, not of the expansion algorithm under test.
+        snapped: list[complex] = []
+        for p in pole_list:
+            for q in snapped:
+                if abs(p - q) < 0.05:
+                    p = q
+                    break
+            snapped.append(p)
+        pole_list = snapped
+        rf = RationalFunction.from_zpk([], pole_list, gain)
+        direct, terms = rf.partial_fractions()
+        for s in (1.0 + 0.5j, 0.2 + 2.2j):
+            recon = complex(np.polyval(direct, s)) + sum(t(s) for t in terms)
+            assert recon == pytest.approx(rf(s), rel=1e-4, abs=1e-7)

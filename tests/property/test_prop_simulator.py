@@ -1,0 +1,51 @@
+"""Property-based end-to-end check: simulator vs HTM at random designs.
+
+The strongest invariant in the repository: for *any* loop design in the
+stable region and *any* in-band modulation frequency, the behavioural
+simulator and the closed-form HTM model agree on the closed-loop transfer
+within the paper's 2% (ours: a few 0.1%).  Kept to a handful of hypothesis
+examples because each one runs a transient simulation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pll.closedloop import ClosedLoopHTM
+from repro.pll.design import design_typical_loop
+from repro.simulator.transfer_extraction import measure_closed_loop_transfer
+
+W0 = 2 * np.pi
+
+
+class TestSimulatorAgreesWithHTM:
+    @given(
+        ratio=st.floats(min_value=0.03, max_value=0.2),
+        separation=st.floats(min_value=3.0, max_value=8.0),
+        omega_frac=st.floats(min_value=0.2, max_value=2.0),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_transfer_agreement(self, ratio, separation, omega_frac):
+        pll = design_typical_loop(
+            omega0=W0, omega_ug=ratio * W0, separation=separation
+        )
+        omega = min(omega_frac * ratio * W0, 0.45 * W0)
+        meas = measure_closed_loop_transfer(
+            pll, omega, measure_cycles=150, discard_cycles=120
+        )
+        predicted = ClosedLoopHTM(pll).h00(1j * meas.omega)
+        assert abs(meas.response - predicted) / abs(predicted) < 0.02
+
+    @given(
+        ratio=st.floats(min_value=0.03, max_value=0.15),
+        offset=st.floats(min_value=-0.02, max_value=0.02),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_acquisition_always_locks_in_range(self, ratio, offset):
+        """Any in-range frequency offset is pulled in (type-2 + PFD)."""
+        from repro.pll.acquisition import measure_acquisition
+
+        pll = design_typical_loop(omega0=W0, omega_ug=ratio * W0)
+        result = measure_acquisition(pll, offset, max_cycles=1500)
+        assert result.locked

@@ -1,0 +1,102 @@
+"""Property-based tests for the symbolic expression tree."""
+
+import cmath
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import Add, Mul, Num, Pow, Sym, coth_of
+
+small_complex = st.builds(
+    complex,
+    st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+    st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+)
+
+
+def expressions(max_depth=3):
+    """Recursive strategy over the expression grammar."""
+    leaves = st.one_of(small_complex.map(Num), st.just(Sym("s")))
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(lambda ab: Add.of(*ab)),
+            st.tuples(children, children).map(lambda ab: Mul.of(*ab)),
+            st.tuples(children, st.integers(1, 3)).map(lambda be: Pow.of(be[0], be[1])),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+ENV = st.builds(
+    dict,
+    s=st.builds(
+        complex,
+        st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+        st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+    ),
+)
+
+
+class TestAlgebraicProperties:
+    @given(a=expressions(), b=expressions(), env=ENV)
+    @settings(max_examples=60, deadline=None)
+    def test_addition_semantics(self, a, b, env):
+        lhs = (a + b).evaluate(env)
+        rhs = a.evaluate(env) + b.evaluate(env)
+        if not (cmath.isfinite(lhs) and cmath.isfinite(rhs)):
+            return
+        assert lhs == pytest.approx(rhs, rel=1e-9, abs=1e-9)
+
+    @given(a=expressions(), b=expressions(), env=ENV)
+    @settings(max_examples=60, deadline=None)
+    def test_multiplication_semantics(self, a, b, env):
+        lhs = (a * b).evaluate(env)
+        rhs = a.evaluate(env) * b.evaluate(env)
+        if not (cmath.isfinite(lhs) and cmath.isfinite(rhs)):
+            return
+        assert lhs == pytest.approx(rhs, rel=1e-8, abs=1e-8)
+
+    @given(a=expressions(), env=ENV)
+    @settings(max_examples=40, deadline=None)
+    def test_negation_inverse(self, a, env):
+        value = a.evaluate(env)
+        if not cmath.isfinite(value):
+            return
+        assert (a - a).evaluate(env) == pytest.approx(0.0, abs=1e-8)
+
+    @given(a=expressions(), k=st.integers(1, 3), env=ENV)
+    @settings(max_examples=40, deadline=None)
+    def test_power_semantics(self, a, k, env):
+        base = a.evaluate(env)
+        if not cmath.isfinite(base) or abs(base) > 10:
+            return
+        assert (a**k).evaluate(env) == pytest.approx(base**k, rel=1e-8, abs=1e-8)
+
+    @given(a=expressions())
+    @settings(max_examples=40, deadline=None)
+    def test_render_is_nonempty_and_balanced(self, a):
+        text = a.render()
+        assert text
+        assert text.count("(") == text.count(")")
+
+    @given(a=expressions())
+    @settings(max_examples=40, deadline=None)
+    def test_latex_braces_balanced(self, a):
+        tex = a.latex()
+        assert tex.count("{") == tex.count("}")
+
+    @given(env=ENV)
+    @settings(max_examples=30, deadline=None)
+    def test_coth_identity(self, env):
+        """coth(s)^2 - 1 == csch(s)^2 wherever both are finite."""
+        s = env["s"]
+        if abs(s) < 0.1:
+            return
+        expr = coth_of(Sym("s")) ** 2 - 1
+        expected = 1.0 / cmath.sinh(s) ** 2
+        if not cmath.isfinite(expected):
+            return
+        assert expr.evaluate(env) == pytest.approx(expected, rel=1e-8, abs=1e-10)

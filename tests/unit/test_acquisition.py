@@ -1,0 +1,81 @@
+"""Tests for repro.pll.acquisition — lock acquisition measurements."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.pll.acquisition import (
+    acquisition_sweep,
+    measure_acquisition,
+    settling_time_estimate,
+    slew_limited_estimate,
+)
+from repro.pll.design import design_typical_loop
+
+W0 = 2 * np.pi
+
+
+@pytest.fixture(scope="module")
+def pll():
+    return design_typical_loop(omega0=W0, omega_ug=0.1 * W0)
+
+
+class TestMeasureAcquisition:
+    def test_zero_offset_locks_immediately(self, pll):
+        result = measure_acquisition(pll, 0.0, max_cycles=100)
+        assert result.locked
+        assert result.lock_cycle == 0
+        assert result.peak_error == 0.0
+
+    def test_small_offset_locks(self, pll):
+        result = measure_acquisition(pll, 0.01, max_cycles=500)
+        assert result.locked
+        assert result.lock_time > 0
+        assert result.peak_error > 0
+
+    def test_lock_time_grows_with_offset(self, pll):
+        results = acquisition_sweep(pll, [0.001, 0.01, 0.1], max_cycles=800)
+        assert all(r.locked for r in results)
+        times = [r.lock_time for r in results]
+        assert times[0] < times[1] < times[2]
+
+    def test_gross_offset_reports_unlocked(self, pll):
+        result = measure_acquisition(pll, 1.5, max_cycles=100)
+        assert not result.locked
+        assert np.isnan(result.lock_time)
+
+    def test_confirm_cycles_reject_ringing(self, pll):
+        """Requiring a long confirmation span cannot shorten the lock time."""
+        quick = measure_acquisition(pll, 0.05, confirm_cycles=3, max_cycles=600)
+        strict = measure_acquisition(pll, 0.05, confirm_cycles=50, max_cycles=600)
+        assert strict.lock_time >= quick.lock_time
+
+    def test_threshold_validated(self, pll):
+        with pytest.raises(ValidationError):
+            measure_acquisition(pll, 0.01, threshold_fraction=-1.0)
+
+
+class TestEstimates:
+    def test_slew_estimate_linear_in_offset(self, pll):
+        t1 = slew_limited_estimate(pll, 0.01)
+        t2 = slew_limited_estimate(pll, 0.02)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_settling_estimate_matches_simulation_order(self, pll):
+        """The small-signal settling estimate is the right order for small
+        offsets (acquisition dominated by linear settling)."""
+        estimate = settling_time_estimate(pll, settle_fraction=1e-3)
+        measured = measure_acquisition(
+            pll, 0.005, threshold_fraction=5e-6, max_cycles=600
+        )
+        assert measured.locked
+        assert 0.2 * estimate < measured.lock_time < 3.0 * estimate
+
+    def test_settling_fraction_validated(self, pll):
+        with pytest.raises(ValidationError):
+            settling_time_estimate(pll, settle_fraction=2.0)
+
+    def test_unstable_loop_has_no_settling_time(self):
+        hot = design_typical_loop(omega0=W0, omega_ug=0.3 * W0)
+        with pytest.raises(ValidationError):
+            settling_time_estimate(hot)

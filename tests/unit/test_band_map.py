@@ -1,0 +1,42 @@
+"""Tests for repro.experiments.band_map."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.band_map import format_table, run_band_map
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_band_map(ratios=(0.05, 0.2), bands=2, points=60)
+
+
+class TestBandMap:
+    def test_shapes(self, result):
+        assert result.peak_gains.shape == (2, 5)
+        assert list(result.bands) == [-2, -1, 0, 1, 2]
+
+    def test_baseband_dominates(self, result):
+        for row in result.peak_gains:
+            centre = row[2]
+            assert centre == np.max(row)
+            assert centre > 1.0  # peaking above unity in the passband
+
+    def test_conversion_grows_with_ratio(self, result):
+        slow = result.row(0.05)
+        fast = result.row(0.2)
+        for n in (-1, 1):
+            assert fast[n] > slow[n]
+
+    def test_conversion_decays_with_band(self, result):
+        fast = result.row(0.2)
+        assert fast[1] > fast[2]
+        assert fast[-1] > fast[-2]
+
+    def test_conversion_nonzero_unlike_lti(self, result):
+        """Every band carries signal — the LTI map would be zero off n=0."""
+        assert np.all(result.peak_gains > 1e-4)
+
+    def test_table(self, result):
+        text = format_table(result)
+        assert "n=+1" in text and "LTI" in text

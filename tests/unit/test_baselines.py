@@ -1,0 +1,176 @@
+"""Tests for repro.baselines — classical LTI and z-domain models."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.baselines.lti_approx import ClassicalLTIAnalysis
+from repro.baselines.zdomain import (
+    ZTransferFunction,
+    closed_loop_z,
+    sampled_open_loop,
+    stability_limit_ratio,
+)
+from repro.blocks.delay import LoopDelay
+from repro.blocks.vco import VCO
+from repro.pll.architecture import PLL
+from repro.pll.closedloop import ClosedLoopHTM
+from repro.pll.design import design_typical_loop
+from repro.signals.isf import ImpulseSensitivity
+
+W0 = 2 * np.pi
+
+
+def designer(ratio, sep=4.0):
+    return design_typical_loop(omega0=W0, omega_ug=ratio * W0, separation=sep)
+
+
+class TestClassicalLTI:
+    def test_unity_gain_frequency(self):
+        analysis = ClassicalLTIAnalysis(designer(0.1))
+        assert analysis.unity_gain_frequency() == pytest.approx(0.1 * W0, rel=1e-6)
+
+    def test_phase_margin_matches_shape(self):
+        analysis = ClassicalLTIAnalysis(designer(0.1))
+        assert analysis.phase_margin_deg() == pytest.approx(61.93, abs=0.05)
+
+    def test_closed_loop_response(self):
+        pll = designer(0.1)
+        analysis = ClassicalLTIAnalysis(pll)
+        from repro.pll.openloop import lti_open_loop
+
+        a = lti_open_loop(pll)
+        omega = np.array([0.05]) * W0
+        expected = a(1j * omega[0]) / (1 + a(1j * omega[0]))
+        assert analysis.closed_loop_response(omega)[0] == pytest.approx(expected)
+
+    def test_always_predicts_stable(self):
+        """The LTI blind spot: stable verdict at every ratio (cf. Fig. 7)."""
+        for ratio in (0.05, 0.2, 0.4):
+            assert ClassicalLTIAnalysis(designer(ratio)).is_stable()
+
+    def test_bandwidth_and_peaking(self):
+        analysis = ClassicalLTIAnalysis(designer(0.1))
+        bw = analysis.bandwidth()
+        assert 0.1 * W0 < bw < 0.3 * W0
+        assert 0.0 < analysis.peaking() < 3.0
+
+    def test_phase_step_settles_to_one(self):
+        analysis = ClassicalLTIAnalysis(designer(0.05))
+        t_settle = 40.0 / (0.05 * W0)
+        value = analysis.phase_step_response([t_settle])[0]
+        assert value == pytest.approx(1.0, abs=1e-3)
+
+    def test_error_transfer_complements(self):
+        analysis = ClassicalLTIAnalysis(designer(0.1))
+        s = 0.2j * W0
+        assert analysis.error_transfer()(s) + analysis.closed_loop(s) == pytest.approx(1.0)
+
+    def test_margins_report(self):
+        report = ClassicalLTIAnalysis(designer(0.1)).margins()
+        assert report.phase_margin_deg == pytest.approx(61.93, abs=0.05)
+
+
+class TestZTransferFunction:
+    def test_evaluation(self):
+        g = ZTransferFunction([1.0], [1.0, -0.5], period=1.0)
+        assert g(2.0) == pytest.approx(1.0 / 1.5)
+
+    def test_at_s(self):
+        g = ZTransferFunction([1.0, 0.0], [1.0, -0.5], period=1.0)
+        s = 0.3j
+        z = np.exp(s * 1.0)
+        assert g.at_s(s) == pytest.approx(z / (z - 0.5))
+
+    def test_frequency_response(self):
+        g = ZTransferFunction([1.0, 0.0], [1.0, -0.5], period=1.0)
+        omega = np.array([0.3])
+        assert g.frequency_response(omega)[0] == pytest.approx(g.at_s(1j * 0.3))
+
+    def test_stability(self):
+        assert ZTransferFunction([1.0], [1.0, -0.5], 1.0).is_stable()
+        assert not ZTransferFunction([1.0], [1.0, -1.5], 1.0).is_stable()
+
+    def test_gain_only_stable(self):
+        assert ZTransferFunction([2.0], [1.0], 1.0).is_stable()
+
+
+class TestSampledOpenLoop:
+    def test_identity_with_lambda(self):
+        """The structural identity lambda(s) = G_z(e^{sT})."""
+        pll = designer(0.1)
+        gz = sampled_open_loop(pll)
+        closed = ClosedLoopHTM(pll)
+        for s in (0.11j * W0, 0.3 + 0.2j * W0, 0.05 + 0.41j * W0):
+            assert gz.at_s(s) == pytest.approx(closed.effective_gain(s), rel=1e-10)
+
+    def test_pole_structure(self):
+        gz = sampled_open_loop(designer(0.1))
+        poles = gz.poles()
+        assert np.sum(np.abs(poles - 1.0) < 1e-6) == 2  # double pole at z=1
+        assert len(poles) == 3
+
+    def test_rejects_delay(self):
+        base = designer(0.05)
+        delayed = PLL(
+            pfd=base.pfd,
+            charge_pump=base.charge_pump,
+            filter_impedance=base.filter_impedance,
+            vco=base.vco,
+            delay=LoopDelay(0.01, W0),
+        )
+        with pytest.raises(ValidationError):
+            sampled_open_loop(delayed)
+
+    def test_rejects_lptv_vco(self):
+        base = designer(0.05)
+        lptv = PLL(
+            pfd=base.pfd,
+            charge_pump=base.charge_pump,
+            filter_impedance=base.filter_impedance,
+            vco=VCO(ImpulseSensitivity.sinusoidal(1.0, 0.3, W0)),
+        )
+        with pytest.raises(ValidationError):
+            sampled_open_loop(lptv)
+
+
+class TestClosedLoopZ:
+    def test_dc_tracking(self):
+        """Type-2 discrete loop: closed-loop gain 1 at z = 1 direction."""
+        cz = closed_loop_z(sampled_open_loop(designer(0.1)))
+        # Evaluate just off the pole at z=1.
+        assert abs(cz(np.exp(1e-5j))) == pytest.approx(1.0, abs=1e-3)
+
+    def test_stable_at_slow_ratio(self):
+        assert closed_loop_z(sampled_open_loop(designer(0.05))).is_stable()
+
+    def test_unstable_at_fast_ratio(self):
+        assert not closed_loop_z(sampled_open_loop(designer(0.32))).is_stable()
+
+    def test_matches_htm_response_on_unit_circle(self):
+        """z-domain closed loop equals H00's sampled-domain counterpart:
+        G_z/(1+G_z) at z=e^{jwT} equals lambda/(1+lambda)."""
+        pll = designer(0.1)
+        cz = closed_loop_z(sampled_open_loop(pll))
+        closed = ClosedLoopHTM(pll)
+        omega = 0.13 * W0
+        lam = closed.effective_gain(1j * omega)
+        assert cz.frequency_response([omega])[0] == pytest.approx(
+            lam / (1 + lam), rel=1e-9
+        )
+
+
+class TestStabilityLimit:
+    def test_limit_in_expected_range(self):
+        limit = stability_limit_ratio(designer)
+        assert 0.2 < limit < 0.35
+
+    def test_unstable_start_rejected(self):
+        with pytest.raises(ValidationError):
+            stability_limit_ratio(designer, lo=0.4)
+
+    def test_limit_boundary_consistent(self):
+        """Just inside is stable, just outside is not."""
+        limit = stability_limit_ratio(designer, tol=1e-4)
+        assert closed_loop_z(sampled_open_loop(designer(limit * 0.995))).is_stable()
+        assert not closed_loop_z(sampled_open_loop(designer(limit * 1.01))).is_stable()

@@ -1,0 +1,173 @@
+"""Tests for repro.lti.bode: crossovers, margins, bandwidth, peaking."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._errors import ConvergenceError, ValidationError
+from repro.lti.bode import (
+    as_response,
+    bandwidth_3db,
+    bode_points,
+    gain_crossover,
+    gain_margin,
+    peaking_db,
+    phase_at,
+    phase_crossover,
+    phase_margin,
+    stability_margins,
+)
+from repro.lti.transfer import TransferFunction
+
+
+def integrator_loop(k=1.0):
+    """L(s) = k/s: crossover at k, PM = 90 deg."""
+    return TransferFunction.integrator(k)
+
+
+def double_integrator_with_zero():
+    """L = (1 + s)/s^2: crossover computable, PM = atan(wug)."""
+    return TransferFunction([1.0, 1.0], [1.0, 0.0, 0.0])
+
+
+def third_order_loop():
+    """L = 10/((s+1)^3): finite gain and phase margins."""
+    return TransferFunction([10.0], np.polymul(np.polymul([1, 1], [1, 1]), [1, 1]))
+
+
+class TestAsResponse:
+    def test_accepts_transfer_function(self):
+        resp = as_response(integrator_loop())
+        assert resp(np.array([2.0]))[0] == pytest.approx(1.0 / 2j)
+
+    def test_accepts_callable(self):
+        resp = as_response(lambda w: 1.0 / (1j * np.asarray(w)))
+        assert resp(np.array([4.0]))[0] == pytest.approx(-0.25j)
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(ValidationError):
+            as_response(42)
+
+
+class TestGainCrossover:
+    def test_integrator(self):
+        assert gain_crossover(integrator_loop(3.0)) == pytest.approx(3.0, rel=1e-9)
+
+    def test_no_crossover_raises(self):
+        flat = TransferFunction.gain(0.5)
+        with pytest.raises(ConvergenceError):
+            gain_crossover(flat)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValidationError):
+            gain_crossover(integrator_loop(), omega_min=1.0, omega_max=0.5)
+
+    def test_first_vs_last(self):
+        # Resonant bandpass H = 3 s/(s^2 + 0.2 s + 1): |H| rises through 1
+        # before the resonance and falls back through 1 after it.
+        tf = TransferFunction([3.0, 0.0], [1.0, 0.2, 1.0])
+        first = gain_crossover(tf, 1e-3, 1e3, which="first")
+        last = gain_crossover(tf, 1e-3, 1e3, which="last")
+        assert first < 1.0 < last
+        assert abs(tf(1j * first)) == pytest.approx(1.0, rel=1e-9)
+        assert abs(tf(1j * last)) == pytest.approx(1.0, rel=1e-9)
+
+
+class TestPhaseMargin:
+    def test_integrator_is_90(self):
+        assert phase_margin(integrator_loop()) == pytest.approx(90.0, abs=1e-6)
+
+    def test_double_integrator_with_zero(self):
+        tf = double_integrator_with_zero()
+        wug = gain_crossover(tf)
+        expected = math.degrees(math.atan(wug))
+        assert phase_margin(tf) == pytest.approx(expected, rel=1e-6)
+
+    def test_unstable_loop_reports_negative_margin(self):
+        # L = 10 (1 + s/100) / s^2: phase ~ -180 + atan(w/100); crossover
+        # near sqrt(10) where the phase is still essentially -178 deg.
+        tf = TransferFunction([10.0 / 100.0, 10.0], [1.0, 0.0, 0.0])
+        pm = phase_margin(tf)
+        assert 0 < pm < 5.0  # nearly zero margin
+
+    def test_phase_at(self):
+        assert phase_at(integrator_loop(), 1.0) == pytest.approx(-90.0)
+
+
+class TestPhaseCrossoverAndGainMargin:
+    def test_third_order(self):
+        tf = third_order_loop()
+        wpc = phase_crossover(tf)
+        # (1+jw)^3 has phase -180 at 3 atan(w) = 180 -> w = tan(60 deg) = sqrt(3)
+        assert wpc == pytest.approx(math.sqrt(3.0), rel=1e-6)
+        gm = gain_margin(tf)
+        mag = 10.0 / (1 + 3.0) ** 1.5
+        assert gm == pytest.approx(-20 * math.log10(mag), rel=1e-6)
+
+    def test_integrator_never_crosses(self):
+        with pytest.raises(ConvergenceError):
+            phase_crossover(integrator_loop())
+
+
+class TestStabilityMargins:
+    def test_full_report(self):
+        report = stability_margins(third_order_loop())
+        assert report.gain_crossover_omega > 0
+        assert report.phase_crossover_omega == pytest.approx(math.sqrt(3.0), rel=1e-5)
+        assert not math.isnan(report.phase_margin_deg)
+
+    def test_missing_margins_are_nan(self):
+        report = stability_margins(integrator_loop())
+        assert math.isnan(report.phase_crossover_omega)
+        assert math.isnan(report.gain_margin_db)
+        assert report.phase_margin_deg == pytest.approx(90.0, abs=1e-6)
+
+
+class TestBandwidthAndPeaking:
+    def test_first_order_bandwidth(self):
+        tf = TransferFunction.first_order_lowpass(2.0)
+        assert bandwidth_3db(tf, 1e-3, 1e3) == pytest.approx(2.0, rel=1e-6)
+
+    def test_unity_reference(self):
+        tf = TransferFunction.first_order_lowpass(2.0, dc_gain=2.0)
+        bw_unity = bandwidth_3db(tf, 1e-3, 1e3, reference="unity")
+        # |H| = 2/sqrt(1+(w/2)^2) = 1/sqrt(2) -> w = 2 sqrt(7)
+        assert bw_unity == pytest.approx(2 * math.sqrt(7.0), rel=1e-6)
+
+    def test_bad_reference_rejected(self):
+        with pytest.raises(ValidationError):
+            bandwidth_3db(TransferFunction.first_order_lowpass(1.0), reference="weird")
+
+    def test_never_drops_raises(self):
+        with pytest.raises(ConvergenceError):
+            bandwidth_3db(TransferFunction.gain(1.0))
+
+    def test_resonant_peaking(self):
+        # Standard 2nd-order lowpass, zeta = 0.2 -> peak = 1/(2 zeta sqrt(1-zeta^2)).
+        zeta = 0.2
+        tf = TransferFunction([1.0], [1.0, 2 * zeta, 1.0])
+        peak = 1.0 / (2 * zeta * math.sqrt(1 - zeta**2))
+        assert peaking_db(tf, 1e-3, 1e2) == pytest.approx(20 * math.log10(peak), abs=1e-3)
+
+    def test_monotone_response_zero_peaking(self):
+        assert peaking_db(TransferFunction.first_order_lowpass(1.0), 1e-3, 1e2) == 0.0
+
+    def test_bandwidth_skips_inband_notch(self):
+        # Peaked 2nd-order system: |H| rises above DC before falling; the
+        # 'last crossing' rule must return the true final -3 dB point.
+        zeta = 0.2
+        tf = TransferFunction([1.0], [1.0, 2 * zeta, 1.0])
+        bw = bandwidth_3db(tf, 1e-3, 1e2)
+        mag = abs(tf(1j * bw))
+        assert mag == pytest.approx(1.0 / math.sqrt(2.0), rel=1e-6)
+
+
+class TestBodePoints:
+    def test_unwrapped_phase(self):
+        pts = bode_points(double_integrator_with_zero(), np.logspace(-2, 2, 50))
+        phases = [p.phase_deg for p in pts]
+        assert phases[0] == pytest.approx(-180.0, abs=1.0)
+        assert phases[-1] == pytest.approx(-90.0, abs=1.0)
+        mags = [p.magnitude_db for p in pts]
+        assert mags[0] > mags[-1]

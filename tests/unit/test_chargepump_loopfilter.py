@@ -1,0 +1,162 @@
+"""Tests for repro.blocks.chargepump and repro.blocks.loopfilter."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.blocks.chargepump import ChargePump, CurrentSegment
+from repro.blocks.loopfilter import (
+    ActivePIFilter,
+    LoopFilterComponents,
+    SeriesRCFilter,
+    SeriesRCShuntCFilter,
+    SingleCapacitorFilter,
+    normalized_filter,
+)
+
+W0 = 2 * np.pi
+
+
+class TestChargePump:
+    def test_symmetric_currents(self):
+        cp = ChargePump(1e-3)
+        assert cp.up_current == pytest.approx(1e-3)
+        assert cp.down_current == pytest.approx(1e-3)
+
+    def test_mismatch(self):
+        cp = ChargePump(1e-3, mismatch=0.1)
+        assert cp.up_current == pytest.approx(1.05e-3)
+        assert cp.down_current == pytest.approx(0.95e-3)
+
+    def test_mismatch_bounds(self):
+        with pytest.raises(ValidationError):
+            ChargePump(1e-3, mismatch=2.5)
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(ValidationError):
+            ChargePump(-1e-3)
+
+    def test_loop_filter_transfer_eq21(self):
+        cp = ChargePump(2e-3)
+        z = SingleCapacitorFilter(1e-9).impedance()
+        h_lf = cp.loop_filter_transfer(z)
+        s = 1j * 0.3
+        assert h_lf(s) == pytest.approx(2e-3 * z(s))
+
+    def test_pulse_segments_ref_leads(self):
+        cp = ChargePump(1e-3)
+        segments = cp.pulse_segments(t_ref_edge=1.0, t_vco_edge=1.2)
+        assert len(segments) == 1
+        seg = segments[0]
+        assert seg.start == 1.0 and seg.stop == 1.2
+        assert seg.current == pytest.approx(1e-3)
+        assert seg.charge == pytest.approx(0.2e-3)
+
+    def test_pulse_segments_vco_leads(self):
+        cp = ChargePump(1e-3)
+        seg = cp.pulse_segments(t_ref_edge=1.3, t_vco_edge=1.1)[0]
+        assert seg.current == pytest.approx(-1e-3)
+        assert seg.charge == pytest.approx(-0.2e-3)
+
+    def test_error_charge(self):
+        assert ChargePump(2e-3).error_charge(0.1) == pytest.approx(0.2e-3)
+
+    def test_segment_ordering_validated(self):
+        with pytest.raises(ValidationError):
+            CurrentSegment(1.0, 0.5, 1e-3)
+
+
+class TestSingleCapacitor:
+    def test_impedance(self):
+        z = SingleCapacitorFilter(2.0).impedance()
+        assert z(1j) == pytest.approx(1.0 / (2j))
+
+
+class TestSeriesRC:
+    def test_impedance(self):
+        f = SeriesRCFilter(resistance=3.0, capacitance=0.5)
+        s = 0.7j
+        assert f.impedance()(s) == pytest.approx(3.0 + 1.0 / (0.5 * s))
+
+    def test_zero_frequency(self):
+        assert SeriesRCFilter(2.0, 0.25).zero_frequency == pytest.approx(2.0)
+
+    def test_biproper_feedthrough(self):
+        """High-frequency impedance tends to R (direct feedthrough)."""
+        f = SeriesRCFilter(5.0, 1.0)
+        assert f.impedance()(1e9j) == pytest.approx(5.0, rel=1e-6)
+
+
+class TestSeriesRCShuntC:
+    def test_pole_zero_formulas(self):
+        f = SeriesRCShuntCFilter(resistance=2.0, capacitance_series=0.3, capacitance_shunt=0.05)
+        assert f.zero_frequency == pytest.approx(1.0 / 0.6)
+        assert f.pole_frequency == pytest.approx(0.35 / (2.0 * 0.3 * 0.05))
+        assert f.total_capacitance == pytest.approx(0.35)
+
+    def test_from_pole_zero_roundtrip(self):
+        f = SeriesRCShuntCFilter.from_pole_zero(
+            zero_frequency=1.0, pole_frequency=16.0, total_capacitance=1e-9
+        )
+        assert f.zero_frequency == pytest.approx(1.0)
+        assert f.pole_frequency == pytest.approx(16.0)
+        assert f.total_capacitance == pytest.approx(1e-9)
+
+    def test_from_pole_zero_requires_separation(self):
+        with pytest.raises(ValidationError):
+            SeriesRCShuntCFilter.from_pole_zero(2.0, 1.0, 1e-9)
+
+    def test_impedance_asymptotes(self):
+        f = SeriesRCShuntCFilter.from_pole_zero(1.0, 16.0, 1.0)
+        z = f.impedance()
+        # Low frequency: 1/(s Ctot).
+        s = 1e-6j
+        assert z(s) == pytest.approx(1.0 / s, rel=1e-4)
+
+    def test_impedance_at_zero_and_pole(self):
+        f = SeriesRCShuntCFilter.from_pole_zero(1.0, 16.0, 1.0)
+        z = f.impedance().rational
+        zeros = z.zeros()
+        poles = z.poles()
+        assert any(abs(r + 1.0) < 1e-9 for r in zeros)
+        assert any(abs(p + 16.0) < 1e-6 for p in poles)
+        assert any(abs(p) < 1e-9 for p in poles)
+
+    def test_component_record_validated(self):
+        with pytest.raises(ValidationError):
+            LoopFilterComponents(-1.0, 1.0, 1.0)
+
+    def test_from_components(self):
+        comp = LoopFilterComponents(2.0, 0.3, 0.05)
+        f = SeriesRCShuntCFilter.from_components(comp)
+        assert f.components == comp
+
+
+class TestActivePI:
+    def test_impedance(self):
+        f = ActivePIFilter(proportional=2.0, integral=6.0)
+        s = 0.5j
+        assert f.impedance()(s) == pytest.approx(2.0 + 6.0 / s)
+
+    def test_zero_frequency(self):
+        assert ActivePIFilter(2.0, 6.0).zero_frequency == pytest.approx(3.0)
+
+
+class TestNormalizedFilter:
+    def test_shape(self):
+        h = normalized_filter(zero_frequency=1.0, pole_frequency=16.0, gain=2.0)
+        s = 0.4j
+        expected = 2.0 * (1 + s / 1.0) / (s * (1 + s / 16.0))
+        assert h(s) == pytest.approx(expected)
+
+    def test_separation_enforced(self):
+        with pytest.raises(ValidationError):
+            normalized_filter(4.0, 2.0)
+
+    def test_matches_physical_topology(self):
+        """normalized_filter(wz, wp, 1/Ctot) equals the RC||C impedance."""
+        wz, wp, ctot = 1.0, 16.0, 2.5e-9
+        physical = SeriesRCShuntCFilter.from_pole_zero(wz, wp, ctot).impedance()
+        shaped = normalized_filter(wz, wp, gain=1.0 / ctot)
+        s = 1j * 0.7
+        assert shaped(s) == pytest.approx(physical(s), rel=1e-9)

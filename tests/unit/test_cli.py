@@ -1,0 +1,71 @@
+"""Tests for repro.cli — the loop-analysis report command."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.ratio == 0.1
+        assert args.separation == 4.0
+        assert not args.plots and not args.symbolic
+
+    def test_custom_values(self):
+        args = build_parser().parse_args(
+            ["--ratio", "0.2", "--separation", "6", "--leakage", "1e-6"]
+        )
+        assert args.ratio == 0.2
+        assert args.separation == 6.0
+        assert args.leakage == 1e-6
+
+
+class TestMain:
+    def test_basic_report(self, capsys):
+        assert main(["--ratio", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "LTI" in out and "effective" in out
+        assert "Floquet" in out
+        assert "z-domain stable: True" in out
+
+    def test_unstable_loop_reported(self, capsys):
+        assert main(["--ratio", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "z-domain stable: False" in out
+        assert "Floquet stable: False" in out
+
+    def test_symbolic_section(self, capsys):
+        assert main(["--ratio", "0.05", "--symbolic"]) == 0
+        out = capsys.readouterr().out
+        assert "coth" in out
+        assert "A(s)" in out
+
+    def test_leakage_section(self, capsys):
+        assert main(["--ratio", "0.05", "--leakage", "1e-6"]) == 0
+        out = capsys.readouterr().out
+        assert "dBc" in out
+        assert "static phase offset" in out
+
+    def test_plots_section(self, capsys):
+        assert main(["--ratio", "0.1", "--plots"]) == 0
+        out = capsys.readouterr().out
+        assert "|A| (a) vs |lambda| (L)" in out
+        assert "L effective lambda" in out
+
+    def test_bad_design_is_clean_error(self, capsys):
+        # separation <= 1 is a DesignError -> exit code 2, message on stderr.
+        assert main(["--separation", "0.5"]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_floquet_matches_zdomain_in_output(self, capsys):
+        main(["--ratio", "0.15"])
+        out = capsys.readouterr().out
+        z_line = next(line for line in out.splitlines() if line.startswith("z-domain closed"))
+        f_line = next(line for line in out.splitlines() if line.startswith("Floquet multipliers"))
+        # The printed (rounded) pole sets agree.
+        z_vals = z_line.split(":", 1)[1]
+        f_vals = f_line.split(":", 1)[1]
+        assert z_vals.strip() == f_vals.strip()

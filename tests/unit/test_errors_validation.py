@@ -1,0 +1,141 @@
+"""Tests for the shared exception hierarchy and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._errors import (
+    ConvergenceError,
+    DesignError,
+    LockError,
+    ReproError,
+    StabilityError,
+    TruncationError,
+    ValidationError,
+)
+from repro._validation import (
+    as_complex_array,
+    as_float_array,
+    check_finite,
+    check_fraction,
+    check_nonnegative,
+    check_odd_dimension,
+    check_order,
+    check_positive,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [ValidationError, TruncationError, ConvergenceError, StabilityError, LockError, DesignError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_validation_error_is_value_error(self):
+        assert issubclass(ValidationError, ValueError)
+
+    def test_catching_base_catches_all(self):
+        with pytest.raises(ReproError):
+            raise TruncationError("boom")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 2.5) == 2.5
+
+    def test_converts_int(self):
+        value = check_positive("x", 3)
+        assert isinstance(value, float) and value == 3.0
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects(self, bad):
+        with pytest.raises(ValidationError):
+            check_positive("x", bad)
+
+    def test_message_contains_name(self):
+        with pytest.raises(ValidationError, match="myparam"):
+            check_positive("myparam", -1)
+
+
+class TestCheckNonnegative:
+    def test_accepts_zero(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            check_nonnegative("x", -1e-9)
+
+
+class TestCheckFinite:
+    def test_accepts_negative(self):
+        assert check_finite("x", -5.0) == -5.0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            check_finite("x", float("nan"))
+
+
+class TestCheckOrder:
+    def test_accepts_minimum(self):
+        assert check_order("k", 0) == 0
+
+    def test_respects_custom_minimum(self):
+        with pytest.raises(ValidationError):
+            check_order("k", 0, minimum=1)
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            check_order("k", 2.0)
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            check_order("k", True)
+
+    def test_accepts_numpy_integer(self):
+        assert check_order("k", np.int64(4)) == 4
+
+
+class TestCheckFraction:
+    def test_accepts_half(self):
+        assert check_fraction("d", 0.5) == 0.5
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.1, 1.1])
+    def test_rejects_boundary_and_outside(self, bad):
+        with pytest.raises(ValidationError):
+            check_fraction("d", bad)
+
+
+class TestArrayHelpers:
+    def test_complex_array_from_list(self):
+        arr = as_complex_array("v", [1, 2j])
+        assert arr.dtype == complex and arr.shape == (2,)
+
+    def test_complex_array_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            as_complex_array("v", [])
+
+    def test_complex_array_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            as_complex_array("v", [[1, 2], [3, 4]])
+
+    def test_float_array_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            as_float_array("v", [1.0, float("nan")])
+
+    def test_float_array_scalar_promotes(self):
+        arr = as_float_array("v", 3.0)
+        assert arr.shape == (1,)
+
+
+class TestOddDimension:
+    def test_accepts_odd(self):
+        assert check_odd_dimension("n", 5) == 5
+
+    def test_rejects_even(self):
+        with pytest.raises(ValidationError):
+            check_odd_dimension("n", 4)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            check_odd_dimension("n", 0)

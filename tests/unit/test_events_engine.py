@@ -1,0 +1,211 @@
+"""Tests for repro.simulator.events and repro.simulator.engine."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ConvergenceError, LockError, ValidationError
+from repro.blocks.vco import VCO
+from repro.pll.architecture import PLL
+from repro.pll.design import design_typical_loop
+from repro.signals.isf import ImpulseSensitivity
+from repro.simulator.engine import BehavioralPLLSimulator, SimulationConfig
+from repro.simulator.events import solve_phase_crossing, solve_reference_edge
+
+W0 = 2 * np.pi
+
+
+class TestSolveReferenceEdge:
+    def test_zero_modulation(self):
+        assert solve_reference_edge(lambda t: 0.0, 5.0) == pytest.approx(5.0)
+
+    def test_constant_offset(self):
+        t = solve_reference_edge(lambda t: 0.1, 5.0)
+        assert t == pytest.approx(4.9)
+
+    def test_sinusoidal_modulation(self):
+        theta = lambda t: 0.01 * np.sin(0.5 * t)
+        t = solve_reference_edge(theta, 7.0)
+        assert t + theta(t) == pytest.approx(7.0, abs=1e-12)
+
+    def test_divergent_modulation_raises(self):
+        with pytest.raises(ConvergenceError):
+            solve_reference_edge(lambda t: 2.0 * t, 5.0, max_iter=10)
+
+
+class TestSolvePhaseCrossing:
+    def test_linear_phase(self):
+        # theta(t) = 0.1 t: crossing of t + 0.1 t = 2 at t = 2/1.1
+        theta = lambda t: 0.1 * t
+        rate = lambda t: 0.1
+        t = solve_phase_crossing(theta, rate, 2.0, 0.0, 5.0)
+        assert t == pytest.approx(2.0 / 1.1, rel=1e-10)
+
+    def test_no_crossing_returns_none(self):
+        theta = lambda t: 0.0
+        rate = lambda t: 0.0
+        assert solve_phase_crossing(theta, rate, 10.0, 0.0, 5.0) is None
+
+    def test_passed_crossing_rejected(self):
+        theta = lambda t: 0.0
+        rate = lambda t: 0.0
+        with pytest.raises(ValidationError):
+            solve_phase_crossing(theta, rate, 1.0, 2.0, 5.0)
+
+    def test_empty_bracket_rejected(self):
+        with pytest.raises(ValidationError):
+            solve_phase_crossing(lambda t: 0.0, lambda t: 0.0, 1.0, 5.0, 2.0)
+
+
+@pytest.fixture(scope="module")
+def locked_pll():
+    return design_typical_loop(omega0=W0, omega_ug=0.1 * W0)
+
+
+class TestEngineBasics:
+    def test_locked_loop_stays_at_zero(self, locked_pll):
+        sim = BehavioralPLLSimulator(locked_pll, config=SimulationConfig(cycles=20))
+        result = sim.run()
+        assert np.max(np.abs(result.phase_errors)) == 0.0
+        assert np.max(np.abs(result.theta)) == 0.0
+        assert len(result.pump_intervals) == 0
+
+    def test_recording_grid(self, locked_pll):
+        cfg = SimulationConfig(cycles=10, oversample=8)
+        result = BehavioralPLLSimulator(locked_pll, config=cfg).run()
+        assert result.times.size == 80
+        assert result.sample_period == pytest.approx(1.0 / 8)
+        assert result.times[-1] == pytest.approx(10.0)
+
+    def test_edges_recorded(self, locked_pll):
+        result = BehavioralPLLSimulator(
+            locked_pll, config=SimulationConfig(cycles=5)
+        ).run()
+        assert np.allclose(result.ref_edges, np.arange(1, 6))
+        assert np.allclose(result.vco_edges, np.arange(1, 6))
+
+    def test_lptv_vco_supported(self, locked_pll):
+        lptv = PLL(
+            pfd=locked_pll.pfd,
+            charge_pump=locked_pll.charge_pump,
+            filter_impedance=locked_pll.filter_impedance,
+            vco=VCO(ImpulseSensitivity.sinusoidal(1.0, 0.2, W0)),
+        )
+        sim = BehavioralPLLSimulator(lptv, config=SimulationConfig(cycles=10))
+        result = sim.run()
+        # Locked fixed point survives: v(t) * 0 = 0.
+        assert np.max(np.abs(result.phase_errors)) == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(cycles=0)
+        with pytest.raises(ValidationError):
+            SimulationConfig(max_phase_error=0.6)
+
+
+class TestAcquisition:
+    def test_frequency_offset_acquired(self, locked_pll):
+        cfg = SimulationConfig(cycles=200, frequency_offset=0.01)
+        result = BehavioralPLLSimulator(locked_pll, config=cfg).run()
+        assert abs(result.phase_errors[0]) > abs(result.phase_errors[-1])
+        assert abs(result.final_phase_error()) < 1e-6
+
+    def test_control_voltage_settles_to_cancel_offset(self, locked_pll):
+        delta = 0.01
+        cfg = SimulationConfig(cycles=300, frequency_offset=delta)
+        result = BehavioralPLLSimulator(locked_pll, config=cfg).run()
+        v0 = float(locked_pll.vco.v0.real)
+        assert result.control[-1] == pytest.approx(-delta / v0, rel=1e-2)
+
+    def test_large_offset_loses_lock(self, locked_pll):
+        cfg = SimulationConfig(cycles=100, frequency_offset=2.0)
+        with pytest.raises(LockError):
+            BehavioralPLLSimulator(locked_pll, config=cfg).run()
+
+    def test_pump_intervals_signed_correctly(self, locked_pll):
+        """A slow VCO (negative offset) needs UP pulses."""
+        cfg = SimulationConfig(cycles=50, frequency_offset=-0.005)
+        result = BehavioralPLLSimulator(locked_pll, config=cfg).run()
+        from repro.simulator.pfd_behavior import PFDState
+
+        states = {i.state for i in result.pump_intervals[:10]}
+        assert states == {PFDState.UP}
+
+
+class TestStepResponseAgainstTheory:
+    def test_phase_step_settles(self, locked_pll):
+        """A reference phase step is tracked to zero error (type-2 loop)."""
+        step = 1e-3  # seconds, small-signal
+        sim = BehavioralPLLSimulator(
+            locked_pll,
+            theta_ref=lambda t: step,
+            config=SimulationConfig(cycles=150),
+        )
+        result = sim.run()
+        assert result.theta[-1] == pytest.approx(step, rel=1e-3)
+
+    def test_step_overshoot_near_lti_prediction(self):
+        """Slow loop: behavioural overshoot matches the LTI step response."""
+        from repro.baselines.lti_approx import ClassicalLTIAnalysis
+
+        pll = design_typical_loop(omega0=W0, omega_ug=0.02 * W0)
+        step = 1e-3
+        sim = BehavioralPLLSimulator(
+            pll, theta_ref=lambda t: step, config=SimulationConfig(cycles=400)
+        )
+        result = sim.run()
+        sim_overshoot = np.max(result.theta) / step
+        t = np.linspace(0.01, 400.0, 4000)
+        lti = ClassicalLTIAnalysis(pll).phase_step_response(t)
+        lti_overshoot = np.max(lti)
+        assert sim_overshoot == pytest.approx(lti_overshoot, rel=0.03)
+
+
+class TestNonIdealities:
+    def test_leakage_creates_static_phase_offset(self, locked_pll):
+        from repro.blocks.chargepump import ChargePump
+
+        leaky = PLL(
+            pfd=locked_pll.pfd,
+            charge_pump=ChargePump(1e-3, leakage=1e-6),
+            filter_impedance=locked_pll.filter_impedance,
+            vco=locked_pll.vco,
+        )
+        result = BehavioralPLLSimulator(
+            leaky, config=SimulationConfig(cycles=200)
+        ).run()
+        # Leakage discharges the filter; the loop compensates with a
+        # steady-state UP pulse train -> non-zero average phase error.
+        tail = result.phase_errors[-20:]
+        assert np.all(np.abs(tail) > 0)
+
+    def test_limit_cycle_past_stability_boundary(self):
+        """Past the z-domain stability limit (~0.276) the small-signal
+        instability saturates into a sustained limit cycle: a perturbation
+        does not decay.  Below the limit the same perturbation dies out.
+        This brackets the boundary behaviourally between 0.27 and 0.30,
+        consistent with the linear-theory prediction."""
+
+        def tail_error(ratio):
+            pll = design_typical_loop(omega0=W0, omega_ug=ratio * W0)
+            cfg = SimulationConfig(cycles=1200, frequency_offset=0.001)
+            result = BehavioralPLLSimulator(pll, config=cfg).run()
+            return float(np.max(np.abs(result.phase_errors[-100:])))
+
+        assert tail_error(0.27) < 1e-9
+        assert tail_error(0.30) > 1e-3
+
+    def test_stable_fast_loop_survives(self):
+        cool = design_typical_loop(omega0=W0, omega_ug=0.2 * W0)
+        sim = BehavioralPLLSimulator(
+            cool,
+            theta_ref=lambda t: 1e-4 * np.sin(0.2 * W0 * t),
+            config=SimulationConfig(cycles=500),
+        )
+        result = sim.run()
+        assert np.max(np.abs(result.phase_errors)) < 0.01
+
+    def test_gross_frequency_error_raises_lock_error(self):
+        hot = design_typical_loop(omega0=W0, omega_ug=0.1 * W0)
+        cfg = SimulationConfig(cycles=200, frequency_offset=0.8)
+        with pytest.raises(LockError):
+            BehavioralPLLSimulator(hot, config=cfg).run()

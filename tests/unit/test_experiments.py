@@ -1,0 +1,101 @@
+"""Tests for repro.experiments — figure harness sanity (fast settings)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig5 import format_table as fig5_table
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import format_table as fig6_table
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.fig7 import format_table as fig7_table
+from repro.experiments.fig7 import run_fig7
+
+W0 = 2 * np.pi
+
+
+class TestFig5:
+    def test_shape_properties(self):
+        result = run_fig5(points=120)
+        assert result.unity_gain_check == pytest.approx(1.0, rel=1e-6)
+        assert result.phase_margin_deg == pytest.approx(61.93, abs=0.05)
+        # -40 dB/dec at both ends: 2 decades -> 80 dB drop.
+        assert result.magnitude_db[0] == pytest.approx(68.0, abs=1.0)
+        assert result.magnitude_db[-1] == pytest.approx(-68.0, abs=1.0)
+
+    def test_phase_dip_structure(self):
+        result = run_fig5()
+        # Phase starts near -180, peaks near -118 at crossover, returns.
+        assert result.phase_deg[0] == pytest.approx(-178.0, abs=1.0)
+        assert np.max(result.phase_deg) == pytest.approx(-118.07, abs=0.1)
+
+    def test_table_renders(self):
+        text = fig5_table(run_fig5(points=40))
+        assert "w/wUG" in text
+
+    def test_rows(self):
+        rows = run_fig5(points=16).as_rows()
+        assert len(rows) == 16 and len(rows[0]) == 3
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig6(
+            ratios=(0.05, 0.2),
+            points=60,
+            mark_points=3,
+            measure_cycles=100,
+            discard_cycles=80,
+        )
+
+    def test_marks_within_paper_accuracy(self, result):
+        assert result.max_mark_error() < 0.02
+
+    def test_peaking_grows_with_ratio(self, result):
+        assert result.curves[1].peaking_db > result.curves[0].peaking_db
+
+    def test_bandwidth_extends(self, result):
+        c0 = result.curves[0]
+        # For the slow loop the -3 dB bandwidth is finite and near the LTI
+        # value (~1.6 w_UG for separation 4).
+        assert 1.3 < c0.bandwidth_normalized < 2.0
+
+    def test_htm_beats_lti_at_fast_ratio(self, result):
+        """The HTM curve deviates from the LTI curve for the fast loop."""
+        fast = result.curves[1]
+        deviation = np.max(np.abs(fast.h00_db - fast.lti_db))
+        assert deviation > 1.0
+        slow = result.curves[0]
+        deviation_slow = np.max(np.abs(slow.h00_db - slow.lti_db))
+        assert deviation_slow < deviation
+
+    def test_table_renders(self, result):
+        assert "wUG/w0" in fig6_table(result)
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig7(points=6)
+
+    def test_margin_collapse(self, result):
+        pm = result.phase_margin_eff_deg
+        assert pm[0] == pytest.approx(result.phase_margin_lti_deg, abs=1.0)
+        assert pm[-1] < result.phase_margin_lti_deg - 20.0
+        assert np.all(np.diff(pm) < 0)
+
+    def test_bandwidth_extension_grows(self, result):
+        ext = result.bandwidth_extension
+        assert ext[0] == pytest.approx(1.0, abs=0.01)
+        assert np.all(np.diff(ext) > 0)
+        assert ext[-1] > 1.2
+
+    def test_stability_limit_recorded(self, result):
+        assert 0.2 < result.stability_limit < 0.35
+
+    def test_degradation_interpolation(self, result):
+        """Claim C3: ~9-11% loss at ratio 0.1."""
+        assert 0.06 < result.degradation_at(0.1) < 0.15
+
+    def test_table_renders(self, result):
+        assert "PM_eff" in fig7_table(result)

@@ -1,0 +1,75 @@
+"""Tests for repro.simulator.floquet — the one-cycle return map."""
+
+import numpy as np
+import pytest
+
+from repro.pll.design import design_typical_loop
+from repro.simulator.floquet import (
+    compare_with_zdomain,
+    floquet_multipliers,
+    one_cycle_map,
+)
+
+W0 = 2 * np.pi
+
+
+@pytest.fixture(scope="module")
+def pll():
+    return design_typical_loop(omega0=W0, omega_ug=0.1 * W0)
+
+
+class TestCycleMap:
+    def test_fixed_point_at_lock(self, pll):
+        """The locked state (all zeros) maps to itself."""
+        from repro.simulator.floquet import _CycleMap
+
+        cm = _CycleMap(pll)
+        out = cm(np.zeros(cm.dim))
+        assert np.allclose(out, 0.0, atol=1e-15)
+
+    def test_matrix_dimension(self, pll):
+        m = one_cycle_map(pll)
+        # Two filter states + theta.
+        assert m.shape == (3, 3)
+
+    def test_linearity_in_perturbation_size(self, pll):
+        """Central differences at two eps values agree (the map is smooth)."""
+        m1 = one_cycle_map(pll, eps=1e-6)
+        m2 = one_cycle_map(pll, eps=1e-8)
+        assert np.allclose(m1, m2, rtol=1e-3, atol=1e-8)
+
+
+class TestMultipliers:
+    def test_stable_loop(self, pll):
+        result = floquet_multipliers(pll)
+        assert result.is_stable
+        assert result.spectral_radius < 1.0
+        assert result.decay_time_constant_cycles() < 20.0
+
+    def test_matches_zdomain_poles(self, pll):
+        assert compare_with_zdomain(pll) < 1e-3
+
+    def test_unstable_loop_detected(self):
+        hot = design_typical_loop(omega0=W0, omega_ug=0.3 * W0)
+        result = floquet_multipliers(hot)
+        assert not result.is_stable
+        assert result.spectral_radius > 1.1
+        assert result.decay_time_constant_cycles() == float("inf")
+
+    def test_multipliers_sorted_by_magnitude(self, pll):
+        mus = floquet_multipliers(pll).multipliers
+        mags = np.abs(mus)
+        assert np.all(np.diff(mags) <= 1e-12)
+
+    def test_slow_loop_dominant_multiplier(self):
+        """Deep-LTI regime: dominant multiplier ~ e^{p T} of the dominant
+        continuous closed-loop pole."""
+        slow = design_typical_loop(omega0=W0, omega_ug=0.02 * W0)
+        from repro.baselines.lti_approx import ClassicalLTIAnalysis
+
+        poles = ClassicalLTIAnalysis(slow).closed_loop.poles()
+        dominant = poles[np.argmax(poles.real)]
+        expected = np.exp(dominant * slow.period)
+        result = floquet_multipliers(slow)
+        gaps = np.abs(result.multipliers - expected)
+        assert np.min(gaps) < 5e-3

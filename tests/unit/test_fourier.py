@@ -1,0 +1,183 @@
+"""Tests for repro.signals.fourier."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.signals.fourier import FourierSeries
+
+W0 = 2 * np.pi  # period T = 1
+
+
+class TestConstruction:
+    def test_basic(self):
+        fs = FourierSeries([0.0, 1.0, 0.0], W0)
+        assert fs.order == 1 and fs.omega0 == W0
+
+    def test_even_length_rejected(self):
+        with pytest.raises(ValidationError):
+            FourierSeries([1.0, 2.0], W0)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValidationError):
+            FourierSeries([float("inf")], W0)
+
+    def test_bad_omega0_rejected(self):
+        with pytest.raises(ValidationError):
+            FourierSeries([1.0], 0.0)
+
+    def test_constant(self):
+        fs = FourierSeries.constant(3.0, W0)
+        assert fs(0.123) == pytest.approx(3.0)
+
+    def test_period(self):
+        assert FourierSeries([1.0], 4.0).period == pytest.approx(np.pi / 2)
+
+
+class TestFromFunction:
+    def test_cosine_projection(self):
+        fs = FourierSeries.from_function(lambda t: np.cos(W0 * t), W0, order=3)
+        assert fs.coefficient(1) == pytest.approx(0.5, abs=1e-12)
+        assert fs.coefficient(-1) == pytest.approx(0.5, abs=1e-12)
+        assert abs(fs.coefficient(2)) < 1e-12
+
+    def test_complex_exponential(self):
+        fs = FourierSeries.from_function(lambda t: np.exp(2j * W0 * t), W0, order=3)
+        assert fs.coefficient(2) == pytest.approx(1.0, abs=1e-12)
+        assert abs(fs.coefficient(-2)) < 1e-12
+
+    def test_insufficient_samples_rejected(self):
+        with pytest.raises(ValidationError):
+            FourierSeries.from_function(np.cos, W0, order=4, samples=5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            FourierSeries.from_function(lambda t: np.array([1.0]), W0, order=1)
+
+
+class TestAccessors:
+    fs = FourierSeries([1j, 2.0, -1j], W0)
+
+    def test_coefficient_in_range(self):
+        assert self.fs.coefficient(0) == 2.0
+        assert self.fs.coefficient(1) == -1j
+
+    def test_coefficient_out_of_range_is_zero(self):
+        assert self.fs.coefficient(5) == 0.0
+
+    def test_coefficients_copy(self):
+        arr = self.fs.coefficients
+        arr[0] = 99.0
+        assert self.fs.coefficient(-1) == 1j
+
+    def test_is_real_signal(self):
+        real = FourierSeries([1 - 1j, 2.0, 1 + 1j], W0)
+        assert real.is_real_signal()
+        assert not FourierSeries([0.0, 0.0, 1.0], W0).is_real_signal()
+
+    def test_mean_and_power(self):
+        assert self.fs.mean() == 2.0
+        assert self.fs.power() == pytest.approx(4.0 + 1.0 + 1.0)
+
+
+class TestEvaluation:
+    def test_matches_manual_sum(self):
+        fs = FourierSeries([0.5j, 1.0, -0.5j], W0)
+        t = 0.3
+        expected = 0.5j * np.exp(-1j * W0 * t) + 1.0 - 0.5j * np.exp(1j * W0 * t)
+        assert fs(t) == pytest.approx(expected)
+
+    def test_periodicity(self):
+        fs = FourierSeries([0.2, 1.0, 0.3 + 0.1j], W0)
+        assert fs(0.37) == pytest.approx(fs(0.37 + fs.period))
+
+    def test_vectorized(self):
+        fs = FourierSeries([0.0, 1.0, 0.0], W0)
+        t = np.array([0.0, 0.25, 0.5])
+        assert fs(t).shape == (3,)
+
+    def test_sample_count(self):
+        assert FourierSeries([1.0], W0).sample(8).shape == (8,)
+
+
+class TestAlgebra:
+    a = FourierSeries([0.0, 1.0, 1.0], W0)
+    b = FourierSeries([0.5, 2.0, 0.0], W0)
+
+    def test_addition_pointwise(self):
+        t = 0.21
+        assert (self.a + self.b)(t) == pytest.approx(self.a(t) + self.b(t))
+
+    def test_scalar_addition(self):
+        assert (self.a + 3)(0.1) == pytest.approx(self.a(0.1) + 3)
+
+    def test_subtraction(self):
+        t = 0.4
+        assert (self.a - self.b)(t) == pytest.approx(self.a(t) - self.b(t))
+
+    def test_multiplication_is_pointwise_product(self):
+        t = 0.17
+        assert (self.a * self.b)(t) == pytest.approx(self.a(t) * self.b(t))
+
+    def test_multiplication_extends_order(self):
+        assert (self.a * self.b).order == 2
+
+    def test_scalar_multiplication(self):
+        assert (2 * self.a)(0.3) == pytest.approx(2 * self.a(0.3))
+
+    def test_incompatible_fundamentals_rejected(self):
+        other = FourierSeries([1.0], 2 * W0)
+        with pytest.raises(ValidationError):
+            self.a + other
+
+    def test_conjugate(self):
+        t = 0.11
+        assert self.a.conjugate()(t) == pytest.approx(np.conj(self.a(t)))
+
+    def test_derivative(self):
+        fs = FourierSeries.from_function(lambda t: np.cos(W0 * t), W0, order=2)
+        t = 0.23
+        assert fs.derivative()(t) == pytest.approx(-W0 * np.sin(W0 * t), abs=1e-9)
+
+    def test_delayed(self):
+        fs = FourierSeries([0.3j, 0.7, -0.3j], W0)
+        tau = 0.13
+        assert fs.delayed(tau)(0.5) == pytest.approx(fs(0.5 - tau))
+
+    def test_truncated_shrink(self):
+        fs = FourierSeries([1.0, 2.0, 3.0, 4.0, 5.0], W0)
+        cut = fs.truncated(1)
+        assert cut.order == 1
+        assert cut.coefficient(1) == 4.0
+        assert cut.coefficient(2) == 0.0
+
+    def test_truncated_grow_pads(self):
+        fs = FourierSeries([1.0], W0)
+        assert fs.truncated(2).order == 2
+
+
+class TestToeplitz:
+    def test_structure(self):
+        fs = FourierSeries([3.0, 1.0, 2.0], W0)  # c_{-1}=3, c_0=1, c_1=2
+        m = fs.toeplitz(3)
+        # m[n+1, k+1] = c_{n-k}
+        assert m[1, 1] == 1.0
+        assert m[2, 1] == 2.0  # c_1
+        assert m[0, 1] == 3.0  # c_{-1}
+        assert m[0, 2] == 0.0  # c_{-2}
+
+    def test_even_size_rejected(self):
+        with pytest.raises(ValidationError):
+            FourierSeries([1.0], W0).toeplitz(4)
+
+    def test_multiplication_operator_composition(self):
+        # Toeplitz of product = product of Toeplitz matrices in the limit of
+        # sufficient truncation (exact when orders add up inside).
+        a = FourierSeries([0.0, 1.0, 0.5], W0)
+        b = FourierSeries([0.2, 1.0, 0.0], W0)
+        size = 9
+        direct = (a * b).toeplitz(size)
+        composed = a.toeplitz(size) @ b.toeplitz(size)
+        # Central block agrees (edges suffer truncation).
+        sl = slice(2, 7)
+        assert np.allclose(direct[sl, sl], composed[sl, sl])

@@ -1,0 +1,151 @@
+"""Tests for repro.core.htm — the dense truncated HTM snapshot."""
+
+import numpy as np
+import pytest
+
+from repro._errors import TruncationError, ValidationError
+from repro.core.htm import HTM
+
+W0 = 2 * np.pi
+
+
+def random_htm(order=2, seed=0, s=0.1j):
+    rng = np.random.default_rng(seed)
+    size = 2 * order + 1
+    mat = rng.normal(size=(size, size)) + 1j * rng.normal(size=(size, size))
+    return HTM(mat, W0, s)
+
+
+class TestConstruction:
+    def test_basic(self):
+        htm = HTM(np.eye(3), W0, 1j)
+        assert htm.order == 1 and htm.size == 3 and htm.s == 1j
+
+    def test_rejects_even_size(self):
+        with pytest.raises(ValidationError):
+            HTM(np.eye(4), W0)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValidationError):
+            HTM(np.ones((3, 5)), W0)
+
+    def test_matrix_copied(self):
+        mat = np.eye(3, dtype=complex)
+        htm = HTM(mat, W0)
+        mat[0, 0] = 99
+        assert htm.element(-1, -1) == 1.0
+
+    def test_identity(self):
+        eye = HTM.identity(2, W0)
+        assert eye.is_diagonal()
+        assert eye.element(0, 0) == 1.0
+
+
+class TestElementAccess:
+    def test_harmonic_indexing(self):
+        mat = np.arange(9, dtype=complex).reshape(3, 3)
+        htm = HTM(mat, W0)
+        # index (n, m) -> matrix[n+K, m+K]
+        assert htm.element(-1, -1) == 0.0
+        assert htm.element(0, 0) == 4.0
+        assert htm.element(1, -1) == 6.0
+        assert htm.baseband_transfer() == 4.0
+
+    def test_out_of_range(self):
+        with pytest.raises(TruncationError):
+            random_htm().element(3, 0)
+
+    def test_harmonic_transfer_diagonal(self):
+        mat = np.arange(9, dtype=complex).reshape(3, 3)
+        htm = HTM(mat, W0)
+        # k = n - m = 1 -> subdiagonal entries [3, 7]
+        assert np.allclose(htm.harmonic_transfer(1), [3.0, 7.0])
+        assert np.allclose(htm.harmonic_transfer(0), [0.0, 4.0, 8.0])
+        assert np.allclose(htm.harmonic_transfer(-1), [1.0, 5.0])
+
+    def test_harmonic_transfer_out_of_range(self):
+        with pytest.raises(TruncationError):
+            random_htm(order=1).harmonic_transfer(5)
+
+
+class TestStructure:
+    def test_is_diagonal(self):
+        assert HTM(np.diag([1.0, 2.0, 3.0]), W0).is_diagonal()
+        assert not random_htm().is_diagonal()
+
+    def test_numerical_rank(self):
+        col = np.array([1.0, 2.0, 3.0])
+        assert HTM(np.outer(col, col), W0).numerical_rank() == 1
+        assert HTM(np.eye(3), W0).numerical_rank() == 3
+
+
+class TestComposition:
+    def test_addition_is_parallel(self):
+        a, b = random_htm(seed=1), random_htm(seed=2)
+        assert np.allclose((a + b).matrix, a.matrix + b.matrix)
+
+    def test_matmul_is_series(self):
+        a, b = random_htm(seed=3), random_htm(seed=4)
+        assert np.allclose((a @ b).matrix, a.matrix @ b.matrix)
+
+    def test_scalar_scaling(self):
+        a = random_htm()
+        assert np.allclose((2.5 * a).matrix, 2.5 * a.matrix)
+
+    def test_mul_rejects_htm(self):
+        with pytest.raises(TypeError):
+            random_htm() * random_htm()
+
+    def test_subtraction_and_negation(self):
+        a = random_htm()
+        assert np.allclose((a - a).matrix, 0.0)
+        assert np.allclose((-a).matrix, -a.matrix)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            random_htm(order=1) + random_htm(order=2)
+
+    def test_different_s_rejected(self):
+        a = random_htm(s=0.1j)
+        b = random_htm(s=0.9j)
+        with pytest.raises(ValidationError):
+            a @ b
+
+    def test_apply_vector(self):
+        a = random_htm()
+        v = np.arange(5, dtype=complex)
+        assert np.allclose(a.apply(v), a.matrix @ v)
+
+    def test_apply_shape_checked(self):
+        with pytest.raises(ValidationError):
+            random_htm().apply(np.ones(3))
+
+
+class TestInverse:
+    def test_inverse_roundtrip(self):
+        a = random_htm(seed=5)
+        prod = a @ a.inverse()
+        assert np.allclose(prod.matrix, np.eye(5), atol=1e-10)
+
+    def test_singular_rejected(self):
+        col = np.ones(3)
+        rank_one = HTM(np.outer(col, col), W0)
+        with pytest.raises(TruncationError):
+            rank_one.inverse()
+
+    def test_feedback_closure(self):
+        g = random_htm(seed=6)
+        closed = g.feedback_closure()
+        expected = np.linalg.solve(np.eye(5) + g.matrix, g.matrix)
+        assert np.allclose(closed.matrix, expected)
+
+    def test_truncated(self):
+        a = random_htm(order=3, seed=7)
+        small = a.truncated(1)
+        assert small.order == 1
+        assert small.element(0, 0) == a.element(0, 0)
+        assert small.element(1, -1) == a.element(1, -1)
+
+    def test_truncated_cannot_grow(self):
+        with pytest.raises(TruncationError):
+            random_htm(order=1).truncated(2)

@@ -1,0 +1,131 @@
+"""Tests for repro.signals.isf and repro.signals.spectra."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.signals.fourier import FourierSeries
+from repro.signals.isf import ImpulseSensitivity
+from repro.signals.spectra import BasebandVector, band_decompose, band_reassemble
+
+W0 = 2 * np.pi
+
+
+class TestImpulseSensitivity:
+    def test_constant(self):
+        isf = ImpulseSensitivity.constant(2.0, W0)
+        assert isf.v0 == 2.0
+        assert isf.is_time_invariant()
+        assert isf(0.77) == pytest.approx(2.0)
+
+    def test_from_vco_gain(self):
+        isf = ImpulseSensitivity.from_vco_gain(kvco_hz_per_unit=50.0, f0_hz=100.0, omega0=W0)
+        assert isf.v0 == pytest.approx(0.5)
+
+    def test_sinusoidal(self):
+        isf = ImpulseSensitivity.sinusoidal(1.0, ripple=0.4, omega0=W0)
+        assert not isf.is_time_invariant()
+        t = 0.2
+        assert isf(t) == pytest.approx(1.0 * (1 + 0.4 * np.cos(W0 * t)))
+
+    def test_from_coefficients(self):
+        isf = ImpulseSensitivity.from_coefficients([0.1, 1.0, 0.1], W0)
+        assert isf.coefficient(1) == pytest.approx(0.1)
+        assert isf.order == 1
+
+    def test_requires_fourier_series(self):
+        with pytest.raises(ValidationError):
+            ImpulseSensitivity("not a series")
+
+    def test_series_accessor(self):
+        series = FourierSeries([1.0], W0)
+        assert ImpulseSensitivity(series).series is series
+
+    def test_repr_distinguishes(self):
+        assert "time-invariant" in repr(ImpulseSensitivity.constant(1.0, W0))
+        assert "LPTV" in repr(ImpulseSensitivity.sinusoidal(1.0, 0.2, W0))
+
+
+class TestBasebandVector:
+    def make(self, order=1, n=8):
+        omega = np.linspace(-0.4, 0.4, n) * W0
+        env = np.zeros((2 * order + 1, n), dtype=complex)
+        env[order] = 1.0  # flat baseband envelope
+        return BasebandVector(omega, env, W0)
+
+    def test_band_access(self):
+        vec = self.make()
+        assert np.allclose(vec.band(0), 1.0)
+        assert np.allclose(vec.band(1), 0.0)
+
+    def test_band_out_of_range(self):
+        with pytest.raises(ValidationError):
+            self.make().band(3)
+
+    def test_grid_inside_half_band(self):
+        with pytest.raises(ValidationError):
+            BasebandVector(np.array([0.6 * W0]), np.zeros((3, 1)), W0)
+
+    def test_even_band_count_rejected(self):
+        with pytest.raises(ValidationError):
+            BasebandVector(np.array([0.0]), np.zeros((2, 1)), W0)
+
+    def test_apply_matrix_identity(self):
+        vec = self.make()
+        mats = np.tile(np.eye(3, dtype=complex), (vec.omega.size, 1, 1))
+        out = vec.apply_matrix(mats)
+        assert np.allclose(out.envelopes, vec.envelopes)
+
+    def test_apply_matrix_conversion(self):
+        vec = self.make()
+        # Move band 0 content entirely to band +1.
+        mat = np.zeros((3, 3), dtype=complex)
+        mat[2, 1] = 1.0
+        mats = np.tile(mat, (vec.omega.size, 1, 1))
+        out = vec.apply_matrix(mats)
+        assert np.allclose(out.band(1), 1.0)
+        assert np.allclose(out.band(0), 0.0)
+
+    def test_apply_matrix_shape_check(self):
+        vec = self.make()
+        with pytest.raises(ValidationError):
+            vec.apply_matrix(np.zeros((2, 3, 3)))
+
+    def test_total_power(self):
+        vec = self.make(n=4)
+        assert vec.total_power() == pytest.approx(4.0)
+
+
+class TestBandDecompose:
+    def test_single_carrier_lands_in_band(self):
+        dt = 1.0 / 64
+        n = 1024  # span 16 periods: frequencies k/16 are leakage-free bins
+        t = np.arange(n) * dt
+        # Content at 1.125 * w0 (bin-aligned): envelope riding on band 1.
+        signal = np.exp(1j * 1.125 * W0 * t)
+        vec = band_decompose(signal, dt, W0, order=2)
+        powers = [np.sum(np.abs(vec.band(m)) ** 2) for m in range(-2, 3)]
+        assert np.argmax(powers) == 3  # band +1
+        assert powers[3] / sum(powers) > 0.999
+
+    def test_roundtrip(self):
+        dt = 1.0 / 64
+        n = 1024
+        t = np.arange(n) * dt
+        signal = (
+            np.cos(0.25 * W0 * t)
+            + 0.5 * np.cos(1.3125 * W0 * t + 0.4)
+            + 0.2 * np.sin(2.125 * W0 * t)
+        )
+        vec = band_decompose(signal, dt, W0, order=3)
+        back = band_reassemble(vec, dt, n)
+        assert np.allclose(back.real, signal, atol=1e-8)
+        assert np.max(np.abs(back.imag)) < 1e-8
+
+    def test_nyquist_guard(self):
+        with pytest.raises(ValidationError):
+            band_decompose(np.ones(64), dt=1.0, omega0=W0, order=3)
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            band_decompose(np.ones((4, 4)), 0.01, W0, 1)

@@ -1,0 +1,109 @@
+"""Tests for repro.core.kernel — HTM-to-kernel reconstruction (eqs. 1-3)."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.core.kernel import reconstruct_kernel
+from repro.core.operators import (
+    LTIOperator,
+    MultiplicationOperator,
+    SamplingOperator,
+    SeriesOperator,
+)
+from repro.lti.timedomain import impulse_response
+from repro.lti.transfer import TransferFunction
+from repro.signals.fourier import FourierSeries
+
+W0 = 2 * np.pi
+
+
+@pytest.fixture(scope="module")
+def lowpass():
+    return TransferFunction([2.0], [1.0, 2.0])  # 2/(s+2), h(t) = 2 e^{-2t}
+
+
+class TestLTIReconstruction:
+    def test_central_harmonic_is_impulse_response(self, lowpass):
+        op = LTIOperator(lowpass, W0)
+        recon = reconstruct_kernel(op, order=1, tau_max=16.0, samples=4096)
+        h0 = recon.harmonic(0)
+        expected = impulse_response(lowpass, recon.tau)
+        # The kernel jumps at tau = 0 (relative degree 1), so the rectangular
+        # band truncation rings near the origin (Gibbs); compare past it.
+        mask = (recon.tau > 0.2) & (recon.tau < 4.0)
+        assert np.allclose(h0[mask].real, expected[mask], atol=2e-2)
+        assert np.max(np.abs(h0.imag)) < 1e-3
+
+    def test_other_harmonics_vanish(self, lowpass):
+        op = LTIOperator(lowpass, W0)
+        recon = reconstruct_kernel(op, order=1, tau_max=16.0, samples=2048)
+        assert np.max(np.abs(recon.harmonic(1))) < 1e-8
+        assert np.max(np.abs(recon.harmonic(-1))) < 1e-8
+
+    def test_kernel_time_invariant(self, lowpass):
+        op = LTIOperator(lowpass, W0)
+        recon = reconstruct_kernel(op, order=1, tau_max=16.0, samples=2048)
+        slice_a = recon.kernel(0.0)
+        slice_b = recon.kernel(0.37)
+        assert np.allclose(slice_a, slice_b, atol=1e-8)
+
+
+class TestLPTVReconstruction:
+    @pytest.fixture(scope="class")
+    def modulated(self, lowpass):
+        """Filter after multiplier: h(t, tau) = f(tau) p(t - tau)."""
+        p = FourierSeries([0.25, 1.0, 0.25], W0)  # 1 + 0.5 cos(w0 t)
+        op = SeriesOperator(LTIOperator(lowpass, W0), MultiplicationOperator(p))
+        return op, p
+
+    def test_harmonic_structure(self, modulated, lowpass):
+        op, p = modulated
+        recon = reconstruct_kernel(op, order=2, tau_max=16.0, samples=4096)
+        # h_k(tau) = P_k f(tau) e^{-j k w0 tau}.
+        f_tau = impulse_response(lowpass, recon.tau)
+        mask = (recon.tau > 0.2) & (recon.tau < 3.0)
+        for k in (-1, 0, 1):
+            expected = complex(p.coefficient(k)) * f_tau * np.exp(
+                -1j * k * W0 * recon.tau
+            )
+            assert np.allclose(recon.harmonic(k)[mask], expected[mask], atol=3e-2)
+        assert np.max(np.abs(recon.harmonic(2))) < 1e-6
+
+    def test_kernel_slice_formula(self, modulated, lowpass):
+        op, p = modulated
+        recon = reconstruct_kernel(op, order=2, tau_max=16.0, samples=4096)
+        t = 0.41
+        tau = np.linspace(0.05, 2.0, 17)
+        slice_vals = recon.kernel(t, tau)
+        expected = impulse_response(lowpass, tau) * np.asarray(p(t - tau))
+        assert np.allclose(slice_vals, expected, atol=3e-2)
+
+    def test_impulse_applied_at_different_phases(self, modulated, lowpass):
+        """The LPTV hallmark: the response depends on *when* the impulse
+        lands within the period."""
+        op, _ = modulated
+        recon = reconstruct_kernel(op, order=2, tau_max=16.0, samples=4096)
+        observe = np.linspace(1.0, 2.0, 9)
+        resp_a = recon.response_to_impulse_at(0.0, observe)
+        resp_b = recon.response_to_impulse_at(0.5, observe + 0.5)
+        assert not np.allclose(resp_a, resp_b, atol=1e-3)
+
+    def test_causality(self, modulated):
+        op, _ = modulated
+        recon = reconstruct_kernel(op, order=1, tau_max=16.0, samples=2048)
+        out = recon.response_to_impulse_at(5.0, np.array([4.0, 4.9]))
+        assert np.allclose(out, 0.0)
+
+
+class TestValidation:
+    def test_memoryless_rejected(self):
+        op = SamplingOperator(W0)
+        with pytest.raises(ValidationError):
+            reconstruct_kernel(op, order=1, tau_max=4.0, samples=256)
+
+    def test_harmonic_bounds(self, lowpass):
+        op = LTIOperator(lowpass, W0)
+        recon = reconstruct_kernel(op, order=1, tau_max=8.0, samples=512)
+        with pytest.raises(ValidationError):
+            recon.harmonic(3)

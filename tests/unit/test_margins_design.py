@@ -1,0 +1,154 @@
+"""Tests for repro.pll.margins and repro.pll.design (Fig. 7 machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._errors import DesignError, ValidationError
+from repro.lti.bode import gain_crossover, phase_margin
+from repro.pll.design import (
+    describe_design,
+    design_typical_loop,
+    shape_phase_margin_deg,
+    typical_open_loop_shape,
+)
+from repro.pll.margins import compare_margins, effective_open_loop, margin_sweep
+from repro.pll.openloop import lti_open_loop
+
+W0 = 2 * np.pi
+
+
+class TestTypicalShape:
+    def test_unity_gain_exact(self):
+        a = typical_open_loop_shape(omega_ug=2.0, separation=4.0)
+        assert abs(a(2j)) == pytest.approx(1.0, rel=1e-12)
+
+    def test_pole_zero_placement(self):
+        a = typical_open_loop_shape(omega_ug=1.0, separation=5.0)
+        zeros = a.zeros()
+        poles = a.poles()
+        assert any(abs(z + 0.2) < 1e-9 for z in zeros)
+        assert any(abs(p + 5.0) < 1e-9 for p in poles)
+        assert np.sum(np.abs(poles) < 1e-9) == 2
+
+    def test_phase_margin_formula(self):
+        sep = 4.0
+        a = typical_open_loop_shape(1.0, sep)
+        measured = phase_margin(a, 1e-3, 1e3)
+        assert measured == pytest.approx(shape_phase_margin_deg(sep), abs=1e-3)
+
+    def test_margin_peaks_at_crossover(self):
+        """Geometric symmetry places the max phase at w_UG."""
+        a = typical_open_loop_shape(1.0, 4.0)
+        w = np.logspace(-1, 1, 801)
+        phase = np.unwrap(np.angle(a.frequency_response(w)))
+        assert w[np.argmax(phase)] == pytest.approx(1.0, rel=2e-2)
+
+    def test_separation_must_exceed_one(self):
+        with pytest.raises(DesignError):
+            typical_open_loop_shape(1.0, separation=0.9)
+
+    def test_shape_pm_examples(self):
+        assert shape_phase_margin_deg(4.0) == pytest.approx(61.93, abs=0.01)
+        assert shape_phase_margin_deg(2.0) == pytest.approx(
+            math.degrees(math.atan(2) - math.atan(0.5)), abs=1e-9
+        )
+
+
+class TestDesignTypicalLoop:
+    def test_matches_shape(self):
+        omega_ug = 0.1 * W0
+        pll = design_typical_loop(omega0=W0, omega_ug=omega_ug)
+        a = lti_open_loop(pll)
+        shape = typical_open_loop_shape(omega_ug)
+        for w in (0.03, 0.1, 0.5):
+            s = 1j * w * W0
+            assert a(s) == pytest.approx(shape(s), rel=1e-9)
+
+    def test_component_values_positive(self):
+        pll = design_typical_loop(omega0=W0, omega_ug=0.2 * W0, charge_pump_current=5e-3)
+        assert pll.charge_pump.current == 5e-3
+        # Impedance is realizable: poles/zero on the negative real axis.
+        z = pll.filter_impedance
+        assert np.all(z.poles().real <= 1e-12)
+
+    def test_crossover_scales(self):
+        for ratio in (0.02, 0.1, 0.25):
+            pll = design_typical_loop(omega0=W0, omega_ug=ratio * W0)
+            a = lti_open_loop(pll)
+            w_ug = gain_crossover(a, 1e-4 * W0, 0.5 * W0)
+            assert w_ug == pytest.approx(ratio * W0, rel=1e-6)
+
+    def test_default_f0_is_reference(self):
+        pll = design_typical_loop(omega0=W0, omega_ug=0.1 * W0)
+        assert pll.vco.f0 == pytest.approx(1.0)
+
+    def test_describe_design(self):
+        pll = design_typical_loop(omega0=W0, omega_ug=0.1 * W0)
+        rec = describe_design(pll, 0.1 * W0, 4.0)
+        assert rec.zero_frequency == pytest.approx(0.025 * W0)
+        assert rec.pole_frequency == pytest.approx(0.4 * W0)
+        assert rec.phase_margin_deg == pytest.approx(61.93, abs=0.01)
+
+    def test_separation_validated(self):
+        with pytest.raises(DesignError):
+            design_typical_loop(omega0=W0, omega_ug=0.1 * W0, separation=1.0)
+
+
+class TestCompareMargins:
+    def test_slow_loop_margins_agree(self):
+        pll = design_typical_loop(omega0=W0, omega_ug=0.01 * W0)
+        m = compare_margins(pll)
+        assert m.phase_margin_eff_deg == pytest.approx(m.phase_margin_lti_deg, abs=0.5)
+        assert m.bandwidth_extension == pytest.approx(1.0, abs=0.01)
+
+    def test_fast_loop_margin_collapses(self):
+        pll = design_typical_loop(omega0=W0, omega_ug=0.2 * W0)
+        m = compare_margins(pll)
+        assert m.phase_margin_eff_deg < m.phase_margin_lti_deg - 15.0
+        assert m.bandwidth_extension > 1.1
+        assert 0.3 < m.margin_degradation < 0.6
+
+    def test_nine_percent_claim_near_ratio_0p1(self):
+        """Paper claim C3: ~9% PM loss at w_UG/w0 = 0.1 (we measure ~10.5%)."""
+        pll = design_typical_loop(omega0=W0, omega_ug=0.1 * W0)
+        m = compare_margins(pll)
+        assert 0.06 <= m.margin_degradation <= 0.15
+
+    def test_summary_text(self):
+        pll = design_typical_loop(omega0=W0, omega_ug=0.05 * W0)
+        text = compare_margins(pll).summary()
+        assert "LTI" in text and "effective" in text
+
+    def test_range_validated(self):
+        pll = design_typical_loop(omega0=W0, omega_ug=0.05 * W0)
+        with pytest.raises(ValidationError):
+            compare_margins(pll, omega_min_factor=0.6)
+
+
+class TestEffectiveOpenLoop:
+    def test_callable_matches_closed_loop(self):
+        from repro.pll.closedloop import ClosedLoopHTM
+
+        pll = design_typical_loop(omega0=W0, omega_ug=0.1 * W0)
+        lam_fn = effective_open_loop(pll)
+        closed = ClosedLoopHTM(pll)
+        omega = np.array([0.07, 0.21]) * W0
+        assert np.allclose(lam_fn(omega), closed.effective_gain_response(omega))
+
+
+class TestMarginSweep:
+    def test_monotone_degradation(self):
+        ratios = [0.02, 0.08, 0.2]
+        margins = margin_sweep(
+            ratios, lambda r: design_typical_loop(omega0=W0, omega_ug=r * W0)
+        )
+        pms = [m.phase_margin_eff_deg for m in margins]
+        assert pms[0] > pms[1] > pms[2]
+        exts = [m.bandwidth_extension for m in margins]
+        assert exts[0] < exts[1] < exts[2]
+
+    def test_ratio_bounds_enforced(self):
+        with pytest.raises(ValidationError):
+            margin_sweep([0.6], lambda r: design_typical_loop(omega0=W0, omega_ug=r * W0))

@@ -1,0 +1,112 @@
+"""Tests for repro.pll.noise — HTM-based noise shaping."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.pll.design import design_typical_loop
+from repro.pll.noise import NoiseAnalysis, flat_psd, one_over_f2_psd
+
+W0 = 2 * np.pi
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return NoiseAnalysis(design_typical_loop(omega0=W0, omega_ug=0.1 * W0))
+
+
+class TestTransfers:
+    def test_reference_lowpass(self, analysis):
+        omega = np.array([0.001, 0.45]) * W0
+        gains = np.abs(analysis.reference_transfer(omega))
+        assert gains[0] == pytest.approx(1.0, abs=1e-3)
+        assert gains[1] < 1.0
+
+    def test_vco_highpass(self, analysis):
+        omega = np.array([0.001, 0.45]) * W0
+        gains = np.abs(analysis.vco_transfer(omega))
+        assert gains[0] < 0.01
+        assert gains[1] > 0.3
+
+    def test_transfers_complementary(self, analysis):
+        omega = np.array([0.05, 0.2]) * W0
+        total = analysis.reference_transfer(omega) + analysis.vco_transfer(omega)
+        assert np.allclose(total, 1.0)
+
+    def test_folded_gain_counts_bands(self, analysis):
+        omega = np.array([0.05]) * W0
+        base = analysis.folded_reference_gain(omega, bands=0)
+        folded = analysis.folded_reference_gain(omega, bands=3)
+        assert folded[0] == pytest.approx(7 * base[0])
+
+
+class TestOutputPsd:
+    def test_zero_sources_zero_output(self, analysis):
+        omega = np.array([0.1]) * W0
+        assert analysis.output_psd(omega)[0] == 0.0
+
+    def test_reference_only(self, analysis):
+        omega = np.array([0.01, 0.1]) * W0
+        psd = analysis.output_psd(omega, reference_psd=flat_psd(1e-12))
+        h = np.abs(analysis.reference_transfer(omega)) ** 2
+        assert np.allclose(psd, 1e-12 * h)
+
+    def test_vco_only_shaped(self, analysis):
+        omega = np.linspace(0.01, 0.45, 5) * W0
+        psd = analysis.output_psd(omega, vco_psd=one_over_f2_psd(1e-14, 0.1 * W0))
+        assert np.all(psd >= 0)
+        # In-band VCO noise is suppressed relative to out-of-band.
+        assert psd[0] < psd[-1] * 10
+
+    def test_sources_add(self, analysis):
+        omega = np.array([0.07]) * W0
+        ref = analysis.output_psd(omega, reference_psd=flat_psd(1e-12))
+        vco = analysis.output_psd(omega, vco_psd=flat_psd(1e-12))
+        both = analysis.output_psd(
+            omega, reference_psd=flat_psd(1e-12), vco_psd=flat_psd(1e-12)
+        )
+        assert both[0] == pytest.approx(ref[0] + vco[0])
+
+
+class TestJitter:
+    def test_flat_psd_integral(self, analysis):
+        omega = np.linspace(0.01, 0.4, 200) * W0
+        psd = np.full(omega.size, 2 * np.pi * 1e-12)
+        sigma = analysis.rms_jitter(omega, psd)
+        span = omega[-1] - omega[0]
+        assert sigma == pytest.approx(np.sqrt(1e-12 * span), rel=1e-6)
+
+    def test_monotone_in_bandwidth(self, analysis):
+        omega_small = np.linspace(0.01, 0.1, 100) * W0
+        omega_large = np.linspace(0.01, 0.4, 400) * W0
+        psd_fn = flat_psd(1e-12)
+        s1 = analysis.rms_jitter(omega_small, psd_fn(omega_small))
+        s2 = analysis.rms_jitter(omega_large, psd_fn(omega_large))
+        assert s2 > s1
+
+    def test_grid_checks(self, analysis):
+        with pytest.raises(ValidationError):
+            analysis.rms_jitter([1.0, 2.0], [1.0])
+        with pytest.raises(ValidationError):
+            analysis.rms_jitter([2.0, 1.0], [1.0, 1.0])
+        with pytest.raises(ValidationError):
+            analysis.rms_jitter([1.0, 2.0], [1.0, -1.0])
+
+
+class TestPsdFactories:
+    def test_flat(self):
+        psd = flat_psd(3.0)
+        assert np.allclose(psd(np.array([1.0, 2.0])), 3.0)
+
+    def test_flat_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            flat_psd(-1.0)
+
+    def test_one_over_f2(self):
+        psd = one_over_f2_psd(4.0, omega_ref=2.0)
+        assert psd(np.array([2.0]))[0] == pytest.approx(4.0)
+        assert psd(np.array([4.0]))[0] == pytest.approx(1.0)
+
+    def test_one_over_f2_validation(self):
+        with pytest.raises(ValidationError):
+            one_over_f2_psd(1.0, omega_ref=0.0)

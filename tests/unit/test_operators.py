@@ -1,0 +1,199 @@
+"""Tests for repro.core.operators — lazy LPTV operators and the paper's
+building-block HTM formulas (eqs. 12, 13, 19-20, 25)."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.core.operators import (
+    FeedbackOperator,
+    IdentityOperator,
+    IsfIntegrationOperator,
+    LTIOperator,
+    MultiplicationOperator,
+    ParallelOperator,
+    SamplingOperator,
+    ScaledOperator,
+    SeriesOperator,
+    ones_vector,
+)
+from repro.lti.transfer import TransferFunction
+from repro.signals.fourier import FourierSeries
+from repro.signals.isf import ImpulseSensitivity
+
+W0 = 2 * np.pi
+
+
+class TestIdentity:
+    def test_dense(self):
+        op = IdentityOperator(W0)
+        assert np.allclose(op.dense(1j, 2), np.eye(5))
+
+    def test_htm_wrapper(self):
+        htm = IdentityOperator(W0).htm(0.3j, 1)
+        assert htm.s == 0.3j and htm.order == 1
+
+
+class TestLTIOperator:
+    def test_diagonal_embedding_eq12(self):
+        tf = TransferFunction([1.0], [1.0, 1.0])
+        op = LTIOperator(tf, W0)
+        s = 0.2j
+        mat = op.dense(s, 2)
+        for n in range(-2, 3):
+            assert mat[n + 2, n + 2] == pytest.approx(tf(s + 1j * n * W0))
+        off = mat - np.diag(np.diag(mat))
+        assert np.max(np.abs(off)) == 0.0
+
+    def test_accepts_plain_callable(self):
+        op = LTIOperator(lambda s: np.exp(-s), W0)
+        mat = op.dense(0.0, 1)
+        assert mat[2, 2] == pytest.approx(np.exp(-1j * W0))
+
+    def test_rejects_non_callable(self):
+        with pytest.raises(ValidationError):
+            LTIOperator(42, W0)
+
+
+class TestMultiplicationOperator:
+    def test_toeplitz_eq13(self):
+        series = FourierSeries([0.3, 1.0, 0.5], W0)
+        op = MultiplicationOperator(series)
+        mat = op.dense(123j, 2)  # independent of s
+        assert mat[2, 2] == 1.0
+        assert mat[3, 2] == 0.5  # P_{1}
+        assert mat[1, 2] == 0.3  # P_{-1}
+        assert mat[4, 2] == 0.0  # P_{2}
+
+    def test_s_independent(self):
+        series = FourierSeries([1.0, 2.0, 3.0], W0)
+        op = MultiplicationOperator(series)
+        assert np.allclose(op.dense(0.0, 2), op.dense(5j, 2))
+
+
+class TestSamplingOperator:
+    def test_rank_one_all_ones_eq19(self):
+        op = SamplingOperator(W0)
+        mat = op.dense(0.7j, 3)
+        assert np.allclose(mat, W0 / (2 * np.pi) * np.ones((7, 7)))
+
+    def test_offset_phases(self):
+        offset = 0.1
+        op = SamplingOperator(W0, offset=offset)
+        mat = op.dense(0.0, 1)
+        # Kernel coefficients P_k = (1/T) exp(-j k w0 offset) on diagonals.
+        expected_p1 = (W0 / (2 * np.pi)) * np.exp(-1j * W0 * offset)
+        assert mat[2, 1] == pytest.approx(expected_p1)
+
+    def test_offset_preserves_rank_one(self):
+        op = SamplingOperator(W0, offset=0.23)
+        svals = np.linalg.svd(op.dense(0.0, 3), compute_uv=False)
+        assert svals[1] < 1e-12 * svals[0]
+
+    def test_column_row_factorisation(self):
+        op = SamplingOperator(W0, offset=0.05)
+        order = 2
+        outer = np.outer(op.column_vector(order), op.row_vector(order))
+        assert np.allclose(op.dense(0.0, order), W0 / (2 * np.pi) * outer)
+
+
+class TestIsfIntegrationOperator:
+    def test_eq25_structure(self):
+        isf = ImpulseSensitivity.from_coefficients([0.2j, 1.0, -0.2j], W0)
+        op = IsfIntegrationOperator(isf)
+        s = 0.4j
+        mat = op.dense(s, 2)
+        for n in range(-2, 3):
+            for m in range(-2, 3):
+                expected = isf.coefficient(n - m) / (s + 1j * n * W0)
+                assert mat[n + 2, m + 2] == pytest.approx(complex(expected))
+
+    def test_time_invariant_reduces_to_integrator(self):
+        isf = ImpulseSensitivity.constant(2.0, W0)
+        op = IsfIntegrationOperator(isf)
+        s = 0.3j
+        mat = op.dense(s, 1)
+        tf = TransferFunction.integrator(2.0)
+        diag = LTIOperator(tf, W0).dense(s, 1)
+        assert np.allclose(mat, diag)
+
+
+class TestComposites:
+    tf1 = TransferFunction([1.0], [1.0, 1.0])
+    tf2 = TransferFunction([2.0], [1.0, 3.0])
+
+    def test_series_matches_matrix_product(self):
+        a = LTIOperator(self.tf1, W0)
+        b = SamplingOperator(W0)
+        s = 0.2j
+        assert np.allclose(
+            SeriesOperator(a, b).dense(s, 2), a.dense(s, 2) @ b.dense(s, 2)
+        )
+
+    def test_matmul_sugar(self):
+        a = LTIOperator(self.tf1, W0)
+        b = LTIOperator(self.tf2, W0)
+        assert np.allclose((a @ b).dense(1j, 1), a.dense(1j, 1) @ b.dense(1j, 1))
+
+    def test_parallel(self):
+        a = LTIOperator(self.tf1, W0)
+        b = LTIOperator(self.tf2, W0)
+        assert np.allclose((a + b).dense(1j, 1), a.dense(1j, 1) + b.dense(1j, 1))
+
+    def test_scaled_and_neg(self):
+        a = LTIOperator(self.tf1, W0)
+        assert np.allclose((3 * a).dense(1j, 1), 3 * a.dense(1j, 1))
+        assert np.allclose((-a).dense(1j, 1), -a.dense(1j, 1))
+
+    def test_scalar_only_multiplication(self):
+        a = IdentityOperator(W0)
+        with pytest.raises(TypeError):
+            a * a
+
+    def test_fundamental_mismatch_rejected(self):
+        a = IdentityOperator(W0)
+        b = IdentityOperator(2 * W0)
+        with pytest.raises(ValidationError):
+            SeriesOperator(a, b)
+        with pytest.raises(ValidationError):
+            ParallelOperator(a, b)
+
+    def test_lti_series_commutes(self):
+        """Diagonal HTMs commute — LTI blocks can be reordered (sanity)."""
+        a = LTIOperator(self.tf1, W0)
+        b = LTIOperator(self.tf2, W0)
+        s = 0.7j
+        assert np.allclose((a @ b).dense(s, 2), (b @ a).dense(s, 2))
+
+    def test_sampler_does_not_commute_with_lti(self):
+        """Time-varying blocks do not commute — the essence of the paper."""
+        a = LTIOperator(self.tf1, W0)
+        p = SamplingOperator(W0)
+        s = 0.2j
+        assert not np.allclose((a @ p).dense(s, 2), (p @ a).dense(s, 2))
+
+
+class TestFeedbackOperator:
+    def test_matches_manual_closure(self):
+        g = ScaledOperator(SamplingOperator(W0), 0.5)
+        s = 0.3j
+        order = 3
+        closed = FeedbackOperator(g).dense(s, order)
+        gm = g.dense(s, order)
+        expected = np.linalg.solve(np.eye(2 * order + 1) + gm, gm)
+        assert np.allclose(closed, expected)
+
+    def test_element_helper(self):
+        op = IdentityOperator(W0)
+        assert op.element(0.5j, 0, 0) == pytest.approx(1.0)
+        assert op.element(0.5j, 1, 0, order=2) == 0.0
+
+    def test_feedback_sugar(self):
+        g = ScaledOperator(IdentityOperator(W0), 1.0)
+        closed = g.feedback()
+        assert np.allclose(closed.dense(0.0, 1), 0.5 * np.eye(3))
+
+
+class TestOnesVector:
+    def test_size(self):
+        assert np.allclose(ones_vector(2), np.ones(5))

@@ -1,0 +1,100 @@
+"""Tests for repro.blocks.pfd — the three detector models."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.pfd import MultiplyingPFD, SampleHoldPFD, SamplingPFD
+
+W0 = 2 * np.pi
+
+
+class TestSamplingPFD:
+    def test_gain_is_sampling_rate(self):
+        pfd = SamplingPFD(W0)
+        assert pfd.gain == pytest.approx(1.0)  # w0/2pi with T = 1
+        assert pfd.period == pytest.approx(1.0)
+
+    def test_operator_is_rank_one_all_ones(self):
+        mat = SamplingPFD(W0).operator().dense(0.3j, 2)
+        assert np.allclose(mat, np.ones((5, 5)))
+
+    def test_htm_rank(self):
+        htm = SamplingPFD(W0).operator().htm(0.1j, 3)
+        assert htm.numerical_rank() == 1
+
+    def test_column_includes_gain(self):
+        pfd = SamplingPFD(2 * W0)  # T = 0.5, gain = 2
+        col = pfd.column_vector(1)
+        assert np.allclose(col, 2.0)
+
+    def test_offset_rotates_phases(self):
+        pfd = SamplingPFD(W0, sampling_offset=0.25)
+        col = pfd.column_vector(1)
+        assert col[2] == pytest.approx(1.0 * np.exp(-1j * W0 * 0.25))
+        row = pfd.row_vector(1)
+        assert row[2] == pytest.approx(np.exp(1j * W0 * 0.25))
+
+    def test_factorisation_consistent(self):
+        pfd = SamplingPFD(W0, sampling_offset=0.1)
+        order = 2
+        outer = np.outer(pfd.column_vector(order), pfd.row_vector(order))
+        assert np.allclose(outer, pfd.operator().dense(0.0, order))
+
+
+class TestSampleHoldPFD:
+    def test_hold_dc_value_is_period(self):
+        pfd = SampleHoldPFD(W0)
+        assert pfd.hold_transfer(0.0) == pytest.approx(pfd.period)
+
+    def test_hold_small_s_series(self):
+        pfd = SampleHoldPFD(W0)
+        s = 1e-10
+        assert pfd.hold_transfer(s) == pytest.approx(pfd.period, rel=1e-8)
+
+    def test_hold_nulls_at_harmonics(self):
+        """ZOH has transmission zeros at every non-zero multiple of w0."""
+        pfd = SampleHoldPFD(W0)
+        for k in (1, 2, 3):
+            assert abs(pfd.hold_transfer(1j * k * W0)) < 1e-12
+
+    def test_overall_dc_gain_unity(self):
+        """(1/T) sampling weight times hold T: baseband DC transfer is 1."""
+        pfd = SampleHoldPFD(W0)
+        mat = pfd.operator().dense(1e-9j, 2)
+        assert mat[2, 2] == pytest.approx(1.0, rel=1e-6)
+
+    def test_operator_rank_one(self):
+        mat = SampleHoldPFD(W0).operator().dense(0.2j, 3)
+        svals = np.linalg.svd(mat, compute_uv=False)
+        assert svals[1] < 1e-10 * svals[0]
+
+    def test_column_vector_matches_operator(self):
+        pfd = SampleHoldPFD(W0)
+        s = 0.17j
+        order = 2
+        outer = np.outer(pfd.column_vector(order, s), pfd.row_vector(order))
+        assert np.allclose(outer, pfd.operator().dense(s, order))
+
+    def test_hold_adds_phase_lag(self):
+        """The half-period delay of the ZOH shows up as linear phase."""
+        pfd = SampleHoldPFD(W0)
+        omega = 0.2 * W0
+        phase = np.angle(pfd.hold_transfer(1j * omega))
+        assert phase == pytest.approx(-omega * pfd.period / 2.0, rel=1e-6)
+
+    def test_vectorized_hold(self):
+        out = SampleHoldPFD(W0).hold_transfer(1j * np.array([0.1, 0.2]))
+        assert out.shape == (2,)
+
+
+class TestMultiplyingPFD:
+    def test_operator_diagonal_constant(self):
+        mat = MultiplyingPFD(W0, k_pd=3.0).operator().dense(0.5j, 2)
+        assert np.allclose(mat, 3.0 * np.eye(5))
+
+    def test_gain(self):
+        assert MultiplyingPFD(W0, k_pd=0.5).gain == 0.5
+
+    def test_lti_so_no_conversion(self):
+        htm = MultiplyingPFD(W0).operator().htm(0.1j, 2)
+        assert htm.is_diagonal()

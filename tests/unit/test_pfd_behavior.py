@@ -1,0 +1,96 @@
+"""Tests for repro.simulator.pfd_behavior — the tri-state state machine."""
+
+import pytest
+
+from repro._errors import ValidationError
+from repro.simulator.pfd_behavior import PFDState, PumpInterval, TriStatePFD
+
+
+class TestBasicOperation:
+    def test_ref_leads_produces_up(self):
+        pfd = TriStatePFD()
+        pfd.reference_edge(1.0)
+        pfd.vco_edge(1.3)
+        assert len(pfd.intervals) == 1
+        interval = pfd.intervals[0]
+        assert interval.state is PFDState.UP
+        assert interval.width == pytest.approx(0.3)
+
+    def test_vco_leads_produces_down(self):
+        pfd = TriStatePFD()
+        pfd.vco_edge(2.0)
+        pfd.reference_edge(2.5)
+        assert pfd.intervals[0].state is PFDState.DOWN
+        assert pfd.intervals[0].width == pytest.approx(0.5)
+
+    def test_simultaneous_edges_zero_width(self):
+        pfd = TriStatePFD()
+        pfd.reference_edge(1.0)
+        pfd.vco_edge(1.0)
+        assert pfd.intervals[0].width == 0.0
+
+    def test_state_returns_to_neutral(self):
+        pfd = TriStatePFD()
+        pfd.reference_edge(1.0)
+        assert pfd.state is PFDState.UP
+        pfd.vco_edge(1.1)
+        assert pfd.state is PFDState.NEUTRAL
+
+    def test_repeated_ref_edges_stay_up(self):
+        """Frequency detection: missing VCO edges keep UP asserted."""
+        pfd = TriStatePFD()
+        pfd.reference_edge(1.0)
+        pfd.reference_edge(2.0)
+        assert pfd.state is PFDState.UP
+        pfd.vco_edge(2.4)
+        assert pfd.intervals[0].width == pytest.approx(1.4)
+
+    def test_time_order_enforced(self):
+        pfd = TriStatePFD()
+        pfd.reference_edge(2.0)
+        with pytest.raises(ValidationError):
+            pfd.vco_edge(1.0)
+
+
+class TestProcess:
+    def test_locked_sequence(self):
+        pfd = TriStatePFD()
+        ref = [1.0, 2.0, 3.0]
+        vco = [1.1, 2.05, 3.0]
+        intervals = pfd.process(ref, vco)
+        assert len(intervals) == 3
+        assert all(i.state is PFDState.UP for i in intervals[:2])
+        widths = [i.width for i in intervals]
+        assert widths == pytest.approx([0.1, 0.05, 0.0])
+
+    def test_alternating_leads(self):
+        pfd = TriStatePFD()
+        intervals = pfd.process([1.0, 2.1], [1.2, 2.0])
+        assert intervals[0].state is PFDState.UP
+        assert intervals[1].state is PFDState.DOWN
+
+    def test_net_charge_sign(self):
+        pfd = TriStatePFD()
+        pfd.process([1.0], [1.25])
+        assert pfd.net_charge(1e-3) == pytest.approx(0.25e-3)
+        pfd2 = TriStatePFD()
+        pfd2.process([1.25], [1.0])
+        assert pfd2.net_charge(1e-3) == pytest.approx(-0.25e-3)
+
+    def test_acquisition_like_burst(self):
+        """VCO running fast: extra VCO edges produce growing DOWN drive."""
+        pfd = TriStatePFD()
+        ref = [1.0, 2.0]
+        vco = [0.5, 1.4, 1.9]
+        intervals = pfd.process(ref, vco)
+        assert intervals[0].state is PFDState.DOWN
+        assert pfd.net_charge(1.0) < 0
+
+
+class TestPumpInterval:
+    def test_width(self):
+        assert PumpInterval(1.0, 1.5, PFDState.UP).width == pytest.approx(0.5)
+
+    def test_order_validated(self):
+        with pytest.raises(ValidationError):
+            PumpInterval(2.0, 1.0, PFDState.UP)

@@ -1,0 +1,109 @@
+"""Tests for repro.core.rank_one — the SMW closure (paper eqs. 29-34)."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.core.rank_one import (
+    RankOneHTM,
+    smw_closed_loop,
+    smw_identity_check,
+    smw_inverse_apply,
+)
+
+W0 = 2 * np.pi
+
+
+def vectors(order=3, seed=0):
+    rng = np.random.default_rng(seed)
+    n = 2 * order + 1
+    col = rng.normal(size=n) + 1j * rng.normal(size=n)
+    row = rng.normal(size=n) + 1j * rng.normal(size=n)
+    return col, row
+
+
+class TestRankOneHTM:
+    def test_to_htm(self):
+        col, row = vectors()
+        r1 = RankOneHTM(col, row, W0, 0.1j)
+        assert np.allclose(r1.to_htm().matrix, np.outer(col, row))
+
+    def test_order(self):
+        col, row = vectors(order=2)
+        assert RankOneHTM(col, row, W0).order == 2
+
+    def test_left_multiply_stays_rank_one(self):
+        col, row = vectors()
+        mat = np.diag(np.arange(1.0, 8.0))
+        r1 = RankOneHTM(col, row, W0).left_multiply_dense(mat)
+        assert np.allclose(r1.to_htm().matrix, mat @ np.outer(col, row))
+
+    def test_left_multiply_shape_checked(self):
+        col, row = vectors()
+        with pytest.raises(ValidationError):
+            RankOneHTM(col, row, W0).left_multiply_dense(np.eye(3))
+
+    def test_trace_like_is_lambda(self):
+        col, row = vectors()
+        assert RankOneHTM(col, row, W0).trace_like() == pytest.approx(row @ col)
+
+    def test_mismatched_vectors_rejected(self):
+        with pytest.raises(ValidationError):
+            RankOneHTM(np.ones(3), np.ones(5), W0)
+
+    def test_even_length_rejected(self):
+        with pytest.raises(ValidationError):
+            RankOneHTM(np.ones(4), np.ones(4), W0)
+
+
+class TestSMWInverse:
+    def test_matches_dense_inverse(self):
+        col, row = vectors(seed=1)
+        n = col.size
+        rhs = np.arange(n, dtype=complex)
+        direct = np.linalg.solve(np.eye(n) + np.outer(col, row), rhs)
+        fast = smw_inverse_apply(col, row, rhs)
+        assert np.allclose(fast, direct)
+
+    def test_singular_loop_detected(self):
+        col = np.array([1.0, 0.0, 0.0], dtype=complex)
+        row = np.array([-1.0, 0.0, 0.0], dtype=complex)  # lambda = -1
+        with pytest.raises(ZeroDivisionError):
+            smw_inverse_apply(col, row, np.ones(3, dtype=complex))
+
+    def test_identity_residual_tiny(self):
+        col, row = vectors(seed=2)
+        assert smw_identity_check(col, row) < 1e-12
+
+
+class TestSMWClosedLoop:
+    def test_matches_dense_feedback(self):
+        col, row = vectors(seed=3)
+        n = col.size
+        g = np.outer(col, row)
+        expected = np.linalg.solve(np.eye(n) + g, g)
+        fast = smw_closed_loop(col, row)
+        assert np.allclose(fast, expected)
+
+    def test_result_is_rank_one(self):
+        col, row = vectors(seed=4)
+        closed = smw_closed_loop(col, row)
+        svals = np.linalg.svd(closed, compute_uv=False)
+        assert svals[1] < 1e-12 * svals[0]
+
+    def test_element_formula_eq34(self):
+        """H_{n,m} = V_n row_m / (1 + lambda) for every element."""
+        col, row = vectors(seed=5)
+        lam = row @ col
+        closed = smw_closed_loop(col, row)
+        order = (col.size - 1) // 2
+        for n in (-order, 0, order):
+            for m in (-1, 0, 1):
+                expected = col[n + order] * row[m + order] / (1 + lam)
+                assert closed[n + order, m + order] == pytest.approx(expected)
+
+    def test_marginal_pole_detected(self):
+        col = np.array([2.0, 0.0, 0.0], dtype=complex)
+        row = np.array([-0.5, 0.0, 0.0], dtype=complex)
+        with pytest.raises(ZeroDivisionError):
+            smw_closed_loop(col, row)

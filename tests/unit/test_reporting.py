@@ -1,0 +1,110 @@
+"""Tests for repro.reporting — ASCII charts and figure renderers."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.reporting.ascii_plot import AsciiPlot, Series
+
+
+class TestSeries:
+    def test_shape_validated(self):
+        with pytest.raises(ValidationError):
+            Series(np.array([1.0, 2.0]), np.array([1.0]))
+
+    def test_glyph_validated(self):
+        with pytest.raises(ValidationError):
+            Series(np.array([1.0]), np.array([1.0]), glyph="**")
+
+    def test_data_copied(self):
+        x = np.array([1.0, 2.0])
+        s = Series(x, x)
+        x[0] = 99.0
+        assert s.x[0] == 1.0
+
+
+class TestAsciiPlot:
+    def test_basic_render(self):
+        plot = AsciiPlot(width=32, height=8).add([0, 1, 2], [0, 1, 0], glyph="*")
+        text = plot.render()
+        assert "*" in text
+        assert text.count("\n") >= 8
+
+    def test_title_and_labels(self):
+        plot = AsciiPlot(width=32, height=8, title="T", x_label="X", y_label="Y")
+        plot.add([0, 1], [0, 1])
+        text = plot.render()
+        assert text.startswith("T")
+        assert "X" in text and "Y" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            AsciiPlot().render()
+
+    def test_log_axis_positive_only(self):
+        plot = AsciiPlot(log_x=True).add([-1.0, 1.0], [0.0, 1.0])
+        with pytest.raises(ValidationError):
+            plot.render()
+
+    def test_log_axis_ticks(self):
+        plot = AsciiPlot(width=40, height=6, log_x=True).add(
+            np.logspace(-2, 2, 10), np.linspace(0, 1, 10)
+        )
+        text = plot.render()
+        assert "0.01" in text and "100" in text
+
+    def test_markers_drawn_on_top(self):
+        plot = AsciiPlot(width=32, height=8)
+        plot.add(np.linspace(0, 1, 20), np.zeros(20), glyph="-")
+        plot.add([0.5], [0.0], glyph="o", markers_only=True)
+        assert "o" in plot.render()
+
+    def test_constant_series_handled(self):
+        text = AsciiPlot(width=24, height=6).add([0, 1], [2.0, 2.0]).render()
+        assert "*" in text
+
+    def test_nan_values_skipped(self):
+        y = np.array([0.0, np.nan, 1.0])
+        text = AsciiPlot(width=24, height=6).add([0, 1, 2], y).render()
+        assert "*" in text
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValidationError):
+            AsciiPlot().add([0.0], [np.nan]).render()
+
+    def test_legend(self):
+        plot = AsciiPlot(width=24, height=6)
+        plot.add([0, 1], [0, 1], glyph="x", label="one")
+        assert "x one" in plot.render()
+
+    def test_size_validated(self):
+        plot = AsciiPlot(width=4, height=2).add([0, 1], [0, 1])
+        with pytest.raises(ValidationError):
+            plot.render()
+
+
+class TestFigureRenderers:
+    def test_fig5(self):
+        from repro.experiments.fig5 import run_fig5
+        from repro.reporting import render_fig5
+
+        text = render_fig5(run_fig5(points=60))
+        assert "Fig. 5a" in text and "Fig. 5b" in text
+
+    def test_fig7(self):
+        from repro.experiments.fig7 import run_fig7
+        from repro.reporting import render_fig7
+
+        text = render_fig7(run_fig7(points=5))
+        assert "Fig. 7a" in text and "LTI" in text
+
+    def test_fig6(self):
+        from repro.experiments.fig6 import run_fig6
+        from repro.reporting import render_fig6
+
+        result = run_fig6(
+            ratios=(0.05, 0.2), points=40, mark_points=2, measure_cycles=60, discard_cycles=40
+        )
+        text = render_fig6(result)
+        assert "o" in text  # simulation marks present
+        assert "wUG/w0=0.05" in text

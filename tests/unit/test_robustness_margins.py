@@ -1,0 +1,104 @@
+"""Tests for modulus and delay margins, incl. on the effective loop gain."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro._errors import ConvergenceError
+from repro.lti.bode import delay_margin, gain_crossover, modulus_margin, phase_margin
+from repro.lti.transfer import TransferFunction
+from repro.pll.design import design_typical_loop
+from repro.pll.margins import effective_open_loop
+from repro.pll.openloop import lti_open_loop
+
+W0 = 2 * np.pi
+
+
+class TestModulusMargin:
+    def test_integrator_loop(self):
+        """L = k/s: |1 + k/jw|^2 = 1 + (k/w)^2 > 1, infimum 1 at high w."""
+        loop = TransferFunction.integrator(1.0)
+        m = modulus_margin(loop, 1e-2, 1e4)
+        assert m == pytest.approx(1.0, abs=1e-3)
+
+    def test_known_second_order(self):
+        # L = 1/(s (s + 1)): min |1 + L| computable numerically; check the
+        # returned value is the actual minimum of a dense scan.
+        loop = TransferFunction([1.0], [1.0, 1.0, 0.0])
+        m = modulus_margin(loop, 1e-3, 1e3)
+        grid = np.logspace(-3, 3, 20000)
+        dense = np.min(np.abs(1.0 + loop.frequency_response(grid)))
+        assert m == pytest.approx(dense, rel=1e-3)
+
+    def test_bounds_classical_margins(self):
+        """m <= 2 sin(PM/2), i.e. PM >= 2 asin(m/2) — the disk-margin bound
+        (stable loop: gain 5 < GM boundary 8 of the triple-pole plant)."""
+        loop = TransferFunction([5.0], np.polymul(np.polymul([1, 1], [1, 1]), [1, 1]))
+        m = modulus_margin(loop, 1e-3, 1e3)
+        pm = phase_margin(loop, 1e-3, 1e3)
+        assert pm >= math.degrees(2 * math.asin(min(m / 2, 1.0))) - 1e-6
+
+    def test_effective_gain_margin_shrinks_with_ratio(self):
+        """The sampled loop's modulus margin collapses as the loop speeds
+        up — same story as Fig. 7 in robust-control language."""
+        margins = []
+        for ratio in (0.05, 0.15, 0.25):
+            pll = design_typical_loop(omega0=W0, omega_ug=ratio * W0)
+            lam = effective_open_loop(pll)
+            margins.append(modulus_margin(lam, 1e-3 * W0, 0.499 * W0))
+        assert margins[0] > margins[1] > margins[2]
+        assert margins[2] < 0.4
+
+    def test_unstable_loop_tiny_margin(self):
+        """Near the stability boundary |1 + lambda| approaches zero on axis."""
+        pll = design_typical_loop(omega0=W0, omega_ug=0.27 * W0)
+        lam = effective_open_loop(pll)
+        assert modulus_margin(lam, 1e-3 * W0, 0.499 * W0) < 0.1
+
+
+class TestDelayMargin:
+    def test_integrator(self):
+        """L = 1/s: wUG = 1, PM = 90 deg -> delay margin pi/2 seconds."""
+        loop = TransferFunction.integrator(1.0)
+        assert delay_margin(loop, 1e-2, 1e2) == pytest.approx(math.pi / 2, rel=1e-6)
+
+    def test_no_crossover_raises(self):
+        with pytest.raises(ConvergenceError):
+            delay_margin(TransferFunction.gain(0.1))
+
+    def test_consistency_with_actual_delay(self):
+        """Adding ~the delay margin as a loop delay drives the effective
+        phase margin toward zero."""
+        from repro.blocks.delay import LoopDelay
+        from repro.pll.architecture import PLL
+
+        pll = design_typical_loop(omega0=W0, omega_ug=0.05 * W0)
+        a = lti_open_loop(pll)
+        tau = delay_margin(a, 1e-3 * W0, 0.5 * W0)
+        delayed = PLL(
+            pfd=pll.pfd,
+            charge_pump=pll.charge_pump,
+            filter_impedance=pll.filter_impedance,
+            vco=pll.vco,
+            delay=LoopDelay(0.95 * tau, W0),
+        )
+        from repro.pll.openloop import open_loop_callable
+
+        pm = phase_margin(
+            lambda w: np.asarray(open_loop_callable(delayed)(1j * np.asarray(w))),
+            1e-3 * W0,
+            0.5 * W0,
+        )
+        assert 0.0 < pm < 5.0
+
+    def test_sampled_loop_delay_margin_shrinks(self):
+        """Effective delay margin (on lambda) falls faster than the LTI one."""
+        slow = design_typical_loop(omega0=W0, omega_ug=0.02 * W0)
+        fast = design_typical_loop(omega0=W0, omega_ug=0.2 * W0)
+        dm_lti_slow = delay_margin(lti_open_loop(slow), 1e-3 * W0, 0.499 * W0)
+        dm_lti_fast = delay_margin(lti_open_loop(fast), 1e-3 * W0, 0.499 * W0)
+        dm_eff_fast = delay_margin(effective_open_loop(fast), 1e-3 * W0, 0.499 * W0)
+        # LTI: margin scales like 1/wUG; effective: additionally squeezed.
+        assert dm_lti_fast < dm_lti_slow
+        assert dm_eff_fast < 0.8 * dm_lti_fast

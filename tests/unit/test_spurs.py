@@ -1,0 +1,130 @@
+"""Tests for repro.pll.spurs — reference spurs from charge-pump leakage."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.blocks.chargepump import ChargePump
+from repro.pll.architecture import PLL
+from repro.pll.design import design_typical_loop
+from repro.pll.spurs import (
+    SpurPrediction,
+    measure_reference_spurs,
+    predict_reference_spurs,
+)
+
+W0 = 2 * np.pi
+
+
+def leaky_pll(leakage, icp=1e-3, ratio=0.05):
+    base = design_typical_loop(omega0=W0, omega_ug=ratio * W0, charge_pump_current=icp)
+    return PLL(
+        pfd=base.pfd,
+        charge_pump=ChargePump(icp, leakage=leakage),
+        filter_impedance=base.filter_impedance,
+        vco=base.vco,
+    )
+
+
+class TestPrediction:
+    def test_pulse_width_formula(self):
+        pll = leaky_pll(leakage=1e-6)
+        pred = predict_reference_spurs(pll)
+        assert pred.pulse_width == pytest.approx(1e-6 / 1e-3 * pll.period)
+        assert pred.static_phase_offset == pred.pulse_width
+
+    def test_spur_levels_scale_with_leakage(self):
+        small = predict_reference_spurs(leaky_pll(1e-7)).harmonics[1]
+        large = predict_reference_spurs(leaky_pll(1e-6)).harmonics[1]
+        assert abs(large) == pytest.approx(10 * abs(small), rel=1e-3)
+
+    def test_harmonics_decay(self):
+        pred = predict_reference_spurs(leaky_pll(1e-6), harmonics=4)
+        mags = [abs(pred.harmonics[k]) for k in (1, 2, 3, 4)]
+        assert all(b < a for a, b in zip(mags, mags[1:]))
+
+    def test_spur_dbc(self):
+        pred = predict_reference_spurs(leaky_pll(1e-6))
+        level = pred.spur_dbc(1, carrier_frequency_hz=1.0)
+        beta = 2 * np.pi * 1.0 * abs(pred.harmonics[1])
+        assert level == pytest.approx(20 * np.log10(beta / 2))
+
+    def test_spur_dbc_unknown_harmonic(self):
+        pred = predict_reference_spurs(leaky_pll(1e-6), harmonics=2)
+        with pytest.raises(ValidationError):
+            pred.spur_dbc(5, 1.0)
+
+    def test_no_leakage_rejected(self):
+        with pytest.raises(ValidationError):
+            predict_reference_spurs(leaky_pll(0.0))
+
+    def test_gross_leakage_rejected(self):
+        with pytest.raises(ValidationError):
+            predict_reference_spurs(leaky_pll(0.6e-3))
+
+
+class TestMeasurementAgreement:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        pll = leaky_pll(1e-6)
+        return (
+            predict_reference_spurs(pll, harmonics=3),
+            measure_reference_spurs(pll, harmonics=3, settle_cycles=300, measure_cycles=64),
+        )
+
+    def test_static_offset(self, pair):
+        pred, meas = pair
+        assert meas.static_phase_offset == pytest.approx(pred.pulse_width, rel=1e-3)
+
+    def test_fundamental_within_five_percent(self, pair):
+        pred, meas = pair
+        assert abs(meas.harmonics[1]) == pytest.approx(abs(pred.harmonics[1]), rel=0.05)
+
+    def test_phase_agreement(self, pair):
+        pred, meas = pair
+        angle = np.angle(meas.harmonics[1] / pred.harmonics[1])
+        assert abs(angle) < 0.05
+
+    def test_higher_harmonics_within_ten_percent(self, pair):
+        pred, meas = pair
+        for k in (2, 3):
+            assert abs(meas.harmonics[k]) == pytest.approx(
+                abs(pred.harmonics[k]), rel=0.10
+            )
+
+    def test_oversample_guard(self):
+        with pytest.raises(ValidationError):
+            measure_reference_spurs(leaky_pll(1e-6), harmonics=20, oversample=8)
+
+
+class TestMismatchInteraction:
+    def test_prediction_uses_up_current(self):
+        """Mismatch raises I_up, shrinking the compensating pulse width."""
+        base = design_typical_loop(omega0=W0, omega_ug=0.05 * W0, charge_pump_current=1e-3)
+        matched = PLL(
+            pfd=base.pfd,
+            charge_pump=ChargePump(1e-3, leakage=1e-6),
+            filter_impedance=base.filter_impedance,
+            vco=base.vco,
+        )
+        skewed = PLL(
+            pfd=base.pfd,
+            charge_pump=ChargePump(1e-3, mismatch=0.2, leakage=1e-6),
+            filter_impedance=base.filter_impedance,
+            vco=base.vco,
+        )
+        w_matched = predict_reference_spurs(matched).pulse_width
+        w_skewed = predict_reference_spurs(skewed).pulse_width
+        assert w_skewed == pytest.approx(w_matched / 1.1, rel=1e-9)
+
+    def test_mismatch_measured_offset_follows_prediction(self):
+        base = design_typical_loop(omega0=W0, omega_ug=0.05 * W0, charge_pump_current=1e-3)
+        skewed = PLL(
+            pfd=base.pfd,
+            charge_pump=ChargePump(1e-3, mismatch=0.2, leakage=1e-6),
+            filter_impedance=base.filter_impedance,
+            vco=base.vco,
+        )
+        pred = predict_reference_spurs(skewed)
+        meas = measure_reference_spurs(skewed, settle_cycles=300, measure_cycles=32)
+        assert meas.static_phase_offset == pytest.approx(pred.pulse_width, rel=1e-2)

@@ -1,0 +1,97 @@
+"""Tests for repro.lti.stability: Hurwitz, Routh, Nyquist."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.lti.stability import (
+    hurwitz_stable,
+    nyquist_encirclements,
+    routh_rhp_count,
+    routh_table,
+)
+from repro.lti.transfer import TransferFunction
+
+
+class TestHurwitz:
+    def test_stable_second_order(self):
+        assert hurwitz_stable([1.0, 2.0, 1.0])
+
+    def test_unstable(self):
+        assert not hurwitz_stable([1.0, -3.0, 2.0])
+
+    def test_marginal_integrator_counts_unstable(self):
+        assert not hurwitz_stable([1.0, 0.0])
+
+    def test_margin_parameter(self):
+        # pole at -0.5: stable absolutely, not with margin 1.0
+        assert hurwitz_stable([1.0, 0.5])
+        assert not hurwitz_stable([1.0, 0.5], margin=1.0)
+
+    def test_constant_polynomial_stable(self):
+        assert hurwitz_stable([5.0])
+
+    def test_zero_polynomial_rejected(self):
+        with pytest.raises(ValidationError):
+            hurwitz_stable([0.0])
+
+
+class TestRouth:
+    def test_table_shape(self):
+        table = routh_table([1.0, 2.0, 3.0, 4.0])
+        assert table.shape == (4, 2)
+
+    def test_stable_has_no_sign_changes(self):
+        # (s+1)(s+2)(s+3) = s^3 + 6 s^2 + 11 s + 6
+        assert routh_rhp_count([1.0, 6.0, 11.0, 6.0]) == 0
+
+    def test_unstable_counts_rhp_roots(self):
+        # (s-1)(s+2)(s+3) = s^3 + 4 s^2 + 1 s - 6
+        assert routh_rhp_count([1.0, 4.0, 1.0, -6.0]) == 1
+
+    def test_two_rhp_roots(self):
+        # (s-1)(s-2)(s+3) = s^3 + 0 s^2 - 7 s + 6
+        assert routh_rhp_count([1.0, 0.0, -7.0, 6.0]) == 2
+
+    def test_leading_zero_rejected(self):
+        with pytest.raises(ValidationError):
+            routh_table([0.0, 0.0])
+
+    def test_agrees_with_roots_random(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            roots = rng.normal(size=4) + 1j * 0
+            den = np.real(np.poly(roots))
+            expected = int(np.sum(roots.real > 1e-9))
+            assert routh_rhp_count(den) == expected
+
+
+class TestNyquist:
+    def test_stable_loop_no_encirclement(self):
+        loop = TransferFunction([1.0], [1.0, 2.0, 1.0])  # |L| < 1 everywhere near -1
+        summary = nyquist_encirclements(loop, points=4000)
+        assert summary.encirclements == 0
+        assert summary.closed_loop_stable
+
+    def test_unstable_high_gain_three_pole(self):
+        # L = 30/((s+1)^3): GM = 8/30 < 1 -> two RHP closed-loop poles.
+        loop = TransferFunction([30.0], np.polymul(np.polymul([1, 1], [1, 1]), [1, 1]))
+        summary = nyquist_encirclements(loop, points=20000)
+        assert summary.encirclements == 2
+        assert not summary.closed_loop_stable
+        assert summary.closed_loop_rhp_poles == 2
+
+    def test_matches_closed_loop_pole_count(self):
+        # gain = 8 is excluded: the closed loop is exactly marginal there.
+        for gain in (2.0, 5.0, 30.0, 100.0):
+            loop = TransferFunction([gain], np.polymul(np.polymul([1, 1], [1, 1]), [1, 1]))
+            closed_den = np.polyadd(loop.den, loop.num)
+            expected = int(np.sum(np.roots(closed_den).real > 0))
+            summary = nyquist_encirclements(loop, points=30000)
+            assert summary.closed_loop_rhp_poles == expected
+
+    def test_open_loop_rhp_poles_accounted(self):
+        summary = nyquist_encirclements(
+            TransferFunction([0.1], [1.0, 2.0, 1.0]), open_loop_rhp_poles=1
+        )
+        assert not summary.closed_loop_stable

@@ -1,0 +1,36 @@
+"""Tests for repro.experiments.stability_map."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stability_map import format_table, run_stability_map
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_stability_map(separations=(2.0, 4.0, 8.0), tol=3e-3)
+
+
+class TestStabilityMap:
+    def test_limits_in_physical_range(self, result):
+        assert np.all(result.stability_limits > 0.1)
+        assert np.all(result.stability_limits < 0.5)
+
+    def test_margins_monotone_in_separation(self, result):
+        assert np.all(np.diff(result.lti_phase_margins_deg) > 0)
+
+    def test_limit_weakly_improves_with_margin(self, result):
+        """More LTI margin buys only slightly more usable bandwidth ratio."""
+        limits = result.stability_limits
+        assert limits[-1] >= limits[0]
+        assert limits[-1] - limits[0] < 0.1
+
+    def test_reference_value_at_sep_4(self, result):
+        idx = list(result.separations).index(4.0)
+        assert result.stability_limits[idx] == pytest.approx(0.276, abs=0.01)
+
+    def test_rows_and_table(self, result):
+        rows = result.as_rows()
+        assert len(rows) == 3 and len(rows[0]) == 3
+        text = format_table(result)
+        assert "separation" in text and "LTI" in text

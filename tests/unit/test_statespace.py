@@ -1,0 +1,160 @@
+"""Tests for repro.lti.statespace — exact stepping is the simulator's core."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.lti.statespace import StateSpace
+from repro.lti.transfer import TransferFunction
+
+
+def first_order():
+    # H(s) = 1/(s+1): A=-1, B=1, C=1, D=0
+    return StateSpace([[-1.0]], [[1.0]], [[1.0]], [[0.0]])
+
+
+class TestConstruction:
+    def test_shapes_validated(self):
+        with pytest.raises(ValidationError):
+            StateSpace([[1.0, 0.0]], [[1.0]], [[1.0]], [[0.0]])
+
+    def test_b_rows_checked(self):
+        with pytest.raises(ValidationError):
+            StateSpace([[-1.0]], [[1.0], [1.0]], [[1.0]], [[0.0]])
+
+    def test_c_cols_checked(self):
+        with pytest.raises(ValidationError):
+            StateSpace([[-1.0]], [[1.0]], [[1.0, 0.0]], [[0.0]])
+
+    def test_d_shape_checked(self):
+        with pytest.raises(ValidationError):
+            StateSpace([[-1.0]], [[1.0]], [[1.0]], [[0.0, 0.0]])
+
+
+class TestFromTransferFunction:
+    @pytest.mark.parametrize(
+        "num,den",
+        [
+            ([1.0], [1.0, 1.0]),
+            ([1.0, 2.0], [1.0, 3.0, 5.0]),
+            ([2.0, 0.0, 1.0], [1.0, 2.0, 2.0, 1.0]),
+            ([1.0, 1.0], [1.0, 1.0, 0.0]),  # pole at origin
+        ],
+    )
+    def test_transfer_matches(self, num, den):
+        tf = TransferFunction(num, den)
+        ss = StateSpace.from_transfer_function(tf)
+        for s in (0.5j, 1.0 + 2j, 3.0):
+            assert ss.transfer_at(s) == pytest.approx(tf(s), rel=1e-10)
+
+    def test_feedthrough_biproper(self):
+        tf = TransferFunction([2.0, 1.0], [1.0, 3.0])  # D = 2
+        ss = StateSpace.from_transfer_function(tf)
+        assert ss.D[0, 0] == pytest.approx(2.0)
+        assert ss.transfer_at(1j) == pytest.approx(tf(1j))
+
+    def test_pure_gain(self):
+        ss = StateSpace.from_transfer_function(TransferFunction.gain(4.0))
+        assert ss.order == 1  # degenerate 1-state realization with zero dynamics
+        assert ss.transfer_at(2.0) == pytest.approx(4.0)
+
+    def test_improper_rejected(self):
+        with pytest.raises(ValidationError):
+            StateSpace.from_transfer_function(TransferFunction([1.0, 0.0, 0.0], [1.0, 1.0]))
+
+    def test_complex_coefficients_rejected(self):
+        with pytest.raises(ValidationError):
+            StateSpace.from_transfer_function(TransferFunction([1j], [1.0, 1.0]))
+
+    def test_poles_match(self):
+        tf = TransferFunction([1.0], [1.0, 3.0, 2.0])
+        ss = StateSpace.from_transfer_function(tf)
+        assert sorted(ss.poles().real) == pytest.approx([-2.0, -1.0])
+
+
+class TestStepping:
+    def test_zero_input_decay(self):
+        ss = first_order()
+        x, y = ss.step_held_input(np.array([1.0]), 0.0, 0.5)
+        assert x[0] == pytest.approx(np.exp(-0.5))
+        assert y == pytest.approx(np.exp(-0.5))
+
+    def test_step_response_exact(self):
+        ss = first_order()
+        x, y = ss.step_held_input(np.zeros(1), 1.0, 0.7)
+        assert y == pytest.approx(1.0 - np.exp(-0.7), rel=1e-12)
+
+    def test_zero_dt_is_identity(self):
+        ss = first_order()
+        x, y = ss.step_held_input(np.array([0.3]), 2.0, 0.0)
+        assert x[0] == pytest.approx(0.3)
+
+    def test_negative_dt_rejected(self):
+        with pytest.raises(ValidationError):
+            first_order().step_held_input(np.zeros(1), 0.0, -1.0)
+
+    def test_step_additivity(self):
+        ss = StateSpace.from_transfer_function(TransferFunction([1.0, 2.0], [1.0, 3.0, 5.0]))
+        x0 = np.array([0.2, -0.1])
+        x_one, _ = ss.step_held_input(x0, 1.5, 0.9)
+        x_a, _ = ss.step_held_input(x0, 1.5, 0.4)
+        x_b, _ = ss.step_held_input(x_a, 1.5, 0.5)
+        assert np.allclose(x_one, x_b, rtol=1e-12)
+
+    def test_discretize_positive_dt_required(self):
+        with pytest.raises(ValidationError):
+            first_order().discretize(0.0)
+
+    def test_discretize_matches_analytic(self):
+        ad, bd = first_order().discretize(1.0)
+        assert ad[0, 0] == pytest.approx(np.exp(-1.0))
+        assert bd[0, 0] == pytest.approx(1.0 - np.exp(-1.0))
+
+    def test_integrator_ramp(self):
+        ss = StateSpace.from_transfer_function(TransferFunction.integrator(1.0))
+        x, y = ss.step_held_input(np.zeros(1), 2.0, 3.0)
+        assert y == pytest.approx(6.0)
+
+
+class TestSimulateHeld:
+    def test_piecewise_constant_tracks_exact(self):
+        ss = first_order()
+        times = np.linspace(0, 2.0, 21)
+        inputs = np.ones_like(times)
+        _, outputs = ss.simulate_held(times, inputs)
+        assert np.allclose(outputs, 1.0 - np.exp(-times), rtol=1e-10)
+
+    def test_input_switch(self):
+        ss = first_order()
+        times = np.array([0.0, 1.0, 2.0])
+        inputs = np.array([1.0, 0.0, 0.0])
+        _, outputs = ss.simulate_held(times, inputs)
+        y1 = 1.0 - np.exp(-1.0)
+        assert outputs[1] == pytest.approx(y1)
+        assert outputs[2] == pytest.approx(y1 * np.exp(-1.0))
+
+    def test_initial_state_respected(self):
+        ss = first_order()
+        _, outputs = ss.simulate_held(np.array([0.0, 1.0]), np.zeros(2), x0=np.array([2.0]))
+        assert outputs[0] == pytest.approx(2.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            first_order().simulate_held(np.array([0.0, 1.0]), np.zeros(3))
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(ValidationError):
+            first_order().simulate_held(np.array([1.0, 0.0]), np.zeros(2))
+
+
+class TestQueries:
+    def test_dc_gain(self):
+        assert first_order().dc_gain() == pytest.approx(1.0)
+
+    def test_order(self):
+        ss = StateSpace.from_transfer_function(TransferFunction([1.0], [1.0, 0.0, 1.0]))
+        assert ss.order == 2
+
+    def test_output(self):
+        ss = StateSpace([[-1.0]], [[1.0]], [[2.0]], [[0.5]])
+        assert ss.output(np.array([3.0]), 2.0) == pytest.approx(7.0)

@@ -1,0 +1,103 @@
+"""Tests for repro.simulator.steady_state — the PSS shooting solver."""
+
+import numpy as np
+import pytest
+
+from repro.blocks.chargepump import ChargePump
+from repro.pll.architecture import PLL
+from repro.pll.design import design_typical_loop
+from repro.pll.spurs import measure_reference_spurs, predict_reference_spurs
+from repro.simulator.steady_state import solve_periodic_steady_state
+
+W0 = 2 * np.pi
+
+
+def leaky_pll(leakage=1e-6, ratio=0.05):
+    base = design_typical_loop(omega0=W0, omega_ug=ratio * W0, charge_pump_current=1e-3)
+    return PLL(
+        pfd=base.pfd,
+        charge_pump=ChargePump(1e-3, leakage=leakage),
+        filter_impedance=base.filter_impedance,
+        vco=base.vco,
+    )
+
+
+class TestSolve:
+    def test_ideal_loop_fixed_point_is_origin(self):
+        pll = design_typical_loop(omega0=W0, omega_ug=0.05 * W0)
+        pss = solve_periodic_steady_state(pll)
+        assert np.max(np.abs(pss.state)) < 1e-12
+        assert np.max(np.abs(pss.theta)) < 1e-12
+
+    def test_converges_to_machine_precision(self):
+        pss = solve_periodic_steady_state(leaky_pll())
+        assert pss.residual < 1e-13
+
+    def test_orbit_is_periodic(self):
+        """Re-propagating the fixed point one cycle returns it."""
+        from repro.simulator.floquet import _CycleMap
+
+        pll = leaky_pll()
+        pss = solve_periodic_steady_state(pll)
+        cm = _CycleMap(pll)
+        back = cm(pss.state, cycle=1)
+        assert np.allclose(back, pss.state, atol=1e-13)
+
+    def test_unstable_loop_still_has_stationary_orbit(self):
+        """Shooting with the Newton correction converges to *unstable*
+        periodic orbits too — the stationary orbit the physical loop's limit
+        cycle surrounds.  The fixed point is valid; only its Floquet
+        stability differs."""
+        hot = leaky_pll(ratio=0.3)
+        pss = solve_periodic_steady_state(hot)
+        assert pss.residual < 1e-12
+        from repro.simulator.floquet import floquet_multipliers
+
+        assert not floquet_multipliers(leaky_pll(ratio=0.3)).is_stable
+
+
+class TestAgainstOtherRoutes:
+    @pytest.fixture(scope="class")
+    def routes(self):
+        pll = leaky_pll()
+        return (
+            solve_periodic_steady_state(pll),
+            predict_reference_spurs(pll, harmonics=3),
+            measure_reference_spurs(pll, harmonics=3, settle_cycles=400, measure_cycles=64),
+        )
+
+    def test_harmonics_match_settling_route(self, routes):
+        # The settle-based estimate carries a residual-transient error of a
+        # couple of percent; the PSS value is exact.
+        pss, _, settle = routes
+        for k in (1, 2, 3):
+            assert abs(pss.phase_harmonic(k, W0)) == pytest.approx(
+                abs(settle.harmonics[k]), rel=0.05
+            )
+
+    def test_harmonics_match_analytic_model(self, routes):
+        pss, analytic, _ = routes
+        for k in (1, 2, 3):
+            assert abs(pss.phase_harmonic(k, W0)) == pytest.approx(
+                abs(analytic.harmonics[k]), rel=0.02
+            )
+
+    def test_static_offset_consistent(self, routes):
+        """The orbit's mean phase equals minus the compensating pulse width
+        up to the ripple-induced sub-period correction."""
+        pss, analytic, _ = routes
+        assert abs(pss.static_phase_offset()) == pytest.approx(
+            analytic.pulse_width, rel=0.05
+        )
+
+    def test_pss_faster_than_settling(self):
+        import time
+
+        pll = leaky_pll()
+        start = time.perf_counter()
+        solve_periodic_steady_state(pll)
+        pss_time = time.perf_counter() - start
+        start = time.perf_counter()
+        measure_reference_spurs(pll, harmonics=3, settle_cycles=400, measure_cycles=64)
+        settle_time = time.perf_counter() - start
+        assert pss_time < settle_time

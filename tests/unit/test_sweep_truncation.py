@@ -1,0 +1,138 @@
+"""Tests for repro.core.sweep and repro.core.truncation."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ConvergenceError, ValidationError
+from repro.core.operators import LTIOperator, SamplingOperator, ScaledOperator, SeriesOperator
+from repro.core.sweep import band_transfer_map, dominant_conversion, sweep_element, sweep_matrix
+from repro.core.truncation import (
+    choose_truncation_order,
+    truncation_error_estimate,
+)
+from repro.lti.transfer import TransferFunction
+
+W0 = 2 * np.pi
+
+
+def lowpass_operator():
+    return LTIOperator(TransferFunction.first_order_lowpass(0.5 * W0), W0)
+
+
+def sampled_lowpass():
+    """Lowpass after a sampler: genuinely time-varying."""
+    return SeriesOperator(lowpass_operator(), SamplingOperator(W0))
+
+
+class TestSweepMatrix:
+    def test_shape(self):
+        omega = np.array([0.1, 0.2, 0.3]) * W0
+        stack = sweep_matrix(lowpass_operator(), omega, order=2)
+        assert stack.shape == (3, 5, 5)
+
+    def test_values_match_pointwise(self):
+        omega = np.array([0.15]) * W0
+        stack = sweep_matrix(lowpass_operator(), omega, order=1)
+        direct = lowpass_operator().dense(1j * omega[0], 1)
+        assert np.allclose(stack[0], direct)
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            sweep_matrix(lowpass_operator(), [], order=1)
+
+
+class TestSweepElement:
+    def test_diagonal_element_matches_transfer(self):
+        tf = TransferFunction.first_order_lowpass(0.5 * W0)
+        omega = np.linspace(0.05, 0.4, 5) * W0
+        vals = sweep_element(LTIOperator(tf, W0), omega, 0, 0)
+        assert np.allclose(vals, tf.frequency_response(omega))
+
+    def test_order_guard(self):
+        with pytest.raises(ValidationError):
+            sweep_element(lowpass_operator(), [0.1], 3, 0, order=1)
+
+    def test_default_order_covers_indices(self):
+        vals = sweep_element(sampled_lowpass(), [0.1 * W0], 2, -2)
+        assert vals.shape == (1,)
+
+
+class TestBandTransferMap:
+    def test_lti_map_is_diagonal(self):
+        mags = band_transfer_map(lowpass_operator(), 0.1 * W0, order=2)
+        off = mags - np.diag(np.diag(mags))
+        assert np.max(off) == 0.0
+
+    def test_sampler_map_is_full(self):
+        mags = band_transfer_map(SamplingOperator(W0), 0.1 * W0, order=2)
+        assert np.min(mags) > 0.0
+
+    def test_dominant_conversion_lti_zero(self):
+        n, m, gain = dominant_conversion(lowpass_operator(), 0.1 * W0, order=2)
+        assert gain == 0.0
+
+    def test_dominant_conversion_sampled(self):
+        n, m, gain = dominant_conversion(sampled_lowpass(), 0.05 * W0, order=2)
+        assert gain > 0.0
+        assert (n, m) != (0, 0)
+        # Output lands where the lowpass passes: near baseband, from any band.
+        assert abs(n) <= 1
+
+
+class TestChooseTruncationOrder:
+    def test_lti_converges_immediately(self):
+        report = choose_truncation_order(lowpass_operator(), [0.1 * W0], rtol=1e-9)
+        assert report.order <= 8
+        assert report.achieved_change <= 1e-9
+
+    def test_feedback_operator_needs_growth(self):
+        from repro.core.operators import FeedbackOperator
+
+        # A relative-degree-2 filter gives an O(1/K^2) truncation tail.
+        steep = LTIOperator(
+            TransferFunction([1.0], np.polymul([1.0 / (0.3 * W0), 1.0], [1.0 / (0.5 * W0), 1.0])),
+            W0,
+        )
+        loop = ScaledOperator(SeriesOperator(steep, SamplingOperator(W0)), 0.8)
+        closed = FeedbackOperator(loop)
+        # The aliasing tail decays like 1/K here, so ask for a modest rtol.
+        report = choose_truncation_order(closed, [0.07 * W0], rtol=5e-3)
+        assert report.order >= 8
+        assert report.history[-1][1] <= 5e-3
+
+    def test_history_recorded(self):
+        report = choose_truncation_order(lowpass_operator(), [0.1 * W0])
+        assert len(report.history) >= 1
+        assert report.history[0][0] == 4
+
+    def test_max_order_exhaustion_raises(self):
+        from repro.core.operators import FeedbackOperator
+
+        loop = ScaledOperator(sampled_lowpass(), 0.8)
+        closed = FeedbackOperator(loop)
+        with pytest.raises(ConvergenceError):
+            choose_truncation_order(closed, [0.07 * W0], rtol=1e-14, max_order=8)
+
+    def test_rtol_validated(self):
+        with pytest.raises(ValidationError):
+            choose_truncation_order(lowpass_operator(), [0.1], rtol=-1.0)
+
+
+class TestTruncationErrorEstimate:
+    def test_lti_error_zero(self):
+        err = truncation_error_estimate(lowpass_operator(), [0.1 * W0], order=2)
+        assert err < 1e-14
+
+    def test_decreases_with_order(self):
+        from repro.core.operators import FeedbackOperator
+
+        loop = ScaledOperator(sampled_lowpass(), 0.8)
+        closed = FeedbackOperator(loop)
+        omega = [0.07 * W0]
+        coarse = truncation_error_estimate(closed, omega, order=2)
+        fine = truncation_error_estimate(closed, omega, order=16)
+        assert fine < coarse
+
+    def test_reference_must_exceed_order(self):
+        with pytest.raises(ValidationError):
+            truncation_error_estimate(lowpass_operator(), [0.1], order=4, reference_order=4)

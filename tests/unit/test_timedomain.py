@@ -1,0 +1,78 @@
+"""Tests for repro.lti.timedomain against closed-form responses."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.lti.timedomain import impulse_response, step_response
+from repro.lti.transfer import TransferFunction
+
+
+class TestImpulse:
+    def test_first_order(self):
+        tf = TransferFunction([1.0], [1.0, 2.0])  # h = e^{-2t}
+        t = np.linspace(0, 3, 50)
+        assert np.allclose(impulse_response(tf, t), np.exp(-2 * t), rtol=1e-10)
+
+    def test_double_pole(self):
+        tf = TransferFunction([1.0], np.polymul([1.0, 1.0], [1.0, 1.0]))  # h = t e^{-t}
+        t = np.linspace(0, 5, 40)
+        assert np.allclose(impulse_response(tf, t), t * np.exp(-t), rtol=1e-8, atol=1e-12)
+
+    def test_underdamped_is_real(self):
+        tf = TransferFunction([1.0], [1.0, 0.4, 1.0])
+        t = np.linspace(0, 10, 30)
+        h = impulse_response(tf, t)
+        assert np.isrealobj(h)
+        wd = np.sqrt(1 - 0.04)
+        expected = np.exp(-0.2 * t) * np.sin(wd * t) / wd
+        assert np.allclose(h, expected, rtol=1e-8, atol=1e-12)
+
+    def test_biproper_rejected(self):
+        with pytest.raises(ValidationError):
+            impulse_response(TransferFunction([1.0, 0.0], [1.0, 1.0]), [0.0])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValidationError):
+            impulse_response(TransferFunction([1.0], [1.0, 1.0]), [-1.0])
+
+
+class TestStep:
+    def test_first_order(self):
+        tf = TransferFunction([3.0], [1.0, 3.0])
+        t = np.linspace(0, 4, 30)
+        assert np.allclose(step_response(tf, t), 1 - np.exp(-3 * t), rtol=1e-9)
+
+    def test_integrator_ramp(self):
+        tf = TransferFunction.integrator(2.0)
+        t = np.linspace(0, 3, 10)
+        assert np.allclose(step_response(tf, t), 2 * t, atol=1e-10)
+
+    def test_double_integrator_parabola(self):
+        tf = TransferFunction([1.0], [1.0, 0.0, 0.0])
+        t = np.linspace(0, 2, 10)
+        assert np.allclose(step_response(tf, t), t**2 / 2, atol=1e-10)
+
+    def test_second_order_final_value(self):
+        tf = TransferFunction([4.0], [1.0, 2.0, 4.0])
+        value = step_response(tf, [20.0])[0]
+        assert value == pytest.approx(1.0, abs=1e-6)
+
+    def test_biproper_step_allowed(self):
+        # H = (s + 2)/(s + 1): step response 2 - e^{-t} ... check value
+        tf = TransferFunction([1.0, 2.0], [1.0, 1.0])
+        t = np.linspace(0, 5, 20)
+        y = step_response(tf, t)
+        assert np.allclose(y, 2.0 - np.exp(-t), rtol=1e-9)
+
+    def test_improper_rejected(self):
+        with pytest.raises(ValidationError):
+            step_response(TransferFunction([1.0, 0.0, 0.0], [1.0, 1.0]), [0.0])
+
+    def test_matches_statespace_simulation(self):
+        tf = TransferFunction([1.0, 2.0], [1.0, 2.0, 3.0])
+        ss = tf.to_statespace()
+        t = np.linspace(0, 5, 200)
+        _, sim = ss.simulate_held(t, np.ones_like(t))
+        analytic = step_response(tf, t)
+        assert np.allclose(sim, analytic, rtol=1e-9, atol=1e-10)

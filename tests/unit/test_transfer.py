@@ -1,0 +1,154 @@
+"""Tests for repro.lti.transfer."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.lti.rational import RationalFunction
+from repro.lti.transfer import TransferFunction
+
+
+class TestConstruction:
+    def test_basic(self):
+        tf = TransferFunction([1.0], [1.0, 1.0], name="lp")
+        assert tf.name == "lp"
+        assert tf(0) == pytest.approx(1.0)
+
+    def test_from_rational(self):
+        rf = RationalFunction([2.0], [1.0, 4.0])
+        tf = TransferFunction.from_rational(rf, name="x")
+        assert tf.dc_gain() == pytest.approx(0.5)
+
+    def test_from_zpk(self):
+        tf = TransferFunction.from_zpk([-1.0], [-2.0], gain=3.0)
+        assert tf(0) == pytest.approx(1.5)
+
+    def test_gain(self):
+        assert TransferFunction.gain(7.0)(99j) == pytest.approx(7.0)
+
+    def test_integrator(self):
+        tf = TransferFunction.integrator(2.0)
+        assert tf(1j) == pytest.approx(2.0 / 1j)
+
+    def test_first_order_lowpass(self):
+        tf = TransferFunction.first_order_lowpass(10.0, dc_gain=2.0)
+        assert tf(0) == pytest.approx(2.0)
+        assert abs(tf(10j)) == pytest.approx(2.0 / np.sqrt(2))
+
+    def test_first_order_lowpass_rejects_bad_pole(self):
+        with pytest.raises(ValidationError):
+            TransferFunction.first_order_lowpass(-1.0)
+
+
+class TestProperties:
+    def test_poles_zeros(self):
+        tf = TransferFunction.from_zpk([-1.0], [-2.0, -5.0], 1.0)
+        assert sorted(tf.poles().real) == pytest.approx([-5.0, -2.0])
+        assert tf.zeros().real == pytest.approx([-1.0])
+
+    def test_stability(self):
+        assert TransferFunction([1.0], [1.0, 1.0]).is_stable()
+        assert not TransferFunction([1.0], [1.0, -1.0]).is_stable()
+
+    def test_integrator_not_stable(self):
+        assert not TransferFunction.integrator().is_stable()
+
+    def test_gain_block_is_stable(self):
+        assert TransferFunction.gain(5.0).is_stable()
+
+    def test_frequency_response(self):
+        tf = TransferFunction([1.0], [1.0, 1.0])
+        out = tf.frequency_response([1.0, 2.0])
+        assert out[0] == pytest.approx(1.0 / (1.0 + 1j))
+
+
+class TestInterconnections:
+    g1 = TransferFunction([1.0], [1.0, 1.0])
+    g2 = TransferFunction([2.0], [1.0, 3.0])
+
+    def test_series_is_product(self):
+        s = 0.4j
+        cascade = self.g1.series(self.g2)
+        assert cascade(s) == pytest.approx(self.g1(s) * self.g2(s))
+
+    def test_parallel_is_sum(self):
+        s = 1j
+        assert self.g1.parallel(self.g2)(s) == pytest.approx(self.g1(s) + self.g2(s))
+
+    def test_unity_feedback(self):
+        s = 0.5j
+        closed = self.g1.feedback()
+        assert closed(s) == pytest.approx(self.g1(s) / (1 + self.g1(s)))
+
+    def test_feedback_with_return_path(self):
+        s = 1.0 + 1j
+        closed = self.g1.feedback(self.g2)
+        assert closed(s) == pytest.approx(self.g1(s) / (1 + self.g1(s) * self.g2(s)))
+
+    def test_positive_feedback(self):
+        s = 2.0
+        closed = self.g1.feedback(sign=+1)
+        assert closed(s) == pytest.approx(self.g1(s) / (1 - self.g1(s)))
+
+    def test_feedback_rejects_bad_sign(self):
+        with pytest.raises(ValidationError):
+            self.g1.feedback(sign=2)
+
+    def test_integrator_unity_feedback_is_first_order(self):
+        closed = TransferFunction.integrator(3.0).feedback()
+        # 3/s / (1 + 3/s) = 3/(s+3)
+        assert closed(1j) == pytest.approx(3.0 / (1j + 3.0))
+        assert closed.poles().real == pytest.approx([-3.0])
+
+
+class TestOperators:
+    g = TransferFunction([1.0], [1.0, 1.0])
+
+    def test_mul_by_scalar(self):
+        assert (2 * self.g)(1j) == pytest.approx(2 * self.g(1j))
+
+    def test_mul_by_transfer(self):
+        assert (self.g * self.g)(1j) == pytest.approx(self.g(1j) ** 2)
+
+    def test_mul_by_rational(self):
+        rf = RationalFunction([1.0, 0.0], [1.0])
+        assert (self.g * rf)(2j) == pytest.approx(self.g(2j) * 2j)
+
+    def test_add_sub(self):
+        s = 0.1j
+        assert (self.g + 1)(s) == pytest.approx(self.g(s) + 1)
+        assert (1 - self.g)(s) == pytest.approx(1 - self.g(s))
+
+    def test_division(self):
+        s = 1j
+        assert (1 / self.g)(s) == pytest.approx(1 / self.g(s))
+
+    def test_neg(self):
+        assert (-self.g)(0) == pytest.approx(-1.0)
+
+    def test_coerce_rejects_junk(self):
+        with pytest.raises(TypeError):
+            self.g * "x"
+
+
+class TestTransforms:
+    def test_scaled_frequency(self):
+        tf = TransferFunction([1.0], [1.0, 1.0])
+        assert tf.scaled_frequency(5.0)(5j) == pytest.approx(tf(1j))
+
+    def test_shifted(self):
+        tf = TransferFunction([1.0], [1.0, 2.0])
+        assert tf.shifted(1j)(1.0) == pytest.approx(tf(1.0 + 1j))
+
+    def test_simplified(self):
+        tf = TransferFunction(np.polymul([1.0, 1.0], [1.0, 2.0]), np.polymul([1.0, 1.0], [1.0, 5.0]))
+        assert tf.simplified().poles().real == pytest.approx([-5.0])
+
+    def test_to_statespace_roundtrip(self):
+        tf = TransferFunction([1.0, 2.0], [1.0, 3.0, 5.0])
+        ss = tf.to_statespace()
+        for s in (0.3j, 1.0 + 1j):
+            assert ss.transfer_at(s) == pytest.approx(tf(s))
+
+    def test_repr_contains_name(self):
+        assert "vco" in repr(TransferFunction([1.0], [1.0, 0.0], name="vco"))

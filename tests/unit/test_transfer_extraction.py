@@ -1,0 +1,113 @@
+"""Tests for repro.simulator.transfer_extraction."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.pll.closedloop import ClosedLoopHTM
+from repro.pll.design import design_typical_loop
+from repro.simulator.transfer_extraction import (
+    measure_closed_loop_transfer,
+    measure_harmonic_elements,
+    snap_to_bin,
+)
+
+W0 = 2 * np.pi
+
+
+@pytest.fixture(scope="module")
+def pll():
+    return design_typical_loop(omega0=W0, omega_ug=0.1 * W0)
+
+
+@pytest.fixture(scope="module")
+def closed(pll):
+    return ClosedLoopHTM(pll)
+
+
+class TestSnapToBin:
+    def test_exact_bin_unchanged(self):
+        assert snap_to_bin(0.1 * W0, W0, 100) == pytest.approx(0.1 * W0)
+
+    def test_rounds_to_nearest(self):
+        snapped = snap_to_bin(0.1234 * W0, W0, 100)
+        assert snapped == pytest.approx(0.12 * W0)
+
+    def test_clamped_to_first_bin(self):
+        assert snap_to_bin(1e-9, W0, 100) == pytest.approx(W0 / 100)
+
+    def test_clamped_below_nyquist(self):
+        snapped = snap_to_bin(10 * W0, W0, 100)
+        assert snapped == pytest.approx(49 * W0 / 100)
+
+    def test_minimum_cycles(self):
+        with pytest.raises(ValidationError):
+            snap_to_bin(0.1, W0, 2)
+
+
+class TestMeasureClosedLoop:
+    def test_matches_htm_prediction(self, pll, closed):
+        meas = measure_closed_loop_transfer(
+            pll, 0.08 * W0, measure_cycles=200, discard_cycles=150
+        )
+        predicted = closed.h00(1j * meas.omega)
+        assert abs(meas.response - predicted) / abs(predicted) < 5e-3
+
+    def test_agreement_well_within_paper_2pct(self, pll, closed):
+        for wn in (0.03, 0.15, 0.3):
+            meas = measure_closed_loop_transfer(
+                pll, wn * W0, measure_cycles=200, discard_cycles=150
+            )
+            predicted = closed.h00(1j * meas.omega)
+            assert abs(meas.response - predicted) / abs(predicted) < 0.02
+
+    def test_amplitude_guard(self, pll):
+        with pytest.raises(ValidationError):
+            measure_closed_loop_transfer(pll, 0.1 * W0, amplitude=0.5)
+
+    def test_oversample_guard_for_sidebands(self, pll):
+        with pytest.raises(ValidationError):
+            measure_closed_loop_transfer(
+                pll, 0.1 * W0, oversample=4, sideband_orders=(3,)
+            )
+
+    def test_default_amplitude_small_signal(self, pll):
+        meas = measure_closed_loop_transfer(
+            pll, 0.05 * W0, measure_cycles=100, discard_cycles=50
+        )
+        assert np.isfinite(meas.response)
+
+    def test_linearity_amplitude_independence(self, pll):
+        """Small-signal regime: halving the drive leaves H00 unchanged."""
+        kwargs = dict(measure_cycles=150, discard_cycles=100)
+        m1 = measure_closed_loop_transfer(pll, 0.1 * W0, amplitude=1e-4, **kwargs)
+        m2 = measure_closed_loop_transfer(pll, 0.1 * W0, amplitude=5e-5, **kwargs)
+        assert m1.response == pytest.approx(m2.response, rel=1e-3)
+
+
+class TestHarmonicElements:
+    def test_sidebands_match_htm(self, pll, closed):
+        """The measured conversion sidebands H_{n,0} match eq. (34)'s
+        prediction V_n/(1+lambda) — behaviour invisible to LTI analysis."""
+        out = measure_harmonic_elements(
+            pll,
+            0.07 * W0,
+            orders=(-1, 1),
+            measure_cycles=300,
+            discard_cycles=200,
+            oversample=32,
+        )
+        s = None
+        meas0 = measure_closed_loop_transfer(
+            pll, 0.07 * W0, measure_cycles=300, discard_cycles=200, oversample=32
+        )
+        s = 1j * meas0.omega
+        for n in (-1, 0, 1):
+            predicted = closed.element(s, n, 0)
+            assert abs(out[n] - predicted) / abs(predicted) < 0.02
+
+    def test_includes_baseband(self, pll):
+        out = measure_harmonic_elements(
+            pll, 0.1 * W0, orders=(1,), measure_cycles=100, discard_cycles=80
+        )
+        assert 0 in out and 1 in out

@@ -1,0 +1,107 @@
+"""Tests for repro.pll.transient — time-varying step-response synthesis."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.pll.design import design_typical_loop
+from repro.pll.transient import (
+    lti_step_response,
+    reference_step_response,
+    ripple_amplitude,
+)
+from repro.simulator.engine import BehavioralPLLSimulator, SimulationConfig
+
+W0 = 2 * np.pi
+STEP = 1e-3
+T0 = 0.5
+
+
+@pytest.fixture(scope="module")
+def pll():
+    return design_typical_loop(omega0=W0, omega_ug=0.15 * W0)
+
+
+@pytest.fixture(scope="module")
+def simulated(pll):
+    sim = BehavioralPLLSimulator(
+        pll,
+        theta_ref=lambda t: STEP if t >= T0 else 0.0,
+        config=SimulationConfig(cycles=40, oversample=16),
+    )
+    return sim.run()
+
+
+@pytest.fixture(scope="module")
+def synthesised(pll, simulated):
+    return reference_step_response(
+        pll,
+        simulated.times,
+        step=STEP,
+        step_time=T0,
+        bands=4,
+        grid_points=16384,
+        omega_max=60 * W0,
+    )
+
+
+class TestAgainstSimulator:
+    def test_tracks_simulation_closely(self, simulated, synthesised):
+        err = np.abs(synthesised - simulated.theta) / STEP
+        t = simulated.times
+        assert np.sqrt(np.mean(err**2)) < 0.005
+        assert err[t > 2.0].max() < 0.02
+
+    def test_beats_lti_by_an_order_of_magnitude(self, pll, simulated, synthesised):
+        t = simulated.times
+        lti = lti_step_response(pll, np.maximum(t - T0, 0.0), step=STEP)
+        err_htm = np.sqrt(np.mean((synthesised - simulated.theta) ** 2))
+        err_lti = np.sqrt(np.mean((lti - simulated.theta) ** 2))
+        assert err_htm < err_lti / 10.0
+
+    def test_captures_sampling_delay(self, simulated, synthesised):
+        """No response before the first sampling instant after the step —
+        the staircase the LTI model cannot represent."""
+        t = simulated.times
+        before = (t > T0 + 0.05) & (t < 1.0 - 0.05)
+        assert np.max(np.abs(synthesised[before])) < 0.05 * STEP
+
+    def test_settles_to_step(self, synthesised, simulated):
+        t = simulated.times
+        tail = synthesised[t > 30.0]
+        assert np.allclose(tail, STEP, rtol=0.02)
+
+
+class TestAPI:
+    def test_step_on_sampling_instant_rejected(self, pll):
+        with pytest.raises(ValidationError):
+            reference_step_response(pll, [0.1, 0.2], step_time=1.0)
+
+    def test_negative_times_rejected(self, pll):
+        with pytest.raises(ValidationError):
+            reference_step_response(pll, [-1.0])
+
+    def test_bands_zero_is_smooth(self, pll):
+        t = np.linspace(0.1, 20.0, 200)
+        smooth = reference_step_response(pll, t, step=STEP, bands=0)
+        # A baseband-only synthesis has no reference-rate ripple: its
+        # spectrum above w0/2 is empty, so cycle-to-cycle variation is tiny.
+        assert np.all(np.isfinite(smooth))
+
+    def test_ripple_amplitude_positive_for_fast_loop(self, pll):
+        t = np.linspace(0.6, 15.0, 300)
+        amp = ripple_amplitude(pll, t, step=STEP, bands=2, grid_points=4096)
+        assert amp > 0.01 * STEP
+
+    def test_ripple_smaller_for_slow_loop(self):
+        slow = design_typical_loop(omega0=W0, omega_ug=0.03 * W0)
+        fast = design_typical_loop(omega0=W0, omega_ug=0.2 * W0)
+        t = np.linspace(0.6, 25.0, 200)
+        amp_slow = ripple_amplitude(slow, t, step=STEP, bands=2, grid_points=4096)
+        amp_fast = ripple_amplitude(fast, t, step=STEP, bands=2, grid_points=4096)
+        assert amp_fast > amp_slow
+
+    def test_lti_reference(self, pll):
+        t = np.linspace(0, 30, 100)
+        lti = lti_step_response(pll, t, step=STEP)
+        assert lti[-1] == pytest.approx(STEP, rel=0.02)

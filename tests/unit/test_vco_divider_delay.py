@@ -1,0 +1,116 @@
+"""Tests for repro.blocks.vco, divider and delay."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.blocks.delay import LoopDelay
+from repro.blocks.divider import Divider
+from repro.blocks.vco import VCO
+from repro.signals.isf import ImpulseSensitivity
+
+W0 = 2 * np.pi
+
+
+class TestVCO:
+    def test_time_invariant_constructor(self):
+        vco = VCO.time_invariant(2.0, W0, f0=10.0)
+        assert vco.is_time_invariant()
+        assert vco.v0 == pytest.approx(2.0)
+        assert vco.f0 == 10.0
+
+    def test_from_gain(self):
+        vco = VCO.from_gain(kvco_hz_per_unit=5.0, f0=10.0, omega0=W0)
+        assert vco.v0 == pytest.approx(0.5)
+
+    def test_lti_transfer(self):
+        vco = VCO.time_invariant(3.0, W0)
+        tf = vco.lti_transfer()
+        assert tf(1j) == pytest.approx(3.0 / 1j)
+
+    def test_lptv_refuses_lti_reduction(self):
+        vco = VCO(ImpulseSensitivity.sinusoidal(1.0, 0.3, W0))
+        with pytest.raises(ValidationError):
+            vco.lti_transfer()
+
+    def test_operator_eq25(self):
+        isf = ImpulseSensitivity.sinusoidal(1.0, 0.4, W0)
+        vco = VCO(isf)
+        s = 0.3j
+        mat = vco.operator().dense(s, 1)
+        assert mat[1, 1] == pytest.approx(complex(1.0 / s))
+        assert mat[2, 1] == pytest.approx(complex(isf.coefficient(1) / (s + 1j * W0)))
+
+    def test_requires_isf_instance(self):
+        with pytest.raises(ValidationError):
+            VCO("not an isf")
+
+    def test_repr(self):
+        assert "time-invariant" in repr(VCO.time_invariant(1.0, W0))
+
+
+class TestDivider:
+    def test_operator_identity(self):
+        div = Divider(4, W0)
+        assert np.allclose(div.operator().dense(0.3j, 2), np.eye(5))
+
+    def test_decimate_edges(self):
+        div = Divider(3, W0)
+        edges = np.arange(10.0)
+        assert np.allclose(div.decimate_edges(edges), [0.0, 3.0, 6.0, 9.0])
+
+    def test_decimate_with_phase(self):
+        div = Divider(3, W0)
+        assert np.allclose(div.decimate_edges(np.arange(10.0), phase=1), [1.0, 4.0, 7.0])
+
+    def test_phase_bounds(self):
+        with pytest.raises(ValueError):
+            Divider(3, W0).decimate_edges(np.arange(5.0), phase=3)
+
+    def test_radian_gain(self):
+        assert Divider(8, W0).radian_gain() == pytest.approx(0.125)
+
+    def test_ratio_validated(self):
+        with pytest.raises(ValidationError):
+            Divider(0, W0)
+
+
+class TestLoopDelay:
+    def test_transfer(self):
+        d = LoopDelay(0.1, W0)
+        s = 1j * 2.0
+        assert d.transfer(s) == pytest.approx(np.exp(-0.2j))
+
+    def test_zero_delay_is_unity(self):
+        d = LoopDelay(0.0, W0)
+        assert d.transfer(5j) == pytest.approx(1.0)
+        assert d.pade()(3j) == pytest.approx(1.0)
+
+    def test_operator_diagonal(self):
+        htm = LoopDelay(0.05, W0).operator().htm(0.3j, 2)
+        assert htm.is_diagonal()
+
+    def test_phase_lag(self):
+        assert LoopDelay(0.1, W0).phase_lag_deg(np.pi) == pytest.approx(
+            np.degrees(0.1 * np.pi)
+        )
+
+    def test_pade_accuracy_in_band(self):
+        d = LoopDelay(0.2, W0)
+        pade = d.pade(order=3)
+        for omega in (0.1, 0.5, 1.0, 3.0):
+            exact = d.transfer(1j * omega)
+            assert pade(1j * omega) == pytest.approx(exact, rel=1e-4)
+
+    def test_pade_magnitude_allpass(self):
+        pade = LoopDelay(0.3, W0).pade(order=2)
+        for omega in (0.5, 2.0, 10.0):
+            assert abs(pade(1j * omega)) == pytest.approx(1.0, rel=1e-12)
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValidationError):
+            LoopDelay(-0.1, W0)
+
+    def test_pade_order_validated(self):
+        with pytest.raises(ValidationError):
+            LoopDelay(0.1, W0).pade(order=0)

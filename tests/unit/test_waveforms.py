@@ -1,0 +1,130 @@
+"""Tests for repro.signals.waveforms — analytic vs numerical projections."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.signals.fourier import FourierSeries
+from repro.signals.waveforms import (
+    dirac_comb_coefficients,
+    pulse_train_coefficients,
+    pulse_train_samples,
+    sawtooth_coefficients,
+    sine_coefficients,
+    square_coefficients,
+    triangle_coefficients,
+)
+
+W0 = 2 * np.pi
+
+
+def project(func, order=15):
+    return FourierSeries.from_function(func, W0, order=order, samples=4096)
+
+
+class TestSine:
+    def test_lines(self):
+        fs = sine_coefficients(W0, amplitude=2.0)
+        assert fs.coefficient(1) == pytest.approx(2.0 / 2j)
+        assert fs.coefficient(-1) == pytest.approx(np.conj(2.0 / 2j))
+        assert fs.coefficient(0) == 0.0
+
+    def test_evaluates_to_sine(self):
+        fs = sine_coefficients(W0, amplitude=1.5, phase=0.3)
+        t = np.linspace(0, 1, 7)
+        assert np.allclose(fs(t), 1.5 * np.sin(W0 * t + 0.3), atol=1e-12)
+
+    def test_real(self):
+        assert sine_coefficients(W0).is_real_signal()
+
+
+class TestSquare:
+    def test_matches_projection(self):
+        analytic = square_coefficients(W0, order=15)
+        numeric = project(lambda t: np.where((t % 1.0) < 0.5, 1.0, -1.0))
+        assert np.allclose(analytic.coefficients, numeric.coefficients, atol=1e-3)
+
+    def test_even_harmonics_vanish(self):
+        fs = square_coefficients(W0, order=10)
+        for k in (2, 4, 6):
+            assert fs.coefficient(k) == 0.0
+
+    def test_mean_zero(self):
+        assert square_coefficients(W0, order=5).mean() == 0.0
+
+
+class TestSawtooth:
+    def test_matches_projection(self):
+        analytic = sawtooth_coefficients(W0, order=15)
+        numeric = project(lambda t: 2 * (t % 1.0) - 1.0)
+        assert np.allclose(analytic.coefficients, numeric.coefficients, atol=2e-3)
+
+    def test_real(self):
+        assert sawtooth_coefficients(W0, order=8).is_real_signal()
+
+
+class TestTriangle:
+    def test_matches_projection(self):
+        analytic = triangle_coefficients(W0, order=15)
+
+        def tri(t):
+            frac = t % 1.0
+            return np.where(frac < 0.5, 1 - 4 * frac, -3 + 4 * frac)
+
+        numeric = project(tri)
+        assert np.allclose(analytic.coefficients, numeric.coefficients, atol=1e-4)
+
+    def test_fast_decay(self):
+        fs = triangle_coefficients(W0, order=9)
+        assert abs(fs.coefficient(9)) < abs(fs.coefficient(1)) / 50
+
+
+class TestPulseTrain:
+    def test_matches_projection(self):
+        analytic = pulse_train_coefficients(W0, order=15, duty=0.3)
+        numeric = project(lambda t: pulse_train_samples(t, 1.0, 0.3))
+        assert np.allclose(analytic.coefficients, numeric.coefficients, atol=1e-3)
+
+    def test_dc_is_duty(self):
+        fs = pulse_train_coefficients(W0, order=3, duty=0.25, amplitude=2.0)
+        assert fs.mean() == pytest.approx(0.5)
+
+    def test_duty_validated(self):
+        with pytest.raises(ValidationError):
+            pulse_train_coefficients(W0, order=3, duty=1.5)
+
+    def test_narrow_pulse_approaches_dirac_comb(self):
+        """The paper's Fig. 4 equivalence: unit-area narrow pulses -> comb."""
+        duty = 1e-4
+        pulses = pulse_train_coefficients(W0, order=5, duty=duty, amplitude=1.0 / duty)
+        comb = dirac_comb_coefficients(W0, order=5)
+        assert np.allclose(pulses.coefficients, comb.coefficients, rtol=1e-2)
+
+
+class TestDiracComb:
+    def test_all_coefficients_equal(self):
+        fs = dirac_comb_coefficients(W0, order=4)
+        assert np.allclose(fs.coefficients, W0 / (2 * np.pi))
+
+    def test_weight_is_one_over_period(self):
+        fs = dirac_comb_coefficients(4 * np.pi, order=2)
+        assert fs.coefficient(0) == pytest.approx(2.0)  # 1/T with T = 0.5
+
+    def test_toeplitz_rank_one(self):
+        # Coefficients up to |n-m| = 2K are needed for a size-(2K+1) Toeplitz
+        # block to capture the true (rank-one) sampling matrix.
+        m = dirac_comb_coefficients(W0, order=6).toeplitz(7)
+        svals = np.linalg.svd(m, compute_uv=False)
+        assert svals[0] > 1e-6
+        assert svals[1] < 1e-12 * svals[0]
+
+
+class TestPulseSamples:
+    def test_values(self):
+        t = np.array([0.0, 0.1, 0.4, 0.9])
+        out = pulse_train_samples(t, 1.0, 0.25, amplitude=3.0)
+        assert np.allclose(out, [3.0, 3.0, 0.0, 0.0])
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValidationError):
+            pulse_train_samples(np.array([0.0]), -1.0, 0.5)

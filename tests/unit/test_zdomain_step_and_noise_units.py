@@ -1,0 +1,96 @@
+"""Tests for the discrete step response and the dBc/Hz conversion helpers."""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.baselines.zdomain import (
+    ZTransferFunction,
+    closed_loop_z,
+    sampled_open_loop,
+    step_response_samples,
+)
+from repro.pll.design import design_typical_loop
+from repro.pll.noise import dbc_hz_to_seconds_psd, seconds_psd_to_dbc_hz
+
+W0 = 2 * np.pi
+
+
+class TestStepResponseSamples:
+    def test_first_order_known(self):
+        # y[n] for H = (1-a)z^{-1}/(1 - a z^{-1}) ... use simple H = z^{-1}:
+        g = ZTransferFunction([1.0], [1.0, 0.0], period=1.0)  # 1/z
+        y = step_response_samples(g, 4)
+        assert np.allclose(y, [0.0, 1.0, 1.0, 1.0])
+
+    def test_accumulator(self):
+        g = ZTransferFunction([1.0, 0.0], [1.0, -1.0], period=1.0)  # z/(z-1)
+        y = step_response_samples(g, 5)
+        assert np.allclose(y, [1.0, 2.0, 3.0, 4.0, 5.0])
+
+    def test_noncausal_rejected(self):
+        g = ZTransferFunction([1.0, 0.0, 0.0], [1.0, -0.5], period=1.0)
+        with pytest.raises(ValidationError):
+            step_response_samples(g, 4)
+
+    def test_final_value_tracks(self):
+        cz = closed_loop_z(sampled_open_loop(design_typical_loop(W0, 0.1 * W0)))
+        y = step_response_samples(cz, 300)
+        assert y[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_behavioural_samples(self):
+        """The z-domain recursion reproduces the engine's sampled phase
+        exactly (up to the finite pulse width) for a mid-cycle step."""
+        from repro.simulator.engine import BehavioralPLLSimulator, SimulationConfig
+
+        pll = design_typical_loop(W0, 0.1 * W0)
+        cz = closed_loop_z(sampled_open_loop(pll))
+        y = step_response_samples(cz, 50)
+        step = 1e-4
+        sim = BehavioralPLLSimulator(
+            pll,
+            theta_ref=lambda t: step if t >= 0.5 else 0.0,
+            config=SimulationConfig(cycles=50, oversample=4),
+        )
+        result = sim.run()
+        theta_samples = (step - result.phase_errors) / step
+        # y[0] differs (the engine's cycle-1 sample sees the step already).
+        assert np.max(np.abs(y[1:] - theta_samples[1:])) < 1e-3
+
+    def test_overshoot_matches_continuous_peak_ordering(self):
+        """Discrete overshoot grows with loop speed (margin erosion)."""
+        peaks = []
+        for ratio in (0.05, 0.15, 0.25):
+            cz = closed_loop_z(sampled_open_loop(design_typical_loop(W0, ratio * W0)))
+            peaks.append(float(np.max(step_response_samples(cz, 400).real)))
+        assert peaks[0] < peaks[1] < peaks[2]
+
+
+class TestNoiseUnitConversions:
+    def test_round_trip(self):
+        level = seconds_psd_to_dbc_hz(1e-30, carrier_frequency_hz=1e9)
+        back = dbc_hz_to_seconds_psd(level, carrier_frequency_hz=1e9)
+        assert back == pytest.approx(1e-30, rel=1e-12)
+
+    def test_known_value(self):
+        # S_theta = 1 s^2/Hz at 1/(2 pi) Hz carrier: S_phi = 1 rad^2/Hz,
+        # L = 1/2 -> -3.01 dBc/Hz.
+        level = seconds_psd_to_dbc_hz(1.0, carrier_frequency_hz=1 / (2 * np.pi))
+        assert level == pytest.approx(-3.0103, abs=1e-3)
+
+    def test_carrier_scaling(self):
+        """+20 dB per decade of carrier frequency (phase scales with f_c)."""
+        a = seconds_psd_to_dbc_hz(1e-30, 1e8)
+        b = seconds_psd_to_dbc_hz(1e-30, 1e9)
+        assert b - a == pytest.approx(20.0, abs=1e-9)
+
+    def test_array_support(self):
+        out = seconds_psd_to_dbc_hz(np.array([1e-30, 1e-28]), 1e9)
+        assert out.shape == (2,)
+        assert out[1] - out[0] == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            seconds_psd_to_dbc_hz(-1.0, 1e9)
+        with pytest.raises(ValidationError):
+            dbc_hz_to_seconds_psd(-100.0, 0.0)

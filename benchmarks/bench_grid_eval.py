@@ -1,0 +1,145 @@
+"""Scalar-vs-batched operator evaluation — the ``dense_grid`` speedup bench.
+
+Evaluates the brute-force closed-loop operator ``(I + G)^{-1} G`` of a
+typical loop (ratio 0.2, truncation order 8) over a 200-point baseband grid
+two ways:
+
+* ``scalar_stack`` — the pre-batching protocol: one :meth:`dense` call per
+  grid point, stacked;
+* ``batched_stack`` — one :meth:`dense_grid` call (grid cache cleared first,
+  so the timing measures evaluation, not memoization).
+
+``measure()`` returns the recorded speedup and the maximum relative
+divergence between the two stacks; ``main()`` prints a small report.  The
+tier-1 suite imports this module through
+``tests/unit/test_grid_eval_smoke.py`` and enforces the equality bound on a
+tiny grid; the full-size speedup assertion lives here (run with
+``PYTHONPATH=src python -m pytest benchmarks/bench_grid_eval.py`` or
+``PYTHONPATH=src python benchmarks/bench_grid_eval.py``).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.grid import FrequencyGrid
+from repro.core.memo import grid_cache
+from repro.core.operators import FeedbackOperator, HarmonicOperator
+from repro.pll.design import design_typical_loop
+from repro.pll.openloop import open_loop_operator
+
+RATIO = 0.2
+POINTS = 200
+ORDER = 8
+
+
+def closed_loop_operator(
+    ratio: float = RATIO, omega0: float = 2 * np.pi
+) -> tuple[HarmonicOperator, float]:
+    """The dense closed-loop operator of a typical loop, plus its ``omega0``."""
+    pll = design_typical_loop(omega0=omega0, omega_ug=ratio * omega0)
+    return FeedbackOperator(open_loop_operator(pll)), pll.omega0
+
+
+def scalar_stack(op: HarmonicOperator, s_arr: np.ndarray, order: int) -> np.ndarray:
+    """Point-by-point evaluation — the pre-batching calling convention."""
+    return np.stack([op.dense(complex(s), order) for s in s_arr])
+
+
+def batched_stack(op: HarmonicOperator, s_arr: np.ndarray, order: int) -> np.ndarray:
+    """One cold vectorized grid evaluation (memoization defeated)."""
+    grid_cache.clear()
+    return op.dense_grid(s_arr, order)
+
+
+@dataclass(frozen=True)
+class GridEvalResult:
+    """Timing comparison of the two evaluation protocols."""
+
+    points: int
+    order: int
+    scalar_seconds: float
+    batched_seconds: float
+    max_rel_err: float
+
+    @property
+    def speedup(self) -> float:
+        return self.scalar_seconds / self.batched_seconds
+
+    def summary(self) -> str:
+        return (
+            f"grid eval ({self.points} points, order {self.order}): "
+            f"scalar {self.scalar_seconds * 1e3:.1f} ms, "
+            f"batched {self.batched_seconds * 1e3:.1f} ms "
+            f"-> {self.speedup:.1f}x, max rel err {self.max_rel_err:.2e}"
+        )
+
+
+def measure(
+    points: int = POINTS,
+    order: int = ORDER,
+    repeats: int = 3,
+    ratio: float = RATIO,
+) -> GridEvalResult:
+    """Time both protocols (best of ``repeats``) and cross-check equality.
+
+    The relative error is the scaled residual ``max|B - S| / max|S|`` —
+    well-defined at the stack's structural zeros.
+    """
+    op, omega0 = closed_loop_operator(ratio)
+    grid = FrequencyGrid.baseband(omega0, points=points)
+    s_arr = grid.s
+
+    reference = scalar_stack(op, s_arr, order)
+    batched = np.asarray(batched_stack(op, s_arr, order))
+    max_rel_err = float(
+        np.max(np.abs(batched - reference)) / np.max(np.abs(reference))
+    )
+
+    t_scalar = min(
+        _timed(scalar_stack, op, s_arr, order) for _ in range(repeats)
+    )
+
+    def cold_grid_eval():
+        return op.dense_grid(s_arr, order)
+
+    t_batched = min(
+        # Clear outside the timed region: the comparison is evaluation vs
+        # evaluation, with memoization defeated rather than measured.
+        (grid_cache.clear(), _timed(cold_grid_eval))[1]
+        for _ in range(repeats)
+    )
+    return GridEvalResult(
+        points=points,
+        order=order,
+        scalar_seconds=t_scalar,
+        batched_seconds=t_batched,
+        max_rel_err=max_rel_err,
+    )
+
+
+def _timed(fn, *args) -> float:
+    start = time.perf_counter()
+    fn(*args)
+    return time.perf_counter() - start
+
+
+# -- pytest entry points ---------------------------------------------------------
+
+
+def test_batched_speedup_and_agreement():
+    """The tentpole target: >= 5x on the 200-point, order-8 sweep."""
+    result = measure()
+    assert result.max_rel_err < 1e-9, result.summary()
+    assert result.speedup >= 5.0, result.summary()
+
+
+def main() -> None:
+    print(measure().summary())
+
+
+if __name__ == "__main__":
+    main()

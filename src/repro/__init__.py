@@ -48,7 +48,7 @@ from repro.blocks import (
     SeriesRCShuntCFilter,
     VCO,
 )
-from repro.core import HTM, AliasedSum, truncated_alias_sum
+from repro.core import HTM, AliasedSum, FrequencyGrid, truncated_alias_sum
 from repro.lti import RationalFunction, StateSpace, TransferFunction
 from repro.pll import (
     PLL,
@@ -82,6 +82,7 @@ __all__ = [
     "VCO",
     "HTM",
     "AliasedSum",
+    "FrequencyGrid",
     "truncated_alias_sum",
     "RationalFunction",
     "StateSpace",

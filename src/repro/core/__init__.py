@@ -22,7 +22,9 @@ output (Fig. 2).  This package provides:
   sweeps, band-transfer maps and automatic truncation-order selection.
 """
 
+from repro.core.grid import FrequencyGrid, as_omega_grid, as_s_grid
 from repro.core.htm import HTM
+from repro.core.memo import GridEvalCache, cache_stats, clear_cache, grid_cache
 from repro.core.operators import (
     HarmonicOperator,
     IdentityOperator,
@@ -34,6 +36,7 @@ from repro.core.operators import (
     SeriesOperator,
     FeedbackOperator,
     IsfIntegrationOperator,
+    default_element_order,
 )
 from repro.core.rank_one import RankOneHTM, smw_closed_loop, smw_inverse_apply
 from repro.core.aliasing import AliasedSum, truncated_alias_sum
@@ -42,6 +45,14 @@ from repro.core.sweep import band_transfer_map, sweep_element, sweep_matrix
 from repro.core.truncation import TruncationReport, choose_truncation_order
 
 __all__ = [
+    "FrequencyGrid",
+    "as_omega_grid",
+    "as_s_grid",
+    "GridEvalCache",
+    "grid_cache",
+    "cache_stats",
+    "clear_cache",
+    "default_element_order",
     "HTM",
     "HarmonicOperator",
     "IdentityOperator",

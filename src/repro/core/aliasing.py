@@ -31,6 +31,8 @@ so that relative-degree-1 functions still converge (quadratically).
 from __future__ import annotations
 
 import math
+import threading
+from collections import OrderedDict
 from functools import lru_cache
 from typing import Callable
 
@@ -38,6 +40,7 @@ import numpy as np
 
 from repro._errors import ValidationError
 from repro._validation import check_order, check_positive
+from repro.core.grid import as_omega_grid
 from repro.lti.rational import PartialFractionTerm, RationalFunction
 from repro.lti.transfer import TransferFunction
 
@@ -98,6 +101,12 @@ def elementary_alias_sum(x: complex | np.ndarray, omega0: float, order: int = 1)
     return result
 
 
+# Content-keyed LRU of AliasedSum constructions (see AliasedSum.of).
+_OF_CACHE: "OrderedDict[tuple, AliasedSum]" = OrderedDict()
+_OF_CACHE_LOCK = threading.Lock()
+_OF_CACHE_MAXSIZE = 128
+
+
 class AliasedSum:
     """Callable closed form of ``sum_m F(s + j m w0)`` for rational ``F``.
 
@@ -121,7 +130,16 @@ class AliasedSum:
 
     @classmethod
     def of(cls, system, omega0: float, cluster_tol: float | None = None) -> "AliasedSum":
-        """Construct from a rational system (TransferFunction or RationalFunction)."""
+        """Construct from a rational system (TransferFunction or RationalFunction).
+
+        Constructions are memoized on the *content* of the rational function
+        (coefficient bytes, ``omega0``, ``cluster_tol``): rebuilding the same
+        effective-gain decomposition — e.g. one
+        :class:`~repro.pll.closedloop.ClosedLoopHTM` per metric of a design
+        sweep — reuses the partial-fraction expansion instead of re-running
+        the tolerance ladder.  :class:`AliasedSum` instances are immutable,
+        so sharing them is safe.
+        """
         if isinstance(system, TransferFunction):
             rational = system.rational
         elif isinstance(system, RationalFunction):
@@ -130,6 +148,12 @@ class AliasedSum:
             raise ValidationError(
                 f"AliasedSum requires a rational system, got {type(system).__name__}"
             )
+        key = (rational.num.tobytes(), rational.den.tobytes(), float(omega0), cluster_tol)
+        with _OF_CACHE_LOCK:
+            cached = _OF_CACHE.get(key)
+            if cached is not None:
+                _OF_CACHE.move_to_end(key)
+                return cached
         if not rational.is_strictly_proper() and not rational.is_zero():
             raise ValidationError(
                 "aliasing sum diverges: the function must be strictly proper "
@@ -138,7 +162,13 @@ class AliasedSum:
         direct, terms = rational.partial_fractions(tol=cluster_tol)
         if np.any(np.abs(direct) > 0):
             raise ValidationError("aliasing sum diverges: non-zero direct polynomial part")
-        return cls(omega0, terms, rational)
+        result = cls(omega0, terms, rational)
+        with _OF_CACHE_LOCK:
+            _OF_CACHE[key] = result
+            _OF_CACHE.move_to_end(key)
+            while len(_OF_CACHE) > _OF_CACHE_MAXSIZE:
+                _OF_CACHE.popitem(last=False)
+        return result
 
     def __call__(self, s: complex | np.ndarray) -> complex | np.ndarray:
         """Evaluate the full aliasing sum at ``s`` (scalar or array)."""
@@ -154,8 +184,11 @@ class AliasedSum:
         return out
 
     def eval_jomega(self, omega) -> np.ndarray:
-        """Evaluate on the imaginary axis (for Bode/margin tooling)."""
-        omega_arr = np.asarray(omega, dtype=float)
+        """Evaluate on the imaginary axis (for Bode/margin tooling).
+
+        Accepts a :class:`~repro.core.grid.FrequencyGrid` or a raw array.
+        """
+        omega_arr = as_omega_grid("omega", omega)
         return np.asarray(self(1j * omega_arr), dtype=complex)
 
     def base_poles(self) -> np.ndarray:

@@ -1,0 +1,170 @@
+"""Frequency-grid value object for batched HTM evaluation.
+
+Every figure, margin scan and stability map in this reproduction evaluates
+transfers on a grid of frequencies.  :class:`FrequencyGrid` names that grid
+once — real angular frequencies ``omega`` with the matching Laplace points
+``s = j omega`` — so the batched evaluation API
+(:meth:`~repro.core.operators.HarmonicOperator.dense_grid`,
+:func:`~repro.core.sweep.sweep_matrix`, the closed-loop responses, the noise
+analysis) can accept one object everywhere a raw ``omega`` array used to be
+passed.  Raw array inputs remain accepted for backward compatibility via the
+:func:`as_omega_grid` / :func:`as_s_grid` coercers.
+
+Grids are immutable (the stored array is read-only), hashable, and expose a
+stable :meth:`fingerprint` so evaluation results can be memoized against
+them (see :mod:`repro.core.memo`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro._validation import as_float_array, check_order, check_positive
+
+__all__ = ["FrequencyGrid", "as_omega_grid", "as_s_grid"]
+
+
+class FrequencyGrid:
+    """An immutable 1-D grid of real angular frequencies (rad/s).
+
+    Parameters
+    ----------
+    omega:
+        Finite real angular frequencies.  Any 1-D sequence; no ordering is
+        enforced (margin tooling wants increasing grids, band maps may not).
+
+    Notes
+    -----
+    ``grid.omega`` is the real grid and ``grid.s`` the imaginary-axis
+    Laplace points ``j omega``.  Both are read-only views/copies — a grid
+    never changes after construction, which is what makes it a safe
+    memoization key.
+    """
+
+    __slots__ = ("_omega",)
+
+    def __init__(self, omega: Sequence[float] | np.ndarray):
+        arr = as_float_array("omega", omega).copy()
+        arr.flags.writeable = False
+        object.__setattr__(self, "_omega", arr)
+
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("FrequencyGrid is immutable")
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def linear(cls, start: float, stop: float, points: int) -> "FrequencyGrid":
+        """Uniformly spaced grid of ``points`` frequencies on [start, stop]."""
+        points = check_order("points", points, minimum=1)
+        if not (np.isfinite(start) and np.isfinite(stop)):
+            raise ValidationError("start and stop must be finite")
+        return cls(np.linspace(float(start), float(stop), points))
+
+    @classmethod
+    def log(cls, start: float, stop: float, points: int) -> "FrequencyGrid":
+        """Logarithmically spaced grid; requires ``0 < start < stop``."""
+        points = check_order("points", points, minimum=1)
+        start = check_positive("start", start)
+        stop = check_positive("stop", stop)
+        if stop <= start:
+            raise ValidationError(f"need start < stop, got [{start}, {stop}]")
+        return cls(np.logspace(math.log10(start), math.log10(stop), points))
+
+    @classmethod
+    def baseband(
+        cls,
+        omega0: float,
+        points: int = 200,
+        lo_factor: float = 1e-3,
+        hi_factor: float = 0.499,
+    ) -> "FrequencyGrid":
+        """Log grid over one alias band ``[lo_factor, hi_factor] * omega0``.
+
+        The effective gain ``lambda`` repeats with period ``omega0``, so the
+        scan up to just below ``omega0 / 2`` is the canonical margin grid.
+        """
+        omega0 = check_positive("omega0", omega0)
+        if not 0.0 < lo_factor < hi_factor:
+            raise ValidationError("need 0 < lo_factor < hi_factor")
+        return cls.log(lo_factor * omega0, hi_factor * omega0, points)
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def omega(self) -> np.ndarray:
+        """The real angular-frequency grid (read-only array)."""
+        return self._omega
+
+    @property
+    def s(self) -> np.ndarray:
+        """The imaginary-axis Laplace points ``j omega``."""
+        return 1j * self._omega
+
+    def __len__(self) -> int:
+        return int(self._omega.size)
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self._omega)
+
+    def __getitem__(self, index):
+        return self._omega[index]
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FrequencyGrid):
+            return NotImplemented
+        return self._omega.shape == other._omega.shape and bool(
+            np.array_equal(self._omega, other._omega)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.fingerprint())
+
+    def fingerprint(self) -> bytes:
+        """Stable digest of the grid contents — the memoization key piece."""
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(self._omega.tobytes())
+        digest.update(str(self._omega.shape).encode())
+        return digest.digest()
+
+    def __repr__(self) -> str:
+        w = self._omega
+        return (
+            f"FrequencyGrid({w.size} points, "
+            f"[{w.min():.6g}, {w.max():.6g}] rad/s)"
+        )
+
+
+def as_omega_grid(name: str, value) -> np.ndarray:
+    """Coerce a :class:`FrequencyGrid` or raw array into real omegas.
+
+    The single entry-point coercer used by every API that historically took
+    a raw ``omega`` array (``eval_jomega``, ``sweep_element``,
+    ``frequency_response``, the noise analysis, ...).
+    """
+    if isinstance(value, FrequencyGrid):
+        return value.omega
+    return as_float_array(name, value)
+
+
+def as_s_grid(name: str, value) -> np.ndarray:
+    """Coerce a :class:`FrequencyGrid` or complex array into Laplace points.
+
+    A :class:`FrequencyGrid` maps to its imaginary-axis points ``j omega``;
+    raw (real or complex) arrays are taken verbatim as ``s`` values.
+    """
+    if isinstance(value, FrequencyGrid):
+        return value.s
+    arr = np.atleast_1d(np.asarray(value, dtype=complex))
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValidationError(f"{name} must not be empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} must contain only finite values")
+    return arr

@@ -1,0 +1,135 @@
+"""Evaluation-level memoization for batched HTM grid blocks.
+
+Margin sweeps, stability maps and the figure experiments evaluate the same
+operator stacks on the same frequency grids over and over — e.g. every
+metric of :func:`repro.pll.sweeps.standard_metrics` rebuilds the closed
+loop for the same PLL.  :class:`GridEvalCache` memoizes the result of
+``operator.dense_grid(s, order)`` per *operator node*, keyed on
+
+``(id-stable operator fingerprint, grid hash, truncation order)``
+
+so a composite evaluation reuses any child block that was already computed
+for the same grid.
+
+Invalidation rules
+------------------
+* Fingerprints of value-based operators (Toeplitz multiplication, sampling,
+  ISF integration, rational LTI embeddings) are content hashes — equal
+  content hits the cache regardless of object identity.
+* Operators wrapping *arbitrary callables* (irrational ``H(s)``, delays)
+  are fingerprinted by ``id(callable)``.  Each cache entry keeps a strong
+  reference to its operator, so an id can never be recycled while its entry
+  is alive; evicting the entry drops the pin.  Mutating a callable in place
+  is NOT tracked — treat transfer callables as immutable or call
+  :func:`clear_cache`.
+* Cached arrays are returned **read-only** (they may be shared between
+  callers and with the cache).  ``.copy()`` before mutating.
+
+The cache is a bounded LRU (default 256 grid blocks); disable it entirely
+with ``configure(enabled=False)`` to force recomputation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["GridEvalCache", "grid_cache", "clear_cache", "cache_stats", "configure"]
+
+
+def _grid_key(s_arr: np.ndarray) -> bytes:
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(s_arr.tobytes())
+    digest.update(str(s_arr.shape).encode())
+    return digest.digest()
+
+
+class GridEvalCache:
+    """Bounded LRU cache of ``(fingerprint, grid, order) -> dense grid block``."""
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = int(maxsize)
+        self.enabled = True
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        # key -> (array, pinned operator). The pin keeps any id()-based
+        # fingerprint component valid for the lifetime of the entry.
+        self._entries: "OrderedDict[tuple, tuple[np.ndarray, object]]" = OrderedDict()
+
+    def fetch(
+        self,
+        operator,
+        s_arr: np.ndarray,
+        order: int,
+        compute: Callable[[np.ndarray, int], np.ndarray],
+    ) -> np.ndarray:
+        """Return the cached grid block or compute, store and return it."""
+        if not self.enabled or self.maxsize <= 0:
+            return compute(s_arr, order)
+        key = (operator.fingerprint(), _grid_key(s_arr), int(order))
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[0]
+        value = np.asarray(compute(s_arr, order))
+        value.flags.writeable = False
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = (value, operator)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (and the operator pins) and reset counters."""
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict[str, int]:
+        """Current ``{'hits', 'misses', 'entries', 'maxsize'}`` counters."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+            }
+
+    def configure(self, enabled: bool | None = None, maxsize: int | None = None) -> None:
+        """Toggle the cache or resize it (shrinking evicts LRU entries)."""
+        with self._lock:
+            if enabled is not None:
+                self.enabled = bool(enabled)
+            if maxsize is not None:
+                self.maxsize = int(maxsize)
+                while len(self._entries) > max(self.maxsize, 0):
+                    self._entries.popitem(last=False)
+
+
+#: Process-wide cache used by :meth:`HarmonicOperator.dense_grid`.
+grid_cache = GridEvalCache()
+
+
+def clear_cache() -> None:
+    """Clear the process-wide grid evaluation cache."""
+    grid_cache.clear()
+
+
+def cache_stats() -> dict[str, int]:
+    """Counters of the process-wide grid evaluation cache."""
+    return grid_cache.stats()
+
+
+def configure(enabled: bool | None = None, maxsize: int | None = None) -> None:
+    """Configure the process-wide grid evaluation cache."""
+    grid_cache.configure(enabled=enabled, maxsize=maxsize)

@@ -17,10 +17,22 @@ Primitive operators mirror the paper's building blocks:
 
 Composites: :class:`SeriesOperator`, :class:`ParallelOperator`,
 :class:`ScaledOperator`, :class:`FeedbackOperator`.
+
+Evaluation comes in two flavours:
+
+* :meth:`HarmonicOperator.dense` — one dense matrix at one scalar ``s``;
+* :meth:`HarmonicOperator.dense_grid` — the **batched API**: a
+  ``(len(s), 2K+1, 2K+1)`` stack for a whole frequency grid at once.  Every
+  primitive and composite overrides the vectorized kernel
+  (:meth:`_dense_grid`); the base class provides a correct-by-construction
+  fallback that loops over :meth:`dense`.  Results are memoized per
+  operator node in :data:`repro.core.memo.grid_cache` and returned
+  **read-only** — ``.copy()`` before mutating.
 """
 
 from __future__ import annotations
 
+import warnings
 from abc import ABC, abstractmethod
 
 
@@ -28,9 +40,24 @@ import numpy as np
 
 from repro._errors import ValidationError
 from repro._validation import check_order, check_positive
+from repro.core.grid import as_s_grid
 from repro.core.htm import HTM
+from repro.core.memo import grid_cache
 from repro.signals.fourier import FourierSeries
 from repro.signals.isf import ImpulseSensitivity
+
+
+def default_element_order(n: int, m: int) -> int:
+    """The canonical default truncation order for a single element request.
+
+    ``max(|n|, |m|, 1)`` — never less than 1, so feedback closures are never
+    silently evaluated on a degenerate 1x1 truncation.  This is the one rule
+    used by both :meth:`HarmonicOperator.element` and
+    :func:`repro.core.sweep.sweep_element`; the historical
+    ``max(|n|, |m|)`` default of ``element`` (order 0 for the baseband
+    element) is deprecated.
+    """
+    return max(abs(n), abs(m), 1)
 
 
 class HarmonicOperator(ABC):
@@ -53,15 +80,78 @@ class HarmonicOperator(ABC):
     def dense(self, s: complex, order: int) -> np.ndarray:
         """Dense ``(2*order+1)^2`` matrix of the truncated HTM at ``s``."""
 
+    # -- batched evaluation -------------------------------------------------
+
+    def dense_grid(self, s, order: int) -> np.ndarray:
+        """Batched HTM stack ``(len(s), 2*order+1, 2*order+1)`` over a grid.
+
+        ``s`` may be a :class:`~repro.core.grid.FrequencyGrid` (evaluated on
+        ``j omega``) or any 1-D array of complex Laplace points.  Results
+        are memoized per operator node (see :mod:`repro.core.memo`) and are
+        **read-only**; ``.copy()`` before mutating.
+
+        Subclasses override :meth:`_dense_grid` with genuinely vectorized
+        kernels; the base fallback loops over :meth:`dense`, so
+        ``dense_grid(s, order)[i] == dense(s[i], order)`` holds for every
+        operator by construction (and is enforced by the property suite).
+        """
+        s_arr = as_s_grid("s", s)
+        order = check_order("order", order, minimum=0)
+        return grid_cache.fetch(self, s_arr, order, self._dense_grid)
+
+    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
+        """Vectorized kernel behind :meth:`dense_grid`; fallback loops."""
+        size = 2 * order + 1
+        out = np.empty((s_arr.size, size, size), dtype=complex)
+        for i, si in enumerate(s_arr):
+            out[i] = self.dense(complex(si), order)
+        return out
+
+    def _diag_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray | None:
+        """Batched diagonal ``(len(s), 2*order+1)`` for diagonal operators.
+
+        Returns ``None`` for operators whose HTM is not structurally
+        diagonal.  :class:`SeriesOperator` uses this to replace a stacked
+        matmul with broadcast row/column scaling when one factor is an LTI
+        embedding — scaling by a diagonal is exactly what the matmul
+        computes, minus the arithmetic on the structural zeros.
+        """
+        return None
+
+    def fingerprint(self) -> tuple:
+        """Hashable, id-stable structural key for grid memoization.
+
+        Value-based where the operator content is plain data; falls back to
+        object identity for opaque subclasses (the cache pins the operator
+        so the id cannot be recycled while the entry lives).
+        """
+        return (type(self).__name__, id(self))
+
     def htm(self, s: complex, order: int) -> HTM:
         """Evaluate the truncated HTM snapshot at ``s``."""
         order = check_order("order", order, minimum=0)
         return HTM(self.dense(complex(s), order), self._omega0, complex(s))
 
     def element(self, s: complex, n: int, m: int, order: int | None = None) -> complex:
-        """Single HTM element ``H_{n,m}(s)``; order defaults to ``max(|n|,|m|)``."""
+        """Single HTM element ``H_{n,m}(s)``.
+
+        ``order`` defaults to the canonical rule ``max(|n|, |m|, 1)`` (see
+        :func:`default_element_order`).  The historical default
+        ``max(|n|, |m|)`` — which evaluated the baseband element on a
+        degenerate order-0 truncation — is deprecated; a warning is emitted
+        in the only case where the two rules differ (``n == m == 0``).
+        """
         if order is None:
-            order = max(abs(n), abs(m))
+            if n == 0 and m == 0:
+                warnings.warn(
+                    "element(s, 0, 0) now defaults to truncation order 1 "
+                    "(canonical rule max(|n|, |m|, 1)); the old order-0 "
+                    "default is deprecated — pass order=0 explicitly if the "
+                    "degenerate 1x1 truncation is really wanted",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            order = default_element_order(n, m)
         return self.htm(s, order).element(n, m)
 
     # -- composition sugar ------------------------------------------------------
@@ -79,6 +169,13 @@ class HarmonicOperator(ABC):
         return ParallelOperator(self, other)
 
     def __mul__(self, scalar) -> "ScaledOperator":
+        if isinstance(scalar, np.ndarray):
+            if scalar.ndim != 0:
+                raise TypeError(
+                    "operator * expects a scalar, got an array of shape "
+                    f"{scalar.shape}; use @ for composition"
+                )
+            scalar = scalar[()]  # unwrap the 0-d array to a NumPy scalar
         if not isinstance(scalar, (int, float, complex, np.number)):
             raise TypeError("operator * expects a scalar; use @ for composition")
         return ScaledOperator(self, complex(scalar))
@@ -99,6 +196,26 @@ class IdentityOperator(HarmonicOperator):
     def dense(self, s: complex, order: int) -> np.ndarray:
         return np.eye(2 * order + 1, dtype=complex)
 
+    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
+        size = 2 * order + 1
+        eye = np.eye(size, dtype=complex)
+        return np.broadcast_to(eye, (s_arr.size, size, size))
+
+    def _diag_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
+        return np.ones((s_arr.size, 2 * order + 1), dtype=complex)
+
+    def fingerprint(self) -> tuple:
+        return ("identity", self._omega0)
+
+
+def _transfer_fingerprint(transfer) -> tuple:
+    """Value-based key for rational transfers, id-based for raw callables."""
+    num = getattr(transfer, "num", None)
+    den = getattr(transfer, "den", None)
+    if isinstance(num, np.ndarray) and isinstance(den, np.ndarray):
+        return ("rational", num.tobytes(), den.tobytes())
+    return ("callable", id(transfer))
+
 
 class LTIOperator(HarmonicOperator):
     """An LTI system embedded as a diagonal HTM (paper eq. 12).
@@ -114,10 +231,45 @@ class LTIOperator(HarmonicOperator):
             raise ValidationError("transfer must be callable as H(s)")
         self.transfer = transfer
 
+    def _transfer_values(self, s_grid: np.ndarray) -> np.ndarray:
+        """Evaluate the transfer on an arbitrary-shape complex grid.
+
+        Tries the callable directly (rational transfers and well-behaved
+        closures broadcast over NumPy arrays); falls back to an element-wise
+        loop for scalar-only callables — which also re-raises any genuine
+        evaluation error.
+        """
+        try:
+            values = np.asarray(self.transfer(s_grid), dtype=complex)
+            if values.shape == s_grid.shape:
+                return values
+        except Exception:
+            pass
+        flat = np.array(
+            [self.transfer(complex(si)) for si in s_grid.ravel()], dtype=complex
+        )
+        return flat.reshape(s_grid.shape)
+
     def dense(self, s: complex, order: int) -> np.ndarray:
         n = np.arange(-order, order + 1)
-        diag = np.array([self.transfer(s + 1j * k * self._omega0) for k in n], dtype=complex)
+        diag = self._transfer_values(s + 1j * n * self._omega0)
         return np.diag(diag)
+
+    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
+        n = np.arange(-order, order + 1)
+        diag = self._transfer_values(s_arr[:, None] + 1j * self._omega0 * n[None, :])
+        size = n.size
+        out = np.zeros((s_arr.size, size, size), dtype=complex)
+        idx = np.arange(size)
+        out[:, idx, idx] = diag
+        return out
+
+    def _diag_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
+        n = np.arange(-order, order + 1)
+        return self._transfer_values(s_arr[:, None] + 1j * self._omega0 * n[None, :])
+
+    def fingerprint(self) -> tuple:
+        return ("lti", self._omega0, _transfer_fingerprint(self.transfer))
 
 
 class MultiplicationOperator(HarmonicOperator):
@@ -130,6 +282,15 @@ class MultiplicationOperator(HarmonicOperator):
     def dense(self, s: complex, order: int) -> np.ndarray:
         # The Toeplitz HTM is independent of s.
         return self.series.toeplitz(2 * order + 1)
+
+    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
+        size = 2 * order + 1
+        mat = self.series.toeplitz(size)
+        # s-independent: one Toeplitz block broadcast (zero-copy) over the grid.
+        return np.broadcast_to(mat, (s_arr.size, size, size))
+
+    def fingerprint(self) -> tuple:
+        return ("mult", self._omega0, self.series.coefficients.tobytes())
 
 
 class SamplingOperator(HarmonicOperator):
@@ -161,6 +322,14 @@ class SamplingOperator(HarmonicOperator):
         row = self.row_vector(order)
         return gain * np.outer(col, row)
 
+    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
+        size = 2 * order + 1
+        # s-independent rank-one outer product broadcast over the grid.
+        return np.broadcast_to(self.dense(0j, order), (s_arr.size, size, size))
+
+    def fingerprint(self) -> tuple:
+        return ("sampling", self._omega0, self.offset)
+
 
 class IsfIntegrationOperator(HarmonicOperator):
     """The VCO phase operator: ISF multiplication followed by integration.
@@ -175,15 +344,46 @@ class IsfIntegrationOperator(HarmonicOperator):
         self.isf = isf
 
     def dense(self, s: complex, order: int) -> np.ndarray:
+        return self._dense_grid(np.array([s], dtype=complex), order)[0].copy()
+
+    def _nonzero_offsets(self) -> np.ndarray:
+        """Toeplitz offsets ``k`` with ``v_k != 0`` (usually a handful)."""
+        series = self.isf.series
+        coeffs = series.coefficients
+        return np.flatnonzero(coeffs) - series.order
+
+    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
         size = 2 * order + 1
-        mat = np.zeros((size, size), dtype=complex)
-        for n in range(-order, order + 1):
-            denom = s + 1j * n * self._omega0
-            for m in range(-order, order + 1):
-                vk = self.isf.coefficient(n - m)
-                if vk != 0:
-                    mat[n + order, m + order] = vk / denom
-        return mat
+        n = np.arange(-order, order + 1)
+        denom = s_arr[:, None] + 1j * n[None, :] * self._omega0  # (L, N)
+        out = np.zeros((s_arr.size, size, size), dtype=complex)
+        # Fill one Toeplitz band per non-zero ISF harmonic; structural zeros
+        # are never divided, so they stay exact zeros even at the integrator
+        # poles s = -j n w0.
+        idx = np.arange(size)
+        with np.errstate(divide="ignore"):
+            for k in self._nonzero_offsets():
+                rows = idx[(idx - k >= 0) & (idx - k < size)]
+                if rows.size == 0:
+                    continue
+                vk = complex(self.isf.coefficient(int(k)))
+                out[:, rows, rows - k] = vk / denom[:, rows]
+        return out
+
+    def _diag_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray | None:
+        offsets = self._nonzero_offsets()
+        if offsets.size == 0:
+            return np.zeros((s_arr.size, 2 * order + 1), dtype=complex)
+        if np.any(offsets != 0):
+            return None
+        # Time-invariant ISF: the diagonal integrator v0 / (s + j n w0).
+        n = np.arange(-order, order + 1)
+        v0 = complex(self.isf.coefficient(0))
+        with np.errstate(divide="ignore"):
+            return v0 / (s_arr[:, None] + 1j * n[None, :] * self._omega0)
+
+    def fingerprint(self) -> tuple:
+        return ("isf", self._omega0, self.isf.series.coefficients.tobytes())
 
 
 class SeriesOperator(HarmonicOperator):
@@ -198,6 +398,39 @@ class SeriesOperator(HarmonicOperator):
     def dense(self, s: complex, order: int) -> np.ndarray:
         return self.second.dense(s, order) @ self.first.dense(s, order)
 
+    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
+        # A diagonal factor turns the stacked matmul into broadcast scaling
+        # (what the matmul would compute, minus the structural-zero terms).
+        diag_second = self.second._diag_grid(s_arr, order)
+        if diag_second is not None:
+            # Fold a whole chain of diagonal left factors into one scaling.
+            inner = self.first
+            while isinstance(inner, SeriesOperator):
+                diag = inner.second._diag_grid(s_arr, order)
+                if diag is None:
+                    break
+                diag_second = diag_second * diag
+                inner = inner.first
+            return diag_second[:, :, None] * inner.dense_grid(s_arr, order)
+        diag_first = self.first._diag_grid(s_arr, order)
+        if diag_first is not None:
+            return self.second.dense_grid(s_arr, order) * diag_first[:, None, :]
+        return np.matmul(
+            self.second.dense_grid(s_arr, order), self.first.dense_grid(s_arr, order)
+        )
+
+    def _diag_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray | None:
+        diag_second = self.second._diag_grid(s_arr, order)
+        if diag_second is None:
+            return None
+        diag_first = self.first._diag_grid(s_arr, order)
+        if diag_first is None:
+            return None
+        return diag_second * diag_first
+
+    def fingerprint(self) -> tuple:
+        return ("series", self.second.fingerprint(), self.first.fingerprint())
+
 
 class ParallelOperator(HarmonicOperator):
     """Summing junction of two operators driven by the same input."""
@@ -211,6 +444,12 @@ class ParallelOperator(HarmonicOperator):
     def dense(self, s: complex, order: int) -> np.ndarray:
         return self.left.dense(s, order) + self.right.dense(s, order)
 
+    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
+        return self.left.dense_grid(s_arr, order) + self.right.dense_grid(s_arr, order)
+
+    def fingerprint(self) -> tuple:
+        return ("parallel", self.left.fingerprint(), self.right.fingerprint())
+
 
 class ScaledOperator(HarmonicOperator):
     """Scalar multiple of an operator."""
@@ -222,6 +461,18 @@ class ScaledOperator(HarmonicOperator):
 
     def dense(self, s: complex, order: int) -> np.ndarray:
         return self.scalar * self.inner.dense(s, order)
+
+    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
+        return self.scalar * self.inner.dense_grid(s_arr, order)
+
+    def _diag_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray | None:
+        inner = self.inner._diag_grid(s_arr, order)
+        if inner is None:
+            return None
+        return self.scalar * inner
+
+    def fingerprint(self) -> tuple:
+        return ("scaled", self.scalar, self.inner.fingerprint())
 
 
 class FeedbackOperator(HarmonicOperator):
@@ -241,6 +492,14 @@ class FeedbackOperator(HarmonicOperator):
         g = self.open_loop.dense(s, order)
         eye = np.eye(g.shape[0], dtype=complex)
         return np.linalg.solve(eye + g, g)
+
+    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
+        g = self.open_loop.dense_grid(s_arr, order)
+        eye = np.eye(g.shape[-1], dtype=complex)
+        return np.linalg.solve(eye[None, :, :] + g, g)
+
+    def fingerprint(self) -> tuple:
+        return ("feedback", self.open_loop.fingerprint())
 
 
 def lti_diagonal(transfer, omega0: float, s: complex, order: int) -> np.ndarray:

@@ -4,6 +4,13 @@ These helpers turn a lazy :class:`~repro.core.operators.HarmonicOperator`
 into the arrays the experiments plot: an element ``H_{n,m}(j omega)`` versus
 frequency, the full matrix stack over a grid, or the Fig. 2-style map of how
 much power each input band contributes to each output band.
+
+All of them ride on the batched evaluation API
+(:meth:`~repro.core.operators.HarmonicOperator.dense_grid`): the whole grid
+is evaluated as one vectorized ``(len(omega), 2K+1, 2K+1)`` stack instead of
+a Python loop per frequency, and repeated sweeps of the same operator/grid
+hit the memoization layer of :mod:`repro.core.memo`.  Grids may be given as
+a :class:`~repro.core.grid.FrequencyGrid` or as a raw ``omega`` array.
 """
 
 from __future__ import annotations
@@ -13,67 +20,71 @@ from typing import Sequence
 import numpy as np
 
 from repro._errors import ValidationError
-from repro._validation import as_float_array, check_order
-from repro.core.operators import HarmonicOperator
+from repro._validation import check_order
+from repro.core.grid import FrequencyGrid, as_omega_grid
+from repro.core.operators import HarmonicOperator, default_element_order
 
 
 def sweep_matrix(
     operator: HarmonicOperator,
-    omega: Sequence[float] | np.ndarray,
+    omega: FrequencyGrid | Sequence[float] | np.ndarray,
     order: int,
 ) -> np.ndarray:
     """Evaluate the truncated HTM on ``s = j omega`` for each grid frequency.
 
     Returns an array of shape ``(len(omega), 2*order+1, 2*order+1)`` suitable
-    for :meth:`repro.signals.spectra.BasebandVector.apply_matrix`.
+    for :meth:`repro.signals.spectra.BasebandVector.apply_matrix`.  The
+    result comes from the (cached) batched path and is **read-only**;
+    ``.copy()`` before mutating.
     """
-    omega_arr = as_float_array("omega", omega)
+    omega_arr = as_omega_grid("omega", omega)
     order = check_order("order", order, minimum=0)
-    size = 2 * order + 1
-    out = np.empty((omega_arr.size, size, size), dtype=complex)
-    for i, w in enumerate(omega_arr):
-        out[i] = operator.dense(1j * w, order)
-    return out
+    return operator.dense_grid(1j * omega_arr, order)
 
 
 def sweep_element(
     operator: HarmonicOperator,
-    omega: Sequence[float] | np.ndarray,
+    omega: FrequencyGrid | Sequence[float] | np.ndarray,
     n: int,
     m: int,
     order: int | None = None,
 ) -> np.ndarray:
     """Evaluate a single element ``H_{n,m}(j omega)`` over a frequency grid.
 
-    ``order`` defaults to ``max(|n|, |m|, 1)``; note that for operators whose
+    ``order`` defaults to the canonical rule ``max(|n|, |m|, 1)`` (see
+    :func:`repro.core.operators.default_element_order`); for operators whose
     element values depend on truncation (feedback closures), the order should
     be chosen with :func:`repro.core.truncation.choose_truncation_order`.
     """
-    omega_arr = as_float_array("omega", omega)
+    omega_arr = as_omega_grid("omega", omega)
     if order is None:
-        order = max(abs(n), abs(m), 1)
+        order = default_element_order(n, m)
     order = check_order("order", order, minimum=0)
     if max(abs(n), abs(m)) > order:
         raise ValidationError(f"element ({n},{m}) outside truncation order {order}")
-    out = np.empty(omega_arr.size, dtype=complex)
-    for i, w in enumerate(omega_arr):
-        out[i] = operator.htm(1j * w, order).element(n, m)
-    return out
+    stack = operator.dense_grid(1j * omega_arr, order)
+    return stack[:, n + order, m + order].copy()
 
 
 def band_transfer_map(
     operator: HarmonicOperator,
-    omega: float,
+    omega: float | FrequencyGrid | Sequence[float] | np.ndarray,
     order: int,
 ) -> np.ndarray:
-    """Magnitude map ``|H_{n,m}(j omega)|`` — the Fig. 2 picture at one frequency.
+    """Magnitude map ``|H_{n,m}(j omega)|`` — the Fig. 2 picture.
 
-    Row ``n + order`` / column ``m + order`` gives the gain from input band
-    ``m w0`` to output band ``n w0`` for baseband offset ``omega``.
+    For a scalar ``omega`` the shape is ``(2*order+1, 2*order+1)``: row
+    ``n + order`` / column ``m + order`` gives the gain from input band
+    ``m w0`` to output band ``n w0`` for baseband offset ``omega``.  A
+    :class:`~repro.core.grid.FrequencyGrid` or array input returns the
+    batched stack of maps, shape ``(len(omega), 2*order+1, 2*order+1)``.
     """
     order = check_order("order", order, minimum=0)
-    mat = operator.dense(1j * float(omega), order)
-    return np.abs(mat)
+    if not isinstance(omega, FrequencyGrid) and np.ndim(omega) == 0:
+        mat = operator.dense(1j * float(omega), order)
+        return np.abs(mat)
+    omega_arr = as_omega_grid("omega", omega)
+    return np.abs(operator.dense_grid(1j * omega_arr, order))
 
 
 def dominant_conversion(

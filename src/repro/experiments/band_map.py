@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro._validation import check_order
+from repro.core.grid import FrequencyGrid
 from repro.pll.closedloop import ClosedLoopHTM
 from repro.pll.design import design_typical_loop
 
@@ -44,14 +45,14 @@ def run_band_map(
     ratios_arr = np.asarray(ratios, dtype=float)
     band_idx = np.arange(-bands, bands + 1)
     peaks = np.zeros((ratios_arr.size, band_idx.size))
+    grid = FrequencyGrid.linear(0.01 * omega0, 0.49 * omega0, points)
     for i, ratio in enumerate(ratios_arr):
         pll = design_typical_loop(omega0=omega0, omega_ug=float(ratio) * omega0)
         closed = ClosedLoopHTM(pll)
-        omega = np.linspace(0.01, 0.49, points) * omega0
-        lam = closed.effective_gain(1j * omega)
-        for j, n in enumerate(band_idx):
-            vn = closed.vtilde_element(1j * omega, int(n))
-            peaks[i, j] = float(np.max(np.abs(vn / (1.0 + lam))))
+        lam = closed.effective_gain_response(grid)
+        # One batched column evaluation covers every output band at once.
+        cols = closed.vtilde_grid(grid, bands)
+        peaks[i] = np.max(np.abs(cols / (1.0 + lam)[:, None]), axis=0)
     return BandMapResult(ratios=ratios_arr, bands=band_idx, peak_gains=peaks)
 
 

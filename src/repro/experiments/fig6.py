@@ -22,6 +22,7 @@ import numpy as np
 
 from repro._errors import ConvergenceError
 from repro._validation import check_order, check_positive
+from repro.core.grid import FrequencyGrid
 from repro.lti.bode import bandwidth_3db, peaking_db
 from repro.pll.closedloop import ClosedLoopHTM
 from repro.pll.design import design_typical_loop
@@ -77,12 +78,12 @@ def run_fig6(
         closed = ClosedLoopHTM(pll)
         # Dense HTM curve on omega / omega_UG in [0.03, min(4, Nyquist margin)].
         upper = min(4.0, 0.49 / ratio)
-        grid_norm = np.logspace(np.log10(0.03), np.log10(upper), points)
-        omega_grid = grid_norm * omega_ug
+        omega_grid = FrequencyGrid.log(0.03 * omega_ug, upper * omega_ug, points)
+        grid_norm = omega_grid.omega / omega_ug
         h00 = closed.frequency_response(omega_grid)
         from repro.baselines.lti_approx import ClassicalLTIAnalysis
 
-        lti = ClassicalLTIAnalysis(pll).closed_loop_response(omega_grid)
+        lti = ClassicalLTIAnalysis(pll).closed_loop_response(omega_grid.omega)
         # Simulation marks, log-spaced across the same span.
         mark_norm = np.logspace(np.log10(0.1), np.log10(min(2.5, 0.45 / ratio)), mark_points)
         mark_vals = []

@@ -101,7 +101,7 @@ class RationalFunction:
     :meth:`simplified` explicitly when cancellation is wanted.
     """
 
-    __slots__ = ("_num", "_den")
+    __slots__ = ("_num", "_den", "_pf_cache")
 
     def __init__(self, num: Sequence[complex], den: Sequence[complex]):
         num_arr = _as_poly("num", num)
@@ -113,6 +113,7 @@ class RationalFunction:
         lead = den_arr[0]
         object.__setattr__(self, "_num", num_arr / lead)
         object.__setattr__(self, "_den", den_arr / lead)
+        object.__setattr__(self, "_pf_cache", {})
 
     # -- constructors ------------------------------------------------------
 
@@ -432,10 +433,21 @@ class RationalFunction:
         rebuilt from the *other* pole clusters, which is far more stable than
         polynomial long division.
         """
+        # Memoized per instance (immutable coefficients): the expansion is
+        # expensive (tolerance ladder + probe-point reconstruction) and the
+        # aliasing-sum machinery asks for it repeatedly.  Callers must not
+        # mutate the returned `direct` array.
+        cached = self._pf_cache.get(tol)
+        if cached is not None:
+            return cached
         if self.is_zero():
-            return np.zeros(1, dtype=complex), []
+            result = (np.zeros(1, dtype=complex), [])
+            self._pf_cache[tol] = result
+            return result
         if tol is not None:
-            return self._partial_fractions_at_tol(tol)
+            result = self._partial_fractions_at_tol(tol)
+            self._pf_cache[tol] = result
+            return result
         best: tuple[float, tuple[np.ndarray, list[PartialFractionTerm]]] | None = None
         num_scale = float(np.max(np.abs(self._num))) or 1.0
         for candidate in (1e-9, 1e-7, 1e-5, 1e-3):
@@ -453,6 +465,7 @@ class RationalFunction:
                 best = (score, expansion)
         if best is None:
             raise ValidationError("partial-fraction expansion failed at every tolerance")
+        self._pf_cache[tol] = best[1]
         return best[1]
 
     def _reconstruction_error(

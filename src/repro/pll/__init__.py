@@ -29,6 +29,12 @@ from repro.pll.design import (
     typical_open_loop_shape,
 )
 from repro.pll.noise import NoiseAnalysis
+from repro.pll.sweeps import (
+    SweepResult,
+    closed_loop_response_surface,
+    standard_metrics,
+    sweep,
+)
 from repro.pll.spurs import (
     SpurMeasurement,
     SpurPrediction,
@@ -61,6 +67,10 @@ __all__ = [
     "design_typical_loop",
     "typical_open_loop_shape",
     "NoiseAnalysis",
+    "SweepResult",
+    "closed_loop_response_surface",
+    "standard_metrics",
+    "sweep",
     "SpurMeasurement",
     "SpurPrediction",
     "measure_reference_spurs",

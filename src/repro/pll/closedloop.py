@@ -31,6 +31,7 @@ import numpy as np
 from repro._errors import ValidationError
 from repro._validation import check_order
 from repro.core.aliasing import AliasedSum
+from repro.core.grid import FrequencyGrid, as_omega_grid, as_s_grid
 from repro.core.htm import HTM
 from repro.core.operators import FeedbackOperator
 from repro.lti.rational import RationalFunction
@@ -130,9 +131,42 @@ class ClosedLoopHTM:
     def vtilde(self, s: complex, order: int) -> np.ndarray:
         """The truncated column vector ``[V_{-K}(s) .. V_{K}(s)]``."""
         order = check_order("order", order, minimum=0)
-        return np.array(
-            [self.vtilde_element(s, n) for n in range(-order, order + 1)], dtype=complex
+        return self.vtilde_grid(np.array([s], dtype=complex), order)[0]
+
+    def vtilde_grid(
+        self, s: FrequencyGrid | np.ndarray, order: int
+    ) -> np.ndarray:
+        """Batched column vectors: shape ``(len(s), 2*order+1)``.
+
+        Vectorizes eq. (29) over the frequency grid *and* the output
+        harmonic index simultaneously — the batched analogue of calling
+        :meth:`vtilde_element` for each ``n``.  ``s`` may be a
+        :class:`~repro.core.grid.FrequencyGrid` (evaluated on ``j omega``)
+        or a raw complex array.
+        """
+        s_arr = as_s_grid("s", s)
+        order = check_order("order", order, minimum=0)
+        omega0 = self.pll.omega0
+        ns = np.arange(-order, order + 1)
+        ks = np.array(
+            [
+                k
+                for k in range(-self._isf.order, self._isf.order + 1)
+                if self._isf.coefficient(k) != 0
+            ],
+            dtype=int,
         )
+        if ks.size == 0:
+            return np.zeros((s_arr.size, ns.size), dtype=complex)
+        vks = np.array([self._isf.coefficient(int(k)) for k in ks], dtype=complex)
+        # (L, N, nk): s + j (n - k) w0 for every grid point / harmonic / ISF term.
+        shifts = ns[None, :, None] - ks[None, None, :]
+        band = self._band_transfer(s_arr[:, None, None] + 1j * shifts * omega0)
+        total = band @ vks  # sum over the ISF harmonics
+        total *= self._gain / (s_arr[:, None] + 1j * ns[None, :] * omega0)
+        if self._offset != 0.0:
+            total *= np.exp(-1j * ns * omega0 * self._offset)[None, :]
+        return total
 
     def row_vector(self, order: int) -> np.ndarray:
         """The rank-one row factor ``l^T`` (phase-rotated by a sampling offset)."""
@@ -172,9 +206,14 @@ class ClosedLoopHTM:
             return complex(total[0])
         return total
 
-    def effective_gain_response(self, omega: Sequence[float] | np.ndarray) -> np.ndarray:
-        """``lambda(j omega)`` on a real frequency grid (margin tooling input)."""
-        omega_arr = np.asarray(omega, dtype=float)
+    def effective_gain_response(
+        self, omega: FrequencyGrid | Sequence[float] | np.ndarray
+    ) -> np.ndarray:
+        """``lambda(j omega)`` on a real frequency grid (margin tooling input).
+
+        Accepts a :class:`~repro.core.grid.FrequencyGrid` or a raw array.
+        """
+        omega_arr = as_omega_grid("omega", omega)
         return np.asarray(self.effective_gain(1j * omega_arr), dtype=complex)
 
     # -- closed-loop transfers (eq. 34 / 38) --------------------------------------------
@@ -197,9 +236,14 @@ class ClosedLoopHTM:
         """Baseband-to-baseband closed-loop transfer (eq. 38)."""
         return self.element(s, 0, 0)
 
-    def frequency_response(self, omega: Sequence[float] | np.ndarray) -> np.ndarray:
-        """``H00(j omega)`` on a real frequency grid."""
-        omega_arr = np.asarray(omega, dtype=float)
+    def frequency_response(
+        self, omega: FrequencyGrid | Sequence[float] | np.ndarray
+    ) -> np.ndarray:
+        """``H00(j omega)`` on a real frequency grid.
+
+        Accepts a :class:`~repro.core.grid.FrequencyGrid` or a raw array.
+        """
+        omega_arr = as_omega_grid("omega", omega)
         return np.asarray(self.h00(1j * omega_arr), dtype=complex)
 
     # Alias so Bode/margin tooling accepts a ClosedLoopHTM directly.
@@ -231,7 +275,26 @@ class ClosedLoopHTM:
         This is the expensive path the paper's rank-one closed form avoids;
         kept as the validation oracle (ablation A2).
         """
-        return FeedbackOperator(open_loop_operator(self.pll)).htm(s, order)
+        return self._reference_operator().htm(s, order)
+
+    def dense_reference_grid(
+        self, s: FrequencyGrid | np.ndarray, order: int
+    ) -> np.ndarray:
+        """Batched dense closure: ``(len(s), 2*order+1, 2*order+1)`` stack.
+
+        The grid-parallel form of :meth:`dense_reference`, evaluated through
+        the vectorized operator stack (and the grid memoization layer).  The
+        returned stack is read-only; ``.copy()`` before mutating.
+        """
+        return self._reference_operator().dense_grid(s, order)
+
+    def _reference_operator(self) -> FeedbackOperator:
+        """The (cached) brute-force closed-loop operator of eq. (28)."""
+        op = getattr(self, "_reference_op", None)
+        if op is None:
+            op = FeedbackOperator(open_loop_operator(self.pll))
+            self._reference_op = op
+        return op
 
     def __repr__(self) -> str:
         return (

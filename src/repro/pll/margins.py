@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro._errors import ValidationError
+from repro.core.grid import FrequencyGrid
 from repro.lti.bode import gain_crossover, phase_margin
 from repro.pll.architecture import PLL
 from repro.pll.closedloop import ClosedLoopHTM
@@ -89,6 +90,7 @@ def compare_margins(
     omega_min_factor: float = 1e-3,
     omega_max_factor: float | None = None,
     points: int = 4000,
+    grid: FrequencyGrid | None = None,
     **closed_loop_kwargs,
 ) -> EffectiveMargins:
     """Measure LTI and effective margins of one loop design.
@@ -96,14 +98,23 @@ def compare_margins(
     The scan range is expressed relative to the reference frequency: from
     ``omega_min_factor * w0`` up to ``omega_max_factor * w0`` (default just
     below the ``w0/2`` alias symmetry point, beyond which lambda repeats).
+    Passing a :class:`~repro.core.grid.FrequencyGrid` instead pins the scan
+    to that grid's bounds and point count, overriding the factor arguments.
     """
     omega0 = pll.omega0
-    if omega_max_factor is None:
-        omega_max_factor = 0.499
-    if not 0 < omega_min_factor < omega_max_factor:
-        raise ValidationError("need 0 < omega_min_factor < omega_max_factor")
-    w_lo = omega_min_factor * omega0
-    w_hi = omega_max_factor * omega0
+    if grid is not None:
+        w_lo = float(grid.omega[0])
+        w_hi = float(grid.omega[-1])
+        points = len(grid)
+        if not 0 < w_lo < w_hi:
+            raise ValidationError("margin scan grid must be positive and increasing")
+    else:
+        if omega_max_factor is None:
+            omega_max_factor = 0.499
+        if not 0 < omega_min_factor < omega_max_factor:
+            raise ValidationError("need 0 < omega_min_factor < omega_max_factor")
+        w_lo = omega_min_factor * omega0
+        w_hi = omega_max_factor * omega0
     # The exact callable covers irrational loop elements (ZOH hold, delay)
     # that the rational A(s) cannot represent.
     from repro.pll.openloop import open_loop_callable

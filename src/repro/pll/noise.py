@@ -25,7 +25,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro._errors import ValidationError
-from repro._validation import as_float_array, check_order, check_positive
+from repro._validation import check_order, check_positive
+from repro.core.grid import FrequencyGrid, as_omega_grid
 from repro.pll.architecture import PLL
 from repro.pll.closedloop import ClosedLoopHTM
 
@@ -39,20 +40,24 @@ class NoiseAnalysis:
 
     # -- transfers ------------------------------------------------------------
 
-    def reference_transfer(self, omega: Sequence[float] | np.ndarray) -> np.ndarray:
+    def reference_transfer(
+        self, omega: FrequencyGrid | Sequence[float] | np.ndarray
+    ) -> np.ndarray:
         """Baseband reference-to-output transfer ``H00(j omega)`` (lowpass)."""
-        omega_arr = as_float_array("omega", omega)
+        omega_arr = as_omega_grid("omega", omega)
         return self.closed_loop.frequency_response(omega_arr)
 
-    def vco_transfer(self, omega: Sequence[float] | np.ndarray) -> np.ndarray:
+    def vco_transfer(
+        self, omega: FrequencyGrid | Sequence[float] | np.ndarray
+    ) -> np.ndarray:
         """Baseband VCO-to-output sensitivity ``1 - H00(j omega)`` (highpass)."""
-        omega_arr = as_float_array("omega", omega)
+        omega_arr = as_omega_grid("omega", omega)
         return np.asarray(
             self.closed_loop.sensitivity_element(1j * omega_arr, 0, 0), dtype=complex
         )
 
     def folded_reference_gain(
-        self, omega: Sequence[float] | np.ndarray, bands: int
+        self, omega: FrequencyGrid | Sequence[float] | np.ndarray, bands: int
     ) -> np.ndarray:
         """Total power gain for reference noise folded from ``2*bands+1`` bands.
 
@@ -60,7 +65,7 @@ class NoiseAnalysis:
         row makes all ``|H_{0,m}|`` equal, this is ``(2*bands+1) |H00|^2`` —
         the closed-form statement of the sampler's noise-folding penalty.
         """
-        omega_arr = as_float_array("omega", omega)
+        omega_arr = as_omega_grid("omega", omega)
         bands = check_order("bands", bands, minimum=0)
         h00 = np.abs(self.closed_loop.frequency_response(omega_arr)) ** 2
         return (2 * bands + 1) * h00
@@ -69,7 +74,7 @@ class NoiseAnalysis:
 
     def output_psd(
         self,
-        omega: Sequence[float] | np.ndarray,
+        omega: FrequencyGrid | Sequence[float] | np.ndarray,
         reference_psd: Callable[[np.ndarray], np.ndarray] | None = None,
         vco_psd: Callable[[np.ndarray], np.ndarray] | None = None,
         folded_bands: int = 0,
@@ -85,7 +90,7 @@ class NoiseAnalysis:
             Number of reference harmonic bands (per side) whose noise is
             assumed white-identical and folds through the sampler.
         """
-        omega_arr = as_float_array("omega", omega)
+        omega_arr = as_omega_grid("omega", omega)
         total = np.zeros(omega_arr.size)
         if reference_psd is not None:
             gain = self.folded_reference_gain(omega_arr, folded_bands)
@@ -97,7 +102,7 @@ class NoiseAnalysis:
 
     def rms_jitter(
         self,
-        omega: Sequence[float] | np.ndarray,
+        omega: FrequencyGrid | Sequence[float] | np.ndarray,
         psd: Sequence[float] | np.ndarray,
     ) -> float:
         """RMS timing jitter (seconds) from a sampled one-sided phase PSD.
@@ -105,7 +110,7 @@ class NoiseAnalysis:
         Integrates ``sigma^2 = (1/2pi) * integral S(omega) d omega`` with the
         trapezoid rule on the supplied grid.
         """
-        omega_arr = as_float_array("omega", omega)
+        omega_arr = as_omega_grid("omega", omega)
         psd_arr = np.asarray(psd, dtype=float)
         if psd_arr.shape != omega_arr.shape:
             raise ValidationError("psd and omega grids must match")

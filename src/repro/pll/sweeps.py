@@ -17,6 +17,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro._errors import ValidationError
+from repro.core.grid import FrequencyGrid
 from repro.pll.architecture import PLL
 
 
@@ -89,6 +90,43 @@ def sweep(
     return SweepResult(
         parameter_name=parameter_name, values=values_arr, metrics=collected
     )
+
+
+def closed_loop_response_surface(
+    parameter_name: str,
+    values: Sequence[float],
+    designer: Callable[[float], PLL],
+    grid: FrequencyGrid,
+    **closed_loop_kwargs,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Baseband ``H00(j omega)`` over a (design, frequency) product grid.
+
+    For each design produced by ``designer`` the whole frequency row is
+    evaluated in one batched :meth:`~repro.pll.closedloop.ClosedLoopHTM.
+    frequency_response` call, so the cost is one grid evaluation per design
+    rather than ``len(grid)`` scalar closures.
+
+    Returns
+    -------
+    (values, surface):
+        ``values`` is the swept parameter array; ``surface`` is complex with
+        shape ``(len(values), len(grid))``.
+    """
+    from repro.pll.closedloop import ClosedLoopHTM
+
+    if not isinstance(grid, FrequencyGrid):
+        raise ValidationError(
+            f"{parameter_name} surface requires a FrequencyGrid, got "
+            f"{type(grid).__name__}"
+        )
+    values_arr = np.asarray(values, dtype=float)
+    if values_arr.ndim != 1 or values_arr.size == 0:
+        raise ValidationError("values must be a non-empty 1-D sequence")
+    surface = np.zeros((values_arr.size, len(grid)), dtype=complex)
+    for i, value in enumerate(values_arr):
+        closed = ClosedLoopHTM(designer(float(value)), **closed_loop_kwargs)
+        surface[i] = closed.frequency_response(grid)
+    return values_arr, surface
 
 
 def standard_metrics() -> dict[str, Callable[[PLL], float]]:

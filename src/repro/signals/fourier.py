@@ -227,12 +227,15 @@ class FourierSeries:
         """
         if size % 2 == 0 or size < 1:
             raise ValidationError(f"toeplitz size must be odd and positive, got {size}")
-        half = (size - 1) // 2
-        mat = np.zeros((size, size), dtype=complex)
-        for n in range(-half, half + 1):
-            for m in range(-half, half + 1):
-                mat[n + half, m + half] = self.coefficient(n - m)
-        return mat
+        # Gather pass: pad the coefficients to differences -(size-1)..(size-1),
+        # then index M[i, j] = c_{i-j} in one vectorized take.
+        padded = np.zeros(2 * size - 1, dtype=complex)
+        span = min(self.order, size - 1)
+        padded[size - 1 - span : size + span] = self._coeffs[
+            self.order - span : self.order + span + 1
+        ]
+        idx = np.arange(size)
+        return padded[idx[:, None] - idx[None, :] + size - 1]
 
     def __repr__(self) -> str:
         return f"FourierSeries(order={self.order}, omega0={self._omega0:.6g})"

@@ -1,0 +1,135 @@
+"""Property: batched ``dense_grid`` equals per-point ``dense`` for every
+operator class, including randomly nested composites and feedback closures
+driven toward singularity."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.memo import clear_cache
+from repro.core.operators import (
+    FeedbackOperator,
+    IdentityOperator,
+    IsfIntegrationOperator,
+    LTIOperator,
+    MultiplicationOperator,
+    ParallelOperator,
+    SamplingOperator,
+    ScaledOperator,
+    SeriesOperator,
+)
+from repro.lti.transfer import TransferFunction
+from repro.signals.fourier import FourierSeries
+from repro.signals.isf import ImpulseSensitivity
+
+W0 = 2 * np.pi
+
+coeff = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+
+
+@st.composite
+def lti_operators(draw):
+    pole = draw(st.floats(0.2, 4.0))
+    gain = draw(st.floats(-3.0, 3.0))
+    return LTIOperator(TransferFunction([gain], [1.0, pole]), W0)
+
+
+@st.composite
+def primitive_operators(draw):
+    kind = draw(st.integers(0, 4))
+    if kind == 0:
+        return IdentityOperator(W0)
+    if kind == 1:
+        return draw(lti_operators())
+    if kind == 2:
+        order = draw(st.integers(0, 2))
+        coeffs = [
+            complex(draw(coeff), draw(coeff)) for _ in range(2 * order + 1)
+        ]
+        return MultiplicationOperator(FourierSeries(coeffs, W0))
+    if kind == 3:
+        return SamplingOperator(W0, offset=draw(st.floats(0.0, 0.4)))
+    order = draw(st.integers(0, 2))
+    coeffs = [complex(draw(coeff), draw(coeff)) for _ in range(2 * order + 1)]
+    return IsfIntegrationOperator(ImpulseSensitivity.from_coefficients(coeffs, W0))
+
+
+@st.composite
+def operator_trees(draw, depth=2):
+    """Random operator expression trees over the primitive pool."""
+    if depth == 0 or draw(st.booleans()):
+        return draw(primitive_operators())
+    kind = draw(st.integers(0, 2))
+    left = draw(operator_trees(depth=depth - 1))
+    right = draw(operator_trees(depth=depth - 1))
+    if kind == 0:
+        return SeriesOperator(left, right)
+    if kind == 1:
+        return ParallelOperator(left, right)
+    return ScaledOperator(left, complex(draw(coeff), draw(coeff)))
+
+
+@st.composite
+def s_grids(draw):
+    """Laplace grids with positive real part — clear of integrator poles."""
+    n = draw(st.integers(1, 6))
+    return np.array(
+        [
+            complex(draw(st.floats(0.05, 1.5)), draw(st.floats(-3.0, 3.0)))
+            for _ in range(n)
+        ]
+    )
+
+
+def _assert_grid_matches_scalar(op, s_arr, order, rtol=1e-9):
+    clear_cache()
+    stack = np.asarray(op.dense_grid(s_arr, order))
+    assert stack.shape == (s_arr.size, 2 * order + 1, 2 * order + 1)
+    for i in range(s_arr.size):
+        ref = op.dense(complex(s_arr[i]), order)
+        scale = max(float(np.max(np.abs(ref))), 1e-300)
+        assert np.allclose(stack[i], ref, rtol=rtol, atol=rtol * scale)
+
+
+class TestDenseGridProperty:
+    @given(op=primitive_operators(), s=s_grids(), order=st.integers(0, 3))
+    @settings(max_examples=80, deadline=None)
+    def test_primitives(self, op, s, order):
+        _assert_grid_matches_scalar(op, s, order)
+
+    @given(op=operator_trees(), s=s_grids(), order=st.integers(0, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_nested_composites(self, op, s, order):
+        _assert_grid_matches_scalar(op, s, order)
+
+    @given(op=operator_trees(depth=1), s=s_grids(), order=st.integers(0, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_feedback_closures(self, op, s, order):
+        closed = FeedbackOperator(op)
+        # Skip draws where I + G is effectively singular at some grid point:
+        # both evaluation paths are then meaningless amplifications of
+        # round-off rather than comparable numbers.
+        size = 2 * order + 1
+        for si in s:
+            g = op.dense(complex(si), order)
+            if np.linalg.cond(np.eye(size) + g) > 1e8:
+                return
+        _assert_grid_matches_scalar(closed, s, order)
+
+    @given(
+        gain=st.floats(-0.999, 4.0),
+        eps=st.floats(1e-6, 1e-2),
+        s=s_grids(),
+        order=st.integers(0, 2),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_feedback_near_singular_closure(self, gain, eps, s, order):
+        """Closures approaching singularity: I + G with an eigenvalue at
+        ``eps`` — both paths must still agree (same stacked solve)."""
+        # G = (eps - 1) * I makes I + G = eps * I: near-singular but exactly
+        # conditioned, so the comparison stays meaningful at any eps.
+        near = ScaledOperator(IdentityOperator(W0), eps - 1.0)
+        _assert_grid_matches_scalar(FeedbackOperator(near), s, order)
+        # And a generically-structured loop pushed toward its critical gain.
+        loop = ScaledOperator(SamplingOperator(W0), gain * 2 * np.pi / W0)
+        _assert_grid_matches_scalar(FeedbackOperator(loop), s, order)

@@ -1,0 +1,157 @@
+"""Serial-vs-pool campaign throughput — the ``repro.campaign`` engine bench.
+
+Runs a 220-point stability-map campaign (the ``stability_cell`` task over an
+11 x 20 separation/ratio grid) twice through :func:`run_campaign`: once
+serial, once on a 4-worker process pool.  Asserts the two runs produce
+*identical* results point by point — the engine routes both paths through
+the same ``_run_point`` — and reports the wall-clock speedup.
+
+The speedup assertion (>= 2.5x with 4 workers) only fires on machines with
+at least 2 CPUs: process pools cannot beat serial execution on a single
+core, and a wrong-by-construction threshold would make the bench useless as
+a regression gate.  Result *identity* is asserted unconditionally.
+
+``main()`` prints a human summary plus one machine-readable JSON line
+(``kind: "bench_campaign"``) for harness scraping, like
+``bench_grid_eval.py``.  Run with
+``PYTHONPATH=src python benchmarks/bench_campaign.py`` or through pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.campaign import CampaignSpec, GridSpace, run_campaign
+
+SEPARATIONS = tuple(np.linspace(2.5, 7.5, 11))
+RATIOS = tuple(np.linspace(0.02, 0.3, 20))
+POOL_WORKERS = 4
+
+
+def stability_map_spec(
+    separations=SEPARATIONS, ratios=RATIOS, points: int = 400
+) -> CampaignSpec:
+    """A stability-map campaign: one ``stability_cell`` per grid point."""
+    return CampaignSpec.create(
+        name="bench-stability-map",
+        space=GridSpace.of(
+            separation=[float(v) for v in separations],
+            ratio=[float(v) for v in ratios],
+        ),
+        task="stability_cell",
+        defaults={"points": points},
+    )
+
+
+@dataclass(frozen=True)
+class CampaignBenchResult:
+    """Timing comparison of serial vs pooled campaign execution."""
+
+    points: int
+    workers: int
+    cpus: int
+    serial_seconds: float
+    pool_seconds: float
+    pool_mode: str
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_seconds / self.pool_seconds
+
+    def summary(self) -> str:
+        return (
+            f"campaign ({self.points} points): serial {self.serial_seconds:.2f} s, "
+            f"{self.workers}-worker {self.pool_mode} {self.pool_seconds:.2f} s "
+            f"-> {self.speedup:.2f}x on {self.cpus} cpu(s), "
+            f"identical={self.identical}"
+        )
+
+    def json_line(self) -> str:
+        return json.dumps(
+            {
+                "kind": "bench_campaign",
+                "points": self.points,
+                "workers": self.workers,
+                "cpus": self.cpus,
+                "serial_seconds": round(self.serial_seconds, 4),
+                "pool_seconds": round(self.pool_seconds, 4),
+                "speedup": round(self.speedup, 3),
+                "pool_mode": self.pool_mode,
+                "identical": self.identical,
+            },
+            sort_keys=True,
+        )
+
+
+def _metrics_equal(a, b) -> bool:
+    """Bitwise metric equality, except NaN == NaN (unstable cells are NaN)."""
+    if a is None or b is None:
+        return a is b
+    if a.keys() != b.keys():
+        return False
+    return all(
+        va == b[k] or (np.isnan(va) and np.isnan(b[k])) for k, va in a.items()
+    )
+
+
+def measure(
+    separations=SEPARATIONS,
+    ratios=RATIOS,
+    workers: int = POOL_WORKERS,
+    points: int = 400,
+) -> CampaignBenchResult:
+    """Run the campaign serial then pooled; cross-check record identity."""
+    spec = stability_map_spec(separations, ratios, points)
+
+    start = time.perf_counter()
+    serial = run_campaign(spec, workers=1)
+    t_serial = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = run_campaign(spec, workers=workers)
+    t_pool = time.perf_counter() - start
+
+    identical = [r["id"] for r in serial.records] == [
+        r["id"] for r in pooled.records
+    ] and all(
+        a["status"] == b["status"]
+        and _metrics_equal(a.get("metrics"), b.get("metrics"))
+        for a, b in zip(serial.records, pooled.records)
+    )
+    return CampaignBenchResult(
+        points=len(spec),
+        workers=workers,
+        cpus=os.cpu_count() or 1,
+        serial_seconds=t_serial,
+        pool_seconds=t_pool,
+        pool_mode=pooled.telemetry.mode,
+        identical=identical,
+    )
+
+
+# -- pytest entry points ---------------------------------------------------------
+
+
+def test_pool_matches_serial_and_speeds_up():
+    """Identity always; the >= 2.5x target where parallelism is possible."""
+    result = measure()
+    assert result.points >= 200
+    assert result.identical, result.summary()
+    if result.cpus >= 2:
+        assert result.speedup >= 2.5, result.summary()
+
+
+def main() -> None:
+    result = measure()
+    print(result.summary())
+    print(result.json_line())
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,8 @@ Package layout:
 * :mod:`repro.baselines` — classical LTI and z-domain comparison models;
 * :mod:`repro.simulator` — event-driven behavioural simulator (the
   verification testbench);
+* :mod:`repro.campaign` — parallel, fault-tolerant design-space
+  exploration with checkpoint/resume (see ``docs/CAMPAIGNS.md``);
 * :mod:`repro.experiments` — regeneration of every figure in the paper.
 """
 

@@ -1,0 +1,77 @@
+"""repro.campaign — parallel, fault-tolerant design-space exploration.
+
+Turns any per-design-point analysis into a scalable campaign: declare a
+parameter space, bind it to a task adapter, and run it across a process
+pool with per-point timeouts, bounded retries, an append-only JSONL
+result store with crash-safe resume, and run telemetry.
+
+Quick start::
+
+    from repro.campaign import CampaignSpec, GridSpace, run_campaign
+
+    spec = CampaignSpec.create(
+        name="margins-map",
+        space=GridSpace.of(ratio=[0.05, 0.1, 0.2], separation=[2.0, 4.0, 8.0]),
+        task="margins",                       # registry name (tasks module)
+    )
+    result = run_campaign(spec, "margins.jsonl", workers=4,
+                          timeout=30.0, retries=1)
+    print(result.telemetry.summary())
+    pm = result.metric("phase_margin_eff_deg")   # NaN where a point failed
+
+Kill the process mid-run and finish later with::
+
+    from repro.campaign import resume_campaign
+    resume_campaign("margins.jsonl", workers=4)
+
+or from the shell: ``python -m repro campaign resume margins.jsonl``.
+
+Package layout: :mod:`~repro.campaign.spec` (parameter spaces, point
+ids), :mod:`~repro.campaign.tasks` (adapter registry),
+:mod:`~repro.campaign.executor` (pool/serial runner),
+:mod:`~repro.campaign.store` (JSONL persistence),
+:mod:`~repro.campaign.telemetry` (counters and cache visibility).
+"""
+
+from repro.campaign.executor import (
+    CampaignResult,
+    ExecutionPolicy,
+    PointTimeout,
+    campaign_status,
+    resume_campaign,
+    run_campaign,
+)
+from repro.campaign.spec import (
+    CampaignSpec,
+    GridSpace,
+    ListSpace,
+    ParameterSpace,
+    ProductSpace,
+    ZipSpace,
+    point_id,
+)
+from repro.campaign.store import ResultStore, StoreCorruptError
+from repro.campaign.tasks import available_tasks, get_task, register_task
+from repro.campaign.telemetry import CampaignTelemetry
+
+__all__ = [
+    "CampaignResult",
+    "CampaignSpec",
+    "CampaignTelemetry",
+    "ExecutionPolicy",
+    "GridSpace",
+    "ListSpace",
+    "ParameterSpace",
+    "PointTimeout",
+    "ProductSpace",
+    "ResultStore",
+    "StoreCorruptError",
+    "ZipSpace",
+    "available_tasks",
+    "campaign_status",
+    "get_task",
+    "point_id",
+    "register_task",
+    "resume_campaign",
+    "run_campaign",
+]

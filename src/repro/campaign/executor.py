@@ -1,0 +1,538 @@
+"""Fault-tolerant campaign execution: process pool, retries, resume.
+
+The executor turns a :class:`~repro.campaign.spec.CampaignSpec` into a
+stream of terminal point records.  Guarantees:
+
+* **One bad point cannot kill a map.**  Task exceptions are captured into
+  a ``failed`` record (type, message, traceback) after bounded retries
+  with linear backoff; a singular closed-loop solve at one grid cell
+  leaves the other 9 999 cells intact.
+* **Per-point timeout.**  On Unix the task runs under ``SIGALRM``
+  (``signal.setitimer``) inside the worker process, so a hung bisection
+  is interrupted *in place* and the worker survives to take the next
+  point.  The timeout exception derives from ``BaseException`` so broad
+  ``except Exception`` blocks inside adapters cannot swallow it.
+* **Serial/pool equivalence.**  The pool path and the serial fallback run
+  the *same* per-point function on the same inputs; results round-trip
+  through pickle (pool) without any float rewriting, so the two paths are
+  bitwise identical.  Serial is used for ``workers <= 1``, for
+  unpicklable task callables, and as an automatic fallback when the pool
+  cannot be created or breaks mid-run (each fallback is recorded as a
+  telemetry note).
+* **Crash-safe resume.**  With a result store attached, every terminal
+  record is appended (flushed) before the next point is scheduled;
+  :func:`resume_campaign` skips any point whose record made it to disk.
+
+Dispatch is chunked: at most ``workers * chunk_size`` futures are in
+flight, bounding coordinator memory on 10k-point campaigns.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import threading
+import time
+import traceback
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import ResultStore
+from repro.campaign.tasks import TaskAdapter, get_task
+from repro.campaign.telemetry import CampaignTelemetry, ProgressCallback
+
+__all__ = [
+    "CampaignResult",
+    "ExecutionPolicy",
+    "PointTimeout",
+    "campaign_status",
+    "resume_campaign",
+    "run_campaign",
+]
+
+
+class PointTimeout(BaseException):
+    """A point exceeded its per-point timeout.
+
+    Derives from :class:`BaseException` so NaN-tolerant adapters that
+    catch ``Exception`` around individual metrics cannot absorb it.
+    """
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How a campaign is executed.
+
+    Attributes
+    ----------
+    workers:
+        Process count; ``<= 1`` selects the serial path.
+    chunk_size:
+        In-flight futures per worker (dispatch window).
+    timeout:
+        Per-point wall-clock limit in seconds (``None`` = unlimited).
+    retries:
+        Extra attempts after a failure (0 = fail on first error).
+    backoff:
+        Linear backoff: sleep ``backoff * attempt`` seconds before retry.
+    checkpoint_every:
+        Terminal records between fsynced store checkpoints.
+    """
+
+    workers: int = 1
+    chunk_size: int = 4
+    timeout: float | None = None
+    retries: int = 0
+    backoff: float = 0.0
+    checkpoint_every: int = 25
+
+    def __post_init__(self):
+        if self.chunk_size < 1:
+            raise ValidationError("chunk_size must be >= 1")
+        if self.retries < 0:
+            raise ValidationError("retries must be >= 0")
+        if self.backoff < 0:
+            raise ValidationError("backoff must be >= 0")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValidationError("timeout must be positive (or None)")
+        if self.checkpoint_every < 1:
+            raise ValidationError("checkpoint_every must be >= 1")
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of one (possibly resumed) campaign execution."""
+
+    spec: CampaignSpec
+    records: tuple[dict[str, Any], ...]  # spec enumeration order
+    telemetry: CampaignTelemetry
+    store_path: Path | None = None
+
+    @property
+    def ok_records(self) -> list[dict[str, Any]]:
+        return [r for r in self.records if r["status"] == "ok"]
+
+    @property
+    def failed_records(self) -> list[dict[str, Any]]:
+        return [r for r in self.records if r["status"] == "failed"]
+
+    def metric(self, name: str) -> np.ndarray:
+        """One metric across all points in spec order (NaN where failed)."""
+        out = np.full(len(self.records), np.nan)
+        for i, record in enumerate(self.records):
+            metrics = record.get("metrics") or {}
+            if name in metrics:
+                out[i] = float(metrics[name])
+        return out
+
+    def parameter(self, name: str) -> np.ndarray:
+        """One parameter across all points in spec order."""
+        return np.array(
+            [float(r["params"][name]) for r in self.records], dtype=float
+        )
+
+
+# -- per-point execution (runs in workers and in the serial path) ------------------
+
+
+def _alarm_guard(timeout: float | None):
+    """Context manager arming SIGALRM for one point, when possible.
+
+    Signals only work in a process's main thread and on platforms with
+    ``SIGALRM``; elsewhere the timeout degrades to "no limit" (documented).
+    """
+
+    class _Guard:
+        def __enter__(self):
+            self.armed = (
+                timeout is not None
+                and hasattr(signal, "SIGALRM")
+                and threading.current_thread() is threading.main_thread()
+            )
+            if self.armed:
+                def _raise(signum, frame):
+                    raise PointTimeout(
+                        f"point exceeded the {timeout:g} s per-point timeout"
+                    )
+
+                self.previous = signal.signal(signal.SIGALRM, _raise)
+                signal.setitimer(signal.ITIMER_REAL, timeout)
+            return self
+
+        def __exit__(self, *exc):
+            if self.armed:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+                signal.signal(signal.SIGALRM, self.previous)
+            return False
+
+    return _Guard()
+
+
+def _resolve_task(task: str | TaskAdapter) -> TaskAdapter:
+    return get_task(task) if isinstance(task, str) else task
+
+
+def _run_point(
+    task: str | TaskAdapter,
+    pid: str,
+    params: Mapping[str, Any],
+    timeout: float | None,
+    attempt: int,
+) -> dict[str, Any]:
+    """Execute one point and build its record (never raises)."""
+    from repro.core import memo
+
+    before = memo.cache_snapshot()
+    started = time.perf_counter()
+    record: dict[str, Any] = {
+        "kind": "point",
+        "id": pid,
+        "params": dict(params),
+        "attempts": attempt,
+        "worker": os.getpid(),
+    }
+    try:
+        fn = _resolve_task(task)
+        with _alarm_guard(timeout):
+            metrics = fn(dict(params))
+        if not isinstance(metrics, Mapping):
+            raise ValidationError(
+                f"task must return a metric mapping, got {type(metrics).__name__}"
+            )
+        record["status"] = "ok"
+        record["metrics"] = {str(k): float(v) for k, v in metrics.items()}
+    except (Exception, PointTimeout) as exc:
+        record["status"] = "failed"
+        record["error"] = {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(limit=20),
+        }
+    record["elapsed"] = time.perf_counter() - started
+    after = memo.cache_snapshot()
+    record["cache"] = {
+        "hits": after["hits"] - before["hits"],
+        "misses": after["misses"] - before["misses"],
+    }
+    return record
+
+
+def _pool_entry(payload: tuple) -> dict[str, Any]:
+    """Module-level (picklable) pool entry point."""
+    return _run_point(*payload)
+
+
+def _pool_init(cache_config: Mapping[str, Any]) -> None:
+    """Per-worker initializer: idempotently mirror the parent cache config.
+
+    Each worker owns a private, initially cold :data:`repro.core.memo.
+    grid_cache`; ``configure`` is idempotent so re-running the initializer
+    (or forking an already-configured parent) is harmless.  The cold-warm
+    cost is surfaced through per-record cache deltas in the telemetry.
+    """
+    from repro.core import memo
+
+    memo.configure(
+        enabled=bool(cache_config.get("enabled", True)),
+        maxsize=int(cache_config.get("maxsize", 256)),
+    )
+
+
+def _is_picklable(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+# -- coordinator -------------------------------------------------------------------
+
+
+class _Coordinator:
+    """Drives pending points through retries to terminal records."""
+
+    def __init__(
+        self,
+        task: str | TaskAdapter,
+        policy: ExecutionPolicy,
+        telemetry: CampaignTelemetry,
+        store: ResultStore | None,
+        progress: ProgressCallback | None,
+    ):
+        self.task = task
+        self.policy = policy
+        self.telemetry = telemetry
+        self.store = store
+        self.progress = progress
+        self.finalized: dict[str, dict[str, Any]] = {}
+        self._since_checkpoint = 0
+
+    # one queue entry: (index, point_id, params, attempt)
+
+    def _finalize(self, record: dict[str, Any]) -> None:
+        self.finalized[record["id"]] = record
+        self.telemetry.record(record)
+        if self.store is not None:
+            self.store.append_point(record)
+            self._since_checkpoint += 1
+            if self._since_checkpoint >= self.policy.checkpoint_every:
+                self._checkpoint()
+        if self.progress is not None:
+            self.progress(record, self.telemetry)
+
+    def _checkpoint(self) -> None:
+        if self.store is not None and self._since_checkpoint:
+            self.store.append_checkpoint(
+                {
+                    "done": self.telemetry.done,
+                    "failed": self.telemetry.failed,
+                    "elapsed": self.telemetry.wall_seconds,
+                }
+            )
+            self._since_checkpoint = 0
+
+    def _should_retry(self, record: dict[str, Any], attempt: int) -> bool:
+        return record["status"] == "failed" and attempt <= self.policy.retries
+
+    def _backoff(self, attempt: int) -> None:
+        if self.policy.backoff > 0:
+            time.sleep(self.policy.backoff * attempt)
+
+    # -- serial path -------------------------------------------------------------
+
+    def run_serial(self, queue: "deque[tuple[int, str, dict, int]]") -> None:
+        while queue:
+            index, pid, params, attempt = queue.popleft()
+            record = _run_point(
+                self.task, pid, params, self.policy.timeout, attempt
+            )
+            if self._should_retry(record, attempt):
+                self._backoff(attempt)
+                queue.appendleft((index, pid, params, attempt + 1))
+                continue
+            self._finalize(record)
+        self._checkpoint()
+
+    # -- pool path ---------------------------------------------------------------
+
+    def run_pool(self, queue: "deque[tuple[int, str, dict, int]]") -> None:
+        """Chunked pool dispatch; falls back to serial if the pool breaks."""
+        from repro.core import memo
+
+        policy = self.policy
+        cache_config = memo.cache_snapshot()
+        max_inflight = policy.workers * policy.chunk_size
+        inflight: dict[Any, tuple[int, str, dict, int]] = {}
+        try:
+            with ProcessPoolExecutor(
+                max_workers=policy.workers,
+                initializer=_pool_init,
+                initargs=(cache_config,),
+            ) as pool:
+                while queue or inflight:
+                    while queue and len(inflight) < max_inflight:
+                        entry = queue.popleft()
+                        index, pid, params, attempt = entry
+                        future = pool.submit(
+                            _pool_entry,
+                            (self.task, pid, params, policy.timeout, attempt),
+                        )
+                        inflight[future] = entry
+                    ready, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                    for future in ready:
+                        index, pid, params, attempt = inflight.pop(future)
+                        try:
+                            record = future.result()
+                        except BrokenProcessPool:
+                            raise
+                        except Exception as exc:  # worker-side transport error
+                            record = _transport_failure(pid, params, attempt, exc)
+                        if self._should_retry(record, attempt):
+                            self._backoff(attempt)
+                            queue.append((index, pid, params, attempt + 1))
+                        else:
+                            self._finalize(record)
+        except (BrokenProcessPool, OSError) as exc:
+            # Pool died (OOM-killed worker, fork failure, ...): finish the
+            # remaining points serially rather than losing the campaign.
+            for entry in inflight.values():
+                queue.append(entry)
+            pending = deque(
+                e for e in sorted(queue) if e[1] not in self.finalized
+            )
+            queue.clear()
+            self.telemetry.note(
+                f"process pool failed ({type(exc).__name__}: {exc}); "
+                f"finished {len(pending)} remaining point(s) serially"
+            )
+            self.telemetry.mode = "pool+serial-fallback"
+            self.run_serial(pending)
+            return
+        self._checkpoint()
+
+
+def _transport_failure(
+    pid: str, params: Mapping[str, Any], attempt: int, exc: Exception
+) -> dict[str, Any]:
+    """Record for a point whose worker-side result never arrived."""
+    return {
+        "kind": "point",
+        "id": pid,
+        "params": dict(params),
+        "status": "failed",
+        "attempts": attempt,
+        "worker": 0,
+        "elapsed": 0.0,
+        "cache": {"hits": 0, "misses": 0},
+        "error": {
+            "type": type(exc).__name__,
+            "message": str(exc),
+            "traceback": traceback.format_exc(limit=20),
+        },
+    }
+
+
+def _execute(
+    spec: CampaignSpec,
+    store: ResultStore | None,
+    policy: ExecutionPolicy,
+    progress: ProgressCallback | None,
+    completed: Mapping[str, dict[str, Any]],
+) -> CampaignResult:
+    all_points = list(spec.points())
+    pending = deque(
+        (index, pid, params, 1)
+        for index, (pid, params) in enumerate(all_points)
+        if pid not in completed
+    )
+    telemetry = CampaignTelemetry(
+        total_points=len(all_points),
+        workers=max(int(policy.workers), 1),
+        skipped=len(all_points) - len(pending),
+    )
+    coordinator = _Coordinator(spec.task, policy, telemetry, store, progress)
+
+    use_pool = policy.workers > 1 and len(pending) > 1
+    if use_pool and not isinstance(spec.task, str) and not _is_picklable(spec.task):
+        telemetry.note(
+            f"task {spec.task_name!r} is not picklable; using the serial path"
+        )
+        use_pool = False
+    if use_pool:
+        telemetry.mode = "pool"
+        coordinator.run_pool(pending)
+    else:
+        telemetry.mode = "serial"
+        telemetry.workers = 1
+        coordinator.run_serial(pending)
+
+    telemetry.finish()
+    if store is not None:
+        store.append_summary(telemetry.to_dict())
+        store.close()
+
+    ordered = []
+    for pid, _params in all_points:
+        if pid in coordinator.finalized:
+            ordered.append(coordinator.finalized[pid])
+        elif pid in completed:
+            ordered.append(completed[pid])
+    return CampaignResult(
+        spec=spec,
+        records=tuple(ordered),
+        telemetry=telemetry,
+        store_path=store.path if store is not None else None,
+    )
+
+
+# -- public entry points -----------------------------------------------------------
+
+
+def _make_policy(
+    policy: ExecutionPolicy | None, overrides: Mapping[str, Any]
+) -> ExecutionPolicy:
+    base = policy if policy is not None else ExecutionPolicy()
+    return replace(base, **dict(overrides)) if overrides else base
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    store_path: str | Path | None = None,
+    *,
+    policy: ExecutionPolicy | None = None,
+    progress: ProgressCallback | None = None,
+    overwrite: bool = False,
+    **policy_overrides: Any,
+) -> CampaignResult:
+    """Run every point of ``spec``; optionally persist to a JSONL store.
+
+    ``policy_overrides`` (``workers=``, ``timeout=``, ``retries=``, ...)
+    are shorthand for building an :class:`ExecutionPolicy`.
+    """
+    policy = _make_policy(policy, policy_overrides)
+    store = (
+        ResultStore.create(store_path, spec, overwrite=overwrite)
+        if store_path is not None
+        else None
+    )
+    return _execute(spec, store, policy, progress, completed={})
+
+
+def resume_campaign(
+    store_path: str | Path,
+    *,
+    task: str | TaskAdapter | None = None,
+    spec: CampaignSpec | None = None,
+    policy: ExecutionPolicy | None = None,
+    progress: ProgressCallback | None = None,
+    retry_failed: bool = False,
+    **policy_overrides: Any,
+) -> CampaignResult:
+    """Complete a partially-run campaign, skipping finished points.
+
+    The spec is rebuilt from the store header (registry-named tasks); a
+    campaign run with a raw callable needs ``task=`` (and ``spec=`` if the
+    header could not serialize the space).  ``retry_failed=True`` re-runs
+    points whose terminal status was ``failed``.
+    """
+    policy = _make_policy(policy, policy_overrides)
+    store = ResultStore.open(store_path)
+    if spec is None:
+        if task is None:
+            spec = store.spec()
+        else:
+            from repro.campaign.spec import ParameterSpace
+
+            data = store.spec_data()
+            spec = CampaignSpec.create(
+                name=data["name"],
+                space=ParameterSpace.from_json(data["space"]),
+                task=task,
+                defaults=data.get("defaults") or None,
+            )
+    elif task is not None:
+        spec = CampaignSpec.create(
+            name=spec.name, space=spec.space, task=task,
+            defaults=dict(spec.defaults),
+        )
+    completed_records = {
+        r["id"]: r
+        for r in store.point_records()
+        if r["status"] == "ok" or (not retry_failed and r["status"] == "failed")
+    }
+    return _execute(spec, store, policy, progress, completed=completed_records)
+
+
+def campaign_status(store_path: str | Path) -> dict[str, Any]:
+    """Progress snapshot of a result store (see :meth:`ResultStore.status`)."""
+    return ResultStore.open(store_path).status()

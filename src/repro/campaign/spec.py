@@ -1,0 +1,404 @@
+"""Declarative parameter spaces and campaign specifications.
+
+A *campaign* evaluates one task adapter (a callable mapping a parameter
+dict to a dict of scalar metrics) over every point of a declarative
+parameter space.  Spaces compose the three standard product structures:
+
+* :class:`GridSpace` — cartesian product of named axes (row-major, last
+  axis fastest), the Fig. 5-7 "map" shape;
+* :class:`ZipSpace` — parallel iteration over equal-length axes, the
+  "series of designed points" shape;
+* :class:`ListSpace` — an explicit list of parameter dicts;
+* ``space_a * space_b`` — cartesian product of two spaces with disjoint
+  parameter names.
+
+Every point has a **deterministic identity**: :func:`point_id` hashes the
+canonical JSON encoding of the parameter dict, so the same point gets the
+same id in every process, on every run, regardless of enumeration order or
+``PYTHONHASHSEED``.  Point ids are what checkpoint/resume keys on — see
+:mod:`repro.campaign.store`.
+
+Values must be JSON-representable scalars (bool/int/float/str); numpy
+scalars are coerced on construction so specs round-trip through JSON
+exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro._errors import ValidationError
+
+__all__ = [
+    "CampaignSpec",
+    "GridSpace",
+    "ListSpace",
+    "ParameterSpace",
+    "ProductSpace",
+    "ZipSpace",
+    "canonical_params",
+    "point_id",
+]
+
+_ID_DIGEST_SIZE = 8  # 16 hex chars
+
+
+def _coerce_scalar(name: str, value: Any) -> Any:
+    """Coerce a parameter value to a canonical JSON scalar."""
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        out = float(value)
+        if not np.isfinite(out):
+            raise ValidationError(f"parameter {name!r} must be finite, got {out}")
+        return out
+    if isinstance(value, str):
+        return value
+    raise ValidationError(
+        f"parameter {name!r} must be a bool/int/float/str scalar, "
+        f"got {type(value).__name__}"
+    )
+
+
+def canonical_params(params: Mapping[str, Any]) -> dict[str, Any]:
+    """Sorted-key dict of coerced scalar values — the hashed/stored form."""
+    if not params:
+        raise ValidationError("a campaign point needs at least one parameter")
+    return {
+        name: _coerce_scalar(name, params[name]) for name in sorted(params)
+    }
+
+
+def point_id(params: Mapping[str, Any]) -> str:
+    """Deterministic content hash of a parameter dict (16 hex chars).
+
+    Stable across processes and sessions: keys are sorted and floats use
+    their shortest round-trip ``repr`` via the canonical JSON encoding.
+    """
+    canon = canonical_params(params)
+    encoded = json.dumps(canon, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(
+        encoded.encode(), digest_size=_ID_DIGEST_SIZE
+    ).hexdigest()
+
+
+class ParameterSpace:
+    """Abstract declarative set of parameter dicts.
+
+    Concrete spaces implement :meth:`points` (deterministic enumeration
+    order), ``__len__`` and :meth:`to_json`.
+    """
+
+    kind: str = ""
+
+    def points(self) -> Iterator[dict[str, Any]]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return self.points()
+
+    def __mul__(self, other: "ParameterSpace") -> "ProductSpace":
+        if not isinstance(other, ParameterSpace):
+            return NotImplemented
+        return ProductSpace(self, other)
+
+    def parameter_names(self) -> tuple[str, ...]:
+        """Names every point of this space defines."""
+        raise NotImplementedError
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON-representable description (round-trips via :meth:`from_json`)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def from_json(data: Mapping[str, Any]) -> "ParameterSpace":
+        """Rebuild a space from :meth:`to_json` output."""
+        try:
+            kind = data["kind"]
+        except (KeyError, TypeError):
+            raise ValidationError("space JSON needs a 'kind' field") from None
+        try:
+            factory = _SPACE_KINDS[kind]
+        except KeyError:
+            raise ValidationError(
+                f"unknown space kind {kind!r}; known: {sorted(_SPACE_KINDS)}"
+            ) from None
+        return factory(data)
+
+
+def _coerce_axes(
+    axes: Mapping[str, Sequence[Any]],
+) -> tuple[tuple[str, tuple[Any, ...]], ...]:
+    if not axes:
+        raise ValidationError("at least one axis is required")
+    out = []
+    for name, values in axes.items():
+        values_t = tuple(_coerce_scalar(name, v) for v in values)
+        if not values_t:
+            raise ValidationError(f"axis {name!r} must not be empty")
+        out.append((str(name), values_t))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class GridSpace(ParameterSpace):
+    """Cartesian product of named axes (insertion order, last axis fastest)."""
+
+    axes: tuple[tuple[str, tuple[Any, ...]], ...]
+    kind: str = field(default="grid", init=False, repr=False)
+
+    @classmethod
+    def of(cls, **axes: Sequence[Any]) -> "GridSpace":
+        """``GridSpace.of(ratio=[...], separation=[...])``."""
+        return cls(_coerce_axes(axes))
+
+    def parameter_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.axes)
+
+    def points(self) -> Iterator[dict[str, Any]]:
+        names = self.parameter_names()
+        for combo in itertools.product(*(values for _, values in self.axes)):
+            yield dict(zip(names, combo))
+
+    def __len__(self) -> int:
+        n = 1
+        for _, values in self.axes:
+            n *= len(values)
+        return n
+
+    def to_json(self) -> dict[str, Any]:
+        return {"kind": "grid", "axes": {name: list(v) for name, v in self.axes}}
+
+
+@dataclass(frozen=True)
+class ZipSpace(ParameterSpace):
+    """Parallel (zipped) iteration over equal-length axes."""
+
+    axes: tuple[tuple[str, tuple[Any, ...]], ...]
+    kind: str = field(default="zip", init=False, repr=False)
+
+    def __post_init__(self):
+        lengths = {len(values) for _, values in self.axes}
+        if len(lengths) > 1:
+            raise ValidationError(
+                f"zip axes must share one length, got {sorted(lengths)}"
+            )
+
+    @classmethod
+    def of(cls, **axes: Sequence[Any]) -> "ZipSpace":
+        """``ZipSpace.of(ratio=[...], separation=[...])`` (equal lengths)."""
+        return cls(_coerce_axes(axes))
+
+    def parameter_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.axes)
+
+    def points(self) -> Iterator[dict[str, Any]]:
+        names = self.parameter_names()
+        for combo in zip(*(values for _, values in self.axes)):
+            yield dict(zip(names, combo))
+
+    def __len__(self) -> int:
+        return len(self.axes[0][1])
+
+    def to_json(self) -> dict[str, Any]:
+        return {"kind": "zip", "axes": {name: list(v) for name, v in self.axes}}
+
+
+@dataclass(frozen=True)
+class ListSpace(ParameterSpace):
+    """An explicit list of parameter dicts (duplicates allowed)."""
+
+    entries: tuple[tuple[tuple[str, Any], ...], ...]
+    kind: str = field(default="list", init=False, repr=False)
+
+    @classmethod
+    def of(cls, points: Sequence[Mapping[str, Any]]) -> "ListSpace":
+        """``ListSpace.of([{"ratio": 0.1}, {"ratio": 0.2}])``."""
+        points = list(points)
+        if not points:
+            raise ValidationError("ListSpace needs at least one point")
+        entries = tuple(
+            tuple(sorted(canonical_params(p).items())) for p in points
+        )
+        return cls(entries)
+
+    def parameter_names(self) -> tuple[str, ...]:
+        return tuple(name for name, _ in self.entries[0])
+
+    def points(self) -> Iterator[dict[str, Any]]:
+        for entry in self.entries:
+            yield dict(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def to_json(self) -> dict[str, Any]:
+        return {"kind": "list", "points": [dict(e) for e in self.entries]}
+
+
+@dataclass(frozen=True)
+class ProductSpace(ParameterSpace):
+    """Cartesian product of two spaces with disjoint parameter names."""
+
+    left: ParameterSpace
+    right: ParameterSpace
+    kind: str = field(default="product", init=False, repr=False)
+
+    def __post_init__(self):
+        overlap = set(self.left.parameter_names()) & set(
+            self.right.parameter_names()
+        )
+        if overlap:
+            raise ValidationError(
+                f"product spaces must use disjoint parameter names, "
+                f"both sides define {sorted(overlap)}"
+            )
+
+    def parameter_names(self) -> tuple[str, ...]:
+        return self.left.parameter_names() + self.right.parameter_names()
+
+    def points(self) -> Iterator[dict[str, Any]]:
+        for a in self.left.points():
+            for b in self.right.points():
+                yield {**a, **b}
+
+    def __len__(self) -> int:
+        return len(self.left) * len(self.right)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind": "product",
+            "left": self.left.to_json(),
+            "right": self.right.to_json(),
+        }
+
+
+_SPACE_KINDS: dict[str, Callable[[Mapping[str, Any]], ParameterSpace]] = {
+    "grid": lambda d: GridSpace.of(**d["axes"]),
+    "zip": lambda d: ZipSpace.of(**d["axes"]),
+    "list": lambda d: ListSpace.of(d["points"]),
+    "product": lambda d: ProductSpace(
+        ParameterSpace.from_json(d["left"]), ParameterSpace.from_json(d["right"])
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A named campaign: a parameter space bound to a task adapter.
+
+    Attributes
+    ----------
+    name:
+        Human-readable campaign label (recorded in the store header).
+    space:
+        The :class:`ParameterSpace` to enumerate.
+    task:
+        Either a registry name (see :mod:`repro.campaign.tasks`) — required
+        for JSON round-trips and CLI ``resume`` — or a direct callable
+        ``params -> {metric: float}`` for library use.
+    defaults:
+        Fixed parameters merged *under* every point (a point overrides a
+        default of the same name).  Point ids hash the merged dict.
+    """
+
+    name: str
+    space: ParameterSpace
+    task: str | Callable[[dict[str, Any]], dict[str, float]]
+    defaults: tuple[tuple[str, Any], ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        space: ParameterSpace,
+        task: str | Callable[[dict[str, Any]], dict[str, float]],
+        defaults: Mapping[str, Any] | None = None,
+    ) -> "CampaignSpec":
+        """Validating constructor (defaults given as a plain mapping)."""
+        if not name:
+            raise ValidationError("campaign name must be non-empty")
+        if not isinstance(space, ParameterSpace):
+            raise ValidationError(
+                f"space must be a ParameterSpace, got {type(space).__name__}"
+            )
+        if not (isinstance(task, str) or callable(task)):
+            raise ValidationError("task must be a registry name or a callable")
+        canon = (
+            tuple(sorted(canonical_params(defaults).items())) if defaults else ()
+        )
+        return cls(name=str(name), space=space, task=task, defaults=canon)
+
+    @property
+    def task_name(self) -> str:
+        """The registry name, or the callable's ``__name__`` for display."""
+        if isinstance(self.task, str):
+            return self.task
+        return getattr(self.task, "__name__", repr(self.task))
+
+    def __len__(self) -> int:
+        return len(self.space)
+
+    def points(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Yield ``(point_id, merged_params)`` in deterministic order.
+
+        Duplicate points (identical merged params appearing more than once
+        in the space) get an occurrence-suffixed id ``<hash>-<k>`` so ids
+        stay unique within the campaign while remaining deterministic.
+        """
+        defaults = dict(self.defaults)
+        seen: dict[str, int] = {}
+        for raw in self.space.points():
+            merged = canonical_params({**defaults, **raw})
+            base = point_id(merged)
+            count = seen.get(base, 0)
+            seen[base] = count + 1
+            yield (base if count == 0 else f"{base}-{count}", merged)
+
+    def to_json(self) -> dict[str, Any]:
+        """JSON description (requires a registry-named task)."""
+        if not isinstance(self.task, str):
+            raise ValidationError(
+                "only registry-named tasks serialize; got the callable "
+                f"{self.task_name!r} — register it with "
+                "repro.campaign.tasks.register_task"
+            )
+        return {
+            "name": self.name,
+            "task": self.task,
+            "defaults": dict(self.defaults),
+            "space": self.space.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        """Rebuild a spec from :meth:`to_json` output (or a spec file)."""
+        try:
+            name = data["name"]
+            task = data["task"]
+            space_data = data["space"]
+        except (KeyError, TypeError):
+            raise ValidationError(
+                "campaign spec JSON needs 'name', 'task' and 'space' fields"
+            ) from None
+        if not isinstance(task, str):
+            raise ValidationError("spec JSON 'task' must be a registry name")
+        return cls.create(
+            name=name,
+            space=ParameterSpace.from_json(space_data),
+            task=task,
+            defaults=data.get("defaults") or None,
+        )

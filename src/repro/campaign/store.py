@@ -1,0 +1,276 @@
+"""Append-only JSONL result store with crash-safe checkpoint/resume.
+
+A campaign's results live in one JSON-lines file.  Line kinds:
+
+* ``campaign`` — the header: campaign name, the spec (when serializable),
+  the total point count and a format version.  Written once at creation.
+* ``point`` — one *terminal* record per point: status ``ok`` (with the
+  metric dict) or ``failed`` (with the captured error), plus attempts,
+  elapsed seconds, worker pid and the worker's grid-cache delta.
+* ``checkpoint`` — periodic progress marker (done/failed counts, elapsed).
+  Checkpoints are written with flush + ``fsync`` so a crash loses at most
+  the points since the last checkpoint *line-wise* — and because every
+  point line is flushed too, usually nothing at all.
+* ``summary`` — the final telemetry dict, written when a run completes.
+
+Crash semantics
+---------------
+Appends are single ``write()`` calls of one ``\\n``-terminated line.  A
+process killed mid-write can leave at most one truncated final line; the
+reader detects and ignores it (:meth:`ResultStore.records` skips an
+undecodable *last* line, while corruption elsewhere raises).  ``resume``
+therefore never double-counts a point: a point is complete iff its full
+terminal line made it to disk.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro._errors import ValidationError
+from repro.campaign.spec import CampaignSpec
+
+__all__ = ["ResultStore", "StoreCorruptError"]
+
+FORMAT_VERSION = 1
+
+
+class StoreCorruptError(ValidationError):
+    """A result store line (other than a truncated tail) failed to parse."""
+
+
+def _encode(record: Mapping[str, Any]) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+class ResultStore:
+    """Append-only JSONL store for one campaign's results.
+
+    Use :meth:`create` for a fresh store (writes the header) and
+    :meth:`open` to append to / inspect an existing one.  The instance is a
+    context manager; writes go through one buffered append handle that is
+    flushed per record and fsynced at checkpoints.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._handle: io.TextIOBase | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        spec: CampaignSpec,
+        overwrite: bool = False,
+    ) -> "ResultStore":
+        """Start a fresh store with a campaign header line."""
+        store = cls(path)
+        if store.path.exists() and not overwrite:
+            raise ValidationError(
+                f"result store {store.path} already exists; "
+                "pass overwrite=True or resume it"
+            )
+        header: dict[str, Any] = {
+            "kind": "campaign",
+            "version": FORMAT_VERSION,
+            "name": spec.name,
+            "task": spec.task_name,
+            "points": len(spec),
+        }
+        try:
+            header["spec"] = spec.to_json()
+        except ValidationError:
+            # Callable task: embed the space anyway (with task: null) so the
+            # store stays resumable from the library via resume(..., task=...),
+            # just not from the CLI.
+            header["spec"] = {
+                "name": spec.name,
+                "task": None,
+                "defaults": dict(spec.defaults),
+                "space": spec.space.to_json(),
+            }
+        store.path.parent.mkdir(parents=True, exist_ok=True)
+        with store.path.open("w") as handle:
+            handle.write(_encode(header))
+            handle.flush()
+            os.fsync(handle.fileno())
+        return store
+
+    @classmethod
+    def open(cls, path: str | Path) -> "ResultStore":
+        """Open an existing store (validates the header)."""
+        store = cls(path)
+        if not store.path.exists():
+            raise ValidationError(f"no result store at {store.path}")
+        store.header()  # validates
+        return store
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Flush and close the append handle (reads stay available)."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    # -- writing -----------------------------------------------------------------
+
+    def _repair_torn_tail(self) -> None:
+        """Drop a trailing partial line left by a crash mid-append.
+
+        Without this, the first append after a resume would concatenate onto
+        the torn fragment and corrupt an otherwise-valid record.
+        """
+        with self.path.open("r+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            if size == 0:
+                return
+            handle.seek(size - 1)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            data = handle.read()
+            cut = data.rfind(b"\n") + 1  # 0 if no newline at all
+            handle.truncate(cut)
+
+    def _append(self, record: Mapping[str, Any], sync: bool = False) -> None:
+        if self._handle is None:
+            if self.path.exists():
+                self._repair_torn_tail()
+            self._handle = self.path.open("a")
+        self._handle.write(_encode(record))
+        self._handle.flush()
+        if sync:
+            os.fsync(self._handle.fileno())
+
+    def append_point(self, record: Mapping[str, Any]) -> None:
+        """Append one terminal point record (flushed, not fsynced)."""
+        if record.get("kind") != "point":
+            raise ValidationError("point records must carry kind='point'")
+        if "id" not in record or "status" not in record:
+            raise ValidationError("point records need 'id' and 'status'")
+        self._append(record)
+
+    def append_checkpoint(self, counts: Mapping[str, Any]) -> None:
+        """Append an fsynced checkpoint marker."""
+        self._append({"kind": "checkpoint", **counts}, sync=True)
+
+    def append_summary(self, telemetry: Mapping[str, Any]) -> None:
+        """Append the final fsynced telemetry summary."""
+        self._append({"kind": "summary", **telemetry}, sync=True)
+
+    # -- reading -----------------------------------------------------------------
+
+    def records(self) -> Iterator[dict[str, Any]]:
+        """Every decodable record, tolerating one truncated final line."""
+        with self.path.open("r") as handle:
+            lines = handle.readlines()
+        for index, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                record = json.loads(stripped)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    return  # torn tail from a crash mid-append
+                raise StoreCorruptError(
+                    f"{self.path}: undecodable record at line {index + 1}"
+                ) from None
+            if not isinstance(record, dict):
+                raise StoreCorruptError(
+                    f"{self.path}: line {index + 1} is not a JSON object"
+                )
+            yield record
+
+    def header(self) -> dict[str, Any]:
+        """The campaign header record."""
+        for record in self.records():
+            if record.get("kind") != "campaign":
+                break
+            if record.get("version") != FORMAT_VERSION:
+                raise StoreCorruptError(
+                    f"{self.path}: unsupported store version "
+                    f"{record.get('version')!r}"
+                )
+            return record
+        raise StoreCorruptError(f"{self.path}: missing campaign header line")
+
+    def spec_data(self) -> dict[str, Any]:
+        """The raw spec JSON from the header (``task`` may be ``None``)."""
+        data = self.header().get("spec")
+        if not data:
+            raise ValidationError(f"{self.path} has no serialized spec")
+        return data
+
+    def spec(self) -> CampaignSpec:
+        """Rebuild the campaign spec embedded in the header.
+
+        Raises :class:`ValidationError` when the campaign was run with a
+        non-registry callable task (header carries ``task: null``); resume
+        such a store from the library by passing the task explicitly.
+        """
+        data = self.spec_data()
+        if not data.get("task"):
+            raise ValidationError(
+                f"{self.path} was run with a non-registry task; resume it "
+                "via repro.campaign.resume_campaign(..., task=...)"
+            )
+        return CampaignSpec.from_json(data)
+
+    def point_records(self) -> list[dict[str, Any]]:
+        """Terminal point records, de-duplicated (last record per id wins)."""
+        by_id: dict[str, dict[str, Any]] = {}
+        for record in self.records():
+            if record.get("kind") == "point":
+                by_id[record["id"]] = record
+        return list(by_id.values())
+
+    def completed_ids(self, include_failed: bool = True) -> set[str]:
+        """Point ids resume() should skip.
+
+        ``include_failed=False`` treats terminally-failed points as pending
+        so a resume retries them.
+        """
+        out = set()
+        for record in self.point_records():
+            if record["status"] == "ok" or (
+                include_failed and record["status"] == "failed"
+            ):
+                out.add(record["id"])
+        return out
+
+    def status(self) -> dict[str, Any]:
+        """Progress snapshot: header fields + done/failed/pending counts."""
+        header = self.header()
+        points = self.point_records()
+        done = sum(1 for r in points if r["status"] == "ok")
+        failed = sum(1 for r in points if r["status"] == "failed")
+        summary = None
+        for record in self.records():
+            if record.get("kind") == "summary":
+                summary = record
+        total = int(header.get("points") or 0)
+        return {
+            "name": header.get("name"),
+            "task": header.get("task"),
+            "points": total,
+            "done": done,
+            "failed": failed,
+            "pending": max(total - done - failed, 0),
+            "complete": total > 0 and done + failed >= total,
+            "summary": summary,
+        }

@@ -1,0 +1,188 @@
+"""Per-campaign run telemetry: counters, timing, worker cache visibility.
+
+The executor feeds every terminal point record through
+:meth:`CampaignTelemetry.record`; the telemetry object aggregates
+
+* progress counters — points done / failed / retried / skipped (resume);
+* wall time and summed per-point busy time, giving a worker-utilization
+  estimate ``busy / (wall * workers)``;
+* per-worker :class:`~repro.core.memo.GridEvalCache` deltas.  The grid
+  cache is **per process**: each pool worker warms its own cold cache, so
+  a 4-worker campaign pays up to 4x the cold-miss cost of a serial run.
+  Telemetry surfaces this instead of hiding it — ``worker_caches`` lists
+  each worker pid with its hit/miss totals, and ``cache`` aggregates them.
+
+A progress callback ``(record, telemetry) -> None`` can be attached to a
+run for live reporting; the CLI uses it for its checkpoint lines.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+__all__ = ["CampaignTelemetry", "ProgressCallback", "WorkerCacheStats"]
+
+ProgressCallback = Callable[[dict[str, Any], "CampaignTelemetry"], None]
+
+
+@dataclass
+class WorkerCacheStats:
+    """Grid-cache counters accumulated from one worker process."""
+
+    pid: int
+    points: int = 0
+    busy_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pid": self.pid,
+            "points": self.points,
+            "busy_seconds": self.busy_seconds,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class CampaignTelemetry:
+    """Mutable run counters for one campaign execution."""
+
+    total_points: int
+    workers: int = 1
+    mode: str = "serial"  # "serial" | "pool"
+    done: int = 0
+    failed: int = 0
+    retried: int = 0
+    skipped: int = 0  # already complete at resume time
+    notes: list[str] = field(default_factory=list)
+    _started: float = field(default_factory=time.perf_counter, repr=False)
+    _wall: float | None = field(default=None, repr=False)
+    _workers_seen: dict[int, WorkerCacheStats] = field(
+        default_factory=dict, repr=False
+    )
+
+    # -- recording ---------------------------------------------------------------
+
+    def record(self, record: Mapping[str, Any]) -> None:
+        """Fold one terminal point record into the counters."""
+        status = record.get("status")
+        if status == "ok":
+            self.done += 1
+        elif status == "failed":
+            self.failed += 1
+        attempts = int(record.get("attempts", 1))
+        if attempts > 1:
+            self.retried += attempts - 1
+        pid = int(record.get("worker", 0))
+        stats = self._workers_seen.setdefault(pid, WorkerCacheStats(pid=pid))
+        stats.points += 1
+        stats.busy_seconds += float(record.get("elapsed", 0.0))
+        cache = record.get("cache") or {}
+        stats.cache_hits += int(cache.get("hits", 0))
+        stats.cache_misses += int(cache.get("misses", 0))
+
+    def note(self, message: str) -> None:
+        """Attach a free-form run note (e.g. serial-fallback reason)."""
+        self.notes.append(message)
+
+    def finish(self) -> "CampaignTelemetry":
+        """Freeze the wall clock; later reads keep this duration."""
+        if self._wall is None:
+            self._wall = time.perf_counter() - self._started
+        return self
+
+    # -- derived quantities ------------------------------------------------------
+
+    @property
+    def wall_seconds(self) -> float:
+        if self._wall is not None:
+            return self._wall
+        return time.perf_counter() - self._started
+
+    @property
+    def processed(self) -> int:
+        return self.done + self.failed
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(w.busy_seconds for w in self._workers_seen.values())
+
+    @property
+    def utilization(self) -> float:
+        """Summed busy time over the worker-seconds the run had available."""
+        denom = self.wall_seconds * max(self.workers, 1)
+        return self.busy_seconds / denom if denom > 0 else 0.0
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(w.cache_hits for w in self._workers_seen.values())
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(w.cache_misses for w in self._workers_seen.values())
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def worker_caches(self) -> list[WorkerCacheStats]:
+        """Per-worker cache stats — one cold warm-up per entry."""
+        return sorted(self._workers_seen.values(), key=lambda w: w.pid)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Picklable/JSON-able snapshot of every counter."""
+        return {
+            "total_points": self.total_points,
+            "workers": self.workers,
+            "mode": self.mode,
+            "done": self.done,
+            "failed": self.failed,
+            "retried": self.retried,
+            "skipped": self.skipped,
+            "wall_seconds": self.wall_seconds,
+            "busy_seconds": self.busy_seconds,
+            "utilization": self.utilization,
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.cache_hit_rate,
+                "worker_processes": len(self._workers_seen),
+            },
+            "worker_caches": [w.to_dict() for w in self.worker_caches],
+            "notes": list(self.notes),
+        }
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph run report."""
+        lines = [
+            f"campaign: {self.processed}/{self.total_points} points "
+            f"({self.done} ok, {self.failed} failed, {self.retried} retries, "
+            f"{self.skipped} skipped) in {self.wall_seconds:.2f} s "
+            f"[{self.mode}, {self.workers} worker(s), "
+            f"{100 * self.utilization:.0f}% utilization]",
+            f"grid cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({100 * self.cache_hit_rate:.0f}% hit rate) across "
+            f"{len(self._workers_seen)} worker process(es)"
+            + (
+                " — each pool worker warms its own cold cache"
+                if len(self._workers_seen) > 1
+                else ""
+            ),
+        ]
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)

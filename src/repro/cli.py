@@ -1,6 +1,6 @@
-"""Command-line loop-analysis report.
+"""Command-line interface: loop-analysis report and campaign runner.
 
-Usage::
+Loop report (the default command)::
 
     python -m repro --ratio 0.15 [--separation 4] [--omega0 6.2832]
                     [--icp 1e-3] [--leakage 0] [--plots] [--symbolic]
@@ -10,16 +10,39 @@ a full report: LTI metrics, effective (time-varying) metrics, z-domain
 stability, Floquet multipliers, and optionally the symbolic closed forms
 and an ASCII Bode chart — the complete workflow of the library in one
 command.
+
+Campaign engine (:mod:`repro.campaign`)::
+
+    python -m repro campaign run SPEC.json [--out RESULTS.jsonl]
+                    [--workers N] [--timeout S] [--retries N] ...
+    python -m repro campaign resume RESULTS.jsonl [--workers N] [--retry-failed]
+    python -m repro campaign status RESULTS.jsonl
+    python -m repro campaign tasks
+
+``SPEC.json`` holds a serialized :class:`repro.campaign.CampaignSpec`::
+
+    {"name": "margins-map", "task": "margins",
+     "defaults": {"omega0": 6.283185307179586},
+     "space": {"kind": "grid",
+               "axes": {"ratio": [0.05, 0.1, 0.2],
+                        "separation": [2.0, 4.0, 8.0]}}}
+
+``run`` executes every point (process pool for ``--workers > 1``) into an
+append-only JSONL store; kill it at any moment and ``resume`` completes
+only the missing points.  ``status`` prints progress without touching the
+campaign.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 import numpy as np
 
-from repro._errors import ReproError
+from repro._errors import ReproError, ValidationError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +63,45 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--leakage", type=float, default=0.0, help="pump leakage A")
     parser.add_argument("--plots", action="store_true", help="ASCII Bode chart of A and lambda")
     parser.add_argument("--symbolic", action="store_true", help="print symbolic closed forms")
+
+    commands = parser.add_subparsers(dest="command")
+    campaign = commands.add_parser(
+        "campaign", help="parameter-space campaign engine (run/resume/status)"
+    )
+    actions = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def policy_flags(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--workers", type=int, default=1, help="process count (1 = serial)")
+        sub.add_argument("--timeout", type=float, default=None, help="per-point timeout (s)")
+        sub.add_argument("--retries", type=int, default=0, help="extra attempts per failed point")
+        sub.add_argument("--backoff", type=float, default=0.0, help="retry backoff factor (s)")
+        sub.add_argument("--chunk-size", type=int, default=4, help="in-flight futures per worker")
+        sub.add_argument(
+            "--checkpoint-every", type=int, default=25, help="points between fsynced checkpoints"
+        )
+        sub.add_argument("--quiet", action="store_true", help="suppress per-point progress")
+
+    run_cmd = actions.add_parser("run", help="run a campaign spec file")
+    run_cmd.add_argument("spec", help="path to the campaign spec JSON")
+    run_cmd.add_argument(
+        "--out", default=None, help="result store path (default <spec>.results.jsonl)"
+    )
+    run_cmd.add_argument(
+        "--overwrite", action="store_true", help="replace an existing result store"
+    )
+    policy_flags(run_cmd)
+
+    resume_cmd = actions.add_parser("resume", help="complete a partially-run campaign")
+    resume_cmd.add_argument("results", help="path to the JSONL result store")
+    resume_cmd.add_argument(
+        "--retry-failed", action="store_true", help="re-run terminally failed points too"
+    )
+    policy_flags(resume_cmd)
+
+    status_cmd = actions.add_parser("status", help="print campaign progress")
+    status_cmd.add_argument("results", help="path to the JSONL result store")
+
+    actions.add_parser("tasks", help="list registered task adapters")
     return parser
 
 
@@ -47,10 +109,112 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns an exit code."""
     args = build_parser().parse_args(argv)
     try:
+        if getattr(args, "command", None) == "campaign":
+            return _campaign(args)
         return _report(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+
+# -- campaign subcommand -----------------------------------------------------------
+
+
+def _policy_from_args(args) -> "ExecutionPolicy":
+    from repro.campaign import ExecutionPolicy
+
+    return ExecutionPolicy(
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        checkpoint_every=args.checkpoint_every,
+    )
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def progress(record, telemetry) -> None:
+        total = telemetry.total_points
+        mark = "ok" if record["status"] == "ok" else "FAILED"
+        print(
+            f"[{telemetry.processed + telemetry.skipped}/{total}] "
+            f"{record['id']} {mark} ({record['elapsed']:.2f} s)"
+        )
+
+    return progress
+
+
+def _campaign(args) -> int:
+    from repro.campaign import (
+        available_tasks,
+        campaign_status,
+        resume_campaign,
+        run_campaign,
+    )
+
+    if args.campaign_command == "tasks":
+        for name, doc in available_tasks().items():
+            print(f"{name:>18}  {doc}")
+        return 0
+
+    if args.campaign_command == "status":
+        status = campaign_status(args.results)
+        print(f"campaign: {status['name']} (task {status['task']})")
+        print(
+            f"points:   {status['done']} ok, {status['failed']} failed, "
+            f"{status['pending']} pending of {status['points']}"
+        )
+        print(f"complete: {status['complete']}")
+        summary = status.get("summary")
+        if summary:
+            cache = summary.get("cache") or {}
+            print(
+                f"last run: {summary.get('mode')} x{summary.get('workers')} "
+                f"in {summary.get('wall_seconds', 0.0):.2f} s, cache "
+                f"{cache.get('hits', 0)}h/{cache.get('misses', 0)}m over "
+                f"{cache.get('worker_processes', 0)} worker(s)"
+            )
+        return 0 if status["complete"] else 1
+
+    if args.campaign_command == "run":
+        from repro.campaign import CampaignSpec
+
+        spec_path = Path(args.spec)
+        try:
+            spec_data = json.loads(spec_path.read_text())
+        except FileNotFoundError:
+            raise ValidationError(f"no campaign spec at {spec_path}") from None
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"{spec_path} is not valid JSON: {exc}") from None
+        spec = CampaignSpec.from_json(spec_data)
+        out = (
+            Path(args.out)
+            if args.out
+            else spec_path.with_suffix(".results.jsonl")
+        )
+        result = run_campaign(
+            spec,
+            out,
+            policy=_policy_from_args(args),
+            progress=_progress_printer(args.quiet),
+            overwrite=args.overwrite,
+        )
+    else:  # resume
+        result = resume_campaign(
+            args.results,
+            policy=_policy_from_args(args),
+            progress=_progress_printer(args.quiet),
+            retry_failed=args.retry_failed,
+        )
+
+    print(result.telemetry.summary())
+    if result.store_path is not None:
+        print(f"results: {result.store_path}")
+    return 0 if not result.failed_records else 1
 
 
 def _report(args) -> int:

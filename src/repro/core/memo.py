@@ -27,6 +27,21 @@ Invalidation rules
 
 The cache is a bounded LRU (default 256 grid blocks); disable it entirely
 with ``configure(enabled=False)`` to force recomputation.
+
+Multi-process use
+-----------------
+The cache is **per process**: pool workers (e.g. a
+:mod:`repro.campaign` run) each own a private instance and silently warm
+it from cold — an N-worker campaign pays up to N cold warm-ups.  Two hooks
+make that visible and manageable:
+
+* :func:`cache_snapshot` returns a plain-``dict`` (picklable) snapshot of
+  the counters *plus* the configuration, safe to ship across process
+  boundaries; the campaign telemetry aggregates per-worker deltas of it.
+* :func:`configure` is **idempotent**: re-applying the current
+  configuration is a no-op, so it is safe as a pool-worker initializer
+  (both under ``fork``, where the worker inherits the parent's
+  configuration, and under ``spawn``, where it starts fresh).
 """
 
 from __future__ import annotations
@@ -38,7 +53,14 @@ from typing import Callable
 
 import numpy as np
 
-__all__ = ["GridEvalCache", "grid_cache", "clear_cache", "cache_stats", "configure"]
+__all__ = [
+    "GridEvalCache",
+    "grid_cache",
+    "clear_cache",
+    "cache_stats",
+    "cache_snapshot",
+    "configure",
+]
 
 
 def _grid_key(s_arr: np.ndarray) -> bytes:
@@ -105,12 +127,32 @@ class GridEvalCache:
                 "maxsize": self.maxsize,
             }
 
+    def snapshot(self) -> dict[str, int | bool]:
+        """Picklable snapshot: :meth:`stats` plus the configuration.
+
+        Safe to send across process boundaries (plain builtins only) —
+        campaign workers report deltas of this to the run telemetry.
+        """
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+                "enabled": self.enabled,
+            }
+
     def configure(self, enabled: bool | None = None, maxsize: int | None = None) -> None:
-        """Toggle the cache or resize it (shrinking evicts LRU entries)."""
+        """Toggle the cache or resize it (shrinking evicts LRU entries).
+
+        Idempotent: re-applying the current values changes nothing (no
+        eviction, no counter reset), so this is safe to call once per pool
+        worker regardless of the start method.
+        """
         with self._lock:
             if enabled is not None:
                 self.enabled = bool(enabled)
-            if maxsize is not None:
+            if maxsize is not None and int(maxsize) != self.maxsize:
                 self.maxsize = int(maxsize)
                 while len(self._entries) > max(self.maxsize, 0):
                     self._entries.popitem(last=False)
@@ -128,6 +170,11 @@ def clear_cache() -> None:
 def cache_stats() -> dict[str, int]:
     """Counters of the process-wide grid evaluation cache."""
     return grid_cache.stats()
+
+
+def cache_snapshot() -> dict[str, int | bool]:
+    """Picklable snapshot (counters + config) of the process-wide cache."""
+    return grid_cache.snapshot()
 
 
 def configure(enabled: bool | None = None, maxsize: int | None = None) -> None:

@@ -6,17 +6,24 @@ phase margin), using the z-domain pole test.  This is the modern form of
 Gardner's stability-limit analysis (the paper's ref. [3]) produced directly
 from our baselines, and the design chart the paper's method motivates:
 LTI analysis draws no boundary anywhere on this plane.
+
+The map executes as a :mod:`repro.campaign` campaign (task
+``"stability_limit"``): ``run_stability_map(workers=4)`` bisects the
+separations in parallel, ``store_path=`` makes the run resumable after a
+crash, and a failed bisection at one separation records NaN instead of
+aborting the whole chart.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
 
 import numpy as np
 
+from repro._errors import ValidationError
 from repro._validation import as_float_array
-from repro.baselines.zdomain import stability_limit_ratio
-from repro.pll.design import design_typical_loop, shape_phase_margin_deg
 
 
 @dataclass(frozen=True)
@@ -37,23 +44,68 @@ class StabilityMapResult:
         ]
 
 
+def stability_map_spec(
+    separations=(1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0),
+    omega0: float = 2 * np.pi,
+    tol: float = 1e-3,
+):
+    """The stability map as a campaign spec (for the CLI / benchmarks)."""
+    from repro.campaign import CampaignSpec, ListSpace
+
+    seps = as_float_array("separations", separations)
+    return CampaignSpec.create(
+        name="stability-map",
+        space=ListSpace.of([{"separation": float(s)} for s in seps]),
+        task="stability_limit",
+        defaults={"omega0": float(omega0), "tol": float(tol)},
+    )
+
+
 def run_stability_map(
     separations=(1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0),
     omega0: float = 2 * np.pi,
     tol: float = 1e-3,
+    *,
+    workers: int = 1,
+    store_path: str | Path | None = None,
+    **campaign_kwargs: Any,
 ) -> StabilityMapResult:
-    """Compute the stability boundary for each separation."""
+    """Compute the stability boundary for each separation.
+
+    Runs through the campaign engine; ``workers`` / ``store_path`` and any
+    :class:`repro.campaign.ExecutionPolicy` field are forwarded.  A
+    separation whose bisection fails (no bracket) records NaN.
+    """
+    from repro.campaign import run_campaign
+
     seps = as_float_array("separations", separations)
-    margins = np.array([shape_phase_margin_deg(float(s)) for s in seps])
-    limits = np.empty(seps.size)
+    spec = stability_map_spec(separations=seps, omega0=omega0, tol=tol)
+    result = run_campaign(
+        spec, store_path, workers=workers, **campaign_kwargs
+    )
+    return stability_map_from_records(result.records, separations=seps)
+
+
+def stability_map_from_records(
+    records, separations=None
+) -> StabilityMapResult:
+    """Assemble a :class:`StabilityMapResult` from campaign point records."""
+    records = list(records)
+    if not records:
+        raise ValidationError("no stability-map point records")
+    seps = (
+        as_float_array("separations", separations)
+        if separations is not None
+        else np.array([float(r["params"]["separation"]) for r in records])
+    )
+    by_sep = {float(r["params"]["separation"]): r for r in records}
+    margins = np.full(seps.size, np.nan)
+    limits = np.full(seps.size, np.nan)
     for i, sep in enumerate(seps):
-
-        def designer(ratio: float, sep=float(sep)):
-            return design_typical_loop(
-                omega0=omega0, omega_ug=ratio * omega0, separation=sep
-            )
-
-        limits[i] = stability_limit_ratio(designer, tol=tol)
+        record = by_sep.get(float(sep))
+        metrics = (record or {}).get("metrics") or {}
+        margins[i] = metrics.get("lti_phase_margin_deg", np.nan)
+        limits[i] = metrics.get("stability_limit", np.nan)
     return StabilityMapResult(
         separations=seps, lti_phase_margins_deg=margins, stability_limits=limits
     )

@@ -5,6 +5,12 @@ margins/poles/bandwidth; this module consolidates the pattern into one
 utility with named metrics, NaN-safe collection (a metric that fails for a
 design — e.g. no unity crossing — records NaN instead of aborting the whole
 sweep) and CSV export.
+
+Sweeps execute through the :mod:`repro.campaign` engine: each sweep is a
+one-axis campaign, so the same call optionally gets a process pool, a
+crash-safe JSONL result store and run telemetry (``workers=`` /
+``store_path=`` / ``timeout=``), and :meth:`SweepResult.from_records`
+round-trips store output back into the structured result object.
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -34,11 +40,17 @@ class SweepResult:
     metrics:
         ``name -> array`` of collected metric values (NaN where a metric
         failed for a design).
+    campaign / point_ids:
+        Campaign metadata when the sweep ran through the campaign engine:
+        the campaign name and the deterministic per-point ids (aligned
+        with ``values``).  ``None`` for results built directly.
     """
 
     parameter_name: str
     values: np.ndarray
     metrics: dict[str, np.ndarray]
+    campaign: str | None = None
+    point_ids: tuple[str, ...] | None = None
 
     def metric(self, name: str) -> np.ndarray:
         """One metric's values across the sweep."""
@@ -49,18 +61,105 @@ class SweepResult:
                 f"unknown metric {name!r}; available: {sorted(self.metrics)}"
             ) from None
 
-    def to_csv(self, path: str | Path) -> Path:
-        """Write the sweep as a CSV table."""
+    @classmethod
+    def from_records(
+        cls,
+        parameter_name: str,
+        records: Iterable[Mapping[str, Any]],
+        campaign: str | None = None,
+    ) -> "SweepResult":
+        """Rebuild a sweep result from campaign point records.
+
+        ``records`` are terminal point records as produced by the campaign
+        engine / stored in the JSONL result store (``params`` must carry
+        ``parameter_name``).  Failed points contribute NaN for every
+        metric, mirroring the in-process NaN-safety rule.
+        """
+        records = list(records)
+        if not records:
+            raise ValidationError("at least one point record is required")
+        values = []
+        ids = []
+        names: list[str] = []
+        for record in records:
+            try:
+                values.append(float(record["params"][parameter_name]))
+            except (KeyError, TypeError):
+                raise ValidationError(
+                    f"record {record.get('id')!r} has no parameter "
+                    f"{parameter_name!r}"
+                ) from None
+            ids.append(str(record.get("id", "")))
+            for name in record.get("metrics") or {}:
+                if name not in names:
+                    names.append(name)
+        if not names:
+            raise ValidationError("no record carries any metrics")
+        collected = {name: np.full(len(records), np.nan) for name in names}
+        for i, record in enumerate(records):
+            for name, value in (record.get("metrics") or {}).items():
+                collected[name][i] = float(value)
+        return cls(
+            parameter_name=parameter_name,
+            values=np.asarray(values, dtype=float),
+            metrics=collected,
+            campaign=campaign,
+            point_ids=tuple(ids),
+        )
+
+    def to_csv(
+        self, path: str | Path, include_metadata: bool | None = None
+    ) -> Path:
+        """Write the sweep as a CSV table.
+
+        ``include_metadata=None`` (default) adds ``campaign`` / ``point_id``
+        columns exactly when the result carries campaign metadata; pass
+        ``False`` for the bare historical table or ``True`` to force the
+        columns (empty strings when absent).
+        """
         out = Path(path)
+        if include_metadata is None:
+            include_metadata = self.point_ids is not None
         with out.open("w", newline="") as handle:
             writer = csv.writer(handle)
             names = sorted(self.metrics)
-            writer.writerow([self.parameter_name] + names)
+            meta_header = ["campaign", "point_id"] if include_metadata else []
+            writer.writerow(meta_header + [self.parameter_name] + names)
             for i, value in enumerate(self.values):
+                meta = (
+                    [
+                        self.campaign or "",
+                        self.point_ids[i] if self.point_ids else "",
+                    ]
+                    if include_metadata
+                    else []
+                )
                 writer.writerow(
-                    [f"{value:.10g}"] + [f"{self.metrics[n][i]:.10g}" for n in names]
+                    meta
+                    + [f"{value:.10g}"]
+                    + [f"{self.metrics[n][i]:.10g}" for n in names]
                 )
         return out
+
+
+def _metrics_task(
+    parameter_name: str,
+    designer: Callable[[float], PLL],
+    metrics: Mapping[str, Callable[[PLL], float]],
+) -> Callable[[dict[str, Any]], dict[str, float]]:
+    """Adapt (designer, metrics) into a campaign task with NaN-safety."""
+
+    def task(params: dict[str, Any]) -> dict[str, float]:
+        pll = designer(float(params[parameter_name]))
+        out: dict[str, float] = {}
+        for name, fn in metrics.items():
+            try:
+                out[name] = float(fn(pll))
+            except Exception:
+                out[name] = float("nan")
+        return out
+
+    return task
 
 
 def sweep(
@@ -68,27 +167,53 @@ def sweep(
     values: Sequence[float],
     designer: Callable[[float], PLL],
     metrics: Mapping[str, Callable[[PLL], float]],
+    *,
+    workers: int = 1,
+    store_path: str | Path | None = None,
+    **campaign_kwargs: Any,
 ) -> SweepResult:
     """Evaluate named metrics over designs produced by ``designer``.
 
     A metric callable that raises any :class:`Exception` records NaN for
-    that design; sweep-level errors (empty inputs) still raise.
+    that design; sweep-level errors (empty inputs) still raise.  A design
+    whose *construction* fails records NaN for every metric of that point
+    (the campaign engine captures the error instead of aborting the sweep).
+
+    The evaluation runs as a :mod:`repro.campaign` campaign: pass
+    ``workers=4`` for a process pool (requires picklable ``designer`` and
+    ``metrics`` — module-level functions), ``store_path=`` for a resumable
+    JSONL result store, and any other :class:`repro.campaign.
+    ExecutionPolicy` field (``timeout=``, ``retries=``...) as keyword
+    arguments.
     """
+    from repro.campaign import CampaignSpec, ListSpace, run_campaign
+
     values_arr = np.asarray(values, dtype=float)
     if values_arr.ndim != 1 or values_arr.size == 0:
         raise ValidationError("values must be a non-empty 1-D sequence")
     if not metrics:
         raise ValidationError("at least one metric is required")
+    spec = CampaignSpec.create(
+        name=f"sweep:{parameter_name}",
+        space=ListSpace.of([{parameter_name: float(v)} for v in values_arr]),
+        task=_metrics_task(parameter_name, designer, metrics),
+    )
+    result = run_campaign(
+        spec, store_path, workers=workers, **campaign_kwargs
+    )
+    # The declared metric set is authoritative: a point whose design failed
+    # has no metrics dict and stays NaN across the board.
     collected = {name: np.full(values_arr.size, np.nan) for name in metrics}
-    for i, value in enumerate(values_arr):
-        pll = designer(float(value))
-        for name, fn in metrics.items():
-            try:
-                collected[name][i] = float(fn(pll))
-            except Exception:
-                pass  # recorded as NaN
+    for i, record in enumerate(result.records):
+        for name, value in (record.get("metrics") or {}).items():
+            if name in collected:
+                collected[name][i] = float(value)
     return SweepResult(
-        parameter_name=parameter_name, values=values_arr, metrics=collected
+        parameter_name=parameter_name,
+        values=values_arr,
+        metrics=collected,
+        campaign=spec.name,
+        point_ids=tuple(r["id"] for r in result.records),
     )
 
 

@@ -1,0 +1,158 @@
+"""Tests for repro.campaign.store — JSONL persistence and crash tolerance."""
+
+import json
+
+import pytest
+
+from repro._errors import ValidationError
+from repro.campaign.spec import CampaignSpec, GridSpace
+from repro.campaign.store import ResultStore, StoreCorruptError
+
+
+def make_spec(task="margins"):
+    return CampaignSpec.create(
+        name="store-test",
+        space=GridSpace.of(ratio=[0.05, 0.1], separation=[2.0, 4.0]),
+        task=task,
+        defaults={"omega0": 6.283185307179586},
+    )
+
+
+def point_record(pid, status="ok", **extra):
+    record = {
+        "kind": "point",
+        "id": pid,
+        "params": {"ratio": 0.05},
+        "status": status,
+        "attempts": 1,
+        "elapsed": 0.01,
+        "worker": 1,
+        "cache": {"hits": 0, "misses": 0},
+    }
+    if status == "ok":
+        record["metrics"] = {"m": 1.5}
+    else:
+        record["error"] = {"type": "RuntimeError", "message": "boom", "traceback": ""}
+    record.update(extra)
+    return record
+
+
+class TestLifecycle:
+    def test_create_writes_header(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        ResultStore.create(path, make_spec())
+        store = ResultStore.open(path)
+        header = store.header()
+        assert header["name"] == "store-test"
+        assert header["task"] == "margins"
+        assert header["points"] == 4
+        assert store.spec().name == "store-test"
+
+    def test_create_refuses_overwrite_by_default(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        ResultStore.create(path, make_spec())
+        with pytest.raises(ValidationError):
+            ResultStore.create(path, make_spec())
+        ResultStore.create(path, make_spec(), overwrite=True)  # explicit is fine
+
+    def test_open_missing_raises(self, tmp_path):
+        with pytest.raises(ValidationError):
+            ResultStore.open(tmp_path / "absent.jsonl")
+
+    def test_callable_task_header_keeps_space(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        spec = CampaignSpec.create(
+            name="cb", space=GridSpace.of(x=[1.0, 2.0]), task=lambda p: {"m": 0.0}
+        )
+        ResultStore.create(path, spec)
+        store = ResultStore.open(path)
+        data = store.spec_data()
+        assert data["task"] is None
+        assert data["space"]["kind"] == "grid"
+        with pytest.raises(ValidationError):
+            store.spec()  # task is not resolvable from the header alone
+
+
+class TestRecords:
+    def test_append_and_dedup_last_wins(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        store = ResultStore.create(path, make_spec())
+        store.append_point(point_record("aaa", status="failed"))
+        store.append_point(point_record("bbb"))
+        store.append_point(point_record("aaa", status="ok", attempts=2))
+        store.close()
+
+        loaded = ResultStore.open(path)
+        points = {r["id"]: r for r in loaded.point_records()}
+        assert len(points) == 2
+        assert points["aaa"]["status"] == "ok" and points["aaa"]["attempts"] == 2
+        assert loaded.completed_ids() == {"aaa", "bbb"}
+
+    def test_completed_ids_can_exclude_failures(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        store = ResultStore.create(path, make_spec())
+        store.append_point(point_record("good"))
+        store.append_point(point_record("bad", status="failed"))
+        store.close()
+        loaded = ResultStore.open(path)
+        assert loaded.completed_ids() == {"good", "bad"}
+        assert loaded.completed_ids(include_failed=False) == {"good"}
+
+    def test_append_point_validates_shape(self, tmp_path):
+        store = ResultStore.create(tmp_path / "c.jsonl", make_spec())
+        with pytest.raises(ValidationError):
+            store.append_point({"kind": "nope"})
+        with pytest.raises(ValidationError):
+            store.append_point({"kind": "point"})
+
+    def test_truncated_tail_is_ignored(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        store = ResultStore.create(path, make_spec())
+        store.append_point(point_record("aaa"))
+        store.close()
+        with path.open("a") as handle:
+            handle.write('{"kind": "point", "id": "bbb", "stat')  # torn write
+        loaded = ResultStore.open(path)
+        assert {r["id"] for r in loaded.point_records()} == {"aaa"}
+
+    def test_corruption_mid_file_raises(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        store = ResultStore.create(path, make_spec())
+        store.append_point(point_record("aaa"))
+        store.close()
+        lines = path.read_text().splitlines()
+        lines.insert(1, "not json at all {{{")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(StoreCorruptError):
+            list(ResultStore.open(path).records())
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        path.write_text(json.dumps(point_record("aaa")) + "\n")
+        with pytest.raises(StoreCorruptError):
+            ResultStore.open(path)
+
+
+class TestStatus:
+    def test_status_counts(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        store = ResultStore.create(path, make_spec())
+        store.append_point(point_record("a1"))
+        store.append_point(point_record("a2", status="failed"))
+        store.append_checkpoint({"done": 1, "failed": 1, "elapsed": 0.1})
+        store.close()
+        status = ResultStore.open(path).status()
+        assert status["done"] == 1 and status["failed"] == 1
+        assert status["pending"] == 2 and not status["complete"]
+        assert status["summary"] is None
+
+    def test_status_with_summary(self, tmp_path):
+        path = tmp_path / "c.jsonl"
+        store = ResultStore.create(path, make_spec())
+        for i in range(4):
+            store.append_point(point_record(f"p{i}"))
+        store.append_summary({"done": 4, "failed": 0, "wall_seconds": 0.5})
+        store.close()
+        status = ResultStore.open(path).status()
+        assert status["complete"]
+        assert status["summary"]["wall_seconds"] == 0.5

@@ -1,0 +1,94 @@
+"""Multi-process hooks of the grid-eval cache (repro.core.memo).
+
+The campaign engine ships cache configuration to pool workers and
+aggregates per-worker counter deltas; these tests pin the two contracts
+that makes safe: ``snapshot()`` is picklable plain data, and
+``configure()`` is idempotent (safe as a pool initializer).
+"""
+
+import pickle
+
+import numpy as np
+
+from repro.core.grid import FrequencyGrid
+from repro.core.memo import (
+    GridEvalCache,
+    cache_snapshot,
+    clear_cache,
+    configure,
+    grid_cache,
+)
+from repro.core.operators import LTIOperator
+from repro.lti.transfer import TransferFunction
+
+
+def _warm(cache_or_none=None):
+    """Put one real entry into the process-wide cache."""
+    op = LTIOperator(TransferFunction([1.0], [1.0, 1.0]), omega0=2 * np.pi)
+    grid = FrequencyGrid.baseband(2 * np.pi, points=8)
+    op.dense_grid(grid.s, 2)
+
+
+class TestSnapshot:
+    def test_snapshot_is_plain_and_picklable(self):
+        clear_cache()
+        _warm()
+        snap = cache_snapshot()
+        assert snap["entries"] >= 1 and snap["misses"] >= 1
+        assert snap["enabled"] is True
+        assert snap["maxsize"] == grid_cache.maxsize
+        restored = pickle.loads(pickle.dumps(snap))
+        assert restored == snap
+        # Strictly builtin types: JSON-able too.
+        assert all(
+            isinstance(v, (bool, int)) for v in snap.values()
+        ), snap
+
+    def test_snapshot_deltas_track_activity(self):
+        clear_cache()
+        before = cache_snapshot()
+        _warm()
+        _warm()  # second pass hits
+        after = cache_snapshot()
+        assert after["misses"] - before["misses"] >= 1
+        assert after["hits"] - before["hits"] >= 1
+
+
+class TestConfigureIdempotent:
+    def test_reapplying_current_config_is_a_noop(self):
+        cache = GridEvalCache(maxsize=4)
+        for key in range(4):
+            cache.fetch(
+                _FakeOp(key), np.array([1j]), 1, lambda s, o: np.ones(1)
+            )
+        assert cache.stats()["entries"] == 4
+        cache.configure(enabled=True, maxsize=4)  # same values: nothing evicted
+        assert cache.stats()["entries"] == 4
+        assert cache.stats()["hits"] == 0 and cache.stats()["misses"] == 4
+
+    def test_shrink_still_evicts(self):
+        cache = GridEvalCache(maxsize=4)
+        for key in range(4):
+            cache.fetch(
+                _FakeOp(key), np.array([1j]), 1, lambda s, o: np.ones(1)
+            )
+        cache.configure(maxsize=2)
+        assert cache.stats()["entries"] == 2
+
+    def test_module_configure_roundtrip(self):
+        original = cache_snapshot()
+        try:
+            configure(enabled=original["enabled"], maxsize=original["maxsize"])
+            assert cache_snapshot()["maxsize"] == original["maxsize"]
+        finally:
+            configure(enabled=original["enabled"], maxsize=original["maxsize"])
+
+
+class _FakeOp:
+    """Minimal operator stand-in with a content fingerprint."""
+
+    def __init__(self, key):
+        self._key = key
+
+    def fingerprint(self):
+        return ("fake", self._key)

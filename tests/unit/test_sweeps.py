@@ -57,13 +57,45 @@ class TestSweep:
         mod = result.metric("modulus_margin")
         assert mod[0] > mod[1] > mod[2]
 
-    def test_csv_export(self, tmp_path):
+    def test_csv_export_with_campaign_metadata(self, tmp_path):
         result = sweep("ratio", [0.05, 0.1], designer, {"m": lambda p: 3.0})
         path = result.to_csv(tmp_path / "sweep.csv")
         with path.open() as handle:
             rows = list(csv.reader(handle))
+        # Sweeps run through the campaign engine, so metadata columns are on
+        # by default; each point id is the deterministic content hash.
+        assert rows[0] == ["campaign", "point_id", "ratio", "m"]
+        assert len(rows) == 3
+        assert rows[1][0] == "sweep:ratio"
+        assert rows[1][1] == result.point_ids[0]
+
+    def test_csv_export_bare_table(self, tmp_path):
+        result = sweep("ratio", [0.05, 0.1], designer, {"m": lambda p: 3.0})
+        path = result.to_csv(tmp_path / "sweep.csv", include_metadata=False)
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
         assert rows[0] == ["ratio", "m"]
         assert len(rows) == 3
+
+    def test_from_records_roundtrip(self, tmp_path):
+        from repro.pll.sweeps import SweepResult
+
+        result = sweep(
+            "ratio",
+            [0.05, 0.1],
+            designer,
+            {"m": lambda p: 3.0},
+            store_path=tmp_path / "sweep.jsonl",
+        )
+        from repro.campaign import ResultStore
+
+        store = ResultStore.open(tmp_path / "sweep.jsonl")
+        back = SweepResult.from_records(
+            "ratio", store.point_records(), campaign=result.campaign
+        )
+        assert np.allclose(back.values, result.values)
+        assert np.allclose(back.metric("m"), result.metric("m"))
+        assert back.point_ids == result.point_ids
 
 
 class TestFromSamples:

@@ -8,7 +8,6 @@ amplitude — wider pulses — and watch the HTM model's error grow from the
 its breakdown direction.
 """
 
-import numpy as np
 import pytest
 
 from repro.pll.closedloop import ClosedLoopHTM

@@ -19,10 +19,12 @@ a regression gate.  Result *identity* is asserted unconditionally.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -147,10 +149,37 @@ def test_pool_matches_serial_and_speeds_up():
         assert result.speedup >= 2.5, result.summary()
 
 
-def main() -> None:
-    result = measure()
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI-sized run (12 points, 2 workers) — exercises both "
+        "execution paths without asserting the full-size speedup",
+    )
+    parser.add_argument(
+        "--json-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append the machine-readable JSON result line to FILE",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        result = measure(
+            separations=tuple(np.linspace(3.0, 6.0, 3)),
+            ratios=tuple(np.linspace(0.05, 0.25, 4)),
+            workers=2,
+            points=100,
+        )
+    else:
+        result = measure()
     print(result.summary())
     print(result.json_line())
+    if args.json_out is not None:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        with args.json_out.open("a") as fh:
+            fh.write(result.json_line() + "\n")
 
 
 if __name__ == "__main__":

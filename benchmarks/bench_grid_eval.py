@@ -20,8 +20,11 @@ tiny grid; the full-size speedup assertion lives here (run with
 
 from __future__ import annotations
 
+import argparse
+import json
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -75,6 +78,20 @@ class GridEvalResult:
             f"scalar {self.scalar_seconds * 1e3:.1f} ms, "
             f"batched {self.batched_seconds * 1e3:.1f} ms "
             f"-> {self.speedup:.1f}x, max rel err {self.max_rel_err:.2e}"
+        )
+
+    def json_line(self) -> str:
+        return json.dumps(
+            {
+                "kind": "bench_grid_eval",
+                "points": self.points,
+                "order": self.order,
+                "scalar_seconds": round(self.scalar_seconds, 6),
+                "batched_seconds": round(self.batched_seconds, 6),
+                "speedup": round(self.speedup, 3),
+                "max_rel_err": self.max_rel_err,
+            },
+            sort_keys=True,
         )
 
 
@@ -137,8 +154,32 @@ def test_batched_speedup_and_agreement():
     assert result.speedup >= 5.0, result.summary()
 
 
-def main() -> None:
-    print(measure().summary())
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI-sized run (40 points, order 4, 1 repeat) — exercises "
+        "the bench path without asserting the full-size speedup",
+    )
+    parser.add_argument(
+        "--json-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append the machine-readable JSON result line to FILE",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        result = measure(points=40, order=4, repeats=1)
+    else:
+        result = measure()
+    print(result.summary())
+    print(result.json_line())
+    if args.json_out is not None:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        with args.json_out.open("a") as fh:
+            fh.write(result.json_line() + "\n")
 
 
 if __name__ == "__main__":

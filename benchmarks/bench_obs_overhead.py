@@ -1,0 +1,227 @@
+"""Disabled-observability overhead — the "free when off" regression gate.
+
+The obs layer promises that instrumentation costs nothing measurable when
+disabled (no ``REPRO_OBS=1``): every call site guards on one module-global
+bool, and ``obs.span`` returns a shared no-op singleton.  This bench pins
+that promise to a number.
+
+It times a cold ``dense_grid`` sweep of the brute-force closed-loop
+operator two ways:
+
+* ``baseline`` — the pre-instrumentation body of ``dense_grid`` inlined
+  (validate, then ``grid_cache.fetch``), bypassing the obs guard entirely;
+* ``instrumented`` — the public ``dense_grid`` method with obs disabled,
+  i.e. the exact code every caller runs by default.
+
+Both paths clear the grid cache outside the timed region, so each sample
+measures one full evaluation.  With best-of-``repeats`` timing the
+disabled-path overhead must stay under **2%** (the ISSUE acceptance bound);
+in practice it is one bool read against milliseconds of numerics, far below
+timer noise.  An enabled-path timing is reported for context but not
+asserted — spans are allowed to cost what they cost.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_obs_overhead.py`` (or
+through pytest); ``--smoke`` shrinks the grid for CI, ``--json-out FILE``
+appends the machine-readable result line (``kind: "bench_obs_overhead"``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro._validation import check_order
+from repro.core.grid import FrequencyGrid, as_s_grid
+from repro.core.memo import grid_cache
+from repro.core.operators import HarmonicOperator
+from repro.obs import spans as obs
+
+try:  # package import under pytest, flat import as a script
+    from benchmarks.bench_grid_eval import closed_loop_operator
+except ImportError:
+    from bench_grid_eval import closed_loop_operator
+
+POINTS = 200
+ORDER = 8
+REPEATS = 25
+ATTEMPTS = 3  # re-measure before declaring a regression (noise gate)
+OVERHEAD_BOUND = 0.02  # the ISSUE acceptance bound: < 2% when disabled
+
+
+def baseline_eval(op: HarmonicOperator, s, order: int) -> np.ndarray:
+    """The pre-instrumentation ``dense_grid`` body: validate + fetch."""
+    s_arr = as_s_grid("s", s)
+    order = check_order("order", order, minimum=0)
+    return grid_cache.fetch(op, s_arr, order, op._dense_grid)
+
+
+@dataclass(frozen=True)
+class ObsOverheadResult:
+    """Cold-evaluation timings with instrumentation off/absent/on."""
+
+    points: int
+    order: int
+    repeats: int
+    baseline_seconds: float
+    disabled_seconds: float
+    enabled_seconds: float
+
+    @property
+    def disabled_overhead(self) -> float:
+        """Relative cost of the disabled obs guard vs no guard at all."""
+        return self.disabled_seconds / self.baseline_seconds - 1.0
+
+    @property
+    def enabled_overhead(self) -> float:
+        return self.enabled_seconds / self.baseline_seconds - 1.0
+
+    def summary(self) -> str:
+        return (
+            f"obs overhead ({self.points} points, order {self.order}, "
+            f"best of {self.repeats}): baseline "
+            f"{self.baseline_seconds * 1e3:.2f} ms, disabled "
+            f"{self.disabled_seconds * 1e3:.2f} ms "
+            f"({100 * self.disabled_overhead:+.2f}%), enabled "
+            f"{self.enabled_seconds * 1e3:.2f} ms "
+            f"({100 * self.enabled_overhead:+.2f}%)"
+        )
+
+    def json_line(self) -> str:
+        return json.dumps(
+            {
+                "kind": "bench_obs_overhead",
+                "points": self.points,
+                "order": self.order,
+                "repeats": self.repeats,
+                "baseline_seconds": round(self.baseline_seconds, 6),
+                "disabled_seconds": round(self.disabled_seconds, 6),
+                "enabled_seconds": round(self.enabled_seconds, 6),
+                "disabled_overhead": round(self.disabled_overhead, 4),
+                "enabled_overhead": round(self.enabled_overhead, 4),
+            },
+            sort_keys=True,
+        )
+
+
+def _best_cold(fn, repeats: int) -> float:
+    """Best-of-``repeats`` cold timing; cache cleared outside the clock."""
+    best = float("inf")
+    for _ in range(repeats):
+        grid_cache.clear()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure(
+    points: int = POINTS, order: int = ORDER, repeats: int = REPEATS
+) -> ObsOverheadResult:
+    """Time baseline / disabled / enabled cold sweeps of one operator."""
+    op, omega0 = closed_loop_operator()
+    s_arr = FrequencyGrid.baseband(omega0, points=points).s
+
+    was_enabled = obs.enabled()
+    try:
+        obs.disable()
+        # Interleave baseline/disabled samples so clock drift and thermal
+        # throttling hit both variants alike; best-of-N then discards
+        # warm-up and scheduler outliers.
+        t_baseline = float("inf")
+        t_disabled = float("inf")
+        for _ in range(repeats):
+            t_baseline = min(
+                t_baseline,
+                _best_cold(lambda: baseline_eval(op, s_arr, order), 1),
+            )
+            t_disabled = min(
+                t_disabled,
+                _best_cold(lambda: op.dense_grid(s_arr, order), 1),
+            )
+        obs.enable()
+        t_enabled = _best_cold(lambda: op.dense_grid(s_arr, order), repeats)
+    finally:
+        (obs.enable if was_enabled else obs.disable)()
+        obs.reset()
+        grid_cache.clear()
+    return ObsOverheadResult(
+        points=points,
+        order=order,
+        repeats=repeats,
+        baseline_seconds=t_baseline,
+        disabled_seconds=t_disabled,
+        enabled_seconds=t_enabled,
+    )
+
+
+def measure_gated(
+    points: int = POINTS,
+    order: int = ORDER,
+    repeats: int = REPEATS,
+    attempts: int = ATTEMPTS,
+) -> ObsOverheadResult:
+    """Measure up to ``attempts`` times; return the first in-bound result.
+
+    A single bool read cannot cost 2% of milliseconds of numerics — an
+    out-of-bound sample means the machine was busy, not that the code
+    regressed.  Retrying before failing keeps the gate meaningful on
+    loaded single-core CI runners; a *real* regression fails every
+    attempt.  The last (worst) result is returned if none passes.
+    """
+    result = measure(points, order, repeats)
+    for _ in range(attempts - 1):
+        if result.disabled_overhead < OVERHEAD_BOUND:
+            break
+        result = measure(points, order, repeats)
+    return result
+
+
+# -- pytest entry points ---------------------------------------------------------
+
+
+def test_disabled_overhead_under_two_percent():
+    """The acceptance bound: instrumentation is free when off."""
+    result = measure_gated()
+    assert result.disabled_overhead < OVERHEAD_BOUND, result.summary()
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI-sized run (40 points, order 4, 10 repeats); the <2%% "
+        "bound is still asserted",
+    )
+    parser.add_argument(
+        "--json-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append the machine-readable JSON result line to FILE",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        result = measure_gated(points=40, order=4, repeats=10)
+    else:
+        result = measure_gated()
+    print(result.summary())
+    print(result.json_line())
+    if args.json_out is not None:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        with args.json_out.open("a") as fh:
+            fh.write(result.json_line() + "\n")
+    if result.disabled_overhead >= OVERHEAD_BOUND:
+        raise SystemExit(
+            f"disabled obs overhead {100 * result.disabled_overhead:.2f}% "
+            f">= {100 * OVERHEAD_BOUND:.0f}% bound"
+        )
+
+
+if __name__ == "__main__":
+    main()

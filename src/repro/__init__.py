@@ -28,6 +28,9 @@ Package layout:
   verification testbench);
 * :mod:`repro.campaign` — parallel, fault-tolerant design-space
   exploration with checkpoint/resume (see ``docs/CAMPAIGNS.md``);
+* :mod:`repro.obs` — zero-dependency observability: nested tracing spans,
+  typed counters, profiling hooks; free when off (``REPRO_OBS=1`` to
+  enable, see ``docs/OBSERVABILITY.md``);
 * :mod:`repro.experiments` — regeneration of every figure in the paper.
 """
 

@@ -40,15 +40,16 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from pathlib import Path
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Mapping
 
 import numpy as np
 
 from repro._errors import ValidationError
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
-from repro.campaign.tasks import TaskAdapter, get_task
+from repro.campaign.tasks import TaskAdapter, get_task, registered_name
 from repro.campaign.telemetry import CampaignTelemetry, ProgressCallback
+from repro.obs import spans as obs
 
 __all__ = [
     "CampaignResult",
@@ -181,6 +182,17 @@ def _resolve_task(task: str | TaskAdapter) -> TaskAdapter:
     return get_task(task) if isinstance(task, str) else task
 
 
+def _task_label(task: str | TaskAdapter) -> str:
+    """Stable span tag for a task: registry name, else callable name."""
+    if isinstance(task, str):
+        return task
+    return (
+        registered_name(task)
+        or getattr(task, "__name__", None)
+        or type(task).__name__
+    )
+
+
 def _run_point(
     task: str | TaskAdapter,
     pid: str,
@@ -192,6 +204,9 @@ def _run_point(
     from repro.core import memo
 
     before = memo.cache_snapshot()
+    # Per-point observability delta, mirroring the cache-delta pattern:
+    # snapshot before/after and ship only the difference (picklable).
+    obs_before = obs.snapshot() if obs.enabled() else None
     started = time.perf_counter()
     record: dict[str, Any] = {
         "kind": "point",
@@ -200,29 +215,35 @@ def _run_point(
         "attempts": attempt,
         "worker": os.getpid(),
     }
-    try:
-        fn = _resolve_task(task)
-        with _alarm_guard(timeout):
-            metrics = fn(dict(params))
-        if not isinstance(metrics, Mapping):
-            raise ValidationError(
-                f"task must return a metric mapping, got {type(metrics).__name__}"
-            )
-        record["status"] = "ok"
-        record["metrics"] = {str(k): float(v) for k, v in metrics.items()}
-    except (Exception, PointTimeout) as exc:
-        record["status"] = "failed"
-        record["error"] = {
-            "type": type(exc).__name__,
-            "message": str(exc),
-            "traceback": traceback.format_exc(limit=20),
-        }
+    with obs.span("campaign.point", task=_task_label(task)) as point_span:
+        try:
+            fn = _resolve_task(task)
+            with _alarm_guard(timeout):
+                metrics = fn(dict(params))
+            if not isinstance(metrics, Mapping):
+                raise ValidationError(
+                    f"task must return a metric mapping, got {type(metrics).__name__}"
+                )
+            record["status"] = "ok"
+            record["metrics"] = {str(k): float(v) for k, v in metrics.items()}
+        except (Exception, PointTimeout) as exc:
+            record["status"] = "failed"
+            record["error"] = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(limit=20),
+            }
+        point_span.tag(status=record["status"])
     record["elapsed"] = time.perf_counter() - started
     after = memo.cache_snapshot()
     record["cache"] = {
         "hits": after["hits"] - before["hits"],
         "misses": after["misses"] - before["misses"],
+        # Absolute worker-cache footprint estimate at record time (gauge).
+        "bytes": int(after.get("bytes", 0)),
     }
+    if obs_before is not None:
+        record["obs"] = obs.delta(obs_before)
     return record
 
 
@@ -231,13 +252,17 @@ def _pool_entry(payload: tuple) -> dict[str, Any]:
     return _run_point(*payload)
 
 
-def _pool_init(cache_config: Mapping[str, Any]) -> None:
+def _pool_init(cache_config: Mapping[str, Any], obs_enabled: bool = False) -> None:
     """Per-worker initializer: idempotently mirror the parent cache config.
 
     Each worker owns a private, initially cold :data:`repro.core.memo.
     grid_cache`; ``configure`` is idempotent so re-running the initializer
     (or forking an already-configured parent) is harmless.  The cold-warm
     cost is surfaced through per-record cache deltas in the telemetry.
+
+    The parent's observability switch is mirrored too, so ``spawn``-started
+    workers record spans exactly when the coordinator does (under ``fork``
+    the flag is inherited and this is a no-op).
     """
     from repro.core import memo
 
@@ -245,6 +270,10 @@ def _pool_init(cache_config: Mapping[str, Any]) -> None:
         enabled=bool(cache_config.get("enabled", True)),
         maxsize=int(cache_config.get("maxsize", 256)),
     )
+    if obs_enabled:
+        obs.enable()
+    else:
+        obs.disable()
 
 
 def _is_picklable(obj: Any) -> bool:
@@ -337,7 +366,7 @@ class _Coordinator:
             with ProcessPoolExecutor(
                 max_workers=policy.workers,
                 initializer=_pool_init,
-                initargs=(cache_config,),
+                initargs=(cache_config, obs.enabled()),
             ) as pool:
                 while queue or inflight:
                     while queue and len(inflight) < max_inflight:
@@ -393,7 +422,7 @@ def _transport_failure(
         "attempts": attempt,
         "worker": 0,
         "elapsed": 0.0,
-        "cache": {"hits": 0, "misses": 0},
+        "cache": {"hits": 0, "misses": 0, "bytes": 0},
         "error": {
             "type": type(exc).__name__,
             "message": str(exc),

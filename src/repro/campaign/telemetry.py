@@ -22,6 +22,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from repro.obs.registry import ObsRegistry, merge_snapshots
+
 __all__ = ["CampaignTelemetry", "ProgressCallback", "WorkerCacheStats"]
 
 ProgressCallback = Callable[[dict[str, Any], "CampaignTelemetry"], None]
@@ -36,6 +38,7 @@ class WorkerCacheStats:
     busy_seconds: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_bytes: int = 0  # peak byte-size estimate of this worker's cache
 
     @property
     def hit_rate(self) -> float:
@@ -49,6 +52,7 @@ class WorkerCacheStats:
             "busy_seconds": self.busy_seconds,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
+            "cache_bytes": self.cache_bytes,
             "hit_rate": self.hit_rate,
         }
 
@@ -64,12 +68,15 @@ class CampaignTelemetry:
     failed: int = 0
     retried: int = 0
     skipped: int = 0  # already complete at resume time
+    timeouts: int = 0  # terminal failures whose error was a PointTimeout
     notes: list[str] = field(default_factory=list)
     _started: float = field(default_factory=time.perf_counter, repr=False)
     _wall: float | None = field(default=None, repr=False)
     _workers_seen: dict[int, WorkerCacheStats] = field(
         default_factory=dict, repr=False
     )
+    # Merged per-point observability deltas (None until one arrives).
+    _obs: dict[str, Any] | None = field(default=None, repr=False)
 
     # -- recording ---------------------------------------------------------------
 
@@ -80,6 +87,8 @@ class CampaignTelemetry:
             self.done += 1
         elif status == "failed":
             self.failed += 1
+            if (record.get("error") or {}).get("type") == "PointTimeout":
+                self.timeouts += 1
         attempts = int(record.get("attempts", 1))
         if attempts > 1:
             self.retried += attempts - 1
@@ -90,6 +99,10 @@ class CampaignTelemetry:
         cache = record.get("cache") or {}
         stats.cache_hits += int(cache.get("hits", 0))
         stats.cache_misses += int(cache.get("misses", 0))
+        stats.cache_bytes = max(stats.cache_bytes, int(cache.get("bytes", 0)))
+        obs_delta = record.get("obs")
+        if obs_delta:
+            self._obs = merge_snapshots(self._obs, obs_delta)
 
     def note(self, message: str) -> None:
         """Attach a free-form run note (e.g. serial-fallback reason)."""
@@ -137,15 +150,40 @@ class CampaignTelemetry:
         return self.cache_hits / total if total else 0.0
 
     @property
+    def cache_bytes(self) -> int:
+        """Summed per-worker peak cache footprints (byte-size estimate)."""
+        return sum(w.cache_bytes for w in self._workers_seen.values())
+
+    @property
     def worker_caches(self) -> list[WorkerCacheStats]:
         """Per-worker cache stats — one cold warm-up per entry."""
         return sorted(self._workers_seen.values(), key=lambda w: w.pid)
+
+    def obs_snapshot(self) -> dict[str, Any] | None:
+        """Merged observability snapshot of the run, or ``None``.
+
+        Present when the run recorded spans (``REPRO_OBS=1`` /
+        ``repro.obs.enable()``): every worker's per-point deltas merged,
+        plus coordinator-level retry/timeout counters.  This is what the
+        store's ``summary`` record carries and what ``repro obs summary``
+        reports.
+        """
+        if self._obs is None:
+            return None
+        registry = ObsRegistry()
+        registry.merge(self._obs)
+        registry.add("campaign.points_processed", float(self.processed), {})
+        if self.retried:
+            registry.add("campaign.retries", float(self.retried), {})
+        if self.timeouts:
+            registry.add("campaign.timeouts", float(self.timeouts), {})
+        return registry.snapshot()
 
     # -- reporting ---------------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
         """Picklable/JSON-able snapshot of every counter."""
-        return {
+        out = {
             "total_points": self.total_points,
             "workers": self.workers,
             "mode": self.mode,
@@ -153,6 +191,7 @@ class CampaignTelemetry:
             "failed": self.failed,
             "retried": self.retried,
             "skipped": self.skipped,
+            "timeouts": self.timeouts,
             "wall_seconds": self.wall_seconds,
             "busy_seconds": self.busy_seconds,
             "utilization": self.utilization,
@@ -160,11 +199,16 @@ class CampaignTelemetry:
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "hit_rate": self.cache_hit_rate,
+                "bytes": self.cache_bytes,
                 "worker_processes": len(self._workers_seen),
             },
             "worker_caches": [w.to_dict() for w in self.worker_caches],
             "notes": list(self.notes),
         }
+        obs_snapshot = self.obs_snapshot()
+        if obs_snapshot is not None:
+            out["obs"] = obs_snapshot
+        return out
 
     def summary(self) -> str:
         """Human-readable one-paragraph run report."""
@@ -175,7 +219,8 @@ class CampaignTelemetry:
             f"[{self.mode}, {self.workers} worker(s), "
             f"{100 * self.utilization:.0f}% utilization]",
             f"grid cache: {self.cache_hits} hits / {self.cache_misses} misses "
-            f"({100 * self.cache_hit_rate:.0f}% hit rate) across "
+            f"({100 * self.cache_hit_rate:.0f}% hit rate, "
+            f"~{self.cache_bytes / 1e6:.1f} MB) across "
             f"{len(self._workers_seen)} worker process(es)"
             + (
                 " — each pool worker warms its own cold cache"

@@ -31,6 +31,17 @@ Campaign engine (:mod:`repro.campaign`)::
 append-only JSONL store; kill it at any moment and ``resume`` completes
 only the missing points.  ``status`` prints progress without touching the
 campaign.
+
+Observability reports (:mod:`repro.obs`)::
+
+    REPRO_OBS=1 python -m repro campaign run SPEC.json ...
+    python -m repro obs summary RESULTS.jsonl
+    python -m repro obs top RESULTS.jsonl -n 10 [--by wall|cpu|count]
+    python -m repro obs export RESULTS.jsonl --json [--out obs.json]
+
+``SOURCE`` is a campaign result store (the merged span/counter snapshot is
+read from its summary record) or a raw obs snapshot JSON, e.g. one written
+through ``REPRO_OBS_EXPORT=path``.
 """
 
 from __future__ import annotations
@@ -102,6 +113,46 @@ def build_parser() -> argparse.ArgumentParser:
     status_cmd.add_argument("results", help="path to the JSONL result store")
 
     actions.add_parser("tasks", help="list registered task adapters")
+
+    obs_cmd = commands.add_parser(
+        "obs", help="observability reports: spans, counters, profiles"
+    )
+    obs_actions = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    def obs_source(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "source",
+            help="campaign results JSONL (run with REPRO_OBS=1) or an obs "
+            "snapshot JSON file",
+        )
+
+    summary_cmd = obs_actions.add_parser(
+        "summary", help="per-stage span/counter/histogram report"
+    )
+    obs_source(summary_cmd)
+
+    export_cmd = obs_actions.add_parser(
+        "export", help="dump the merged obs snapshot"
+    )
+    obs_source(export_cmd)
+    export_cmd.add_argument(
+        "--json", action="store_true", help="emit canonical JSON (the default)"
+    )
+    export_cmd.add_argument(
+        "--out", default=None, help="write to a file instead of stdout"
+    )
+
+    top_cmd = obs_actions.add_parser("top", help="hottest span buckets")
+    obs_source(top_cmd)
+    top_cmd.add_argument(
+        "-n", "--count", type=int, default=10, help="buckets to list (default 10)"
+    )
+    top_cmd.add_argument(
+        "--by",
+        choices=("wall", "cpu", "count"),
+        default="wall",
+        help="ranking key (default wall)",
+    )
     return parser
 
 
@@ -111,10 +162,42 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if getattr(args, "command", None) == "campaign":
             return _campaign(args)
+        if getattr(args, "command", None) == "obs":
+            return _obs(args)
         return _report(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped into `head`) — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+# -- obs subcommand ----------------------------------------------------------------
+
+
+def _obs(args) -> int:
+    from repro import obs
+
+    snapshot = obs.load_snapshot(args.source)
+    if args.obs_command == "summary":
+        print(obs.format_summary(snapshot))
+        return 0
+    if args.obs_command == "top":
+        print(obs.format_top(snapshot, n=args.count, by=args.by))
+        return 0
+    # export (--json is the only format; the flag is accepted for clarity)
+    rendered = obs.to_json(snapshot)
+    if args.out:
+        Path(args.out).write_text(rendered + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(rendered)
+    return 0
 
 
 # -- campaign subcommand -----------------------------------------------------------
@@ -214,6 +297,8 @@ def _campaign(args) -> int:
     print(result.telemetry.summary())
     if result.store_path is not None:
         print(f"results: {result.store_path}")
+        if result.telemetry.obs_snapshot() is not None:
+            print(f"obs: spans recorded — `repro obs summary {result.store_path}`")
     return 0 if not result.failed_records else 1
 
 

@@ -53,6 +53,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.obs import spans as obs
+
 __all__ = [
     "GridEvalCache",
     "grid_cache",
@@ -78,6 +80,10 @@ class GridEvalCache:
         self.enabled = True
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        # Byte-size estimate of the cached arrays (logical ``nbytes``; a
+        # broadcast block counts at its logical, not physical, size).
+        self.bytes = 0
         self._lock = threading.Lock()
         # key -> (array, pinned operator). The pin keeps any id()-based
         # fingerprint component valid for the lifetime of the entry.
@@ -99,15 +105,24 @@ class GridEvalCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self.hits += 1
-                return entry[0]
+        if entry is not None:
+            if obs.enabled():
+                obs.add("memo.hit")
+            return entry[0]
         value = np.asarray(compute(s_arr, order))
         value.flags.writeable = False
         with self._lock:
             self.misses += 1
             self._entries[key] = (value, operator)
             self._entries.move_to_end(key)
+            self.bytes += int(value.nbytes)
             while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+                _, (evicted, _pin) = self._entries.popitem(last=False)
+                self.bytes -= int(evicted.nbytes)
+                self.evictions += 1
+        if obs.enabled():
+            obs.add("memo.miss")
+            obs.add("memo.bytes_stored", int(value.nbytes))
         return value
 
     def clear(self) -> None:
@@ -116,14 +131,22 @@ class GridEvalCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
+            self.bytes = 0
 
     def stats(self) -> dict[str, int]:
-        """Current ``{'hits', 'misses', 'entries', 'maxsize'}`` counters."""
+        """Current counters: hits/misses/evictions/entries/bytes/maxsize.
+
+        ``bytes`` is the byte-size *estimate* of the live entries (summed
+        logical ``nbytes``), the figure ``repro obs summary`` reports.
+        """
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
                 "entries": len(self._entries),
+                "bytes": self.bytes,
                 "maxsize": self.maxsize,
             }
 
@@ -137,7 +160,9 @@ class GridEvalCache:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
                 "entries": len(self._entries),
+                "bytes": self.bytes,
                 "maxsize": self.maxsize,
                 "enabled": self.enabled,
             }
@@ -155,7 +180,9 @@ class GridEvalCache:
             if maxsize is not None and int(maxsize) != self.maxsize:
                 self.maxsize = int(maxsize)
                 while len(self._entries) > max(self.maxsize, 0):
-                    self._entries.popitem(last=False)
+                    _, (evicted, _pin) = self._entries.popitem(last=False)
+                    self.bytes -= int(evicted.nbytes)
+                    self.evictions += 1
 
 
 #: Process-wide cache used by :meth:`HarmonicOperator.dense_grid`.

@@ -43,6 +43,7 @@ from repro._validation import check_order, check_positive
 from repro.core.grid import as_s_grid
 from repro.core.htm import HTM
 from repro.core.memo import grid_cache
+from repro.obs import spans as obs
 from repro.signals.fourier import FourierSeries
 from repro.signals.isf import ImpulseSensitivity
 
@@ -97,6 +98,17 @@ class HarmonicOperator(ABC):
         """
         s_arr = as_s_grid("s", s)
         order = check_order("order", order, minimum=0)
+        if obs.enabled():
+            # Spans nest: a composite's children report under its path, so
+            # `repro obs top` separates e.g. a feedback solve's inner grid
+            # evaluations from standalone sweeps of the same operator.
+            with obs.span(
+                "core.dense_grid",
+                op=type(self).__name__,
+                points=int(s_arr.size),
+                order=int(order),
+            ):
+                return grid_cache.fetch(self, s_arr, order, self._dense_grid)
         return grid_cache.fetch(self, s_arr, order, self._dense_grid)
 
     def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
@@ -411,10 +423,13 @@ class SeriesOperator(HarmonicOperator):
                     break
                 diag_second = diag_second * diag
                 inner = inner.first
+            obs.add("core.series.diag_fastpath", side="left")
             return diag_second[:, :, None] * inner.dense_grid(s_arr, order)
         diag_first = self.first._diag_grid(s_arr, order)
         if diag_first is not None:
+            obs.add("core.series.diag_fastpath", side="right")
             return self.second.dense_grid(s_arr, order) * diag_first[:, None, :]
+        obs.add("core.series.matmul")
         return np.matmul(
             self.second.dense_grid(s_arr, order), self.first.dense_grid(s_arr, order)
         )
@@ -496,6 +511,13 @@ class FeedbackOperator(HarmonicOperator):
     def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
         g = self.open_loop.dense_grid(s_arr, order)
         eye = np.eye(g.shape[-1], dtype=complex)
+        if obs.enabled():
+            # The dense linear solve is the expensive tail of a feedback
+            # closure — spanned separately from the open-loop evaluation.
+            with obs.span(
+                "core.feedback.solve", points=int(s_arr.size), order=int(order)
+            ):
+                return np.linalg.solve(eye[None, :, :] + g, g)
         return np.linalg.solve(eye[None, :, :] + g, g)
 
     def fingerprint(self) -> tuple:

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro._errors import ValidationError
 from repro.core.htm import HTM
+from repro.obs import spans as obs
 
 
 class RankOneHTM:
@@ -81,6 +82,7 @@ def smw_inverse_apply(column: np.ndarray, row: np.ndarray, rhs: np.ndarray) -> n
     denom = 1.0 + lam
     if abs(denom) < 1e-300:
         raise ZeroDivisionError("1 + lambda(s) = 0: s lies on a closed-loop pole")
+    obs.add("core.rank_one.smw_inverse_apply", size=int(column.size))
     return rhs - column * (row @ rhs) / denom
 
 
@@ -95,6 +97,7 @@ def smw_closed_loop(column: np.ndarray, row: np.ndarray) -> np.ndarray:
     denom = 1.0 + lam
     if abs(denom) < 1e-300:
         raise ZeroDivisionError("1 + lambda(s) = 0: s lies on a closed-loop pole")
+    obs.add("core.rank_one.smw_closed_loop", size=int(column.size))
     return np.outer(column, row) / denom
 
 

@@ -1,0 +1,94 @@
+"""repro.obs — zero-dependency observability: spans, counters, hooks.
+
+A lightweight tracing/metrics layer for the hot paths of this library:
+batched HTM grid evaluation, the rank-one closed-loop solve, the grid
+cache, and the campaign executor.  Three design rules:
+
+1. **Free when off.**  Disabled (the default), every entry point reduces
+   to one module-global bool read; ``span()`` hands back a shared no-op.
+   Overhead on the grid-eval hot path is benchmarked < 2%
+   (``benchmarks/bench_obs_overhead.py``).
+2. **Aggregate, never trace-log.**  Observations fold into bounded
+   ``(path, tags)`` buckets (:mod:`repro.obs.registry`); a 10k-point
+   campaign produces kilobytes, not gigabytes.
+3. **Picklable across processes.**  ``snapshot()`` is plain-dict data;
+   campaign workers ship per-point deltas that the coordinator merges —
+   the same pattern the grid cache uses for its counters.
+
+Quick start::
+
+    from repro import obs
+
+    obs.enable()                      # or REPRO_OBS=1 in the environment
+    with obs.span("my.analysis", points=200):
+        closed.frequency_response(grid)
+    print(obs.summary())
+
+    # campaigns: run with REPRO_OBS=1, then inspect the store
+    #   repro obs summary results.jsonl
+    #   repro obs top results.jsonl -n 10
+    #   repro obs export results.jsonl --json
+
+See ``docs/OBSERVABILITY.md`` for the span model and CLI examples.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import (
+    CounterStat,
+    HistogramStat,
+    ObsRegistry,
+    SpanStat,
+    merge_snapshots,
+    snapshot_delta,
+)
+from repro.obs.report import format_summary, format_top, load_snapshot, to_json
+from repro.obs.spans import (
+    NullSpan,
+    Span,
+    add,
+    add_hook,
+    delta,
+    disable,
+    enable,
+    enabled,
+    observe,
+    registry,
+    remove_hook,
+    reset,
+    snapshot,
+    span,
+)
+
+__all__ = [
+    "CounterStat",
+    "HistogramStat",
+    "NullSpan",
+    "ObsRegistry",
+    "Span",
+    "SpanStat",
+    "add",
+    "add_hook",
+    "delta",
+    "disable",
+    "enable",
+    "enabled",
+    "format_summary",
+    "format_top",
+    "load_snapshot",
+    "merge_snapshots",
+    "observe",
+    "registry",
+    "remove_hook",
+    "reset",
+    "snapshot",
+    "snapshot_delta",
+    "span",
+    "summary",
+    "to_json",
+]
+
+
+def summary() -> str:
+    """Human-readable report of the current process-global registry."""
+    return format_summary(snapshot())

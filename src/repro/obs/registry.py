@@ -1,0 +1,342 @@
+"""Aggregating metric registry: span stats, typed counters, histograms.
+
+The registry is the storage half of :mod:`repro.obs`.  It does **not**
+record individual events — a 10k-point campaign would produce millions of
+span events — but folds every observation into a bounded set of *buckets*
+keyed by ``(name-path, tags)``:
+
+* :class:`SpanStat` — call count, summed monotonic wall and CPU seconds,
+  min/max wall, the distinct thread ids and process ids that contributed;
+* :class:`CounterStat` — a monotonically-added float with an event count;
+* :class:`HistogramStat` — count / total / min / max plus decade
+  (``log10``) bucket counts, enough for "where does the distribution sit"
+  questions without storing samples.
+
+Everything round-trips through :meth:`ObsRegistry.snapshot` — a plain-dict,
+picklable, JSON-safe form — and back through :func:`merge_snapshots` /
+:func:`snapshot_delta`.  Campaign workers snapshot before/after each point
+and ship the delta to the coordinator, mirroring the grid-cache delta
+pattern of :class:`repro.campaign.telemetry.CampaignTelemetry`.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from typing import Any, Mapping
+
+__all__ = [
+    "CounterStat",
+    "HistogramStat",
+    "ObsRegistry",
+    "SpanStat",
+    "bucket_key",
+    "merge_snapshots",
+    "snapshot_delta",
+]
+
+#: Cap on the distinct thread/process ids kept per bucket (provenance, not
+#: accounting — the counts stay exact even when the id lists saturate).
+MAX_IDS = 32
+
+
+def bucket_key(name: str, tags: Mapping[str, Any]) -> str:
+    """Stable string key for one ``(name, tags)`` bucket.
+
+    ``"core.dense_grid[op=LTIOperator,order=8,points=200]"`` — used both as
+    the in-memory dict key and as the JSON object key of snapshots, so
+    snapshots merge without re-deriving structure.
+    """
+    if not tags:
+        return name
+    inner = ",".join(f"{k}={tags[k]}" for k in sorted(tags))
+    return f"{name}[{inner}]"
+
+
+def _decade(value: float) -> int:
+    """Histogram bucket index: ``floor(log10(value))``, clamped sanely."""
+    if value <= 0.0 or not math.isfinite(value):
+        return -18
+    return max(-18, min(18, math.floor(math.log10(value))))
+
+
+class SpanStat:
+    """Aggregated timings of one span bucket."""
+
+    __slots__ = ("name", "tags", "count", "wall", "cpu", "wall_min", "wall_max",
+                 "threads", "pids")
+
+    def __init__(self, name: str, tags: Mapping[str, Any]):
+        self.name = name
+        self.tags = dict(tags)
+        self.count = 0
+        self.wall = 0.0
+        self.cpu = 0.0
+        self.wall_min = math.inf
+        self.wall_max = 0.0
+        self.threads: set[int] = set()
+        self.pids: set[int] = set()
+
+    def record(self, wall: float, cpu: float, thread_id: int, pid: int) -> None:
+        self.count += 1
+        self.wall += wall
+        self.cpu += cpu
+        self.wall_min = min(self.wall_min, wall)
+        self.wall_max = max(self.wall_max, wall)
+        if len(self.threads) < MAX_IDS:
+            self.threads.add(thread_id)
+        if len(self.pids) < MAX_IDS:
+            self.pids.add(pid)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "span",
+            "name": self.name,
+            "tags": dict(self.tags),
+            "count": self.count,
+            "wall": self.wall,
+            "cpu": self.cpu,
+            "wall_min": self.wall_min if self.count else 0.0,
+            "wall_max": self.wall_max,
+            "threads": sorted(self.threads),
+            "pids": sorted(self.pids),
+        }
+
+
+class CounterStat:
+    """A typed, monotonically-accumulated counter bucket."""
+
+    __slots__ = ("name", "tags", "value", "count")
+
+    def __init__(self, name: str, tags: Mapping[str, Any]):
+        self.name = name
+        self.tags = dict(tags)
+        self.value = 0.0
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        self.value += float(value)
+        self.count += 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "counter",
+            "name": self.name,
+            "tags": dict(self.tags),
+            "value": self.value,
+            "count": self.count,
+        }
+
+
+class HistogramStat:
+    """Count/total/min/max plus decade buckets of one observed quantity."""
+
+    __slots__ = ("name", "tags", "count", "total", "vmin", "vmax", "buckets")
+
+    def __init__(self, name: str, tags: Mapping[str, Any]):
+        self.name = name
+        self.tags = dict(tags)
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.vmin = min(self.vmin, value)
+        self.vmax = max(self.vmax, value)
+        decade = _decade(value)
+        self.buckets[decade] = self.buckets.get(decade, 0) + 1
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "histogram",
+            "name": self.name,
+            "tags": dict(self.tags),
+            "count": self.count,
+            "total": self.total,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax if self.count else 0.0,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+class ObsRegistry:
+    """Thread-safe, process-global store of span/counter/histogram buckets."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._spans: dict[str, SpanStat] = {}
+        self._counters: dict[str, CounterStat] = {}
+        self._histograms: dict[str, HistogramStat] = {}
+
+    # -- recording ---------------------------------------------------------------
+
+    def record_span(
+        self,
+        path: str,
+        tags: Mapping[str, Any],
+        wall: float,
+        cpu: float,
+        thread_id: int,
+    ) -> None:
+        key = bucket_key(path, tags)
+        with self._lock:
+            stat = self._spans.get(key)
+            if stat is None:
+                stat = self._spans[key] = SpanStat(path, tags)
+            stat.record(wall, cpu, thread_id, os.getpid())
+
+    def add(self, name: str, value: float, tags: Mapping[str, Any]) -> None:
+        key = bucket_key(name, tags)
+        with self._lock:
+            stat = self._counters.get(key)
+            if stat is None:
+                stat = self._counters[key] = CounterStat(name, tags)
+            stat.add(value)
+
+    def observe(self, name: str, value: float, tags: Mapping[str, Any]) -> None:
+        key = bucket_key(name, tags)
+        with self._lock:
+            stat = self._histograms.get(key)
+            if stat is None:
+                stat = self._histograms[key] = HistogramStat(name, tags)
+            stat.observe(value)
+
+    # -- bulk access -------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop every bucket."""
+        with self._lock:
+            self._spans.clear()
+            self._counters.clear()
+            self._histograms.clear()
+
+    def is_empty(self) -> bool:
+        with self._lock:
+            return not (self._spans or self._counters or self._histograms)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-dict, picklable, JSON-safe snapshot of every bucket."""
+        with self._lock:
+            return {
+                "pid": os.getpid(),
+                "spans": {k: s.to_dict() for k, s in self._spans.items()},
+                "counters": {k: c.to_dict() for k, c in self._counters.items()},
+                "histograms": {
+                    k: h.to_dict() for k, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold a snapshot (e.g. from a worker process) into the live buckets."""
+        with self._lock:
+            for key, entry in (snapshot.get("spans") or {}).items():
+                stat = self._spans.get(key)
+                if stat is None:
+                    stat = self._spans[key] = SpanStat(
+                        entry["name"], entry.get("tags") or {}
+                    )
+                stat.count += int(entry["count"])
+                stat.wall += float(entry["wall"])
+                stat.cpu += float(entry["cpu"])
+                if entry["count"]:
+                    stat.wall_min = min(stat.wall_min, float(entry["wall_min"]))
+                stat.wall_max = max(stat.wall_max, float(entry["wall_max"]))
+                stat.threads.update(list(entry.get("threads") or [])[:MAX_IDS])
+                stat.pids.update(list(entry.get("pids") or [])[:MAX_IDS])
+            for key, entry in (snapshot.get("counters") or {}).items():
+                stat = self._counters.get(key)
+                if stat is None:
+                    stat = self._counters[key] = CounterStat(
+                        entry["name"], entry.get("tags") or {}
+                    )
+                stat.value += float(entry["value"])
+                stat.count += int(entry["count"])
+            for key, entry in (snapshot.get("histograms") or {}).items():
+                stat = self._histograms.get(key)
+                if stat is None:
+                    stat = self._histograms[key] = HistogramStat(
+                        entry["name"], entry.get("tags") or {}
+                    )
+                stat.count += int(entry["count"])
+                stat.total += float(entry["total"])
+                if entry["count"]:
+                    stat.vmin = min(stat.vmin, float(entry["min"]))
+                    stat.vmax = max(stat.vmax, float(entry["max"]))
+                for decade, n in (entry.get("buckets") or {}).items():
+                    decade = int(decade)
+                    stat.buckets[decade] = stat.buckets.get(decade, 0) + int(n)
+
+
+def _empty_snapshot(pid: int | None = None) -> dict[str, Any]:
+    return {
+        "pid": os.getpid() if pid is None else pid,
+        "spans": {},
+        "counters": {},
+        "histograms": {},
+    }
+
+
+def merge_snapshots(
+    base: Mapping[str, Any] | None, other: Mapping[str, Any] | None
+) -> dict[str, Any]:
+    """Pure merge of two snapshot dicts (either may be ``None``)."""
+    registry = ObsRegistry()
+    if base:
+        registry.merge(base)
+    if other:
+        registry.merge(other)
+    merged = registry.snapshot()
+    pids: set[int] = set()
+    for snap in (base, other):
+        if snap and "pid" in snap:
+            pids.add(int(snap["pid"]))
+    if pids:
+        merged["pid"] = min(pids)
+    return merged
+
+
+def snapshot_delta(
+    before: Mapping[str, Any], after: Mapping[str, Any]
+) -> dict[str, Any]:
+    """What happened between two snapshots of the *same* registry.
+
+    Counts, summed times and counter values subtract exactly; min/max and
+    id provenance are taken from ``after`` (a bucket min/max cannot be
+    un-merged — documented approximation, irrelevant for fresh buckets).
+    Buckets with no activity in the window are dropped, so a per-point
+    campaign delta stays small.
+    """
+    delta = _empty_snapshot(after.get("pid"))
+    for section, count_field in (
+        ("spans", "count"), ("counters", "count"), ("histograms", "count")
+    ):
+        before_entries = before.get(section) or {}
+        for key, entry in (after.get(section) or {}).items():
+            prior = before_entries.get(key)
+            if prior is None:
+                if entry[count_field]:
+                    delta[section][key] = dict(entry)
+                continue
+            changed = int(entry[count_field]) - int(prior[count_field])
+            if changed <= 0:
+                continue
+            out = dict(entry)
+            out[count_field] = changed
+            for field in ("wall", "cpu", "value", "total"):
+                if field in entry:
+                    out[field] = float(entry[field]) - float(prior.get(field, 0.0))
+            if "buckets" in entry:
+                prior_buckets = prior.get("buckets") or {}
+                out["buckets"] = {
+                    k: int(v) - int(prior_buckets.get(k, 0))
+                    for k, v in entry["buckets"].items()
+                    if int(v) - int(prior_buckets.get(k, 0)) > 0
+                }
+            delta[section][key] = out
+    return delta

@@ -1,0 +1,163 @@
+"""Reporting over observability snapshots: summary, top-N, JSON export.
+
+The ``repro obs`` CLI subcommands are thin wrappers over this module.  A
+*source* is either
+
+* a campaign result store (JSONL) — the merged obs snapshot is read from
+  the final ``summary`` record (falling back to merging the per-point
+  ``obs`` deltas of an interrupted run), or
+* a raw obs snapshot JSON file (e.g. one written via ``REPRO_OBS_EXPORT``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro._errors import ValidationError
+from repro.obs.registry import merge_snapshots
+
+__all__ = [
+    "format_summary",
+    "format_top",
+    "load_snapshot",
+    "to_json",
+]
+
+
+def load_snapshot(path: str | Path) -> dict[str, Any]:
+    """Load an obs snapshot from a store/export file (see module docs)."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no obs source at {path}")
+    text = path.read_text()
+    stripped = text.lstrip()
+    if not stripped:
+        raise ValidationError(f"{path} is empty")
+    # A snapshot export is one (possibly pretty-printed) JSON object; a
+    # campaign store is JSONL whose first line is the campaign header.
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        data = None
+    if isinstance(data, dict) and "spans" in data:
+        return data
+    try:
+        first = json.loads(stripped.splitlines()[0])
+    except json.JSONDecodeError as exc:
+        raise ValidationError(f"{path} is not JSON/JSONL: {exc}") from None
+    if isinstance(first, dict) and first.get("kind") == "campaign":
+        return _from_store(path)
+    raise ValidationError(
+        f"{path} holds neither a campaign store nor an obs snapshot "
+        "(expected a campaign header line or a top-level 'spans' section)"
+    )
+
+
+def _from_store(path: Path) -> dict[str, Any]:
+    """Obs snapshot of a campaign store: last summary, else merged deltas."""
+    from repro.campaign.store import ResultStore
+
+    store = ResultStore.open(path)
+    merged: dict[str, Any] | None = None
+    summary_obs: dict[str, Any] | None = None
+    for record in store.records():
+        if record.get("kind") == "summary" and record.get("obs"):
+            summary_obs = record["obs"]
+        elif record.get("kind") == "point" and record.get("obs"):
+            merged = merge_snapshots(merged, record["obs"])
+    snapshot = summary_obs or merged
+    if snapshot is None:
+        raise ValidationError(
+            f"{path} holds no observability data — run the campaign with "
+            "REPRO_OBS=1 (or repro.obs.enable()) to record spans"
+        )
+    return snapshot
+
+
+def to_json(snapshot: Mapping[str, Any]) -> str:
+    """Canonical JSON rendering of a snapshot."""
+    return json.dumps(snapshot, sort_keys=True, indent=2)
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 100.0:
+        return f"{seconds:.0f} s"
+    if seconds >= 0.1:
+        return f"{seconds:.2f} s"
+    return f"{seconds * 1e3:.2f} ms"
+
+
+def _span_rows(snapshot: Mapping[str, Any]) -> list[dict[str, Any]]:
+    return list((snapshot.get("spans") or {}).values())
+
+
+def format_summary(snapshot: Mapping[str, Any]) -> str:
+    """Multi-section human-readable report of one snapshot."""
+    lines: list[str] = []
+    spans = _span_rows(snapshot)
+    if spans:
+        total_wall = sum(s["wall"] for s in spans)
+        lines.append(
+            f"spans: {len(spans)} bucket(s), "
+            f"{sum(s['count'] for s in spans)} call(s), "
+            f"{_fmt_seconds(total_wall)} busy (wall, incl. nesting)"
+        )
+        width = min(max(len(_span_label(s)) for s in spans), 64)
+        for stat in sorted(spans, key=lambda s: -s["wall"]):
+            mean = stat["wall"] / stat["count"] if stat["count"] else 0.0
+            lines.append(
+                f"  {_span_label(stat):<{width}}  "
+                f"n={stat['count']:<7d} wall={_fmt_seconds(stat['wall']):>10} "
+                f"cpu={_fmt_seconds(stat['cpu']):>10} "
+                f"mean={_fmt_seconds(mean):>10} "
+                f"procs={len(stat.get('pids') or [])}"
+            )
+    else:
+        lines.append("spans: none recorded")
+    counters = (snapshot.get("counters") or {}).values()
+    if counters:
+        lines.append("counters:")
+        for stat in sorted(counters, key=lambda c: c["name"]):
+            lines.append(
+                f"  {_span_label(stat):<40}  value={stat['value']:g} "
+                f"(n={stat['count']})"
+            )
+    histograms = (snapshot.get("histograms") or {}).values()
+    if histograms:
+        lines.append("histograms:")
+        for stat in sorted(histograms, key=lambda h: h["name"]):
+            mean = stat["total"] / stat["count"] if stat["count"] else 0.0
+            lines.append(
+                f"  {_span_label(stat):<40}  n={stat['count']} "
+                f"mean={mean:g} min={stat['min']:g} max={stat['max']:g}"
+            )
+    return "\n".join(lines)
+
+
+def _span_label(stat: Mapping[str, Any]) -> str:
+    tags = stat.get("tags") or {}
+    if not tags:
+        return str(stat["name"])
+    inner = ",".join(f"{k}={tags[k]}" for k in sorted(tags))
+    return f"{stat['name']}[{inner}]"
+
+
+def format_top(snapshot: Mapping[str, Any], n: int = 10, by: str = "wall") -> str:
+    """The ``n`` hottest span buckets ordered by ``wall`` | ``cpu`` | ``count``."""
+    if by not in ("wall", "cpu", "count"):
+        raise ValidationError(f"top ordering must be wall/cpu/count, got {by!r}")
+    spans = _span_rows(snapshot)
+    if not spans:
+        return "spans: none recorded"
+    ranked = sorted(spans, key=lambda s: -s[by])[: max(int(n), 1)]
+    lines = [f"top {len(ranked)} span bucket(s) by {by}:"]
+    for rank, stat in enumerate(ranked, start=1):
+        mean = stat["wall"] / stat["count"] if stat["count"] else 0.0
+        lines.append(
+            f"{rank:>3}. {_span_label(stat)}  "
+            f"n={stat['count']} wall={_fmt_seconds(stat['wall'])} "
+            f"cpu={_fmt_seconds(stat['cpu'])} mean={_fmt_seconds(mean)}"
+        )
+    return "\n".join(lines)

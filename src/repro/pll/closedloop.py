@@ -35,6 +35,7 @@ from repro.core.grid import FrequencyGrid, as_omega_grid, as_s_grid
 from repro.core.htm import HTM
 from repro.core.operators import FeedbackOperator
 from repro.lti.rational import RationalFunction
+from repro.obs import spans as obs
 from repro.pll.architecture import PLL
 from repro.pll.openloop import open_loop_operator
 
@@ -146,6 +147,16 @@ class ClosedLoopHTM:
         """
         s_arr = as_s_grid("s", s)
         order = check_order("order", order, minimum=0)
+        if obs.enabled():
+            with obs.span(
+                "pll.closedloop.vtilde_grid",
+                points=int(s_arr.size),
+                order=int(order),
+            ):
+                return self._vtilde_grid_impl(s_arr, order)
+        return self._vtilde_grid_impl(s_arr, order)
+
+    def _vtilde_grid_impl(self, s_arr: np.ndarray, order: int) -> np.ndarray:
         omega0 = self.pll.omega0
         ns = np.arange(-order, order + 1)
         ks = np.array(
@@ -179,6 +190,20 @@ class ClosedLoopHTM:
 
         Exact (closed form) or truncated depending on the configured method.
         """
+        if obs.enabled():
+            # The scalar lambda(s) evaluation IS the rank-one SMW solve's
+            # cost: every closed-loop transfer divides by 1 + lambda.
+            with obs.span(
+                "pll.closedloop.effective_gain",
+                method=self.method,
+                points=int(np.size(s)),
+            ):
+                return self._effective_gain_impl(s)
+        return self._effective_gain_impl(s)
+
+    def _effective_gain_impl(
+        self, s: complex | np.ndarray
+    ) -> complex | np.ndarray:
         if self.method == "closed":
             s_arr = np.atleast_1d(np.asarray(s, dtype=complex))
             total = np.zeros(s_arr.shape, dtype=complex)

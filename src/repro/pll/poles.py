@@ -19,8 +19,6 @@ from __future__ import annotations
 import cmath
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro._errors import ConvergenceError, ValidationError
 from repro._validation import check_order, check_positive
 from repro.pll.architecture import PLL

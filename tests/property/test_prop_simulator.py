@@ -8,7 +8,6 @@ examples because each one runs a transient simulation.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro._errors import ValidationError
-from repro.blocks.chargepump import ChargePump
 from repro.blocks.delay import LoopDelay
 from repro.blocks.pfd import SamplingPFD
 from repro.blocks.vco import VCO

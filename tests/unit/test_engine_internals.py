@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.lti.statespace import StateSpace
 from repro.pll.design import design_typical_loop
 from repro.simulator.engine import BehavioralPLLSimulator, SimulationConfig
 

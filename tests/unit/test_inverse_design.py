@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro._errors import DesignError
-from repro.pll.design import design_for_effective_margin, shape_phase_margin_deg
+from repro.pll.design import design_for_effective_margin
 from repro.pll.margins import compare_margins
 
 W0 = 2 * np.pi

@@ -1,0 +1,122 @@
+"""Grid-cache accounting: byte-size estimates and eviction counters.
+
+PR 3 extended :class:`~repro.core.memo.GridEvalCache` beyond entry counts:
+``stats()``/``snapshot()`` now report a ``bytes`` estimate (summed logical
+``nbytes`` of the live entries) and an ``evictions`` counter, so campaign
+telemetry can say how much memory the per-worker caches actually held.
+"""
+
+import numpy as np
+
+from repro.core.grid import FrequencyGrid
+from repro.core.memo import GridEvalCache
+from repro.core.operators import LTIOperator
+from repro.lti.transfer import TransferFunction
+
+
+def _op(pole: float) -> LTIOperator:
+    return LTIOperator(TransferFunction([1.0], [1.0, pole]), 2 * np.pi)
+
+
+def _s(points: int = 8) -> np.ndarray:
+    return FrequencyGrid.baseband(2 * np.pi, points=points).s
+
+
+def test_bytes_tracks_stored_entries_exactly():
+    cache = GridEvalCache(maxsize=8)
+    s, order = _s(), 3
+    op = _op(1.0)
+    block = cache.fetch(op, s, order, op._dense_grid)
+    stats = cache.stats()
+    assert stats["bytes"] == int(np.asarray(block).nbytes) > 0
+    assert stats["entries"] == 1 and stats["evictions"] == 0
+
+    cache.fetch(op, s, order, op._dense_grid)  # hit: no growth
+    assert cache.stats()["bytes"] == stats["bytes"]
+
+    other = _op(2.0)
+    cache.fetch(other, s, order, other._dense_grid)
+    assert cache.stats()["bytes"] == 2 * stats["bytes"]
+
+
+def test_eviction_decrements_bytes_and_counts():
+    cache = GridEvalCache(maxsize=2)
+    s, order = _s(), 3
+    ops = [_op(float(p)) for p in (1.0, 2.0, 3.0, 4.0)]
+    per_entry = None
+    for op in ops:
+        block = cache.fetch(op, s, order, op._dense_grid)
+        per_entry = int(np.asarray(block).nbytes)
+    stats = cache.stats()
+    assert stats["entries"] == 2
+    assert stats["evictions"] == 2
+    assert stats["bytes"] == 2 * per_entry
+    assert stats["misses"] == 4
+
+
+def test_configure_shrink_evicts_and_reaccounts():
+    cache = GridEvalCache(maxsize=8)
+    s, order = _s(), 3
+    for pole in (1.0, 2.0, 3.0):
+        op = _op(pole)
+        cache.fetch(op, s, order, op._dense_grid)
+    before = cache.stats()
+    assert before["entries"] == 3
+    cache.configure(maxsize=1)
+    after = cache.stats()
+    assert after["entries"] == 1
+    assert after["evictions"] == 2
+    assert after["bytes"] == before["bytes"] // 3
+
+
+def test_clear_resets_byte_and_eviction_counters():
+    cache = GridEvalCache(maxsize=1)
+    s, order = _s(), 3
+    for pole in (1.0, 2.0):
+        op = _op(pole)
+        cache.fetch(op, s, order, op._dense_grid)
+    cache.clear()
+    stats = cache.stats()
+    assert stats == {
+        "hits": 0, "misses": 0, "evictions": 0,
+        "entries": 0, "bytes": 0, "maxsize": 1,
+    }
+
+
+def test_fetch_emits_obs_counters_when_enabled():
+    from repro.obs import spans as obs
+
+    was_enabled = obs.enabled()
+    obs.enable()
+    obs.reset()
+    try:
+        cache = GridEvalCache(maxsize=4)
+        s, order = _s(), 3
+        op = _op(1.0)
+        block = cache.fetch(op, s, order, op._dense_grid)
+        cache.fetch(op, s, order, op._dense_grid)
+        counters = obs.snapshot()["counters"]
+        assert counters["memo.miss"]["value"] == 1.0
+        assert counters["memo.hit"]["value"] == 1.0
+        assert (
+            counters["memo.bytes_stored"]["value"]
+            == float(np.asarray(block).nbytes)
+        )
+    finally:
+        (obs.enable if was_enabled else obs.disable)()
+        obs.reset()
+
+
+def test_snapshot_carries_bytes_and_evictions():
+    cache = GridEvalCache(maxsize=4)
+    s, order = _s(), 3
+    op = _op(1.0)
+    cache.fetch(op, s, order, op._dense_grid)
+    snap = cache.snapshot()
+    assert snap["bytes"] > 0
+    assert snap["evictions"] == 0
+    assert snap["enabled"] is True
+    # picklable/JSON-safe builtins only
+    import json
+
+    json.dumps(snap)

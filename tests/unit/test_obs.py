@@ -1,0 +1,306 @@
+"""Mechanics of the observability layer: registry, spans, hooks, reports.
+
+The instrumented-call-site behaviour (nothing recorded when disabled,
+bitwise-identical numerics) lives in ``test_obs_disabled.py``; the
+campaign-scale acceptance test lives in ``test_campaign_obs.py``.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro._errors import ValidationError
+from repro.obs import spans as obs
+from repro.obs.registry import (
+    ObsRegistry,
+    bucket_key,
+    merge_snapshots,
+    snapshot_delta,
+)
+from repro.obs.report import format_summary, format_top, load_snapshot, to_json
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    """Every test starts disabled with an empty registry, and leaves none."""
+    was_enabled = obs.enabled()
+    obs.disable()
+    obs.reset()
+    yield
+    (obs.enable if was_enabled else obs.disable)()
+    obs.reset()
+
+
+# -- bucket keys -----------------------------------------------------------------
+
+
+def test_bucket_key_without_tags_is_the_name():
+    assert bucket_key("core.dense_grid", {}) == "core.dense_grid"
+
+
+def test_bucket_key_sorts_tags():
+    key = bucket_key("x", {"points": 200, "op": "LTIOperator"})
+    assert key == "x[op=LTIOperator,points=200]"
+    assert key == bucket_key("x", {"op": "LTIOperator", "points": 200})
+
+
+# -- registry --------------------------------------------------------------------
+
+
+def test_registry_span_counter_histogram_roundtrip():
+    reg = ObsRegistry()
+    reg.record_span("a/b", {"k": 1}, wall=0.5, cpu=0.25, thread_id=7)
+    reg.record_span("a/b", {"k": 1}, wall=1.5, cpu=0.75, thread_id=8)
+    reg.add("hits", 2.0, {})
+    reg.observe("latency", 0.003, {})
+    snap = reg.snapshot()
+    span = snap["spans"]["a/b[k=1]"]
+    assert span["count"] == 2
+    assert span["wall"] == pytest.approx(2.0)
+    assert span["cpu"] == pytest.approx(1.0)
+    assert span["wall_min"] == pytest.approx(0.5)
+    assert span["wall_max"] == pytest.approx(1.5)
+    assert len(span["threads"]) == 2
+    counter = snap["counters"]["hits"]
+    assert counter["value"] == 2.0 and counter["count"] == 1
+    hist = snap["histograms"]["latency"]
+    assert hist["count"] == 1 and hist["buckets"] == {"-3": 1}
+    # snapshots are JSON-safe by construction
+    json.dumps(snap)
+
+
+def test_registry_reset_and_is_empty():
+    reg = ObsRegistry()
+    assert reg.is_empty()
+    reg.add("c", 1.0, {})
+    assert not reg.is_empty()
+    reg.reset()
+    assert reg.is_empty()
+
+
+def test_merge_snapshots_adds_counts_and_keeps_extrema():
+    a = ObsRegistry()
+    a.record_span("s", {}, wall=1.0, cpu=0.5, thread_id=1)
+    b = ObsRegistry()
+    b.record_span("s", {}, wall=3.0, cpu=1.0, thread_id=2)
+    b.add("n", 4.0, {})
+    merged = merge_snapshots(a.snapshot(), b.snapshot())
+    span = merged["spans"]["s"]
+    assert span["count"] == 2
+    assert span["wall"] == pytest.approx(4.0)
+    assert span["wall_min"] == pytest.approx(1.0)
+    assert span["wall_max"] == pytest.approx(3.0)
+    assert merged["counters"]["n"]["value"] == 4.0
+    assert merge_snapshots(None, None)["spans"] == {}
+
+
+def test_snapshot_delta_subtracts_and_drops_unchanged():
+    reg = ObsRegistry()
+    reg.record_span("quiet", {}, wall=1.0, cpu=1.0, thread_id=1)
+    reg.add("n", 1.0, {})
+    before = reg.snapshot()
+    reg.add("n", 2.5, {})
+    reg.record_span("busy", {}, wall=0.25, cpu=0.125, thread_id=1)
+    delta = snapshot_delta(before, reg.snapshot())
+    assert "quiet" not in delta["spans"]  # no activity in the window
+    assert delta["spans"]["busy"]["count"] == 1
+    assert delta["counters"]["n"]["value"] == pytest.approx(2.5)
+    assert delta["counters"]["n"]["count"] == 1
+
+
+# -- span runtime ----------------------------------------------------------------
+
+
+def test_span_disabled_returns_shared_null_span():
+    s1 = obs.span("x")
+    s2 = obs.span("y", points=3)
+    assert s1 is s2  # the shared singleton: zero allocation when off
+    with s1 as inner:
+        assert inner.tag(status="ok") is inner
+    assert obs.registry().is_empty()
+
+
+def test_nested_spans_build_slash_paths():
+    obs.enable()
+    with obs.span("outer"):
+        with obs.span("inner", k=1):
+            pass
+    spans = obs.snapshot()["spans"]
+    assert set(spans) == {"outer", "outer/inner[k=1]"}
+
+
+def test_span_records_wall_and_cpu_and_mid_span_tags():
+    obs.enable()
+    with obs.span("work") as sp:
+        time.sleep(0.01)
+        sp.tag(status="ok")
+    stat = obs.snapshot()["spans"]["work[status=ok]"]
+    assert stat["count"] == 1
+    assert stat["wall"] >= 0.01
+    assert stat["cpu"] >= 0.0
+
+
+def test_counters_and_histograms_respect_enabled_flag():
+    obs.add("n", 5.0)
+    obs.observe("h", 1.0)
+    assert obs.registry().is_empty()
+    obs.enable()
+    obs.add("n", 5.0, kind="x")
+    obs.observe("h", 1.0)
+    snap = obs.snapshot()
+    assert snap["counters"]["n[kind=x]"]["value"] == 5.0
+    assert snap["histograms"]["h"]["count"] == 1
+
+
+def test_delta_of_live_registry():
+    obs.enable()
+    obs.add("n", 1.0)
+    before = obs.snapshot()
+    obs.add("n", 2.0)
+    delta = obs.delta(before)
+    assert delta["counters"]["n"]["value"] == pytest.approx(2.0)
+
+
+def test_rank_one_solves_emit_tagged_counters():
+    import numpy as np
+
+    from repro.core.rank_one import smw_closed_loop, smw_inverse_apply
+
+    column = np.array([0.2, 0.1, 0.05], dtype=complex)
+    row = np.ones(3, dtype=complex)
+    smw_closed_loop(column, row)
+    assert obs.registry().is_empty()  # disabled: free
+
+    obs.enable()
+    smw_closed_loop(column, row)
+    smw_inverse_apply(column, row, np.eye(3, dtype=complex))
+    counters = obs.snapshot()["counters"]
+    assert counters["core.rank_one.smw_closed_loop[size=3]"]["count"] == 1
+    assert counters["core.rank_one.smw_inverse_apply[size=3]"]["count"] == 1
+
+
+# -- profiling hooks -------------------------------------------------------------
+
+
+def test_hook_receives_span_events_and_is_removable():
+    obs.enable()
+    events = []
+    obs.add_hook(events.append)
+    try:
+        with obs.span("hooked", k="v"):
+            pass
+    finally:
+        obs.remove_hook(events.append)
+    with obs.span("after-removal"):
+        pass
+    assert len(events) == 1
+    event = events[0]
+    assert event["type"] == "span"
+    assert event["path"] == "hooked"
+    assert event["tags"] == {"k": "v"}
+    assert event["wall"] >= 0.0 and event["cpu"] >= 0.0
+
+
+def test_hook_exceptions_are_swallowed_and_counted():
+    obs.enable()
+
+    def bad_hook(event):
+        raise RuntimeError("boom")
+
+    obs.add_hook(bad_hook)
+    try:
+        with obs.span("survives"):
+            pass  # must not raise
+    finally:
+        obs.remove_hook(bad_hook)
+    snap = obs.snapshot()
+    assert snap["spans"]["survives"]["count"] == 1
+    assert snap["counters"]["obs.hook_errors"]["value"] == 1.0
+
+
+# -- reports ---------------------------------------------------------------------
+
+
+def _sample_snapshot():
+    reg = ObsRegistry()
+    reg.record_span("core.dense_grid", {"op": "LTIOperator"}, 2.0, 1.5, 1)
+    reg.record_span("campaign.point", {"status": "ok"}, 3.0, 2.0, 1)
+    reg.add("memo.hit", 7.0, {})
+    reg.observe("h", 0.5, {})
+    return reg.snapshot()
+
+
+def test_load_snapshot_accepts_pretty_printed_json(tmp_path):
+    path = tmp_path / "snap.json"
+    path.write_text(json.dumps(_sample_snapshot(), indent=2))
+    loaded = load_snapshot(path)
+    assert loaded["spans"]["campaign.point[status=ok]"]["count"] == 1
+
+
+def test_load_snapshot_rejects_non_obs_sources(tmp_path):
+    missing = tmp_path / "nope.json"
+    with pytest.raises(ValidationError, match="no obs source"):
+        load_snapshot(missing)
+    empty = tmp_path / "empty.json"
+    empty.write_text("")
+    with pytest.raises(ValidationError, match="empty"):
+        load_snapshot(empty)
+    other = tmp_path / "other.json"
+    other.write_text('{"kind": "something-else"}')
+    with pytest.raises(ValidationError, match="neither"):
+        load_snapshot(other)
+    garbage = tmp_path / "garbage.txt"
+    garbage.write_text("not json at all")
+    with pytest.raises(ValidationError, match="not JSON"):
+        load_snapshot(garbage)
+
+
+def test_format_summary_and_top():
+    snap = _sample_snapshot()
+    summary = format_summary(snap)
+    assert "campaign.point[status=ok]" in summary
+    assert "memo.hit" in summary
+    top = format_top(snap, n=1, by="wall")
+    assert "campaign.point[status=ok]" in top
+    assert "core.dense_grid" not in top  # n=1 keeps only the hottest
+    with pytest.raises(ValidationError, match="wall/cpu/count"):
+        format_top(snap, by="nonsense")
+
+
+def test_to_json_roundtrip():
+    snap = _sample_snapshot()
+    assert json.loads(to_json(snap)) == json.loads(json.dumps(snap))
+
+
+# -- CLI -------------------------------------------------------------------------
+
+
+def test_cli_obs_summary_top_export(tmp_path, capsys):
+    from repro.cli import main
+
+    source = tmp_path / "snap.json"
+    source.write_text(json.dumps(_sample_snapshot(), indent=2))
+
+    assert main(["obs", "summary", str(source)]) == 0
+    assert "campaign.point[status=ok]" in capsys.readouterr().out
+
+    assert main(["obs", "top", str(source), "-n", "1", "--by", "cpu"]) == 0
+    assert "campaign.point" in capsys.readouterr().out
+
+    out = tmp_path / "export.json"
+    assert main(["obs", "export", str(source), "--out", str(out)]) == 0
+    capsys.readouterr()
+    exported = json.loads(out.read_text())
+    assert exported["spans"]["campaign.point[status=ok]"]["count"] == 1
+
+    assert main(["obs", "export", str(source), "--json"]) == 0
+    printed = json.loads(capsys.readouterr().out)
+    assert printed["counters"]["memo.hit"]["value"] == 7.0
+
+
+def test_cli_obs_rejects_bad_source(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["obs", "summary", str(tmp_path / "missing.json")]) == 2
+    assert "no obs source" in capsys.readouterr().err

@@ -1,0 +1,90 @@
+"""Disabled observability is invisible: no buckets, identical numerics.
+
+Every instrumented call site is exercised with ``REPRO_OBS`` unset (the
+default in the test environment) and must leave the process-global
+registry empty; the results must be bitwise-identical to an enabled run of
+the same computation.  This is the behavioural half of the "free when off"
+contract — the timing half lives in ``benchmarks/bench_obs_overhead.py``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.campaign import CampaignSpec, GridSpace, run_campaign
+from repro.core.grid import FrequencyGrid
+from repro.core.memo import grid_cache
+from repro.core.operators import FeedbackOperator
+from repro.obs import spans as obs
+from repro.pll.closedloop import ClosedLoopHTM
+from repro.pll.design import design_typical_loop
+from repro.pll.openloop import open_loop_operator
+
+
+@pytest.fixture(autouse=True)
+def _disabled_obs():
+    """Run with obs off and a clean registry/cache; restore afterwards."""
+    was_enabled = obs.enabled()
+    obs.disable()
+    obs.reset()
+    grid_cache.clear()
+    yield
+    (obs.enable if was_enabled else obs.disable)()
+    obs.reset()
+    grid_cache.clear()
+
+
+@pytest.fixture(scope="module")
+def loop():
+    return design_typical_loop(omega0=2 * np.pi, omega_ug=0.2 * 2 * np.pi)
+
+
+def _grid(loop, points=20):
+    return FrequencyGrid.baseband(loop.omega0, points=points).s
+
+
+def test_dense_grid_call_sites_record_nothing_when_disabled(loop):
+    op = FeedbackOperator(open_loop_operator(loop))
+    op.dense_grid(_grid(loop), 4)  # composite: series/feedback/memo paths
+    assert obs.registry().is_empty()
+
+
+def test_closed_loop_call_sites_record_nothing_when_disabled(loop):
+    closed = ClosedLoopHTM(loop)
+    s = 1j * np.linspace(0.05, 0.5, 16)
+    closed.h00(s)  # rank-one SMW + effective-gain instrumentation
+    closed.vtilde_grid(s, order=4)
+    assert obs.registry().is_empty()
+
+
+def test_campaign_records_no_obs_when_disabled(tmp_path):
+    spec = CampaignSpec.create(
+        name="obs-off",
+        space=GridSpace.of(ratio=[0.05, 0.1], separation=[4.0]),
+        task="margins",
+        defaults={"points": 200},
+    )
+    result = run_campaign(spec, tmp_path / "r.jsonl", workers=1)
+    assert obs.registry().is_empty()
+    assert result.telemetry.obs_snapshot() is None
+    for record in result.records:
+        assert "obs" not in record
+
+
+def test_results_bitwise_identical_enabled_vs_disabled(loop):
+    op = FeedbackOperator(open_loop_operator(loop))
+    s = _grid(loop)
+    closed = ClosedLoopHTM(loop)
+    sj = 1j * np.linspace(0.05, 0.5, 16)
+
+    disabled_grid = np.array(op.dense_grid(s, 4), copy=True)
+    disabled_h00 = closed.h00(sj)
+
+    grid_cache.clear()  # force recomputation, not a cache hit
+    obs.enable()
+    enabled_grid = np.array(op.dense_grid(s, 4), copy=True)
+    enabled_h00 = closed.h00(sj)
+    assert not obs.registry().is_empty()  # the same sites do record when on
+
+    assert disabled_grid.dtype == enabled_grid.dtype
+    assert np.array_equal(disabled_grid, enabled_grid)  # bitwise
+    assert np.array_equal(disabled_h00, enabled_h00)

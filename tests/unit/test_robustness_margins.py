@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro._errors import ConvergenceError
-from repro.lti.bode import delay_margin, gain_crossover, modulus_margin, phase_margin
+from repro.lti.bode import delay_margin, modulus_margin, phase_margin
 from repro.lti.transfer import TransferFunction
 from repro.pll.design import design_typical_loop
 from repro.pll.margins import effective_open_loop

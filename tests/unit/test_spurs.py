@@ -8,7 +8,6 @@ from repro.blocks.chargepump import ChargePump
 from repro.pll.architecture import PLL
 from repro.pll.design import design_typical_loop
 from repro.pll.spurs import (
-    SpurPrediction,
     measure_reference_spurs,
     predict_reference_spurs,
 )

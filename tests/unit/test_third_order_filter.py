@@ -62,8 +62,6 @@ class TestThirdOrderLoop:
     def make_loop(self, third_pole_factor):
         """Typical second-order design with an added smoothing pole."""
         base = design_typical_loop(omega0=W0, omega_ug=0.1 * W0)
-        from repro.pll.openloop import lti_open_loop
-
         stage1 = SeriesRCShuntCFilter.from_pole_zero(0.025 * W0, 0.4 * W0, 1e-3)
         # Reuse the designed first stage by wrapping the PLL's impedance:
         filt = ThirdOrderFilter.from_pole_frequencies(

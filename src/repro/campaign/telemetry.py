@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from repro.obs.health import max_severity, severity_counts
 from repro.obs.registry import ObsRegistry, merge_snapshots
 
 __all__ = ["CampaignTelemetry", "ProgressCallback", "WorkerCacheStats"]
@@ -159,6 +160,10 @@ class CampaignTelemetry:
         """Per-worker cache stats — one cold warm-up per entry."""
         return sorted(self._workers_seen.values(), key=lambda w: w.pid)
 
+    def health_counts(self) -> dict[str, int]:
+        """Numerical-health event counts per severity (empty when clean)."""
+        return severity_counts(self._obs)
+
     def obs_snapshot(self) -> dict[str, Any] | None:
         """Merged observability snapshot of the run, or ``None``.
 
@@ -208,6 +213,12 @@ class CampaignTelemetry:
         obs_snapshot = self.obs_snapshot()
         if obs_snapshot is not None:
             out["obs"] = obs_snapshot
+            counts = self.health_counts()
+            if counts:
+                out["health"] = {
+                    "counts": counts,
+                    "max_severity": max_severity(self._obs),
+                }
         return out
 
     def summary(self) -> str:
@@ -228,6 +239,16 @@ class CampaignTelemetry:
                 else ""
             ),
         ]
+        counts = self.health_counts()
+        if counts.get("warning") or counts.get("error"):
+            parts = [
+                f"{counts[sev]} {sev}(s)"
+                for sev in ("error", "warning")
+                if counts.get(sev)
+            ]
+            lines.append(
+                f"health: {', '.join(parts)} — inspect with `repro obs health <store>`"
+            )
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)

@@ -37,11 +37,28 @@ Observability reports (:mod:`repro.obs`)::
     REPRO_OBS=1 python -m repro campaign run SPEC.json ...
     python -m repro obs summary RESULTS.jsonl
     python -m repro obs top RESULTS.jsonl -n 10 [--by wall|cpu|count]
-    python -m repro obs export RESULTS.jsonl --json [--out obs.json]
+    python -m repro obs health RESULTS.jsonl [-n 10] [--severity warning]
+                    [--fail-on warning|error]
+    python -m repro obs export RESULTS.jsonl [--json | --csv | --trace out.json]
+                    [--out obs.json]
 
 ``SOURCE`` is a campaign result store (the merged span/counter snapshot is
 read from its summary record) or a raw obs snapshot JSON, e.g. one written
-through ``REPRO_OBS_EXPORT=path``.
+through ``REPRO_OBS_EXPORT=path``.  ``obs health`` reports the numerical
+health events the core probes emitted (see ``docs/OBSERVABILITY.md``) and,
+with ``--fail-on``, exits nonzero when events at or above that severity
+occurred — the CI gate.  ``--trace`` writes Chrome Trace Event Format for
+``chrome://tracing`` / Perfetto.
+
+Benchmark baselines (:mod:`repro.obs.baseline`)::
+
+    python -m repro bench compare CURRENT.jsonl [...] \
+                    --baseline BENCH_baseline.json [--tolerance 25%]
+                    [--min-seconds 0.01] [--report report.json]
+
+Diffs bench ``--json-out`` JSONL against the committed baseline and exits
+nonzero when a gated metric (``*_seconds`` lower-better, ``*speedup*``
+higher-better) degrades beyond the tolerance.
 """
 
 from __future__ import annotations
@@ -135,8 +152,18 @@ def build_parser() -> argparse.ArgumentParser:
         "export", help="dump the merged obs snapshot"
     )
     obs_source(export_cmd)
-    export_cmd.add_argument(
+    export_fmt = export_cmd.add_mutually_exclusive_group()
+    export_fmt.add_argument(
         "--json", action="store_true", help="emit canonical JSON (the default)"
+    )
+    export_fmt.add_argument(
+        "--csv", action="store_true", help="emit flat CSV (one row per bucket)"
+    )
+    export_fmt.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write Chrome Trace Event Format (chrome://tracing / Perfetto)",
     )
     export_cmd.add_argument(
         "--out", default=None, help="write to a file instead of stdout"
@@ -153,6 +180,54 @@ def build_parser() -> argparse.ArgumentParser:
         default="wall",
         help="ranking key (default wall)",
     )
+
+    health_cmd = obs_actions.add_parser(
+        "health", help="numerical-health event report (and CI gate)"
+    )
+    obs_source(health_cmd)
+    health_cmd.add_argument(
+        "-n", "--worst", type=int, default=10, help="event buckets to list (default 10)"
+    )
+    health_cmd.add_argument(
+        "--severity",
+        choices=("info", "warning", "error"),
+        default="info",
+        help="hide events below this severity (default info)",
+    )
+    health_cmd.add_argument(
+        "--fail-on",
+        choices=("warning", "error"),
+        default=None,
+        help="exit 1 when events at or above this severity occurred",
+    )
+
+    bench_cmd = commands.add_parser(
+        "bench", help="benchmark baseline tooling (compare)"
+    )
+    bench_actions = bench_cmd.add_subparsers(dest="bench_command", required=True)
+    compare_cmd = bench_actions.add_parser(
+        "compare", help="diff bench --json-out JSONL against a committed baseline"
+    )
+    compare_cmd.add_argument(
+        "current", nargs="+", help="bench JSONL file(s) of the current run"
+    )
+    compare_cmd.add_argument(
+        "--baseline", required=True, help="committed baseline JSONL (BENCH_*.json)"
+    )
+    compare_cmd.add_argument(
+        "--tolerance",
+        default="25%",
+        help="allowed relative degradation, e.g. 25%% or 0.25 (default 25%%)",
+    )
+    compare_cmd.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.01,
+        help="noise floor: skip timings under this on both sides (default 0.01)",
+    )
+    compare_cmd.add_argument(
+        "--report", default=None, help="also write the comparison as JSON to FILE"
+    )
     return parser
 
 
@@ -164,6 +239,8 @@ def main(argv: list[str] | None = None) -> int:
             return _campaign(args)
         if getattr(args, "command", None) == "obs":
             return _obs(args)
+        if getattr(args, "command", None) == "bench":
+            return _bench(args)
         return _report(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -190,14 +267,59 @@ def _obs(args) -> int:
     if args.obs_command == "top":
         print(obs.format_top(snapshot, n=args.count, by=args.by))
         return 0
-    # export (--json is the only format; the flag is accepted for clarity)
-    rendered = obs.to_json(snapshot)
+    if args.obs_command == "health":
+        from repro.obs.health import format_health, max_severity, severity_rank
+
+        print(format_health(snapshot, n=args.worst, min_severity=args.severity))
+        if args.fail_on is not None:
+            worst = max_severity(snapshot)
+            if worst is not None and severity_rank(worst) >= severity_rank(
+                args.fail_on
+            ):
+                print(
+                    f"health gate: {worst} events present "
+                    f"(--fail-on {args.fail_on})",
+                    file=sys.stderr,
+                )
+                return 1
+        return 0
+    # export: --trace / --csv / --json (default)
+    if args.trace is not None:
+        Path(args.trace).write_text(obs.to_chrome_trace(snapshot) + "\n")
+        print(f"wrote {args.trace}")
+        return 0
+    rendered = obs.to_csv(snapshot) if args.csv else obs.to_json(snapshot) + "\n"
     if args.out:
-        Path(args.out).write_text(rendered + "\n")
+        Path(args.out).write_text(rendered)
         print(f"wrote {args.out}")
     else:
-        print(rendered)
+        print(rendered, end="")
     return 0
+
+
+# -- bench subcommand --------------------------------------------------------------
+
+
+def _bench(args) -> int:
+    from repro.obs.baseline import (
+        compare_benchmarks,
+        load_bench_lines,
+        parse_tolerance,
+    )
+
+    baseline = load_bench_lines([args.baseline])
+    current = load_bench_lines(args.current)
+    comparison = compare_benchmarks(
+        baseline,
+        current,
+        tolerance=parse_tolerance(args.tolerance),
+        min_seconds=args.min_seconds,
+    )
+    print(comparison.summary())
+    if args.report:
+        Path(args.report).write_text(comparison.to_json() + "\n")
+        print(f"report: {args.report}")
+    return 0 if comparison.ok else 1
 
 
 # -- campaign subcommand -----------------------------------------------------------
@@ -299,6 +421,11 @@ def _campaign(args) -> int:
         print(f"results: {result.store_path}")
         if result.telemetry.obs_snapshot() is not None:
             print(f"obs: spans recorded — `repro obs summary {result.store_path}`")
+            if result.telemetry.health_counts():
+                print(
+                    f"health: events recorded — "
+                    f"`repro obs health {result.store_path}`"
+                )
     return 0 if not result.failed_records else 1
 
 

@@ -43,6 +43,8 @@ from repro._validation import check_order, check_positive
 from repro.core.grid import as_omega_grid
 from repro.lti.rational import PartialFractionTerm, RationalFunction
 from repro.lti.transfer import TransferFunction
+from repro.obs import health
+from repro.obs import spans as _obs
 
 
 def coth(z: complex | np.ndarray) -> complex | np.ndarray:
@@ -211,15 +213,32 @@ class AliasedSum:
         ]
         return AliasedSum(self.omega0, new_terms, self.source)
 
-    def is_periodic_check(self, s: complex, rtol: float = 1e-8) -> bool:
+    def is_periodic_check(self, s: complex, rtol: float = 1e-8) -> "health.CheckResult":
         """Verify the defining periodicity ``lambda(s + j w0) = lambda(s)``.
 
         The aliasing sum is invariant under ``s -> s + j w0`` by construction;
-        exposed as a cheap self-test hook.
+        exposed as a cheap self-test hook.  Returns a
+        :class:`repro.obs.health.CheckResult` whose value is the relative
+        deviation between the two evaluations and whose threshold is
+        ``rtol``; it is truthy exactly when the check passes, so
+        ``assert alias.is_periodic_check(s)`` works unchanged.  A failure
+        emits a warning health event when observability is enabled.
         """
         a = self(s)
         b = self(s + 1j * self.omega0)
-        return bool(abs(a - b) <= rtol * max(abs(a), abs(b), 1e-30))
+        deviation = abs(a - b) / max(abs(a), abs(b), 1e-30)
+        result = health.CheckResult(
+            "is_periodic_check", deviation, float(rtol), deviation <= float(rtol)
+        )
+        if not result.passed:
+            _obs.health_event(
+                "health.aliasing.periodicity",
+                deviation,
+                float(rtol),
+                severity="warning",
+                message="aliasing sum not j*w0-periodic at this s",
+            )
+        return result
 
     def __repr__(self) -> str:
         return f"AliasedSum(omega0={self.omega0:.6g}, terms={len(self.terms)})"

@@ -43,6 +43,7 @@ from repro._validation import check_order, check_positive
 from repro.core.grid import as_s_grid
 from repro.core.htm import HTM
 from repro.core.memo import grid_cache
+from repro.obs import health
 from repro.obs import spans as obs
 from repro.signals.fourier import FourierSeries
 from repro.signals.isf import ImpulseSensitivity
@@ -108,7 +109,11 @@ class HarmonicOperator(ABC):
                 points=int(s_arr.size),
                 order=int(order),
             ):
-                return grid_cache.fetch(self, s_arr, order, self._dense_grid)
+                out = grid_cache.fetch(self, s_arr, order, self._dense_grid)
+                health.check_finite(
+                    "health.dense_grid.nonfinite", out, op=type(self).__name__
+                )
+                return out
         return grid_cache.fetch(self, s_arr, order, self._dense_grid)
 
     def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
@@ -517,7 +522,20 @@ class FeedbackOperator(HarmonicOperator):
             with obs.span(
                 "core.feedback.solve", points=int(s_arr.size), order=int(order)
             ):
-                return np.linalg.solve(eye[None, :, :] + g, g)
+                system = eye[None, :, :] + g
+                with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+                    cond = np.linalg.cond(system)
+                worst = float(np.max(cond)) if cond.size else 0.0
+                if not np.isfinite(worst) or worst > health.CONDITION_LIMIT:
+                    obs.health_event(
+                        "health.feedback.condition",
+                        worst,
+                        health.CONDITION_LIMIT,
+                        severity="warning",
+                        message="ill-conditioned I + G in feedback solve",
+                        order=int(order),
+                    )
+                return np.linalg.solve(system, g)
         return np.linalg.solve(eye[None, :, :] + g, g)
 
     def fingerprint(self) -> tuple:

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro._errors import ValidationError
 from repro.core.htm import HTM
+from repro.obs import health
 from repro.obs import spans as obs
 
 
@@ -80,6 +81,8 @@ def smw_inverse_apply(column: np.ndarray, row: np.ndarray, rhs: np.ndarray) -> n
     rhs = np.asarray(rhs, dtype=complex)
     lam = complex(row @ column)
     denom = 1.0 + lam
+    if obs.enabled():
+        _solve_health(column, row, denom)
     if abs(denom) < 1e-300:
         raise ZeroDivisionError("1 + lambda(s) = 0: s lies on a closed-loop pole")
     obs.add("core.rank_one.smw_inverse_apply", size=int(column.size))
@@ -95,17 +98,46 @@ def smw_closed_loop(column: np.ndarray, row: np.ndarray) -> np.ndarray:
     row = np.asarray(row, dtype=complex)
     lam = complex(row @ column)
     denom = 1.0 + lam
+    if obs.enabled():
+        _solve_health(column, row, denom)
     if abs(denom) < 1e-300:
         raise ZeroDivisionError("1 + lambda(s) = 0: s lies on a closed-loop pole")
     obs.add("core.rank_one.smw_closed_loop", size=int(column.size))
     return np.outer(column, row) / denom
 
 
-def smw_identity_check(column: np.ndarray, row: np.ndarray, rtol: float = 1e-9) -> float:
-    """Max residual of ``(I + C r^T) (I - C r^T/(1+lam)) - I`` (test utility).
+def _solve_health(column: np.ndarray, row: np.ndarray, denom: complex) -> None:
+    """Obs-enabled health probes for one SMW solve.
 
-    Returns the maximum absolute element of the residual matrix; useful for
-    property tests asserting the SMW identity holds at any truncation.
+    Always checks the closure denominator against the near-singular
+    tolerance; additionally runs the full (dense, expensive) identity check
+    per solve when ``REPRO_OBS_SMW_CHECK=1`` opts in.
+    """
+    if abs(denom) < health.LAMBDA_SINGULAR_TOL:
+        obs.health_event(
+            "health.rank_one.near_singular",
+            abs(denom),
+            health.LAMBDA_SINGULAR_TOL,
+            severity="warning",
+            direction="below",
+            message="|1 + lambda| near zero: s close to a closed-loop pole",
+            size=int(column.size),
+        )
+    if health.smw_probe_enabled() and abs(denom) >= 1e-300:
+        smw_identity_check(column, row, rtol=health.SMW_RESIDUAL_TOL)
+
+
+def smw_identity_check(
+    column: np.ndarray, row: np.ndarray, rtol: float = 1e-9
+) -> health.CheckResult:
+    """Residual of ``(I + C r^T) (I - C r^T/(1+lam)) - I`` as a structured check.
+
+    Returns a :class:`repro.obs.health.CheckResult` whose value is the
+    maximum absolute element of the residual matrix and whose threshold is
+    ``rtol``.  The result still compares like the bare float this function
+    historically returned (``smw_identity_check(c, r) < 1e-12`` works
+    unchanged).  A failing check emits a warning health event when
+    observability is enabled.
     """
     column = np.asarray(column, dtype=complex)
     row = np.asarray(row, dtype=complex)
@@ -114,6 +146,17 @@ def smw_identity_check(column: np.ndarray, row: np.ndarray, rtol: float = 1e-9) 
     eye = np.eye(n, dtype=complex)
     forward = eye + np.outer(column, row)
     inverse = eye - np.outer(column, row) / (1.0 + lam)
-    residual = forward @ inverse - eye
-    del rtol  # kept for signature stability
-    return float(np.max(np.abs(residual)))
+    residual = float(np.max(np.abs(forward @ inverse - eye)))
+    result = health.CheckResult(
+        "smw_identity_check", residual, float(rtol), residual <= float(rtol)
+    )
+    if not result.passed:
+        obs.health_event(
+            "health.rank_one.smw_residual",
+            residual,
+            float(rtol),
+            severity="warning",
+            message="SMW closure disagrees with the dense inverse",
+            size=int(n),
+        )
+    return result

@@ -18,6 +18,8 @@ import numpy as np
 from repro._errors import ConvergenceError, ValidationError
 from repro._validation import as_float_array, check_order
 from repro.core.operators import HarmonicOperator
+from repro.obs import health
+from repro.obs import spans as obs
 
 
 @dataclass(frozen=True)
@@ -82,12 +84,39 @@ def choose_truncation_order(
         scale = max(float(np.max(np.abs(current))), 1e-300)
         change = float(np.max(np.abs(current - previous))) / scale
         history.append((next_order, change))
+        if obs.enabled() and len(history) >= 2 and history[-1][1] > history[-2][1]:
+            obs.health_event(
+                "health.truncation.tail_growth",
+                history[-1][1],
+                history[-2][1],
+                severity="warning",
+                message="probe change grew when K doubled: tail not decaying",
+                order=next_order,
+            )
         if change <= rtol:
+            if obs.enabled():
+                obs.health_event(
+                    "health.truncation.converged",
+                    change,
+                    rtol,
+                    severity="info",
+                    message="truncation-order search converged",
+                    order=next_order,
+                )
             return TruncationReport(
                 order=next_order, achieved_change=change, history=tuple(history)
             )
         order = next_order
         previous = current
+    if obs.enabled():
+        obs.health_event(
+            "health.truncation.no_convergence",
+            history[-1][1] if history else float("inf"),
+            rtol,
+            severity="error",
+            message=f"no convergence by max_order={max_order}",
+            order=max_order,
+        )
     raise ConvergenceError(
         f"truncation did not converge to rtol={rtol} by order {max_order}; "
         f"last change {history[-1][1]:.3g}" if history else "no refinement performed"
@@ -112,4 +141,16 @@ def truncation_error_estimate(
     coarse = probe_baseband(operator, omega_arr, order)
     fine = probe_baseband(operator, omega_arr, ref)
     scale = max(float(np.max(np.abs(fine))), 1e-300)
-    return float(np.max(np.abs(fine - coarse))) / scale
+    estimate = float(np.max(np.abs(fine - coarse))) / scale
+    if obs.enabled():
+        obs.health_event(
+            "health.truncation.error_estimate",
+            estimate,
+            health.TRUNCATION_WARN_TOL,
+            severity=(
+                "warning" if estimate > health.TRUNCATION_WARN_TOL else "info"
+            ),
+            message="relative truncation error of the requested order",
+            order=order,
+        )
+    return estimate

@@ -34,15 +34,30 @@ See ``docs/OBSERVABILITY.md`` for the span model and CLI examples.
 
 from __future__ import annotations
 
+from repro.obs.health import (
+    CheckResult,
+    format_health,
+    max_severity,
+    severity_counts,
+    worst_events,
+)
 from repro.obs.registry import (
     CounterStat,
+    HealthStat,
     HistogramStat,
     ObsRegistry,
     SpanStat,
     merge_snapshots,
     snapshot_delta,
 )
-from repro.obs.report import format_summary, format_top, load_snapshot, to_json
+from repro.obs.report import (
+    format_summary,
+    format_top,
+    load_snapshot,
+    to_chrome_trace,
+    to_csv,
+    to_json,
+)
 from repro.obs.spans import (
     NullSpan,
     Span,
@@ -52,6 +67,7 @@ from repro.obs.spans import (
     disable,
     enable,
     enabled,
+    health_event,
     observe,
     registry,
     remove_hook,
@@ -61,7 +77,9 @@ from repro.obs.spans import (
 )
 
 __all__ = [
+    "CheckResult",
     "CounterStat",
+    "HealthStat",
     "HistogramStat",
     "NullSpan",
     "ObsRegistry",
@@ -73,19 +91,26 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "format_health",
     "format_summary",
     "format_top",
+    "health_event",
     "load_snapshot",
+    "max_severity",
     "merge_snapshots",
     "observe",
     "registry",
     "remove_hook",
     "reset",
+    "severity_counts",
     "snapshot",
     "snapshot_delta",
     "span",
     "summary",
+    "to_chrome_trace",
+    "to_csv",
     "to_json",
+    "worst_events",
 ]
 
 

@@ -1,0 +1,248 @@
+"""Benchmark-baseline tracking: diff bench JSONL runs and gate regressions.
+
+Backs ``repro bench compare``.  Both sides of the comparison are the JSONL
+the tier-1 benches append via ``--json-out``: one line per bench run, each
+with a ``kind`` discriminator (``bench_grid_eval``, ``bench_campaign``,
+``bench_obs_overhead``) and flat numeric metrics.  The committed baseline
+(``BENCH_baseline.json``) is simply such a file checked into the repo; the
+refresh procedure is documented in ``docs/PERFORMANCE.md``.
+
+Gating rules
+------------
+* metrics ending in ``_seconds`` are **lower-better** and gated;
+* metrics containing ``speedup`` are **higher-better** and gated;
+* everything else (counts, ratios, parameters) is informational only.
+
+A gated metric regresses when it degrades by more than ``tolerance``
+relative to the baseline value.  Timings whose *both* sides sit under the
+``min_seconds`` noise floor are skipped — sub-10ms smoke timings jitter far
+beyond any sensible tolerance and would make the gate flap.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro._errors import ValidationError
+
+__all__ = [
+    "BenchComparison",
+    "MetricDelta",
+    "compare_benchmarks",
+    "load_bench_lines",
+    "parse_tolerance",
+]
+
+#: Default noise floor: timings below this on both sides are not gated.
+DEFAULT_MIN_SECONDS = 0.01
+
+
+def parse_tolerance(text: str | float) -> float:
+    """Parse a tolerance given as ``'25%'``, ``'0.25'`` or a float."""
+    if isinstance(text, (int, float)):
+        value = float(text)
+    else:
+        stripped = str(text).strip()
+        try:
+            if stripped.endswith("%"):
+                value = float(stripped[:-1]) / 100.0
+            else:
+                value = float(stripped)
+        except ValueError:
+            raise ValidationError(
+                f"tolerance must look like '25%' or '0.25', got {text!r}"
+            ) from None
+    if value <= 0:
+        raise ValidationError(f"tolerance must be positive, got {text!r}")
+    return value
+
+
+def load_bench_lines(paths: Iterable[str | Path]) -> dict[str, dict[str, Any]]:
+    """Bench records keyed by ``kind`` from one or more JSONL files.
+
+    Later lines win within and across files, so a file that accumulated
+    several runs of the same bench compares against the freshest one.
+    Non-bench lines (no ``kind`` starting with ``bench``) are ignored.
+    """
+    out: dict[str, dict[str, Any]] = {}
+    for path in paths:
+        path = Path(path)
+        if not path.exists():
+            raise ValidationError(f"no bench JSONL at {path}")
+        for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValidationError(
+                    f"{path}:{lineno} is not valid JSON: {exc}"
+                ) from None
+            if not isinstance(record, dict):
+                continue
+            kind = str(record.get("kind", ""))
+            if kind.startswith("bench"):
+                out[kind] = record
+    return out
+
+
+def _gated_direction(metric: str) -> str | None:
+    """``'lower'`` / ``'higher'`` for gated metrics, ``None`` otherwise."""
+    if metric.endswith("_seconds"):
+        return "lower"
+    if "speedup" in metric:
+        return "higher"
+    return None
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric of one bench kind, compared across baseline and current."""
+
+    kind: str
+    metric: str
+    baseline: float
+    current: float
+    direction: str | None  # 'lower' | 'higher' | None (informational)
+    change: float  # signed relative change vs baseline (0.1 = +10%)
+    regressed: bool
+    skipped: str | None = None  # reason this metric was not gated
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "metric": self.metric,
+            "baseline": self.baseline,
+            "current": self.current,
+            "direction": self.direction,
+            "change": self.change,
+            "regressed": self.regressed,
+            "skipped": self.skipped,
+        }
+
+
+@dataclass
+class BenchComparison:
+    """Full result of one baseline comparison."""
+
+    tolerance: float
+    min_seconds: float
+    deltas: list[MetricDelta] = field(default_factory=list)
+    missing_kinds: list[str] = field(default_factory=list)
+    new_kinds: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "tolerance": self.tolerance,
+                "min_seconds": self.min_seconds,
+                "ok": self.ok,
+                "regressions": len(self.regressions),
+                "missing_kinds": self.missing_kinds,
+                "new_kinds": self.new_kinds,
+                "deltas": [d.to_dict() for d in self.deltas],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def summary(self) -> str:
+        gated = [d for d in self.deltas if d.direction and not d.skipped]
+        lines = [
+            f"bench compare: {len(gated)} gated metric(s) across "
+            f"{len({d.kind for d in self.deltas})} bench kind(s), "
+            f"tolerance {self.tolerance:.0%}"
+        ]
+        for delta in self.deltas:
+            if not delta.direction:
+                continue
+            if delta.skipped:
+                verdict = f"skipped ({delta.skipped})"
+            elif delta.regressed:
+                verdict = "REGRESSED"
+            else:
+                verdict = "ok"
+            lines.append(
+                f"  {delta.kind}.{delta.metric}: "
+                f"{delta.baseline:g} -> {delta.current:g} "
+                f"({delta.change:+.1%}, {delta.direction} is better) {verdict}"
+            )
+        for kind in self.missing_kinds:
+            lines.append(f"  {kind}: in baseline but absent from current run")
+        for kind in self.new_kinds:
+            lines.append(f"  {kind}: new bench kind (no baseline yet)")
+        if self.ok:
+            lines.append("result: PASS")
+        else:
+            lines.append(f"result: FAIL ({len(self.regressions)} regression(s))")
+        return "\n".join(lines)
+
+
+def compare_benchmarks(
+    baseline: Mapping[str, Mapping[str, Any]],
+    current: Mapping[str, Mapping[str, Any]],
+    tolerance: float = 0.25,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> BenchComparison:
+    """Compare two kind-keyed bench record sets (see :func:`load_bench_lines`).
+
+    Raises :class:`ValidationError` when no bench kind overlaps — that is a
+    wiring mistake (wrong files), not a clean pass.
+    """
+    comparison = BenchComparison(tolerance=float(tolerance), min_seconds=min_seconds)
+    shared = sorted(set(baseline) & set(current))
+    comparison.missing_kinds = sorted(set(baseline) - set(current))
+    comparison.new_kinds = sorted(set(current) - set(baseline))
+    if not shared:
+        raise ValidationError(
+            "no bench kind appears in both the baseline and the current run "
+            f"(baseline: {sorted(baseline)}, current: {sorted(current)})"
+        )
+    for kind in shared:
+        base_rec, cur_rec = baseline[kind], current[kind]
+        for metric in sorted(set(base_rec) & set(cur_rec)):
+            base_val, cur_val = base_rec[metric], cur_rec[metric]
+            if (
+                isinstance(base_val, bool)
+                or isinstance(cur_val, bool)
+                or not isinstance(base_val, (int, float))
+                or not isinstance(cur_val, (int, float))
+            ):
+                continue
+            direction = _gated_direction(metric)
+            base_f, cur_f = float(base_val), float(cur_val)
+            change = (cur_f - base_f) / base_f if base_f != 0 else 0.0
+            regressed = False
+            skipped: str | None = None
+            if direction == "lower":
+                if max(base_f, cur_f) < min_seconds:
+                    skipped = f"both under noise floor {min_seconds:g}s"
+                else:
+                    regressed = change > tolerance
+            elif direction == "higher":
+                regressed = change < -tolerance
+            comparison.deltas.append(
+                MetricDelta(
+                    kind=kind,
+                    metric=metric,
+                    baseline=base_f,
+                    current=cur_f,
+                    direction=direction,
+                    change=change,
+                    regressed=regressed,
+                    skipped=skipped,
+                )
+            )
+    return comparison

@@ -1,0 +1,331 @@
+"""Numerical-health diagnostics: severity model, probes, event reports.
+
+The paper's machinery is only as trustworthy as its numerics: a truncated
+HTM whose tail does not decay, an SMW closure whose ``1 + lambda(s)``
+denominator grazes zero, an ill-conditioned feedback solve, or a NaN that
+silently propagates through a campaign all *look* like answers.  This
+module is the analysis half of the health layer:
+
+* the **severity model** (``info`` < ``warning`` < ``error``) and the
+  default probe thresholds;
+* :class:`CheckResult` — a structured check outcome (value + threshold +
+  pass flag) that still behaves like the bare float/bool the historical
+  check utilities returned;
+* :func:`check_finite` — the NaN/Inf/overflow guard used on ``dense_grid``
+  outputs;
+* snapshot reporting — :func:`events_from_snapshot`,
+  :func:`severity_counts`, :func:`worst_events`, :func:`format_health` —
+  which back the ``repro obs health`` CLI.
+
+Events are *emitted* through :func:`repro.obs.spans.health_event` (a no-op
+while observability is disabled) and *stored* as bounded aggregate buckets
+in the registry (:class:`repro.obs.registry.HealthStat`), so they merge
+across campaign workers exactly like span deltas.  The probe inventory
+lives at the call sites:
+
+====================================  =======================================
+probe bucket                          emitted by
+====================================  =======================================
+``health.rank_one.near_singular``     :mod:`repro.core.rank_one` SMW solves
+``health.rank_one.smw_residual``      opt-in per-solve identity check
+                                      (``REPRO_OBS_SMW_CHECK=1``)
+``health.closedloop.lambda_singular`` ``ClosedLoopHTM.effective_gain``
+``health.closedloop.nonfinite``       ``ClosedLoopHTM.effective_gain``
+``health.feedback.condition``         ``FeedbackOperator`` batched solve
+``health.dense_grid.nonfinite``       ``HarmonicOperator.dense_grid``
+``health.truncation.no_convergence``  :func:`choose_truncation_order`
+``health.truncation.tail_growth``     :func:`choose_truncation_order`
+``health.truncation.error_estimate``  :func:`truncation_error_estimate`
+``health.aliasing.periodicity``       :meth:`AliasedSum.is_periodic_check`
+====================================  =======================================
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.obs import spans as _spans
+
+__all__ = [
+    "CheckResult",
+    "CONDITION_LIMIT",
+    "LAMBDA_SINGULAR_TOL",
+    "SEVERITIES",
+    "SMW_RESIDUAL_TOL",
+    "TRUNCATION_WARN_TOL",
+    "check_finite",
+    "events_from_snapshot",
+    "format_health",
+    "max_severity",
+    "severity_counts",
+    "severity_rank",
+    "smw_probe_enabled",
+    "worst_events",
+]
+
+#: Severity levels, mildest first.  Ordering is what ``--fail-on`` gates.
+SEVERITIES = ("info", "warning", "error")
+
+_SEVERITY_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+#: ``|1 + lambda(s)|`` below this is treated as a near-singular loop
+#: closure: ``s`` sits numerically on a closed-loop pole and every
+#: closed-loop transfer divides by ~zero.
+LAMBDA_SINGULAR_TOL = 1e-6
+
+#: Condition number of the dense feedback system ``I + G`` above which the
+#: batched solve has lost ~all double-precision digits.
+CONDITION_LIMIT = 1e12
+
+#: SMW identity residual above which the rank-one closure disagrees with
+#: the dense inverse beyond round-off.
+SMW_RESIDUAL_TOL = 1e-8
+
+#: Relative truncation-error estimate above which an order is flagged as
+#: inadequate for the requested grid.
+TRUNCATION_WARN_TOL = 1e-3
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def severity_rank(severity: str) -> int:
+    """Numeric rank of a severity name (unknown names rank below ``info``)."""
+    return _SEVERITY_RANK.get(severity, -1)
+
+
+def smw_probe_enabled() -> bool:
+    """Whether the opt-in per-solve SMW identity probe is on.
+
+    The identity check materialises dense ``(2K+1)^2`` matrices per solve —
+    far more work than the rank-one solve it verifies — so it is opt-in via
+    ``REPRO_OBS_SMW_CHECK=1`` on top of the usual obs switch.
+    """
+    return (
+        os.environ.get("REPRO_OBS_SMW_CHECK", "").strip().lower() in _TRUTHY
+    )
+
+
+class CheckResult:
+    """Structured outcome of one numerical self-check.
+
+    Carries the measured ``value``, the ``threshold`` it was judged
+    against, and the ``passed`` flag.  For backward compatibility the
+    object still *behaves* like the bare result the historical utilities
+    returned: ``float(result)`` / ordering comparisons expose the value
+    (``smw_identity_check(...) < 1e-9`` keeps working) and ``bool(result)``
+    exposes the pass flag (``assert alias.is_periodic_check(s)`` keeps
+    working).
+    """
+
+    __slots__ = ("name", "value", "threshold", "passed")
+
+    def __init__(self, name: str, value: float, threshold: float, passed: bool):
+        self.name = str(name)
+        self.value = float(value)
+        self.threshold = float(threshold)
+        self.passed = bool(passed)
+
+    # -- legacy float/bool behaviour ------------------------------------------
+
+    def __float__(self) -> float:
+        return self.value
+
+    def __bool__(self) -> bool:
+        return self.passed
+
+    def _other_value(self, other: Any) -> float:
+        if isinstance(other, CheckResult):
+            return other.value
+        return float(other)
+
+    def __lt__(self, other: Any) -> bool:
+        return self.value < self._other_value(other)
+
+    def __le__(self, other: Any) -> bool:
+        return self.value <= self._other_value(other)
+
+    def __gt__(self, other: Any) -> bool:
+        return self.value > self._other_value(other)
+
+    def __ge__(self, other: Any) -> bool:
+        return self.value >= self._other_value(other)
+
+    def __eq__(self, other: Any) -> bool:
+        try:
+            return self.value == self._other_value(other)
+        except (TypeError, ValueError):
+            return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.value))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "value": self.value,
+            "threshold": self.threshold,
+            "passed": self.passed,
+        }
+
+    def __repr__(self) -> str:
+        verdict = "pass" if self.passed else "FAIL"
+        return (
+            f"CheckResult({self.name}: value={self.value:.3g} "
+            f"threshold={self.threshold:.3g} {verdict})"
+        )
+
+
+def check_finite(
+    name: str,
+    values: Any,
+    *,
+    severity: str = "error",
+    message: str = "non-finite values in output",
+    **tags,
+) -> bool:
+    """NaN/Inf guard: emit an event when ``values`` contains non-finite data.
+
+    Returns ``True`` when every element is finite.  The event value is the
+    non-finite element *count* (threshold 0), so a campaign summary shows
+    how much of a grid was poisoned, not just that something was.
+    """
+    arr = np.asarray(values)
+    if arr.size == 0:
+        return True
+    bad = int(arr.size - np.count_nonzero(np.isfinite(arr)))
+    if bad:
+        _spans.health_event(
+            name,
+            float(bad),
+            0.0,
+            severity=severity,
+            direction="above",
+            message=f"{message} ({bad}/{arr.size} elements)",
+            **tags,
+        )
+    return bad == 0
+
+
+# -- snapshot reporting ------------------------------------------------------------
+
+
+def events_from_snapshot(
+    snapshot: Mapping[str, Any] | None,
+) -> list[dict[str, Any]]:
+    """Health-event bucket entries of one snapshot (empty list when none)."""
+    if not snapshot:
+        return []
+    return [dict(e) for e in (snapshot.get("events") or {}).values()]
+
+
+def severity_counts(snapshot: Mapping[str, Any] | None) -> dict[str, int]:
+    """Summed event counts per severity (only severities that occurred)."""
+    out: dict[str, int] = {}
+    for entry in events_from_snapshot(snapshot):
+        sev = str(entry.get("severity", "info"))
+        out[sev] = out.get(sev, 0) + int(entry.get("count", 0))
+    return out
+
+
+def max_severity(snapshot: Mapping[str, Any] | None) -> str | None:
+    """The worst severity present in a snapshot, or ``None``."""
+    worst: str | None = None
+    for entry in events_from_snapshot(snapshot):
+        sev = str(entry.get("severity", "info"))
+        if worst is None or severity_rank(sev) > severity_rank(worst):
+            worst = sev
+    return worst
+
+
+def _badness(entry: Mapping[str, Any]) -> float:
+    """How far past its threshold a bucket's worst observation sits.
+
+    Normalised so larger is worse regardless of direction; used only for
+    ranking, never reported.
+    """
+    value = float(entry.get("worst", 0.0))
+    threshold = float(entry.get("threshold", 0.0))
+    if entry.get("direction") == "below":
+        if value <= 0.0:
+            return np.inf
+        return threshold / value
+    if threshold <= 0.0:
+        return value
+    return value / threshold
+
+
+def worst_events(
+    snapshot: Mapping[str, Any] | None,
+    n: int = 10,
+    min_severity: str = "info",
+) -> list[dict[str, Any]]:
+    """The ``n`` worst event buckets at or above ``min_severity``.
+
+    Ordered severity-first (errors before warnings), then by how far past
+    the threshold the worst observation landed.
+    """
+    floor = severity_rank(min_severity)
+    ranked = sorted(
+        (
+            e
+            for e in events_from_snapshot(snapshot)
+            if severity_rank(str(e.get("severity", "info"))) >= floor
+        ),
+        key=lambda e: (
+            -severity_rank(str(e.get("severity", "info"))),
+            -_badness(e),
+        ),
+    )
+    return ranked[: max(int(n), 1)]
+
+
+def _event_label(entry: Mapping[str, Any]) -> str:
+    tags = entry.get("tags") or {}
+    name = str(entry.get("name", "?"))
+    if not tags:
+        return name
+    inner = ",".join(f"{k}={tags[k]}" for k in sorted(tags))
+    return f"{name}[{inner}]"
+
+
+def format_health(
+    snapshot: Mapping[str, Any] | None,
+    n: int = 10,
+    min_severity: str = "info",
+) -> str:
+    """Human-readable health report of one snapshot (the CLI body)."""
+    events = events_from_snapshot(snapshot)
+    dropped = int((snapshot or {}).get("events_dropped", 0) or 0)
+    if not events and not dropped:
+        return "health: no events recorded"
+    counts = severity_counts(snapshot)
+    parts = [
+        f"{counts[sev]} {sev}" for sev in reversed(SEVERITIES) if sev in counts
+    ]
+    lines = [
+        f"health: {sum(counts.values())} event(s) in {len(events)} bucket(s)"
+        + (f" — {', '.join(parts)}" if parts else "")
+        + (f" ({dropped} dropped past the bucket cap)" if dropped else "")
+    ]
+    shown = worst_events(snapshot, n=n, min_severity=min_severity)
+    if not shown:
+        lines.append(f"  (no events at severity >= {min_severity})")
+        return "\n".join(lines)
+    width = min(max(len(_event_label(e)) for e in shown), 56)
+    for entry in shown:
+        sev = str(entry.get("severity", "info")).upper()
+        relation = "<" if entry.get("direction") == "below" else ">"
+        line = (
+            f"  {sev:>7}  {_event_label(entry):<{width}}  "
+            f"n={int(entry.get('count', 0)):<6d} "
+            f"worst={float(entry.get('worst', 0.0)):.3g} "
+            f"{relation} {float(entry.get('threshold', 0.0)):.3g}"
+        )
+        message = str(entry.get("message") or "")
+        if message:
+            line += f"  — {message}"
+        lines.append(line)
+    return "\n".join(lines)

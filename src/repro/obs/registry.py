@@ -10,7 +10,12 @@ keyed by ``(name-path, tags)``:
 * :class:`CounterStat` — a monotonically-added float with an event count;
 * :class:`HistogramStat` — count / total / min / max plus decade
   (``log10``) bucket counts, enough for "where does the distribution sit"
-  questions without storing samples.
+  questions without storing samples;
+* :class:`HealthStat` — a numerical-health diagnostics bucket (see
+  :mod:`repro.obs.health`): severity, emit count, the *worst* observed
+  value with its threshold and message.  Bounded to
+  :data:`MAX_EVENT_BUCKETS` distinct buckets; overflow is counted in
+  ``events_dropped`` rather than allocated.
 
 Everything round-trips through :meth:`ObsRegistry.snapshot` — a plain-dict,
 picklable, JSON-safe form — and back through :func:`merge_snapshots` /
@@ -28,6 +33,7 @@ from typing import Any, Mapping
 
 __all__ = [
     "CounterStat",
+    "HealthStat",
     "HistogramStat",
     "ObsRegistry",
     "SpanStat",
@@ -39,6 +45,11 @@ __all__ = [
 #: Cap on the distinct thread/process ids kept per bucket (provenance, not
 #: accounting — the counts stay exact even when the id lists saturate).
 MAX_IDS = 32
+
+#: Cap on distinct health-event buckets per registry.  Events beyond the
+#: cap are *counted* (``events_dropped``) but not stored, so a pathological
+#: probe cannot grow the registry without bound.
+MAX_EVENT_BUCKETS = 256
 
 
 def bucket_key(name: str, tags: Mapping[str, Any]) -> str:
@@ -165,6 +176,66 @@ class HistogramStat:
         }
 
 
+def _is_worse(candidate: float, incumbent: float, direction: str) -> bool:
+    """Whether ``candidate`` is a worse observation than ``incumbent``.
+
+    ``direction='above'`` means large values are bad (residuals, condition
+    numbers); ``'below'`` means small values are bad (``|1 + lambda|``
+    margins).
+    """
+    if direction == "below":
+        return candidate < incumbent
+    return candidate > incumbent
+
+
+class HealthStat:
+    """Aggregated numerical-health events of one ``(name, tags, severity)``.
+
+    Individual events are never stored — the bucket keeps the emit count
+    and the *worst* observation (value, threshold, message, emitting span
+    path), which is what ``repro obs health`` ranks and reports.
+    """
+
+    __slots__ = ("name", "tags", "severity", "direction", "count", "worst",
+                 "threshold", "message", "path")
+
+    def __init__(self, name: str, tags: Mapping[str, Any], severity: str,
+                 direction: str = "above"):
+        self.name = name
+        self.tags = dict(tags)
+        self.severity = severity
+        self.direction = direction
+        self.count = 0
+        self.worst: float | None = None
+        self.threshold = 0.0
+        self.message = ""
+        self.path: str | None = None
+
+    def record(self, value: float, threshold: float, message: str,
+               path: str | None) -> None:
+        value = float(value)
+        self.count += 1
+        if self.worst is None or _is_worse(value, self.worst, self.direction):
+            self.worst = value
+            self.threshold = float(threshold)
+            self.message = message
+            self.path = path
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "health",
+            "name": self.name,
+            "tags": dict(self.tags),
+            "severity": self.severity,
+            "direction": self.direction,
+            "count": self.count,
+            "worst": self.worst if self.worst is not None else 0.0,
+            "threshold": self.threshold,
+            "message": self.message,
+            "path": self.path,
+        }
+
+
 class ObsRegistry:
     """Thread-safe, process-global store of span/counter/histogram buckets."""
 
@@ -173,6 +244,8 @@ class ObsRegistry:
         self._spans: dict[str, SpanStat] = {}
         self._counters: dict[str, CounterStat] = {}
         self._histograms: dict[str, HistogramStat] = {}
+        self._events: dict[str, HealthStat] = {}
+        self._events_dropped = 0
 
     # -- recording ---------------------------------------------------------------
 
@@ -207,6 +280,30 @@ class ObsRegistry:
                 stat = self._histograms[key] = HistogramStat(name, tags)
             stat.observe(value)
 
+    def record_event(
+        self,
+        name: str,
+        severity: str,
+        value: float,
+        threshold: float,
+        tags: Mapping[str, Any],
+        direction: str = "above",
+        message: str = "",
+        path: str | None = None,
+    ) -> None:
+        """Fold one health event into its ``(name, tags, severity)`` bucket."""
+        key = f"{bucket_key(name, tags)}#{severity}"
+        with self._lock:
+            stat = self._events.get(key)
+            if stat is None:
+                if len(self._events) >= MAX_EVENT_BUCKETS:
+                    self._events_dropped += 1
+                    return
+                stat = self._events[key] = HealthStat(
+                    name, tags, severity, direction
+                )
+            stat.record(value, threshold, message, path)
+
     # -- bulk access -------------------------------------------------------------
 
     def reset(self) -> None:
@@ -215,10 +312,18 @@ class ObsRegistry:
             self._spans.clear()
             self._counters.clear()
             self._histograms.clear()
+            self._events.clear()
+            self._events_dropped = 0
 
     def is_empty(self) -> bool:
         with self._lock:
-            return not (self._spans or self._counters or self._histograms)
+            return not (
+                self._spans
+                or self._counters
+                or self._histograms
+                or self._events
+                or self._events_dropped
+            )
 
     def snapshot(self) -> dict[str, Any]:
         """Plain-dict, picklable, JSON-safe snapshot of every bucket."""
@@ -230,6 +335,8 @@ class ObsRegistry:
                 "histograms": {
                     k: h.to_dict() for k, h in self._histograms.items()
                 },
+                "events": {k: e.to_dict() for k, e in self._events.items()},
+                "events_dropped": self._events_dropped,
             }
 
     def merge(self, snapshot: Mapping[str, Any]) -> None:
@@ -271,6 +378,29 @@ class ObsRegistry:
                 for decade, n in (entry.get("buckets") or {}).items():
                     decade = int(decade)
                     stat.buckets[decade] = stat.buckets.get(decade, 0) + int(n)
+            for key, entry in (snapshot.get("events") or {}).items():
+                stat = self._events.get(key)
+                if stat is None:
+                    if len(self._events) >= MAX_EVENT_BUCKETS:
+                        self._events_dropped += int(entry["count"])
+                        continue
+                    stat = self._events[key] = HealthStat(
+                        entry["name"],
+                        entry.get("tags") or {},
+                        entry["severity"],
+                        entry.get("direction", "above"),
+                    )
+                stat.count += int(entry["count"])
+                value = float(entry.get("worst", 0.0))
+                if entry["count"] and (
+                    stat.worst is None
+                    or _is_worse(value, stat.worst, stat.direction)
+                ):
+                    stat.worst = value
+                    stat.threshold = float(entry.get("threshold", 0.0))
+                    stat.message = str(entry.get("message", ""))
+                    stat.path = entry.get("path")
+            self._events_dropped += int(snapshot.get("events_dropped", 0) or 0)
 
 
 def _empty_snapshot(pid: int | None = None) -> dict[str, Any]:
@@ -279,6 +409,8 @@ def _empty_snapshot(pid: int | None = None) -> dict[str, Any]:
         "spans": {},
         "counters": {},
         "histograms": {},
+        "events": {},
+        "events_dropped": 0,
     }
 
 
@@ -306,15 +438,18 @@ def snapshot_delta(
 ) -> dict[str, Any]:
     """What happened between two snapshots of the *same* registry.
 
-    Counts, summed times and counter values subtract exactly; min/max and
-    id provenance are taken from ``after`` (a bucket min/max cannot be
-    un-merged — documented approximation, irrelevant for fresh buckets).
-    Buckets with no activity in the window are dropped, so a per-point
-    campaign delta stays small.
+    Counts, summed times and counter values subtract exactly; min/max, id
+    provenance and health-event worst values are taken from ``after`` (a
+    bucket min/max cannot be un-merged — documented approximation,
+    irrelevant for fresh buckets).  Buckets with no activity in the window
+    are dropped, so a per-point campaign delta stays small.
     """
     delta = _empty_snapshot(after.get("pid"))
     for section, count_field in (
-        ("spans", "count"), ("counters", "count"), ("histograms", "count")
+        ("spans", "count"),
+        ("counters", "count"),
+        ("histograms", "count"),
+        ("events", "count"),
     ):
         before_entries = before.get(section) or {}
         for key, entry in (after.get(section) or {}).items():
@@ -339,4 +474,8 @@ def snapshot_delta(
                     if int(v) - int(prior_buckets.get(k, 0)) > 0
                 }
             delta[section][key] = out
+    dropped = int(after.get("events_dropped", 0) or 0) - int(
+        before.get("events_dropped", 0) or 0
+    )
+    delta["events_dropped"] = max(dropped, 0)
     return delta

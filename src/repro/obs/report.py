@@ -1,4 +1,4 @@
-"""Reporting over observability snapshots: summary, top-N, JSON export.
+"""Reporting over observability snapshots: summary, top-N, JSON/CSV/trace.
 
 The ``repro obs`` CLI subcommands are thin wrappers over this module.  A
 *source* is either
@@ -7,10 +7,17 @@ The ``repro obs`` CLI subcommands are thin wrappers over this module.  A
   the final ``summary`` record (falling back to merging the per-point
   ``obs`` deltas of an interrupted run), or
 * a raw obs snapshot JSON file (e.g. one written via ``REPRO_OBS_EXPORT``).
+
+Export formats: canonical JSON (:func:`to_json`), flat CSV rows
+(:func:`to_csv`, for the campaign CSV tooling), and Chrome Trace Event
+Format (:func:`to_chrome_trace`, loadable by ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_).
 """
 
 from __future__ import annotations
 
+import csv
+import io
 import json
 from pathlib import Path
 from typing import Any, Mapping
@@ -22,6 +29,8 @@ __all__ = [
     "format_summary",
     "format_top",
     "load_snapshot",
+    "to_chrome_trace",
+    "to_csv",
     "to_json",
 ]
 
@@ -133,6 +142,10 @@ def format_summary(snapshot: Mapping[str, Any]) -> str:
                 f"  {_span_label(stat):<40}  n={stat['count']} "
                 f"mean={mean:g} min={stat['min']:g} max={stat['max']:g}"
             )
+    if (snapshot.get("events") or {}) or snapshot.get("events_dropped"):
+        from repro.obs.health import format_health
+
+        lines.append(format_health(snapshot))
     return "\n".join(lines)
 
 
@@ -142,6 +155,165 @@ def _span_label(stat: Mapping[str, Any]) -> str:
         return str(stat["name"])
     inner = ",".join(f"{k}={tags[k]}" for k in sorted(tags))
     return f"{stat['name']}[{inner}]"
+
+
+_CSV_COLUMNS = (
+    "kind",
+    "name",
+    "tags",
+    "count",
+    "wall",
+    "cpu",
+    "value",
+    "severity",
+    "worst",
+    "threshold",
+    "message",
+    "path",
+)
+
+
+def to_csv(snapshot: Mapping[str, Any]) -> str:
+    """Flat CSV rendering of a snapshot — one row per bucket.
+
+    All sections (spans, counters, histograms, health events) share one
+    schema so the output concatenates cleanly with the campaign CSV
+    tooling; columns that do not apply to a row's kind are left empty.
+    Tags are rendered ``k=v`` joined with ``;``.
+    """
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=_CSV_COLUMNS, extrasaction="ignore")
+    writer.writeheader()
+
+    def tag_text(stat: Mapping[str, Any]) -> str:
+        tags = stat.get("tags") or {}
+        return ";".join(f"{k}={tags[k]}" for k in sorted(tags))
+
+    for stat in sorted(_span_rows(snapshot), key=lambda s: -s["wall"]):
+        writer.writerow(
+            {
+                "kind": "span",
+                "name": stat["name"],
+                "tags": tag_text(stat),
+                "count": stat["count"],
+                "wall": stat["wall"],
+                "cpu": stat["cpu"],
+            }
+        )
+    for stat in sorted(
+        (snapshot.get("counters") or {}).values(), key=lambda c: c["name"]
+    ):
+        writer.writerow(
+            {
+                "kind": "counter",
+                "name": stat["name"],
+                "tags": tag_text(stat),
+                "count": stat["count"],
+                "value": stat["value"],
+            }
+        )
+    for stat in sorted(
+        (snapshot.get("histograms") or {}).values(), key=lambda h: h["name"]
+    ):
+        writer.writerow(
+            {
+                "kind": "histogram",
+                "name": stat["name"],
+                "tags": tag_text(stat),
+                "count": stat["count"],
+                "value": stat["total"],
+            }
+        )
+    for stat in sorted(
+        (snapshot.get("events") or {}).values(),
+        key=lambda e: (e.get("severity", ""), e.get("name", "")),
+    ):
+        writer.writerow(
+            {
+                "kind": "health",
+                "name": stat["name"],
+                "tags": tag_text(stat),
+                "count": stat["count"],
+                "severity": stat.get("severity", ""),
+                "worst": stat.get("worst", ""),
+                "threshold": stat.get("threshold", ""),
+                "message": stat.get("message", ""),
+                "path": stat.get("path") or "",
+            }
+        )
+    return buffer.getvalue()
+
+
+def to_chrome_trace(snapshot: Mapping[str, Any]) -> str:
+    """Chrome Trace Event Format rendering of a snapshot.
+
+    Loadable by ``chrome://tracing`` and Perfetto.  Snapshots hold
+    aggregates, not raw events, so each span bucket becomes one complete
+    (``ph: "X"``) slice whose duration is the bucket's total wall time,
+    laid end to end per bucket name; counters become ``ph: "C"`` samples
+    and health events ``ph: "i"`` instants at the emitting span's end.
+    Timestamps are microseconds from an arbitrary zero.
+    """
+    trace_events: list[dict[str, Any]] = []
+    cursor_us = 0.0
+    for stat in sorted(_span_rows(snapshot), key=lambda s: -s["wall"]):
+        duration_us = max(float(stat["wall"]) * 1e6, 1.0)
+        trace_events.append(
+            {
+                "name": _span_label(stat),
+                "cat": "span",
+                "ph": "X",
+                "ts": cursor_us,
+                "dur": duration_us,
+                "pid": 0,
+                "tid": 0,
+                "args": {
+                    "count": stat["count"],
+                    "cpu_seconds": stat["cpu"],
+                    "wall_seconds": stat["wall"],
+                    "tags": dict(stat.get("tags") or {}),
+                },
+            }
+        )
+        cursor_us += duration_us
+    for stat in sorted(
+        (snapshot.get("counters") or {}).values(), key=lambda c: c["name"]
+    ):
+        trace_events.append(
+            {
+                "name": _span_label(stat),
+                "cat": "counter",
+                "ph": "C",
+                "ts": 0.0,
+                "pid": 0,
+                "args": {"value": stat["value"]},
+            }
+        )
+    for stat in sorted(
+        (snapshot.get("events") or {}).values(),
+        key=lambda e: (e.get("severity", ""), e.get("name", "")),
+    ):
+        trace_events.append(
+            {
+                "name": _span_label(stat),
+                "cat": f"health.{stat.get('severity', 'info')}",
+                "ph": "i",
+                "s": "g",
+                "ts": max(cursor_us, 1.0),
+                "pid": 0,
+                "tid": 0,
+                "args": {
+                    "count": stat["count"],
+                    "worst": stat.get("worst"),
+                    "threshold": stat.get("threshold"),
+                    "message": stat.get("message", ""),
+                    "span_path": stat.get("path"),
+                },
+            }
+        )
+    return json.dumps(
+        {"displayTimeUnit": "ms", "traceEvents": trace_events}, indent=2
+    )
 
 
 def format_top(snapshot: Mapping[str, Any], n: int = 10, by: str = "wall") -> str:

@@ -55,6 +55,7 @@ __all__ = [
     "enable",
     "enabled",
     "disable",
+    "health_event",
     "observe",
     "registry",
     "remove_hook",
@@ -196,6 +197,41 @@ def observe(name: str, value: float, **tags) -> None:
     """Record one histogram observation (no-op while disabled)."""
     if _enabled:
         _registry.observe(name, value, tags)
+
+
+def health_event(
+    name: str,
+    value: float,
+    threshold: float,
+    *,
+    severity: str = "warning",
+    direction: str = "above",
+    message: str = "",
+    **tags,
+) -> None:
+    """Emit one numerical-health diagnostics event (no-op while disabled).
+
+    Events fold into bounded ``(name, tags, severity)`` buckets keeping the
+    emit count and the worst observation — see :mod:`repro.obs.health` for
+    the severity model and the probe inventory.  The emitting span path (if
+    any) is attached as provenance.  ``direction='above'`` marks values that
+    should stay *below* the threshold (residuals, condition numbers);
+    ``'below'`` marks values that should stay above it (``|1 + lambda|``).
+    """
+    if not _enabled:
+        return
+    stack = getattr(_local, "stack", None)
+    path = stack[-1] if stack else None
+    _registry.record_event(
+        name,
+        severity,
+        value,
+        threshold,
+        tags,
+        direction=direction,
+        message=message,
+        path=path,
+    )
 
 
 # -- profiling hooks -------------------------------------------------------------

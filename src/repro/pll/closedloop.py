@@ -35,6 +35,7 @@ from repro.core.grid import FrequencyGrid, as_omega_grid, as_s_grid
 from repro.core.htm import HTM
 from repro.core.operators import FeedbackOperator
 from repro.lti.rational import RationalFunction
+from repro.obs import health
 from repro.obs import spans as obs
 from repro.pll.architecture import PLL
 from repro.pll.openloop import open_loop_operator
@@ -198,8 +199,39 @@ class ClosedLoopHTM:
                 method=self.method,
                 points=int(np.size(s)),
             ):
-                return self._effective_gain_impl(s)
+                lam = self._effective_gain_impl(s)
+                self._gain_health(lam)
+                return lam
         return self._effective_gain_impl(s)
+
+    def _gain_health(self, lam: complex | np.ndarray) -> None:
+        """Obs-enabled sentinels on an effective-gain evaluation.
+
+        Flags ``|1 + lambda(s)|`` dips below the near-singular tolerance —
+        every closed-loop transfer divides by that quantity, so such points
+        are numerically on a closed-loop pole — and non-finite gain values.
+        """
+        lam_arr = np.atleast_1d(np.asarray(lam, dtype=complex))
+        if not health.check_finite(
+            "health.closedloop.nonfinite",
+            lam_arr,
+            message="non-finite effective gain lambda(s)",
+            method=self.method,
+        ):
+            lam_arr = lam_arr[np.isfinite(lam_arr)]
+            if lam_arr.size == 0:
+                return
+        margin = float(np.min(np.abs(1.0 + lam_arr)))
+        if margin < health.LAMBDA_SINGULAR_TOL:
+            obs.health_event(
+                "health.closedloop.lambda_singular",
+                margin,
+                health.LAMBDA_SINGULAR_TOL,
+                severity="warning",
+                direction="below",
+                message="|1 + lambda| near zero: grid point on a closed-loop pole",
+                method=self.method,
+            )
 
     def _effective_gain_impl(
         self, s: complex | np.ndarray

@@ -109,6 +109,81 @@ def test_snapshot_delta_subtracts_and_drops_unchanged():
     assert delta["counters"]["n"]["count"] == 1
 
 
+# -- merge / delta edge cases ----------------------------------------------------
+
+
+def test_merge_empty_and_none_snapshots_are_neutral():
+    reg = ObsRegistry()
+    reg.record_span("s", {}, wall=1.0, cpu=0.5, thread_id=1)
+    reg.add("n", 2.0, {})
+    snap = reg.snapshot()
+    empty = ObsRegistry().snapshot()
+    for merged in (
+        merge_snapshots(snap, empty),
+        merge_snapshots(empty, snap),
+        merge_snapshots(snap, None),
+        merge_snapshots(None, snap),
+        merge_snapshots(snap, {}),
+    ):
+        assert merged["spans"]["s"]["count"] == 1
+        assert merged["spans"]["s"]["wall"] == pytest.approx(1.0)
+        assert merged["counters"]["n"]["value"] == 2.0
+    # Neutral merges never invent event activity either.
+    assert merge_snapshots(snap, empty)["events"] == {}
+    assert merge_snapshots(None, {})["spans"] == {}
+
+
+def test_merge_colliding_keys_across_worker_pids():
+    """Worker snapshots with the same bucket keys but distinct pids must sum
+    counts and union the contributing pids — the campaign merge path."""
+    workers = []
+    for pid, wall in ((101, 1.0), (202, 3.0), (303, 0.5)):
+        reg = ObsRegistry()
+        reg.record_span("campaign.point", {"task": "margins"}, wall=wall,
+                        cpu=wall / 2, thread_id=1)
+        reg.add("memo.hit", 2.0, {})
+        snap = reg.snapshot()
+        snap["pid"] = pid  # what a spawned worker would have stamped
+        key = "campaign.point[task=margins]"
+        snap["spans"][key]["pids"] = [pid]
+        workers.append(snap)
+    merged = None
+    for snap in workers:
+        merged = merge_snapshots(merged, snap)
+    span = merged["spans"]["campaign.point[task=margins]"]
+    assert span["count"] == 3
+    assert span["wall"] == pytest.approx(4.5)
+    assert span["wall_min"] == pytest.approx(0.5)
+    assert span["wall_max"] == pytest.approx(3.0)
+    assert sorted(span["pids"]) == [101, 202, 303]
+    assert merged["counters"]["memo.hit"]["value"] == pytest.approx(6.0)
+    assert merged["counters"]["memo.hit"]["count"] == 3
+
+
+def test_snapshot_delta_against_reset_registry():
+    """A worker that reset its registry mid-window must not produce negative
+    deltas — activity since the reset is still reported."""
+    reg = ObsRegistry()
+    reg.record_span("s", {}, wall=5.0, cpu=2.0, thread_id=1)
+    reg.add("n", 10.0, {})
+    before = reg.snapshot()
+    reg.reset()
+    delta = snapshot_delta(before, reg.snapshot())
+    assert delta["spans"] == {}
+    assert delta["counters"] == {}
+    assert delta["events"] == {}
+    assert delta["events_dropped"] == 0
+    # Post-reset activity on a pre-existing key cannot exceed the prior count,
+    # so it is conservatively dropped rather than reported negative; activity
+    # on a fresh key still surfaces.
+    reg.add("n", 1.0, {})
+    reg.add("fresh", 1.0, {})
+    delta = snapshot_delta(before, reg.snapshot())
+    assert "n" not in delta["counters"]
+    assert delta["counters"]["fresh"]["count"] == 1
+    assert all(e["count"] > 0 for e in delta["counters"].values())
+
+
 # -- span runtime ----------------------------------------------------------------
 
 

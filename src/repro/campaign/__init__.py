@@ -53,6 +53,8 @@ from repro.campaign.spec import (
 from repro.campaign.store import ResultStore, StoreCorruptError
 from repro.campaign.tasks import available_tasks, get_task, register_task
 from repro.campaign.telemetry import CampaignTelemetry
+from repro.campaign.watch import render as render_watch
+from repro.campaign.watch import watch as watch_campaign
 
 __all__ = [
     "CampaignResult",
@@ -72,6 +74,8 @@ __all__ = [
     "get_task",
     "point_id",
     "register_task",
+    "render_watch",
     "resume_campaign",
     "run_campaign",
+    "watch_campaign",
 ]

@@ -32,6 +32,7 @@ from __future__ import annotations
 import os
 import pickle
 import signal
+import statistics
 import threading
 import time
 import traceback
@@ -49,7 +50,11 @@ from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
 from repro.campaign.tasks import TaskAdapter, get_task, registered_name
 from repro.campaign.telemetry import CampaignTelemetry, ProgressCallback
+from repro.obs import heartbeat as obs_heartbeat
+from repro.obs import manifest as obs_manifest
+from repro.obs import resources as obs_resources
 from repro.obs import spans as obs
+from repro.obs import stream as obs_stream
 
 __all__ = [
     "CampaignResult",
@@ -87,6 +92,26 @@ class ExecutionPolicy:
         Linear backoff: sleep ``backoff * attempt`` seconds before retry.
     checkpoint_every:
         Terminal records between fsynced store checkpoints.
+    heartbeat_interval:
+        Seconds between worker heartbeat writes (``None`` disables
+        heartbeats and the liveness monitor; requires a store).
+    stall_factor:
+        A worker is *stalled* when its beat is silent — or its current
+        point has been running — longer than
+        ``stall_factor * heartbeat_interval``.
+    straggler_factor:
+        A point is a *straggler* when its elapsed exceeds
+        ``straggler_factor`` times the median of completed points (with at
+        least 3 samples, and never under one heartbeat interval).
+    stall_action:
+        ``"flag"`` records stall health events only; ``"retry"``
+        additionally re-dispatches the stalled point speculatively (first
+        terminal record wins, the loser is counted as a duplicate).
+    stream_interval:
+        Seconds between streaming-metrics samples (when streaming is on).
+    memory_budget_mb:
+        Per-point peak-RSS budget; points above it are flagged
+        ``over_budget`` with a ``campaign.memory_budget`` health event.
     """
 
     workers: int = 1
@@ -95,6 +120,12 @@ class ExecutionPolicy:
     retries: int = 0
     backoff: float = 0.0
     checkpoint_every: int = 25
+    heartbeat_interval: float | None = 5.0
+    stall_factor: float = 3.0
+    straggler_factor: float = 4.0
+    stall_action: str = "flag"
+    stream_interval: float = 1.0
+    memory_budget_mb: float | None = None
 
     def __post_init__(self):
         if self.chunk_size < 1:
@@ -107,6 +138,18 @@ class ExecutionPolicy:
             raise ValidationError("timeout must be positive (or None)")
         if self.checkpoint_every < 1:
             raise ValidationError("checkpoint_every must be >= 1")
+        if self.heartbeat_interval is not None and self.heartbeat_interval <= 0:
+            raise ValidationError("heartbeat_interval must be positive (or None)")
+        if self.stall_factor < 1:
+            raise ValidationError("stall_factor must be >= 1")
+        if self.straggler_factor <= 1:
+            raise ValidationError("straggler_factor must be > 1")
+        if self.stall_action not in ("flag", "retry"):
+            raise ValidationError("stall_action must be 'flag' or 'retry'")
+        if self.stream_interval <= 0:
+            raise ValidationError("stream_interval must be positive")
+        if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
+            raise ValidationError("memory_budget_mb must be positive (or None)")
 
 
 @dataclass(frozen=True)
@@ -149,16 +192,22 @@ def _alarm_guard(timeout: float | None):
     """Context manager arming SIGALRM for one point, when possible.
 
     Signals only work in a process's main thread and on platforms with
-    ``SIGALRM``; elsewhere the timeout degrades to "no limit" (documented).
+    ``SIGALRM``; elsewhere the timeout degrades to "no limit".  The
+    degradation is *visible*: the guard's ``degraded`` flag makes
+    :func:`_run_point` emit a ``campaign.timeout_unavailable`` counter and
+    a warning health event, and mark the record ``timeout_degraded``.
     """
 
     class _Guard:
+        degraded = False
+
         def __enter__(self):
             self.armed = (
                 timeout is not None
                 and hasattr(signal, "SIGALRM")
                 and threading.current_thread() is threading.main_thread()
             )
+            self.degraded = timeout is not None and not self.armed
             if self.armed:
                 def _raise(signum, frame):
                     raise PointTimeout(
@@ -207,6 +256,8 @@ def _run_point(
     # Per-point observability delta, mirroring the cache-delta pattern:
     # snapshot before/after and ship only the difference (picklable).
     obs_before = obs.snapshot() if obs.enabled() else None
+    obs_heartbeat.point_started(pid)
+    mem_state = obs_resources.point_probe_begin()
     started = time.perf_counter()
     record: dict[str, Any] = {
         "kind": "point",
@@ -215,10 +266,11 @@ def _run_point(
         "attempts": attempt,
         "worker": os.getpid(),
     }
+    guard = _alarm_guard(timeout)
     with obs.span("campaign.point", task=_task_label(task)) as point_span:
         try:
             fn = _resolve_task(task)
-            with _alarm_guard(timeout):
+            with guard:
                 metrics = fn(dict(params))
             if not isinstance(metrics, Mapping):
                 raise ValidationError(
@@ -235,6 +287,21 @@ def _run_point(
             }
         point_span.tag(status=record["status"])
     record["elapsed"] = time.perf_counter() - started
+    record["mem"] = obs_resources.point_probe_end(mem_state)
+    obs_heartbeat.point_finished()
+    if guard.degraded:
+        record["timeout_degraded"] = True
+        obs.add("campaign.timeout_unavailable")
+        obs.health_event(
+            "campaign.timeout_unavailable",
+            float(timeout or 0.0),
+            0.0,
+            severity="warning",
+            message=(
+                "per-point timeout could not be armed (no SIGALRM or not "
+                "the main thread); the point ran with no limit"
+            ),
+        )
     after = memo.cache_snapshot()
     record["cache"] = {
         "hits": after["hits"] - before["hits"],
@@ -252,7 +319,12 @@ def _pool_entry(payload: tuple) -> dict[str, Any]:
     return _run_point(*payload)
 
 
-def _pool_init(cache_config: Mapping[str, Any], obs_enabled: bool = False) -> None:
+def _pool_init(
+    cache_config: Mapping[str, Any],
+    obs_enabled: bool = False,
+    heartbeat_config: tuple[str, float] | None = None,
+    memory_budget_mb: float | None = None,
+) -> None:
     """Per-worker initializer: idempotently mirror the parent cache config.
 
     Each worker owns a private, initially cold :data:`repro.core.memo.
@@ -262,7 +334,9 @@ def _pool_init(cache_config: Mapping[str, Any], obs_enabled: bool = False) -> No
 
     The parent's observability switch is mirrored too, so ``spawn``-started
     workers record spans exactly when the coordinator does (under ``fork``
-    the flag is inherited and this is a no-op).
+    the flag is inherited and this is a no-op).  When live telemetry is on
+    the worker also starts its heartbeat emitter thread and configures the
+    per-point memory budget / tracemalloc profiling.
     """
     from repro.core import memo
 
@@ -274,6 +348,11 @@ def _pool_init(cache_config: Mapping[str, Any], obs_enabled: bool = False) -> No
         obs.enable()
     else:
         obs.disable()
+    obs_resources.configure(memory_budget_mb)
+    obs_resources.ensure_tracemalloc()
+    if heartbeat_config is not None:
+        directory, interval = heartbeat_config
+        obs_heartbeat.ensure_emitter(directory, float(interval))
 
 
 def _is_picklable(obj: Any) -> bool:
@@ -282,6 +361,144 @@ def _is_picklable(obj: Any) -> bool:
         return True
     except Exception:
         return False
+
+
+# -- liveness monitor --------------------------------------------------------------
+
+
+class _LivenessMonitor:
+    """Stall/straggler classification over heartbeats and point records.
+
+    Two complementary signals:
+
+    * **live** (:meth:`check`, pool path): heartbeats read every poll —
+      a worker silent for ``stall_factor * interval`` (dead/frozen
+      process) *or* one whose current point has been running that long
+      (wedged task) is flagged stalled while it is still stuck;
+    * **retroactive** (:meth:`observe_record`, both paths): every
+      terminal record is classified against the stall threshold and the
+      straggler criterion (elapsed > ``straggler_factor`` x median of
+      completed points, >= 3 samples, floored at one heartbeat interval so
+      microsecond jitter on fast maps never flags).
+
+    Each anomaly is flagged once: telemetry counters + note + a
+    coordinator-side health event (``campaign.worker_stalled`` /
+    ``campaign.point_straggler``).  With ``stall_action="retry"`` the
+    point ids returned by :meth:`check` are re-dispatched speculatively.
+    """
+
+    def __init__(
+        self,
+        policy: ExecutionPolicy,
+        telemetry: CampaignTelemetry,
+        directory: Path,
+    ):
+        self.telemetry = telemetry
+        self.directory = Path(directory)
+        self.interval = float(policy.heartbeat_interval or 5.0)
+        self.stall_after = float(policy.stall_factor) * self.interval
+        self.straggler_factor = float(policy.straggler_factor)
+        self.escalate = policy.stall_action == "retry"
+        self._elapsed: list[float] = []
+        self._stall_flagged: set[str] = set()
+        self._straggler_flagged: set[str] = set()
+
+    def _median(self) -> float | None:
+        if len(self._elapsed) < 3:
+            return None
+        return statistics.median(self._elapsed)
+
+    def _flag_stall(
+        self, key: str, point_id: str | None, worker: int, elapsed: float,
+        reason: str,
+    ) -> bool:
+        if key in self._stall_flagged:
+            return False
+        self._stall_flagged.add(key)
+        self.telemetry.stalls += 1
+        self.telemetry.note(f"stall: worker {worker} {reason}")
+        self.telemetry.health_event(
+            "campaign.worker_stalled",
+            elapsed,
+            self.stall_after,
+            severity="warning",
+            message=f"worker {worker} {reason}",
+        )
+        return point_id is not None
+
+    def _flag_straggler(self, point_id: str, elapsed: float, median: float) -> None:
+        if point_id in self._straggler_flagged:
+            return
+        self._straggler_flagged.add(point_id)
+        self.telemetry.stragglers += 1
+        self.telemetry.straggler_ids.append(point_id)
+        self.telemetry.health_event(
+            "campaign.point_straggler",
+            elapsed,
+            self.straggler_factor * median,
+            severity="info",
+            message=(
+                f"point {point_id} at {elapsed:.2f} s vs "
+                f"{median:.2f} s median"
+            ),
+        )
+
+    def check(self, now: float | None = None) -> list[str]:
+        """Scan live heartbeats; returns newly-stalled point ids."""
+        now = time.time() if now is None else now
+        stalled: list[str] = []
+        for beat in obs_heartbeat.read_heartbeats(self.directory):
+            if beat.get("phase") == "stopped":
+                continue
+            worker = int(beat.get("pid", 0))
+            point_id = beat.get("point_id")
+            age = obs_heartbeat.beat_age(beat, now)
+            point_elapsed = (
+                float(beat.get("point_elapsed", 0.0)) + age
+                if point_id is not None
+                else 0.0
+            )
+            if age > self.stall_after:
+                if self._flag_stall(
+                    f"pid:{worker}", point_id, worker, age,
+                    f"silent for {age:.1f} s (no heartbeat)",
+                ):
+                    stalled.append(point_id)
+            elif point_id is not None and point_elapsed > self.stall_after:
+                if self._flag_stall(
+                    point_id, point_id, worker, point_elapsed,
+                    f"stuck on point {point_id} for {point_elapsed:.1f} s",
+                ):
+                    stalled.append(point_id)
+            if point_id is not None:
+                median = self._median()
+                if (
+                    median is not None
+                    and point_elapsed > self.straggler_factor * median
+                    and point_elapsed >= self.interval
+                ):
+                    self._flag_straggler(point_id, point_elapsed, median)
+        return stalled
+
+    def observe_record(self, record: Mapping[str, Any]) -> None:
+        """Classify a terminal record, then fold it into the median."""
+        point_id = str(record["id"])
+        elapsed = float(record.get("elapsed", 0.0))
+        if elapsed > self.stall_after:
+            self._flag_stall(
+                point_id, point_id, int(record.get("worker", 0)), elapsed,
+                f"point {point_id} ran {elapsed:.1f} s "
+                f"(stall threshold {self.stall_after:.1f} s)",
+            )
+        median = self._median()
+        if (
+            median is not None
+            and elapsed > self.straggler_factor * median
+            and elapsed >= self.interval
+        ):
+            self._flag_straggler(point_id, elapsed, median)
+        if record.get("status") == "ok":
+            self._elapsed.append(elapsed)
 
 
 # -- coordinator -------------------------------------------------------------------
@@ -297,19 +514,32 @@ class _Coordinator:
         telemetry: CampaignTelemetry,
         store: ResultStore | None,
         progress: ProgressCallback | None,
+        monitor: "_LivenessMonitor | None" = None,
     ):
         self.task = task
         self.policy = policy
         self.telemetry = telemetry
         self.store = store
         self.progress = progress
+        self.monitor = monitor
         self.finalized: dict[str, dict[str, Any]] = {}
         self._since_checkpoint = 0
 
     # one queue entry: (index, point_id, params, attempt)
 
+    def _is_duplicate(self, record: Mapping[str, Any]) -> bool:
+        """Speculative re-runs race the original; first terminal record wins."""
+        if record["id"] in self.finalized:
+            self.telemetry.stall_duplicates += 1
+            return True
+        return False
+
     def _finalize(self, record: dict[str, Any]) -> None:
+        if self._is_duplicate(record):
+            return
         self.finalized[record["id"]] = record
+        if self.monitor is not None:
+            self.monitor.observe_record(record)
         self.telemetry.record(record)
         if self.store is not None:
             self.store.append_point(record)
@@ -317,7 +547,16 @@ class _Coordinator:
             if self._since_checkpoint >= self.policy.checkpoint_every:
                 self._checkpoint()
         if self.progress is not None:
-            self.progress(record, self.telemetry)
+            # A broken reporter must never kill the run it reports on.
+            try:
+                self.progress(record, self.telemetry)
+            except Exception as exc:
+                self.telemetry.progress_errors += 1
+                if self.telemetry.progress_errors == 1:
+                    self.telemetry.note(
+                        f"progress callback raised {type(exc).__name__}: {exc} "
+                        "(suppressed; further errors counted only)"
+                    )
 
     def _checkpoint(self) -> None:
         if self.store is not None and self._since_checkpoint:
@@ -359,14 +598,31 @@ class _Coordinator:
         from repro.core import memo
 
         policy = self.policy
+        monitor = self.monitor
         cache_config = memo.cache_snapshot()
+        heartbeat_config = (
+            (str(monitor.directory), monitor.interval)
+            if monitor is not None
+            else None
+        )
+        # With a monitor attached the wait() below times out every
+        # heartbeat interval so heartbeats are scanned even while no
+        # future completes — that is exactly when a stall is happening.
+        poll = monitor.interval if monitor is not None else None
         max_inflight = policy.workers * policy.chunk_size
         inflight: dict[Any, tuple[int, str, dict, int]] = {}
+        entry_by_id: dict[str, tuple[int, str, dict, int]] = {}
+        escalated: set[str] = set()
         try:
             with ProcessPoolExecutor(
                 max_workers=policy.workers,
                 initializer=_pool_init,
-                initargs=(cache_config, obs.enabled()),
+                initargs=(
+                    cache_config,
+                    obs.enabled(),
+                    heartbeat_config,
+                    policy.memory_budget_mb,
+                ),
             ) as pool:
                 while queue or inflight:
                     while queue and len(inflight) < max_inflight:
@@ -377,7 +633,10 @@ class _Coordinator:
                             (self.task, pid, params, policy.timeout, attempt),
                         )
                         inflight[future] = entry
-                    ready, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                        entry_by_id[pid] = entry
+                    ready, _ = wait(
+                        inflight, timeout=poll, return_when=FIRST_COMPLETED
+                    )
                     for future in ready:
                         index, pid, params, attempt = inflight.pop(future)
                         try:
@@ -386,19 +645,43 @@ class _Coordinator:
                             raise
                         except Exception as exc:  # worker-side transport error
                             record = _transport_failure(pid, params, attempt, exc)
+                        if self._is_duplicate(record):
+                            continue
                         if self._should_retry(record, attempt):
                             self._backoff(attempt)
                             queue.append((index, pid, params, attempt + 1))
                         else:
                             self._finalize(record)
+                    if monitor is not None:
+                        stalled = monitor.check()
+                        if monitor.escalate:
+                            for point_id in stalled:
+                                if (
+                                    point_id in escalated
+                                    or point_id in self.finalized
+                                ):
+                                    continue
+                                entry = entry_by_id.get(point_id)
+                                if entry is None:
+                                    continue
+                                escalated.add(point_id)
+                                queue.append(entry)
+                                self.telemetry.note(
+                                    "stall escalation: speculatively "
+                                    f"re-dispatched point {point_id}"
+                                )
         except (BrokenProcessPool, OSError) as exc:
             # Pool died (OOM-killed worker, fork failure, ...): finish the
             # remaining points serially rather than losing the campaign.
             for entry in inflight.values():
                 queue.append(entry)
-            pending = deque(
-                e for e in sorted(queue) if e[1] not in self.finalized
-            )
+            seen: set[str] = set()
+            pending: deque = deque()
+            for entry in sorted(queue):
+                if entry[1] in self.finalized or entry[1] in seen:
+                    continue
+                seen.add(entry[1])
+                pending.append(entry)
             queue.clear()
             self.telemetry.note(
                 f"process pool failed ({type(exc).__name__}: {exc}); "
@@ -431,12 +714,47 @@ def _transport_failure(
     }
 
 
+def _stream_sample(
+    telemetry: CampaignTelemetry, monitor: "_LivenessMonitor | None"
+):
+    """Build the coordinator-side sampler the stream emitter calls."""
+
+    def sample() -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "total": telemetry.total_points,
+            "done": telemetry.done,
+            "failed": telemetry.failed,
+            "retried": telemetry.retried,
+            "skipped": telemetry.skipped,
+            "wall_seconds": telemetry.wall_seconds,
+            "cache_hits": telemetry.cache_hits,
+            "cache_misses": telemetry.cache_misses,
+            "stalls": telemetry.stalls,
+            "stragglers": telemetry.stragglers,
+            "rss_bytes": obs_resources.current_rss_bytes(),
+        }
+        counts = telemetry.health_counts()
+        if counts:
+            out["health"] = counts
+        if monitor is not None:
+            beats = obs_heartbeat.read_heartbeats(monitor.directory)
+            out["workers_live"] = sum(
+                1 for b in beats if b.get("phase") != "stopped"
+            )
+        return out
+
+    return sample
+
+
 def _execute(
     spec: CampaignSpec,
     store: ResultStore | None,
     policy: ExecutionPolicy,
     progress: ProgressCallback | None,
     completed: Mapping[str, dict[str, Any]],
+    *,
+    resumed: bool = False,
+    stream_to: str | Path | None = None,
 ) -> CampaignResult:
     all_points = list(spec.points())
     pending = deque(
@@ -449,7 +767,57 @@ def _execute(
         workers=max(int(policy.workers), 1),
         skipped=len(all_points) - len(pending),
     )
-    coordinator = _Coordinator(spec.task, policy, telemetry, store, progress)
+
+    # Run manifest: written on every run/resume, checked against the
+    # previous manifest on resume (drift -> notes + warning health events).
+    if store is not None:
+        mpath = obs_manifest.manifest_path(store.path)
+        current = obs_manifest.build_manifest(spec, policy)
+        previous = obs_manifest.load_manifest(mpath) if resumed else None
+        if previous is not None:
+            for mismatch in obs_manifest.check_manifest(previous, current):
+                telemetry.note(f"manifest mismatch on resume — {mismatch}")
+                telemetry.health_event(
+                    "campaign.manifest_mismatch",
+                    1.0,
+                    0.0,
+                    severity="warning",
+                    message=mismatch,
+                )
+            current["created"] = previous.get("created", current["created"])
+            current["runs"] = int(previous.get("runs", 0)) + 1
+        obs_manifest.write_manifest(mpath, current)
+
+    heartbeat_dir: Path | None = None
+    monitor: _LivenessMonitor | None = None
+    if store is not None and policy.heartbeat_interval is not None:
+        heartbeat_dir = obs_heartbeat.heartbeat_dir(store.path)
+        heartbeat_dir.mkdir(parents=True, exist_ok=True)
+        for stale in heartbeat_dir.glob("*.json"):  # beats of a killed run
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        monitor = _LivenessMonitor(policy, telemetry, heartbeat_dir)
+
+    stream_emitter: obs_stream.StreamEmitter | None = None
+    if store is not None and (
+        stream_to is not None or obs_stream.stream_requested()
+    ):
+        stream_file = (
+            Path(stream_to)
+            if stream_to is not None
+            else obs_stream.stream_path(store.path)
+        )
+        stream_emitter = obs_stream.StreamEmitter(
+            stream_file,
+            _stream_sample(telemetry, monitor),
+            policy.stream_interval,
+        )
+
+    coordinator = _Coordinator(
+        spec.task, policy, telemetry, store, progress, monitor
+    )
 
     use_pool = policy.workers > 1 and len(pending) > 1
     if use_pool and not isinstance(spec.task, str) and not _is_picklable(spec.task):
@@ -457,18 +825,45 @@ def _execute(
             f"task {spec.task_name!r} is not picklable; using the serial path"
         )
         use_pool = False
-    if use_pool:
-        telemetry.mode = "pool"
-        coordinator.run_pool(pending)
-    else:
-        telemetry.mode = "serial"
-        telemetry.workers = 1
-        coordinator.run_serial(pending)
+    obs_resources.configure(policy.memory_budget_mb)
+    try:
+        if stream_emitter is not None:
+            stream_emitter.start()
+        if use_pool:
+            telemetry.mode = "pool"
+            coordinator.run_pool(pending)
+        else:
+            telemetry.mode = "serial"
+            telemetry.workers = 1
+            obs_resources.ensure_tracemalloc()
+            if heartbeat_dir is not None:
+                obs_heartbeat.ensure_emitter(
+                    heartbeat_dir, policy.heartbeat_interval
+                )
+            coordinator.run_serial(pending)
+    finally:
+        telemetry.heartbeat_errors += obs_heartbeat.stop_emitter()
+        if stream_emitter is not None:
+            stream_emitter.stop()
+            telemetry.stream_errors += stream_emitter.errors
 
     telemetry.finish()
     if store is not None:
         store.append_summary(telemetry.to_dict())
         store.close()
+    if heartbeat_dir is not None:
+        # The run reached its summary; beats only matter for live or
+        # killed runs, so leave nothing behind (a SIGKILL never gets here
+        # and its beats survive for `repro campaign watch`).
+        for path in heartbeat_dir.glob("*"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        try:
+            heartbeat_dir.rmdir()
+        except OSError:
+            pass
 
     ordered = []
     for pid, _params in all_points:
@@ -501,12 +896,16 @@ def run_campaign(
     policy: ExecutionPolicy | None = None,
     progress: ProgressCallback | None = None,
     overwrite: bool = False,
+    stream_path: str | Path | None = None,
     **policy_overrides: Any,
 ) -> CampaignResult:
     """Run every point of ``spec``; optionally persist to a JSONL store.
 
     ``policy_overrides`` (``workers=``, ``timeout=``, ``retries=``, ...)
-    are shorthand for building an :class:`ExecutionPolicy`.
+    are shorthand for building an :class:`ExecutionPolicy`.  Passing
+    ``stream_path=`` (or setting ``REPRO_OBS_STREAM=1``, which streams to
+    ``<store>.stream.jsonl``) turns on the streaming-metrics emitter; both
+    require a store.
     """
     policy = _make_policy(policy, policy_overrides)
     store = (
@@ -514,7 +913,9 @@ def run_campaign(
         if store_path is not None
         else None
     )
-    return _execute(spec, store, policy, progress, completed={})
+    return _execute(
+        spec, store, policy, progress, completed={}, stream_to=stream_path
+    )
 
 
 def resume_campaign(
@@ -525,6 +926,7 @@ def resume_campaign(
     policy: ExecutionPolicy | None = None,
     progress: ProgressCallback | None = None,
     retry_failed: bool = False,
+    stream_path: str | Path | None = None,
     **policy_overrides: Any,
 ) -> CampaignResult:
     """Complete a partially-run campaign, skipping finished points.
@@ -559,9 +961,25 @@ def resume_campaign(
         for r in store.point_records()
         if r["status"] == "ok" or (not retry_failed and r["status"] == "failed")
     }
-    return _execute(spec, store, policy, progress, completed=completed_records)
+    return _execute(
+        spec,
+        store,
+        policy,
+        progress,
+        completed=completed_records,
+        resumed=True,
+        stream_to=stream_path,
+    )
 
 
 def campaign_status(store_path: str | Path) -> dict[str, Any]:
-    """Progress snapshot of a result store (see :meth:`ResultStore.status`)."""
-    return ResultStore.open(store_path).status()
+    """Progress snapshot of a result store (see :meth:`ResultStore.status`).
+
+    When the run wrote a manifest (``<store>.manifest.json``) it is
+    attached under ``"manifest"``.
+    """
+    status = ResultStore.open(store_path).status()
+    manifest = obs_manifest.load_manifest(obs_manifest.manifest_path(store_path))
+    if manifest is not None:
+        status["manifest"] = manifest
+    return status

@@ -108,6 +108,11 @@ class ResultStore:
         store = cls(path)
         if not store.path.exists():
             raise ValidationError(f"no result store at {store.path}")
+        if store.path.is_dir():
+            raise ValidationError(
+                f"result store path {store.path} is a directory; "
+                "pass the JSONL file itself"
+            )
         store.header()  # validates
         return store
 

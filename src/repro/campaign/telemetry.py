@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
+from repro.obs import spans as _obs_spans
 from repro.obs.health import max_severity, severity_counts
 from repro.obs.registry import ObsRegistry, merge_snapshots
 
@@ -40,6 +41,7 @@ class WorkerCacheStats:
     cache_hits: int = 0
     cache_misses: int = 0
     cache_bytes: int = 0  # peak byte-size estimate of this worker's cache
+    rss_peak: int = 0  # peak RSS (bytes) seen in this worker's point records
 
     @property
     def hit_rate(self) -> float:
@@ -54,6 +56,7 @@ class WorkerCacheStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_bytes": self.cache_bytes,
+            "rss_peak": self.rss_peak,
             "hit_rate": self.hit_rate,
         }
 
@@ -70,6 +73,17 @@ class CampaignTelemetry:
     retried: int = 0
     skipped: int = 0  # already complete at resume time
     timeouts: int = 0  # terminal failures whose error was a PointTimeout
+    # -- live telemetry (heartbeat monitor / emitters; see executor) -----------
+    stalls: int = 0  # stall flags raised by the liveness monitor
+    stragglers: int = 0  # points flagged as elapsed > k * median
+    straggler_ids: list[str] = field(default_factory=list)
+    stall_duplicates: int = 0  # speculative re-runs whose result lost the race
+    progress_errors: int = 0  # progress-callback exceptions (swallowed)
+    stream_errors: int = 0  # stream-emitter exceptions (swallowed)
+    heartbeat_errors: int = 0  # heartbeat-emitter exceptions (swallowed)
+    timeout_degraded: int = 0  # points whose timeout could not be armed
+    memory_over_budget: int = 0  # points whose peak RSS exceeded the budget
+    rss_peak_bytes: int = 0  # worst per-point peak RSS seen across workers
     notes: list[str] = field(default_factory=list)
     _started: float = field(default_factory=time.perf_counter, repr=False)
     _wall: float | None = field(default=None, repr=False)
@@ -101,9 +115,45 @@ class CampaignTelemetry:
         stats.cache_hits += int(cache.get("hits", 0))
         stats.cache_misses += int(cache.get("misses", 0))
         stats.cache_bytes = max(stats.cache_bytes, int(cache.get("bytes", 0)))
+        mem = record.get("mem") or {}
+        if mem:
+            peak = int(mem.get("rss_peak", 0))
+            stats.rss_peak = max(stats.rss_peak, peak)
+            self.rss_peak_bytes = max(self.rss_peak_bytes, peak)
+            if mem.get("over_budget"):
+                self.memory_over_budget += 1
+        if record.get("timeout_degraded"):
+            self.timeout_degraded += 1
         obs_delta = record.get("obs")
         if obs_delta:
             self._obs = merge_snapshots(self._obs, obs_delta)
+
+    def health_event(
+        self,
+        name: str,
+        value: float,
+        threshold: float,
+        *,
+        severity: str = "warning",
+        direction: str = "above",
+        message: str = "",
+    ) -> None:
+        """Fold a coordinator-side health event into the run's obs snapshot.
+
+        Worker events travel inside point-record deltas; events observed
+        *about* workers (stalls, stragglers, manifest drift) originate on
+        the coordinator and are merged here so ``repro obs health`` sees
+        one unified stream.  Like every probe, a no-op while observability
+        is disabled.
+        """
+        if not _obs_spans.enabled():
+            return
+        registry = ObsRegistry()
+        registry.record_event(
+            name, severity, float(value), float(threshold), {},
+            direction=direction, message=message,
+        )
+        self._obs = merge_snapshots(self._obs, registry.snapshot())
 
     def note(self, message: str) -> None:
         """Attach a free-form run note (e.g. serial-fallback reason)."""
@@ -182,6 +232,18 @@ class CampaignTelemetry:
             registry.add("campaign.retries", float(self.retried), {})
         if self.timeouts:
             registry.add("campaign.timeouts", float(self.timeouts), {})
+        if self.stalls:
+            registry.add("campaign.stalls", float(self.stalls), {})
+        if self.stragglers:
+            registry.add("campaign.stragglers", float(self.stragglers), {})
+        if self.timeout_degraded:
+            registry.add(
+                "campaign.timeout_unavailable", float(self.timeout_degraded), {}
+            )
+        if self.progress_errors:
+            registry.add(
+                "campaign.progress_errors", float(self.progress_errors), {}
+            )
         return registry.snapshot()
 
     # -- reporting ---------------------------------------------------------------
@@ -208,6 +270,20 @@ class CampaignTelemetry:
                 "worker_processes": len(self._workers_seen),
             },
             "worker_caches": [w.to_dict() for w in self.worker_caches],
+            "live": {
+                "stalls": self.stalls,
+                "stragglers": self.stragglers,
+                "straggler_ids": list(self.straggler_ids),
+                "stall_duplicates": self.stall_duplicates,
+                "progress_errors": self.progress_errors,
+                "stream_errors": self.stream_errors,
+                "heartbeat_errors": self.heartbeat_errors,
+                "timeout_degraded": self.timeout_degraded,
+            },
+            "memory": {
+                "rss_peak_bytes": self.rss_peak_bytes,
+                "over_budget": self.memory_over_budget,
+            },
             "notes": list(self.notes),
         }
         obs_snapshot = self.obs_snapshot()
@@ -239,6 +315,20 @@ class CampaignTelemetry:
                 else ""
             ),
         ]
+        if self.stalls or self.stragglers:
+            live_parts = []
+            if self.stalls:
+                live_parts.append(f"{self.stalls} stall(s)")
+            if self.stragglers:
+                ids = ", ".join(self.straggler_ids[:4])
+                extra = "..." if len(self.straggler_ids) > 4 else ""
+                live_parts.append(f"{self.stragglers} straggler(s) [{ids}{extra}]")
+            lines.append("live: " + ", ".join(live_parts))
+        if self.memory_over_budget:
+            lines.append(
+                f"memory: {self.memory_over_budget} point(s) over budget "
+                f"(peak RSS {self.rss_peak_bytes / 1e6:.0f} MB)"
+            )
         counts = self.health_counts()
         if counts.get("warning") or counts.get("error"):
             parts = [

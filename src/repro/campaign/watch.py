@@ -1,0 +1,205 @@
+"""``repro campaign watch``: a stdlib-only live dashboard for running campaigns.
+
+Tails the three live artifacts a campaign leaves next to its store —
+
+* the append-only result JSONL (progress, terminal statuses),
+* ``<store>.heartbeats/`` (one beat file per worker process),
+* ``<store>.stream.jsonl`` (the streaming-metrics time-series, if on),
+* ``<store>.manifest.json`` (run provenance)
+
+— and renders a single refreshing screen: a progress bar with an ETA
+derived from observed throughput, one line per live worker (phase,
+current point, elapsed, RSS, staleness), worst health-event counts, and
+the provenance header.  Everything is read-only and torn-file tolerant,
+so watching a run (or the corpse of a SIGKILLed one) can never perturb
+it.  ``--once`` renders a single frame and exits — that is what tests
+and CI use; interactively, the screen refreshes in place until the
+campaign completes or you press Ctrl-C (``q``/Ctrl-C both just end the
+watcher, never the run).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.campaign.store import ResultStore
+from repro.obs import heartbeat as obs_heartbeat
+from repro.obs import manifest as obs_manifest
+from repro.obs import stream as obs_stream
+
+__all__ = ["render", "watch"]
+
+_BAR_WIDTH = 32
+
+
+def _bar(done: int, failed: int, total: int) -> str:
+    if total <= 0:
+        return "[" + "?" * _BAR_WIDTH + "]"
+    ok_cells = int(_BAR_WIDTH * done / total)
+    bad_cells = int(_BAR_WIDTH * failed / total)
+    if failed and bad_cells == 0:
+        bad_cells = 1
+    ok_cells = min(ok_cells, _BAR_WIDTH - bad_cells)
+    rest = _BAR_WIDTH - ok_cells - bad_cells
+    return "[" + "#" * ok_cells + "x" * bad_cells + "." * rest + "]"
+
+
+def _fmt_seconds(seconds: float) -> str:
+    seconds = max(float(seconds), 0.0)
+    if seconds < 120:
+        return f"{seconds:.0f}s"
+    if seconds < 7200:
+        return f"{seconds / 60:.0f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def _fmt_bytes(n: float) -> str:
+    return f"{float(n) / 1e6:.0f}MB"
+
+
+def _eta_seconds(
+    stream_records: list[dict[str, Any]], pending: int
+) -> float | None:
+    """Pending / throughput, from the first->last stream samples."""
+    if pending <= 0 or len(stream_records) < 2:
+        return None
+    first, last = stream_records[0], stream_records[-1]
+    try:
+        span = float(last["time"]) - float(first["time"])
+        gained = (int(last["done"]) + int(last["failed"])) - (
+            int(first["done"]) + int(first["failed"])
+        )
+    except (KeyError, TypeError, ValueError):
+        return None
+    if span <= 0 or gained <= 0:
+        return None
+    return pending * span / gained
+
+
+def render(store_path: str | Path, now: float | None = None) -> str:
+    """One dashboard frame as a plain string (no ANSI; raises on a bad path)."""
+    now = time.time() if now is None else now
+    store_path = Path(store_path)
+    store = ResultStore.open(store_path)
+    status = store.status()
+    manifest = obs_manifest.load_manifest(obs_manifest.manifest_path(store_path))
+    beats = obs_heartbeat.read_heartbeats(obs_heartbeat.heartbeat_dir(store_path))
+    stream_file = obs_stream.stream_path(store_path)
+    stream_records = (
+        obs_stream.read_stream(stream_file) if stream_file.exists() else []
+    )
+
+    total = int(status["points"])
+    done, failed, pending = status["done"], status["failed"], status["pending"]
+    lines = [
+        f"campaign {status['name']!r} · task {status['task']}"
+        + (" · COMPLETE" if status["complete"] else ""),
+    ]
+    if manifest is not None:
+        lines.append(
+            "manifest: spec "
+            + str(manifest.get("spec_hash"))
+            + f" · run #{manifest.get('runs', 1)}"
+            + (
+                f" · repro {manifest['package_version']}"
+                if manifest.get("package_version")
+                else ""
+            )
+            + (f" · git {manifest['git_sha']}" if manifest.get("git_sha") else "")
+        )
+    percent = 100.0 * (done + failed) / total if total else 0.0
+    lines.append(
+        f"{_bar(done, failed, total)} {done + failed}/{total} "
+        f"({percent:.0f}%) · {done} ok · {failed} failed · {pending} pending"
+    )
+
+    eta = _eta_seconds(stream_records, pending)
+    if eta is not None:
+        lines.append(f"eta: ~{_fmt_seconds(eta)} at observed throughput")
+
+    interval = 5.0
+    if manifest and isinstance(manifest.get("policy"), dict):
+        interval = float(manifest["policy"].get("heartbeat_interval") or 5.0)
+    live = [b for b in beats if b.get("phase") != "stopped"]
+    if live:
+        lines.append(f"workers ({len(live)} live):")
+        for beat in live:
+            age = obs_heartbeat.beat_age(beat, now)
+            stale = age > 3.0 * interval
+            phase = beat.get("phase", "?")
+            detail = ""
+            if beat.get("point_id"):
+                elapsed = float(beat.get("point_elapsed", 0.0)) + age
+                detail = f" {beat['point_id']} ({_fmt_seconds(elapsed)})"
+            lines.append(
+                f"  pid {beat.get('pid')}: {phase}{detail} · "
+                f"{beat.get('points_done', 0)} done · "
+                f"{_fmt_bytes(beat.get('rss_bytes', 0))} · "
+                f"beat {age:.1f}s ago"
+                + ("  ** STALLED? **" if stale else "")
+            )
+    elif beats:
+        lines.append(f"workers: none live ({len(beats)} stopped)")
+    elif not status["complete"]:
+        lines.append(
+            "workers: no heartbeats found "
+            "(run predates live telemetry, or they were cleaned up)"
+        )
+
+    if stream_records:
+        last = stream_records[-1]
+        extras = []
+        if "cache_hits" in last:
+            hits = int(last["cache_hits"])
+            misses = int(last.get("cache_misses", 0))
+            rate = 100.0 * hits / (hits + misses) if hits + misses else 0.0
+            extras.append(f"cache {rate:.0f}% hit")
+        if last.get("stalls"):
+            extras.append(f"{last['stalls']} stall(s)")
+        if last.get("stragglers"):
+            extras.append(f"{last['stragglers']} straggler(s)")
+        health = last.get("health") or {}
+        for severity in ("error", "warning"):
+            if health.get(severity):
+                extras.append(f"{health[severity]} {severity}(s)")
+        age = max(now - float(last.get("time", now)), 0.0)
+        lines.append(
+            f"stream: {len(stream_records)} sample(s), last {age:.1f}s ago"
+            + (" · " + " · ".join(extras) if extras else "")
+        )
+
+    summary = status.get("summary")
+    if summary is not None:
+        lines.append(
+            f"finished: {summary.get('done')} ok / {summary.get('failed')} "
+            f"failed in {float(summary.get('wall_seconds', 0.0)):.2f} s "
+            f"[{summary.get('mode')}]"
+        )
+    return "\n".join(lines)
+
+
+def watch(
+    store_path: str | Path,
+    interval: float = 2.0,
+    once: bool = False,
+    out=None,
+) -> int:
+    """Render the dashboard, refreshing in place until complete (or Ctrl-C)."""
+    out = sys.stdout if out is None else out
+    while True:
+        frame = render(store_path)
+        if once:
+            print(frame, file=out)
+            return 0
+        # Clear + home; plain ANSI keeps this stdlib-only.
+        out.write("\x1b[2J\x1b[H" + frame + "\n")
+        out.flush()
+        if "COMPLETE" in frame.splitlines()[0]:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -17,6 +17,7 @@ Campaign engine (:mod:`repro.campaign`)::
                     [--workers N] [--timeout S] [--retries N] ...
     python -m repro campaign resume RESULTS.jsonl [--workers N] [--retry-failed]
     python -m repro campaign status RESULTS.jsonl
+    python -m repro campaign watch RESULTS.jsonl [--interval S] [--once]
     python -m repro campaign tasks
 
 ``SPEC.json`` holds a serialized :class:`repro.campaign.CampaignSpec`::
@@ -108,6 +109,55 @@ def build_parser() -> argparse.ArgumentParser:
             "--checkpoint-every", type=int, default=25, help="points between fsynced checkpoints"
         )
         sub.add_argument("--quiet", action="store_true", help="suppress per-point progress")
+        sub.add_argument(
+            "--heartbeat-interval",
+            type=float,
+            default=5.0,
+            help="seconds between worker heartbeat writes (default 5)",
+        )
+        sub.add_argument(
+            "--no-heartbeats",
+            action="store_true",
+            help="disable heartbeats and the stall/straggler monitor",
+        )
+        sub.add_argument(
+            "--stall-factor",
+            type=float,
+            default=3.0,
+            help="stall threshold in heartbeat intervals (default 3)",
+        )
+        sub.add_argument(
+            "--straggler-factor",
+            type=float,
+            default=4.0,
+            help="straggler threshold vs the median point time (default 4)",
+        )
+        sub.add_argument(
+            "--stall-action",
+            choices=("flag", "retry"),
+            default="flag",
+            help="on stall: flag only, or speculatively re-dispatch (default flag)",
+        )
+        sub.add_argument(
+            "--stream",
+            action="store_true",
+            help="stream metrics to <store>.stream.jsonl (or REPRO_OBS_STREAM=1)",
+        )
+        sub.add_argument(
+            "--stream-path", default=None, help="explicit streaming-metrics JSONL path"
+        )
+        sub.add_argument(
+            "--stream-interval",
+            type=float,
+            default=1.0,
+            help="seconds between streaming samples (default 1)",
+        )
+        sub.add_argument(
+            "--memory-budget-mb",
+            type=float,
+            default=None,
+            help="per-point peak-RSS budget; points above it are flagged",
+        )
 
     run_cmd = actions.add_parser("run", help="run a campaign spec file")
     run_cmd.add_argument("spec", help="path to the campaign spec JSON")
@@ -128,6 +178,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     status_cmd = actions.add_parser("status", help="print campaign progress")
     status_cmd.add_argument("results", help="path to the JSONL result store")
+
+    watch_cmd = actions.add_parser(
+        "watch", help="live dashboard over a (running) campaign store"
+    )
+    watch_cmd.add_argument("results", help="path to the JSONL result store")
+    watch_cmd.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period in seconds"
+    )
+    watch_cmd.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
 
     actions.add_parser("tasks", help="list registered task adapters")
 
@@ -335,7 +396,25 @@ def _policy_from_args(args) -> "ExecutionPolicy":
         retries=args.retries,
         backoff=args.backoff,
         checkpoint_every=args.checkpoint_every,
+        heartbeat_interval=(
+            None if args.no_heartbeats else args.heartbeat_interval
+        ),
+        stall_factor=args.stall_factor,
+        straggler_factor=args.straggler_factor,
+        stall_action=args.stall_action,
+        stream_interval=args.stream_interval,
+        memory_budget_mb=args.memory_budget_mb,
     )
+
+
+def _stream_path_from_args(args, store_path) -> "Path | None":
+    if args.stream_path:
+        return Path(args.stream_path)
+    if args.stream:
+        from repro.obs.stream import stream_path
+
+        return stream_path(store_path)
+    return None  # REPRO_OBS_STREAM=1 still turns streaming on downstream
 
 
 def _progress_printer(quiet: bool):
@@ -366,6 +445,11 @@ def _campaign(args) -> int:
             print(f"{name:>18}  {doc}")
         return 0
 
+    if args.campaign_command == "watch":
+        from repro.campaign.watch import watch
+
+        return watch(args.results, interval=args.interval, once=args.once)
+
     if args.campaign_command == "status":
         status = campaign_status(args.results)
         print(f"campaign: {status['name']} (task {status['task']})")
@@ -382,6 +466,19 @@ def _campaign(args) -> int:
                 f"in {summary.get('wall_seconds', 0.0):.2f} s, cache "
                 f"{cache.get('hits', 0)}h/{cache.get('misses', 0)}m over "
                 f"{cache.get('worker_processes', 0)} worker(s)"
+            )
+        manifest = status.get("manifest")
+        if manifest:
+            print(
+                f"manifest: spec {manifest.get('spec_hash')} · "
+                f"run #{manifest.get('runs', 1)} · "
+                f"repro {manifest.get('package_version')} · "
+                f"python {manifest.get('python')}"
+                + (
+                    f" · git {manifest['git_sha']}"
+                    if manifest.get("git_sha")
+                    else ""
+                )
             )
         return 0 if status["complete"] else 1
 
@@ -407,6 +504,7 @@ def _campaign(args) -> int:
             policy=_policy_from_args(args),
             progress=_progress_printer(args.quiet),
             overwrite=args.overwrite,
+            stream_path=_stream_path_from_args(args, out),
         )
     else:  # resume
         result = resume_campaign(
@@ -414,6 +512,7 @@ def _campaign(args) -> int:
             policy=_policy_from_args(args),
             progress=_progress_printer(args.quiet),
             retry_failed=args.retry_failed,
+            stream_path=_stream_path_from_args(args, args.results),
         )
 
     print(result.telemetry.summary())

@@ -41,6 +41,15 @@ from repro.obs.health import (
     severity_counts,
     worst_events,
 )
+from repro.obs.heartbeat import heartbeat_dir, read_heartbeats
+from repro.obs.manifest import (
+    build_manifest,
+    check_manifest,
+    load_manifest,
+    manifest_path,
+    spec_fingerprint,
+    write_manifest,
+)
 from repro.obs.registry import (
     CounterStat,
     HealthStat,
@@ -57,6 +66,11 @@ from repro.obs.report import (
     to_chrome_trace,
     to_csv,
     to_json,
+)
+from repro.obs.resources import (
+    current_rss_bytes,
+    peak_rss_bytes,
+    tracemalloc_requested,
 )
 from repro.obs.spans import (
     NullSpan,
@@ -75,6 +89,12 @@ from repro.obs.spans import (
     snapshot,
     span,
 )
+from repro.obs.stream import (
+    StreamEmitter,
+    read_stream,
+    stream_path,
+    stream_requested,
+)
 
 __all__ = [
     "CheckResult",
@@ -85,8 +105,12 @@ __all__ = [
     "ObsRegistry",
     "Span",
     "SpanStat",
+    "StreamEmitter",
     "add",
     "add_hook",
+    "build_manifest",
+    "check_manifest",
+    "current_rss_bytes",
     "delta",
     "disable",
     "enable",
@@ -95,10 +119,16 @@ __all__ = [
     "format_summary",
     "format_top",
     "health_event",
+    "heartbeat_dir",
+    "load_manifest",
     "load_snapshot",
+    "manifest_path",
     "max_severity",
     "merge_snapshots",
     "observe",
+    "peak_rss_bytes",
+    "read_heartbeats",
+    "read_stream",
     "registry",
     "remove_hook",
     "reset",
@@ -106,7 +136,12 @@ __all__ = [
     "snapshot",
     "snapshot_delta",
     "span",
+    "spec_fingerprint",
+    "stream_path",
+    "stream_requested",
     "summary",
+    "tracemalloc_requested",
+    "write_manifest",
     "to_chrome_trace",
     "to_csv",
     "to_json",

@@ -39,7 +39,15 @@ def load_snapshot(path: str | Path) -> dict[str, Any]:
     """Load an obs snapshot from a store/export file (see module docs)."""
     path = Path(path)
     if not path.exists():
-        raise ValidationError(f"no obs source at {path}")
+        raise ValidationError(
+            f"no obs source at {path} (expected a campaign store JSONL "
+            "or an obs snapshot JSON file)"
+        )
+    if path.is_dir():
+        raise ValidationError(
+            f"obs source {path} is a directory; pass the store JSONL file "
+            "or a snapshot JSON file inside it"
+        )
     text = path.read_text()
     stripped = text.lstrip()
     if not stripped:

@@ -2,7 +2,8 @@
 
 Runs a 220-point stability-map campaign (the ``stability_cell`` task over an
 11 x 20 separation/ratio grid) twice through :func:`run_campaign`: once
-serial, once on a 4-worker process pool.  Asserts the two runs produce
+serial, once on a 4-worker process pool with batched dispatch (points per
+future; 0 = the executor's automatic size).  Asserts the two runs produce
 *identical* results point by point — the engine routes both paths through
 the same ``_run_point`` — and reports the wall-clock speedup.
 
@@ -56,6 +57,7 @@ class CampaignBenchResult:
 
     points: int
     workers: int
+    batch_size: int
     cpus: int
     serial_seconds: float
     pool_seconds: float
@@ -67,9 +69,11 @@ class CampaignBenchResult:
         return self.serial_seconds / self.pool_seconds
 
     def summary(self) -> str:
+        batch = "auto" if self.batch_size == 0 else str(self.batch_size)
         return (
             f"campaign ({self.points} points): serial {self.serial_seconds:.2f} s, "
-            f"{self.workers}-worker {self.pool_mode} {self.pool_seconds:.2f} s "
+            f"{self.workers}-worker {self.pool_mode} (batch {batch}) "
+            f"{self.pool_seconds:.2f} s "
             f"-> {self.speedup:.2f}x on {self.cpus} cpu(s), "
             f"identical={self.identical}"
         )
@@ -80,6 +84,7 @@ class CampaignBenchResult:
                 "kind": "bench_campaign",
                 "points": self.points,
                 "workers": self.workers,
+                "batch_size": self.batch_size,
                 "cpus": self.cpus,
                 "serial_seconds": round(self.serial_seconds, 4),
                 "pool_seconds": round(self.pool_seconds, 4),
@@ -107,8 +112,13 @@ def measure(
     ratios=RATIOS,
     workers: int = POOL_WORKERS,
     points: int = 400,
+    batch_size: int = 0,
 ) -> CampaignBenchResult:
-    """Run the campaign serial then pooled; cross-check record identity."""
+    """Run the campaign serial then pooled; cross-check record identity.
+
+    ``batch_size`` is points per pool future (0 = the executor's
+    automatic size — roughly four batches per worker).
+    """
     spec = stability_map_spec(separations, ratios, points)
 
     start = time.perf_counter()
@@ -116,7 +126,7 @@ def measure(
     t_serial = time.perf_counter() - start
 
     start = time.perf_counter()
-    pooled = run_campaign(spec, workers=workers)
+    pooled = run_campaign(spec, workers=workers, batch_size=batch_size)
     t_pool = time.perf_counter() - start
 
     identical = [r["id"] for r in serial.records] == [
@@ -129,6 +139,7 @@ def measure(
     return CampaignBenchResult(
         points=len(spec),
         workers=workers,
+        batch_size=batch_size,
         cpus=os.cpu_count() or 1,
         serial_seconds=t_serial,
         pool_seconds=t_pool,

@@ -20,6 +20,11 @@ Adapters record NaN for a metric that fails on an individual design (no
 unity crossing, say) — matching :func:`repro.pll.sweeps.sweep` — while a
 failure of the *design itself* raises, which the executor captures as a
 failed point with bounded retries.
+
+A ``backend`` point parameter (merged from spec defaults + point, like any
+other) installs a scoped compute-backend default around the whole point
+evaluation — every structured grid evaluation inside the adapter picks it
+up, and the chosen backend is recorded in the campaign run manifest.
 """
 
 from __future__ import annotations
@@ -112,6 +117,18 @@ def design_from_params(params: Mapping[str, Any]) -> PLL:
     )
 
 
+def _task_backend(params: Mapping[str, Any]):
+    """Scoped compute-backend default from an optional ``backend`` parameter.
+
+    ``backend_scope(None)`` is a passthrough, so adapters can wrap their
+    whole body unconditionally.
+    """
+    from repro.core.backend import backend_scope
+
+    value = params.get("backend")
+    return backend_scope(None if value is None else str(value))
+
+
 def _nan_safe(metrics: Mapping[str, Callable[[PLL], float]], pll: PLL) -> dict[str, float]:
     out: dict[str, float] = {}
     for name, fn in metrics.items():
@@ -130,7 +147,8 @@ def standard_metrics_task(params: dict[str, Any]) -> dict[str, float]:
     """The `repro.pll.sweeps.standard_metrics` set on one designed loop."""
     from repro.pll.sweeps import standard_metrics
 
-    return _nan_safe(standard_metrics(), design_from_params(params))
+    with _task_backend(params):
+        return _nan_safe(standard_metrics(), design_from_params(params))
 
 
 @register_task("margins")
@@ -138,8 +156,9 @@ def margins_task(params: dict[str, Any]) -> dict[str, float]:
     """LTI vs effective margins (paper Fig. 7 quantities) on one loop."""
     from repro.pll.margins import compare_margins
 
-    pll = design_from_params(params)
-    margins = compare_margins(pll, points=int(params.get("points", 4000)))
+    with _task_backend(params):
+        pll = design_from_params(params)
+        margins = compare_margins(pll, points=int(params.get("points", 4000)))
     return {
         "omega_ug_lti": margins.omega_ug_lti,
         "phase_margin_lti_deg": margins.phase_margin_lti_deg,
@@ -157,27 +176,28 @@ def stability_cell_task(params: dict[str, Any]) -> dict[str, float]:
     from repro.pll.design import shape_phase_margin_deg
     from repro.pll.margins import compare_margins
 
-    pll = design_from_params(params)
-    closed = closed_loop_z(sampled_open_loop(pll))
-    poles = closed.poles()
-    radius = float(np.max(np.abs(poles))) if poles.size else 0.0
-    out = {
-        "z_stable": 1.0 if closed.is_stable() else 0.0,
-        "z_pole_radius": radius,
-        "lti_phase_margin_deg": shape_phase_margin_deg(
-            float(params.get("separation", 4.0))
-        ),
-    }
-    out.update(
-        _nan_safe(
-            {
-                "phase_margin_eff_deg": lambda p: compare_margins(
-                    p, points=int(params.get("points", 2000))
-                ).phase_margin_eff_deg,
-            },
-            pll,
+    with _task_backend(params):
+        pll = design_from_params(params)
+        closed = closed_loop_z(sampled_open_loop(pll))
+        poles = closed.poles()
+        radius = float(np.max(np.abs(poles))) if poles.size else 0.0
+        out = {
+            "z_stable": 1.0 if closed.is_stable() else 0.0,
+            "z_pole_radius": radius,
+            "lti_phase_margin_deg": shape_phase_margin_deg(
+                float(params.get("separation", 4.0))
+            ),
+        }
+        out.update(
+            _nan_safe(
+                {
+                    "phase_margin_eff_deg": lambda p: compare_margins(
+                        p, points=int(params.get("points", 2000))
+                    ).phase_margin_eff_deg,
+                },
+                pll,
+            )
         )
-    )
     return out
 
 
@@ -196,10 +216,11 @@ def stability_limit_task(params: dict[str, Any]) -> dict[str, float]:
             omega0=omega0, omega_ug=ratio * omega0, separation=separation
         )
 
-    return {
-        "stability_limit": stability_limit_ratio(designer, tol=tol),
-        "lti_phase_margin_deg": shape_phase_margin_deg(separation),
-    }
+    with _task_backend(params):
+        return {
+            "stability_limit": stability_limit_ratio(designer, tol=tol),
+            "lti_phase_margin_deg": shape_phase_margin_deg(separation),
+        }
 
 
 @register_task("band_map")
@@ -216,13 +237,14 @@ def band_map_task(params: dict[str, Any]) -> dict[str, float]:
     from repro.core.sweep import band_transfer_map
     from repro.pll.openloop import open_loop_operator
 
-    pll = design_from_params(params)
-    order = int(params.get("order", 4))
-    points = int(params.get("points", 32))
-    grid = FrequencyGrid.baseband(pll.omega0, points=points)
-    mags = band_transfer_map(
-        FeedbackOperator(open_loop_operator(pll)), grid, order
-    )
+    with _task_backend(params):
+        pll = design_from_params(params)
+        order = int(params.get("order", 4))
+        points = int(params.get("points", 32))
+        grid = FrequencyGrid.baseband(pll.omega0, points=points)
+        mags = band_transfer_map(
+            FeedbackOperator(open_loop_operator(pll)), grid, order
+        )
     center = order
     diag = mags[:, center, center]
     off = mags.copy()
@@ -246,23 +268,26 @@ def noise_summary_task(params: dict[str, Any]) -> dict[str, float]:
     from repro.core.grid import FrequencyGrid
     from repro.pll.noise import NoiseAnalysis, flat_psd, one_over_f2_psd
 
-    pll = design_from_params(params)
-    points = int(params.get("points", 200))
-    analysis = NoiseAnalysis(pll)
-    grid = FrequencyGrid.baseband(pll.omega0, points=points)
-    ref_level = float(params.get("reference_level", 1.0))
-    folded_bands = int(params.get("folded_bands", 8))
-    vco_level = float(params.get("vco_level", ref_level))
-    psd = analysis.output_psd(
-        grid,
-        reference_psd=flat_psd(ref_level),
-        vco_psd=one_over_f2_psd(vco_level, pll.omega0),
-        folded_bands=folded_bands,
-    )
-    h00 = np.abs(analysis.reference_transfer(grid))
-    return {
-        "rms_jitter": analysis.rms_jitter(grid, psd),
-        "peak_transfer": float(np.max(h00)),
-        "peaking_db": float(20.0 * np.log10(np.max(h00))),
-        "folded_gain_dc": float(analysis.folded_reference_gain(grid, folded_bands)[0]),
-    }
+    with _task_backend(params):
+        pll = design_from_params(params)
+        points = int(params.get("points", 200))
+        analysis = NoiseAnalysis(pll)
+        grid = FrequencyGrid.baseband(pll.omega0, points=points)
+        ref_level = float(params.get("reference_level", 1.0))
+        folded_bands = int(params.get("folded_bands", 8))
+        vco_level = float(params.get("vco_level", ref_level))
+        psd = analysis.output_psd(
+            grid,
+            reference_psd=flat_psd(ref_level),
+            vco_psd=one_over_f2_psd(vco_level, pll.omega0),
+            folded_bands=folded_bands,
+        )
+        h00 = np.abs(analysis.reference_transfer(grid))
+        return {
+            "rms_jitter": analysis.rms_jitter(grid, psd),
+            "peak_transfer": float(np.max(h00)),
+            "peaking_db": float(20.0 * np.log10(np.max(h00))),
+            "folded_gain_dc": float(
+                analysis.folded_reference_gain(grid, folded_bands)[0]
+            ),
+        }

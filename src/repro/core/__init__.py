@@ -22,9 +22,22 @@ output (Fig. 2).  This package provides:
   sweeps, band-transfer maps and automatic truncation-order selection.
 """
 
+from repro.core.backend import (
+    BackendUnavailable,
+    ComputeBackend,
+    NumbaBackend,
+    NumpyBackend,
+    available_backends,
+    backend_scope,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.core.grid import FrequencyGrid, as_omega_grid, as_s_grid
 from repro.core.htm import HTM
 from repro.core.memo import GridEvalCache, cache_stats, clear_cache, grid_cache
+from repro.core.structured import StructuredGrid
 from repro.core.operators import (
     HarmonicOperator,
     IdentityOperator,
@@ -38,13 +51,29 @@ from repro.core.operators import (
     IsfIntegrationOperator,
     default_element_order,
 )
-from repro.core.rank_one import RankOneHTM, smw_closed_loop, smw_inverse_apply
+from repro.core.rank_one import (
+    RankOneHTM,
+    smw_closed_loop,
+    smw_closed_loop_grid,
+    smw_inverse_apply,
+)
 from repro.core.aliasing import AliasedSum, truncated_alias_sum
 from repro.core.kernel import KernelReconstruction, reconstruct_kernel
 from repro.core.sweep import band_transfer_map, sweep_element, sweep_matrix
 from repro.core.truncation import TruncationReport, choose_truncation_order
 
 __all__ = [
+    "BackendUnavailable",
+    "ComputeBackend",
+    "NumbaBackend",
+    "NumpyBackend",
+    "available_backends",
+    "backend_scope",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
+    "StructuredGrid",
     "FrequencyGrid",
     "as_omega_grid",
     "as_s_grid",
@@ -66,6 +95,7 @@ __all__ = [
     "IsfIntegrationOperator",
     "RankOneHTM",
     "smw_closed_loop",
+    "smw_closed_loop_grid",
     "smw_inverse_apply",
     "AliasedSum",
     "truncated_alias_sum",

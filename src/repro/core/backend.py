@@ -1,0 +1,323 @@
+"""Pluggable compute backends for structured HTM evaluation.
+
+The structured evaluation layer (:mod:`repro.core.structured`) keeps
+operator compositions symbolic and only closes to numbers at the terminal
+call.  That terminal closure — rank-one lambda reductions, SMW column
+scaling, diagonal feedback, dense materialisation — is a small set of
+kernels, factored here behind a registry so it can be swapped per call:
+
+* ``numpy`` (default) — vectorized NumPy; always available.
+* ``numba`` — the same kernels JIT-compiled over the grid axis.  Optional:
+  registering it costs nothing, but *resolving* it on a machine without
+  ``numba`` **falls back to numpy gracefully**, bumping the
+  ``core.backend.fallback`` counter and emitting a
+  ``health.backend.fallback`` warning event (when observability is on)
+  instead of raising.
+
+Selection precedence for :func:`resolve_backend`:
+
+1. an explicit ``backend=`` argument (name or :class:`ComputeBackend`);
+2. a scoped default installed by :func:`backend_scope` /
+   :func:`set_default_backend` (campaign task adapters use this to honour
+   a ``backend`` point parameter);
+3. the ``REPRO_BACKEND`` environment variable;
+4. ``"numpy"``.
+
+Unknown names raise :class:`~repro._errors.ValidationError` — a typo should
+be loud; only a *registered but unavailable* backend falls back.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Callable
+
+import numpy as np
+
+from repro._errors import ValidationError
+from repro.obs import spans as obs
+
+__all__ = [
+    "BackendUnavailable",
+    "ComputeBackend",
+    "NumpyBackend",
+    "NumbaBackend",
+    "available_backends",
+    "backend_scope",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
+    "set_default_backend",
+]
+
+DEFAULT_BACKEND = "numpy"
+
+#: Environment variable consulted when no explicit/scoped backend is set.
+ENV_VAR = "REPRO_BACKEND"
+
+
+class BackendUnavailable(RuntimeError):
+    """A registered backend's runtime dependency is missing on this machine."""
+
+
+class ComputeBackend:
+    """Terminal-closure kernel set for :class:`~repro.core.structured.StructuredGrid`.
+
+    All kernels operate on batched factors: ``column`` / ``row`` / ``diag``
+    are ``(L, N)`` complex arrays (grid point x harmonic index).  Subclasses
+    override the kernels; the registry hands out one shared instance per
+    backend name.
+    """
+
+    name = "abstract"
+
+    def rank_one_lambda(self, column: np.ndarray, row: np.ndarray) -> np.ndarray:
+        """Per-point SMW scalar ``lambda = row^T column`` — shape ``(L,)``."""
+        raise NotImplementedError
+
+    def smw_close_column(self, column: np.ndarray, denom: np.ndarray) -> np.ndarray:
+        """Closed-loop column ``column / (1 + lambda)`` given ``denom = 1 + lambda``."""
+        raise NotImplementedError
+
+    def diag_feedback(self, diag: np.ndarray) -> np.ndarray:
+        """Elementwise diagonal feedback closure ``d / (1 + d)``."""
+        raise NotImplementedError
+
+    def rank_one_dense(self, column: np.ndarray, row: np.ndarray) -> np.ndarray:
+        """Materialise the batched outer product — shape ``(L, N, N)``."""
+        raise NotImplementedError
+
+    def diag_dense(self, diag: np.ndarray) -> np.ndarray:
+        """Materialise a batched diagonal stack — shape ``(L, N, N)``."""
+        out = np.zeros(diag.shape + (diag.shape[-1],), dtype=complex)
+        idx = np.arange(diag.shape[-1])
+        out[:, idx, idx] = diag
+        return out
+
+
+class NumpyBackend(ComputeBackend):
+    """Vectorized NumPy kernels — the always-available default."""
+
+    name = "numpy"
+
+    def rank_one_lambda(self, column: np.ndarray, row: np.ndarray) -> np.ndarray:
+        return np.einsum("ln,ln->l", row, column)
+
+    def smw_close_column(self, column: np.ndarray, denom: np.ndarray) -> np.ndarray:
+        return column / denom[:, None]
+
+    def diag_feedback(self, diag: np.ndarray) -> np.ndarray:
+        return diag / (1.0 + diag)
+
+    def rank_one_dense(self, column: np.ndarray, row: np.ndarray) -> np.ndarray:
+        return column[:, :, None] * row[:, None, :]
+
+
+def _build_numba_kernels(numba):
+    """Compile the fused grid-axis kernels once per process."""
+    njit = numba.njit
+
+    @njit(cache=False)
+    def rank_one_lambda(column, row):  # pragma: no cover - requires numba
+        npoints, size = column.shape
+        out = np.empty(npoints, dtype=np.complex128)
+        for i in range(npoints):
+            acc = 0j
+            for n in range(size):
+                acc += row[i, n] * column[i, n]
+            out[i] = acc
+        return out
+
+    @njit(cache=False)
+    def smw_close_column(column, denom):  # pragma: no cover - requires numba
+        npoints, size = column.shape
+        out = np.empty((npoints, size), dtype=np.complex128)
+        for i in range(npoints):
+            d = denom[i]
+            for n in range(size):
+                out[i, n] = column[i, n] / d
+        return out
+
+    @njit(cache=False)
+    def rank_one_dense(column, row):  # pragma: no cover - requires numba
+        npoints, size = column.shape
+        out = np.empty((npoints, size, size), dtype=np.complex128)
+        for i in range(npoints):
+            for n in range(size):
+                cn = column[i, n]
+                for m in range(size):
+                    out[i, n, m] = cn * row[i, m]
+        return out
+
+    return {
+        "rank_one_lambda": rank_one_lambda,
+        "smw_close_column": smw_close_column,
+        "rank_one_dense": rank_one_dense,
+    }
+
+
+class NumbaBackend(NumpyBackend):
+    """Numba-JIT kernels fused across the grid axis.
+
+    Construction raises :class:`BackendUnavailable` when ``numba`` is not
+    importable — :func:`resolve_backend` turns that into a graceful numpy
+    fallback.  Kernels that numba does not cover inherit the NumPy path.
+    """
+
+    name = "numba"
+
+    def __init__(self):
+        try:
+            import numba  # noqa: F401  (optional dependency)
+        except ImportError as exc:
+            raise BackendUnavailable(
+                "the 'numba' backend requires the numba package, which is "
+                "not installed"
+            ) from exc
+        self._kernels = _build_numba_kernels(numba)
+
+    @staticmethod
+    def _contiguous(arr: np.ndarray) -> np.ndarray:
+        return np.ascontiguousarray(arr, dtype=np.complex128)
+
+    def rank_one_lambda(self, column, row):  # pragma: no cover - requires numba
+        return self._kernels["rank_one_lambda"](
+            self._contiguous(column), self._contiguous(row)
+        )
+
+    def smw_close_column(self, column, denom):  # pragma: no cover - requires numba
+        return self._kernels["smw_close_column"](
+            self._contiguous(column), np.ascontiguousarray(denom, dtype=np.complex128)
+        )
+
+    def rank_one_dense(self, column, row):  # pragma: no cover - requires numba
+        return self._kernels["rank_one_dense"](
+            self._contiguous(column), self._contiguous(row)
+        )
+
+
+# -- registry ----------------------------------------------------------------------
+
+_FACTORIES: dict[str, Callable[[], ComputeBackend]] = {}
+_INSTANCES: dict[str, ComputeBackend] = {}
+_LOCK = threading.Lock()
+_scope = threading.local()
+
+
+def register_backend(
+    name: str, factory: Callable[[], ComputeBackend], *, replace: bool = False
+) -> None:
+    """Register a backend factory under ``name``.
+
+    The factory runs at most once per process (the instance is shared); it
+    may raise :class:`BackendUnavailable` to signal a missing dependency.
+    """
+    with _LOCK:
+        if name in _FACTORIES and not replace:
+            raise ValidationError(f"backend {name!r} is already registered")
+        _FACTORIES[name] = factory
+        _INSTANCES.pop(name, None)
+
+
+def get_backend(name: str) -> ComputeBackend:
+    """Instantiate (or reuse) the backend registered under ``name``.
+
+    Raises :class:`~repro._errors.ValidationError` for unknown names and
+    propagates :class:`BackendUnavailable` — use :func:`resolve_backend`
+    for the fallback behaviour.
+    """
+    with _LOCK:
+        if name not in _FACTORIES:
+            raise ValidationError(
+                f"unknown backend {name!r}; registered: {sorted(_FACTORIES)}"
+            )
+        instance = _INSTANCES.get(name)
+        if instance is None:
+            instance = _FACTORIES[name]()
+            _INSTANCES[name] = instance
+        return instance
+
+
+def available_backends() -> dict[str, bool]:
+    """``name -> importable`` for every registered backend."""
+    out: dict[str, bool] = {}
+    for name in sorted(_FACTORIES):
+        try:
+            get_backend(name)
+            out[name] = True
+        except BackendUnavailable:
+            out[name] = False
+    return out
+
+
+def set_default_backend(name: str | None) -> None:
+    """Install (or clear, with ``None``) the scoped default backend name."""
+    _scope.name = name
+
+
+def _scoped_default() -> str | None:
+    return getattr(_scope, "name", None)
+
+
+@contextmanager
+def backend_scope(name: str | None):
+    """Scoped default backend — ``None`` is a no-op passthrough.
+
+    Campaign task adapters wrap point evaluation in this so a ``backend``
+    point parameter steers every structured evaluation underneath without
+    threading the keyword through arbitrary metric callables.
+    """
+    if name is None:
+        yield
+        return
+    previous = _scoped_default()
+    set_default_backend(str(name))
+    try:
+        yield
+    finally:
+        set_default_backend(previous)
+
+
+def resolve_backend(spec: str | ComputeBackend | None = None) -> ComputeBackend:
+    """Resolve a backend argument to an instance, with graceful fallback.
+
+    ``spec`` may be an instance (returned as-is), a registered name, or
+    ``None`` — which consults the scoped default, then ``REPRO_BACKEND``,
+    then ``"numpy"``.  A registered-but-unavailable backend (numba on a
+    machine without it) falls back to numpy, counted by
+    ``core.backend.fallback`` and flagged by a ``health.backend.fallback``
+    warning event when observability is enabled.
+    """
+    if isinstance(spec, ComputeBackend):
+        return spec
+    name = spec or _scoped_default() or os.environ.get(ENV_VAR, "").strip() or DEFAULT_BACKEND
+    try:
+        return get_backend(str(name))
+    except BackendUnavailable as exc:
+        if obs.enabled():
+            obs.add("core.backend.fallback", requested=str(name))
+            obs.health_event(
+                "health.backend.fallback",
+                1.0,
+                0.0,
+                severity="warning",
+                message=f"backend {name!r} unavailable ({exc}); using numpy",
+                requested=str(name),
+            )
+        return get_backend(DEFAULT_BACKEND)
+
+
+def default_backend_name() -> str:
+    """The backend name :func:`resolve_backend` would pick right now.
+
+    Recorded in campaign run manifests so a stored run documents which
+    kernel set produced it (after any unavailability fallback).
+    """
+    return resolve_backend(None).name
+
+
+register_backend("numpy", NumpyBackend)
+register_backend("numba", NumbaBackend)

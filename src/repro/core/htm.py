@@ -157,6 +157,22 @@ class HTM:
         """The identity HTM (the memoryless unity system)."""
         return cls(np.eye(2 * order + 1, dtype=complex), omega0, s)
 
+    @classmethod
+    def from_stack(cls, stack, omega0: float, s_arr, index: int = 0) -> "HTM":
+        """Snapshot one slice of a batched ``(L, N, N)`` grid stack.
+
+        The slice is copied, so read-only stacks (memoized grid blocks,
+        densified :class:`~repro.core.structured.StructuredGrid` results)
+        are safe sources.
+        """
+        stack = np.asarray(stack)
+        if stack.ndim != 3:
+            raise ValidationError(
+                f"grid stack must be 3-D (points, size, size), got shape {stack.shape}"
+            )
+        s_arr = np.asarray(s_arr, dtype=complex)
+        return cls(stack[index], omega0, complex(s_arr[index]))
+
     def inverse(self, rcond: float = 1e-12) -> "HTM":
         """Truncated matrix inverse.
 

@@ -6,10 +6,19 @@ metric of :func:`repro.pll.sweeps.standard_metrics` rebuilds the closed
 loop for the same PLL.  :class:`GridEvalCache` memoizes the result of
 ``operator.dense_grid(s, order)`` per *operator node*, keyed on
 
-``(id-stable operator fingerprint, grid hash, truncation order)``
+``(id-stable operator fingerprint, grid hash, truncation order[, flavor])``
 
 so a composite evaluation reuses any child block that was already computed
-for the same grid.
+for the same grid.  The optional ``flavor`` component separates evaluation
+variants of the same operator/grid/order — structured evaluation uses
+``("structured", backend_name)`` so a lazily-tagged
+:class:`~repro.core.structured.StructuredGrid` and the dense oracle stack
+never collide, and results from different compute backends stay distinct.
+
+Scalar conveniences (``operator.dense``, ``operator.htm``) evaluate inside
+:func:`bypass`, a scope in which :meth:`GridEvalCache.fetch` neither looks
+up nor stores — one-point probes would otherwise churn the LRU and distort
+scalar-vs-batched benchmarks.
 
 Invalidation rules
 ------------------
@@ -49,6 +58,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Callable
 
 import numpy as np
@@ -58,11 +68,36 @@ from repro.obs import spans as obs
 __all__ = [
     "GridEvalCache",
     "grid_cache",
+    "bypass",
+    "bypass_active",
     "clear_cache",
     "cache_stats",
     "cache_snapshot",
     "configure",
 ]
+
+_bypass = threading.local()
+
+
+@contextmanager
+def bypass():
+    """Scope in which grid-cache fetches neither look up nor store.
+
+    Used by the scalar conveniences (one-point grids) so probing a single
+    frequency never evicts real grid blocks or pollutes hit/miss counters.
+    Re-entrant and per-thread.
+    """
+    depth = getattr(_bypass, "depth", 0)
+    _bypass.depth = depth + 1
+    try:
+        yield
+    finally:
+        _bypass.depth = depth
+
+
+def bypass_active() -> bool:
+    """True while inside a :func:`bypass` scope on this thread."""
+    return getattr(_bypass, "depth", 0) > 0
 
 
 def _grid_key(s_arr: np.ndarray) -> bytes:
@@ -85,9 +120,11 @@ class GridEvalCache:
         # broadcast block counts at its logical, not physical, size).
         self.bytes = 0
         self._lock = threading.Lock()
-        # key -> (array, pinned operator). The pin keeps any id()-based
-        # fingerprint component valid for the lifetime of the entry.
-        self._entries: "OrderedDict[tuple, tuple[np.ndarray, object]]" = OrderedDict()
+        # key -> (value, pinned operator). The pin keeps any id()-based
+        # fingerprint component valid for the lifetime of the entry.  Values
+        # are dense ndarray stacks or StructuredGrid instances (both expose
+        # ``nbytes``; both are immutable once stored).
+        self._entries: "OrderedDict[tuple, tuple[object, object]]" = OrderedDict()
 
     def fetch(
         self,
@@ -95,11 +132,19 @@ class GridEvalCache:
         s_arr: np.ndarray,
         order: int,
         compute: Callable[[np.ndarray, int], np.ndarray],
+        flavor: tuple | None = None,
     ) -> np.ndarray:
-        """Return the cached grid block or compute, store and return it."""
-        if not self.enabled or self.maxsize <= 0:
+        """Return the cached grid block or compute, store and return it.
+
+        ``flavor``, when given, becomes part of the key — evaluation
+        variants (structured grids per backend) cache independently of the
+        plain dense stack.
+        """
+        if not self.enabled or self.maxsize <= 0 or bypass_active():
             return compute(s_arr, order)
         key = (operator.fingerprint(), _grid_key(s_arr), int(order))
+        if flavor is not None:
+            key = key + (flavor,)
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -109,20 +154,23 @@ class GridEvalCache:
             if obs.enabled():
                 obs.add("memo.hit")
             return entry[0]
-        value = np.asarray(compute(s_arr, order))
-        value.flags.writeable = False
+        value = compute(s_arr, order)
+        if isinstance(value, np.ndarray):
+            value = np.asarray(value)
+            value.flags.writeable = False
+        nbytes = int(getattr(value, "nbytes", 0))
         with self._lock:
             self.misses += 1
             self._entries[key] = (value, operator)
             self._entries.move_to_end(key)
-            self.bytes += int(value.nbytes)
+            self.bytes += nbytes
             while len(self._entries) > self.maxsize:
                 _, (evicted, _pin) = self._entries.popitem(last=False)
-                self.bytes -= int(evicted.nbytes)
+                self.bytes -= int(getattr(evicted, "nbytes", 0))
                 self.evictions += 1
         if obs.enabled():
             obs.add("memo.miss")
-            obs.add("memo.bytes_stored", int(value.nbytes))
+            obs.add("memo.bytes_stored", nbytes)
         return value
 
     def clear(self) -> None:
@@ -181,7 +229,7 @@ class GridEvalCache:
                 self.maxsize = int(maxsize)
                 while len(self._entries) > max(self.maxsize, 0):
                     _, (evicted, _pin) = self._entries.popitem(last=False)
-                    self.bytes -= int(evicted.nbytes)
+                    self.bytes -= int(getattr(evicted, "nbytes", 0))
                     self.evictions += 1
 
 

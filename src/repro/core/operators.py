@@ -1,4 +1,4 @@
-"""Lazy, composable LPTV operators with HTM evaluation.
+"""Lazy, composable LPTV operators with structured HTM evaluation.
 
 A :class:`HarmonicOperator` represents an LPTV system symbolically and can
 produce its truncated HTM at any complex frequency and truncation order.
@@ -18,31 +18,45 @@ Primitive operators mirror the paper's building blocks:
 Composites: :class:`SeriesOperator`, :class:`ParallelOperator`,
 :class:`ScaledOperator`, :class:`FeedbackOperator`.
 
-Evaluation comes in two flavours:
+Evaluation comes in three flavours:
 
-* :meth:`HarmonicOperator.dense` — one dense matrix at one scalar ``s``;
-* :meth:`HarmonicOperator.dense_grid` — the **batched API**: a
-  ``(len(s), 2K+1, 2K+1)`` stack for a whole frequency grid at once.  Every
-  primitive and composite overrides the vectorized kernel
-  (:meth:`_dense_grid`); the base class provides a correct-by-construction
-  fallback that loops over :meth:`dense`.  Results are memoized per
-  operator node in :data:`repro.core.memo.grid_cache` and returned
-  **read-only** — ``.copy()`` before mutating.
+* :meth:`HarmonicOperator.evaluate` — the **preferred entry point**: a
+  structure-tagged :class:`~repro.core.structured.StructuredGrid` over a
+  whole frequency grid.  Primitives report their HTM structure (diagonal /
+  banded / rank-one / dense) and composites compose the *tags* symbolically
+  — a rank-one loop's feedback closure runs through the paper's SMW scalar
+  denominator instead of a stacked solve — closing to numbers only at the
+  terminal call, through a pluggable compute backend
+  (:mod:`repro.core.backend`).
+* :meth:`HarmonicOperator.dense_grid` — the batched **dense oracle**: a
+  ``(len(s), 2K+1, 2K+1)`` stack built by brute-force composition
+  (feedback really solves the stacked system).  The property suite asserts
+  ``evaluate(...).to_dense()`` against it.
+* :meth:`HarmonicOperator.dense` — one dense matrix at one scalar ``s``,
+  delegated to the grid path via a one-point grid (cache-bypassed).
+
+Grid results are memoized per operator node in
+:data:`repro.core.memo.grid_cache` — structured and dense blocks under
+separate cache flavors — and returned **read-only**; ``.copy()`` before
+mutating.  Subclasses implement :meth:`_structured_grid`; overriding
+:meth:`_dense_grid` directly still works but is deprecated.
 """
 
 from __future__ import annotations
 
 import warnings
-from abc import ABC, abstractmethod
-
+from abc import ABC
 
 import numpy as np
 
 from repro._errors import ValidationError
 from repro._validation import check_order, check_positive
+from repro.core.backend import ComputeBackend, resolve_backend
 from repro.core.grid import as_s_grid
 from repro.core.htm import HTM
+from repro.core.memo import bypass as memo_bypass
 from repro.core.memo import grid_cache
+from repro.core.structured import StructuredGrid
 from repro.obs import health
 from repro.obs import spans as obs
 from repro.signals.fourier import FourierSeries
@@ -62,6 +76,25 @@ def default_element_order(n: int, m: int) -> int:
     return max(abs(n), abs(m), 1)
 
 
+#: Classes already warned about their legacy ``_dense_grid`` override.
+_LEGACY_DENSE_GRID_WARNED: set[type] = set()
+
+
+def _warn_legacy_dense_grid(cls: type) -> None:
+    """One DeprecationWarning per class for direct ``_dense_grid`` overrides."""
+    if cls in _LEGACY_DENSE_GRID_WARNED:
+        return
+    _LEGACY_DENSE_GRID_WARNED.add(cls)
+    warnings.warn(
+        f"{cls.__name__} overrides _dense_grid directly; implement the "
+        "structured protocol (_structured_grid) instead — dense-only "
+        "operators keep working, wrapped as kind='dense', but forgo "
+        "structure-aware composition and backend kernels",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class HarmonicOperator(ABC):
     """Abstract LPTV operator on a fundamental frequency ``omega0``."""
 
@@ -78,24 +111,107 @@ class HarmonicOperator(ABC):
         """Fundamental period in seconds."""
         return 2 * np.pi / self._omega0
 
-    @abstractmethod
-    def dense(self, s: complex, order: int) -> np.ndarray:
-        """Dense ``(2*order+1)^2`` matrix of the truncated HTM at ``s``."""
+    # -- structured evaluation ---------------------------------------------------
 
-    # -- batched evaluation -------------------------------------------------
-
-    def dense_grid(self, s, order: int) -> np.ndarray:
-        """Batched HTM stack ``(len(s), 2*order+1, 2*order+1)`` over a grid.
+    def evaluate(
+        self, s, order: int, backend: str | ComputeBackend | None = None
+    ) -> StructuredGrid:
+        """Structure-tagged lazy evaluation over a grid — the preferred API.
 
         ``s`` may be a :class:`~repro.core.grid.FrequencyGrid` (evaluated on
-        ``j omega``) or any 1-D array of complex Laplace points.  Results
-        are memoized per operator node (see :mod:`repro.core.memo`) and are
-        **read-only**; ``.copy()`` before mutating.
+        ``j omega``) or any 1-D array of complex Laplace points.  Returns a
+        :class:`~repro.core.structured.StructuredGrid` whose tag records the
+        HTM structure (diagonal / banded / rank_one / dense); composites
+        compose tags symbolically and numbers are only materialised by
+        ``.to_dense()`` or a genuinely dense fallback.
 
-        Subclasses override :meth:`_dense_grid` with genuinely vectorized
-        kernels; the base fallback loops over :meth:`dense`, so
-        ``dense_grid(s, order)[i] == dense(s[i], order)`` holds for every
-        operator by construction (and is enforced by the property suite).
+        ``backend`` selects the terminal-closure kernels (name, instance, or
+        ``None`` for the scoped/env/default resolution of
+        :func:`repro.core.backend.resolve_backend`).  Results are memoized
+        per operator node under a ``("structured", backend)`` cache flavor,
+        separate from the dense-oracle blocks, and are immutable.
+        """
+        s_arr = as_s_grid("s", s)
+        order = check_order("order", order, minimum=0)
+        bk = resolve_backend(backend)
+
+        def compute(sa: np.ndarray, od: int) -> StructuredGrid:
+            return self._structured_kernel(sa, od, bk)
+
+        flavor = ("structured", bk.name)
+        if obs.enabled():
+            with obs.span(
+                "core.evaluate",
+                op=type(self).__name__,
+                points=int(s_arr.size),
+                order=int(order),
+                backend=bk.name,
+            ):
+                return grid_cache.fetch(self, s_arr, order, compute, flavor=flavor)
+        return grid_cache.fetch(self, s_arr, order, compute, flavor=flavor)
+
+    def _structured_grid(
+        self, s_arr: np.ndarray, order: int, backend: ComputeBackend
+    ) -> StructuredGrid:
+        """Structure-tagged kernel behind :meth:`evaluate` — override this.
+
+        The base class raises; :meth:`_structured_kernel` falls back to
+        wrapping a legacy ``_dense_grid`` / ``dense`` override as a dense
+        structured grid.
+        """
+        raise NotImplementedError
+
+    def _structured_kernel(
+        self, s_arr: np.ndarray, order: int, backend: ComputeBackend
+    ) -> StructuredGrid:
+        """Dispatch to the best available kernel for this class.
+
+        Preference order: the structured protocol, then a legacy
+        ``_dense_grid`` override (deprecation-warned once per class), then a
+        scalar ``dense`` override looped over the grid.
+        """
+        cls = type(self)
+        if cls._structured_grid is not HarmonicOperator._structured_grid:
+            return self._structured_grid(s_arr, order, backend)
+        if cls._dense_grid is not HarmonicOperator._dense_grid:
+            _warn_legacy_dense_grid(cls)
+            return StructuredGrid.dense(
+                self._dense_grid(s_arr, order), order=order, backend=backend
+            )
+        if cls.dense is not HarmonicOperator.dense:
+            size = 2 * order + 1
+            out = np.empty((s_arr.size, size, size), dtype=complex)
+            for i, si in enumerate(s_arr):
+                out[i] = self.dense(complex(si), order)
+            return StructuredGrid.dense(out, order=order, backend=backend)
+        raise TypeError(
+            f"{cls.__name__} implements none of _structured_grid, _dense_grid "
+            "or dense"
+        )
+
+    # -- dense evaluation (oracle path) -------------------------------------------
+
+    def dense(self, s: complex, order: int) -> np.ndarray:
+        """Dense ``(2*order+1)^2`` matrix of the truncated HTM at ``s``.
+
+        Delegates to the grid kernel on a one-point grid (inside
+        :func:`repro.core.memo.bypass`, so scalar probes never churn the
+        grid cache).  The returned matrix is a fresh writable copy.
+        """
+        order = check_order("order", order, minimum=0)
+        s_arr = np.array([complex(s)], dtype=complex)
+        with memo_bypass():
+            return np.array(self._dense_grid(s_arr, order)[0])
+
+    def dense_grid(self, s, order: int) -> np.ndarray:
+        """Batched dense HTM stack ``(len(s), 2*order+1, 2*order+1)``.
+
+        This is the brute-force **oracle** path: composites really multiply
+        / add / solve stacked matrices, independent of the structured
+        algebra behind :meth:`evaluate` — which is what makes
+        structured-vs-dense equivalence assertions meaningful.  Results are
+        memoized per operator node (see :mod:`repro.core.memo`) and are
+        **read-only**; ``.copy()`` before mutating.
         """
         s_arr = as_s_grid("s", s)
         order = check_order("order", order, minimum=0)
@@ -117,23 +233,17 @@ class HarmonicOperator(ABC):
         return grid_cache.fetch(self, s_arr, order, self._dense_grid)
 
     def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
-        """Vectorized kernel behind :meth:`dense_grid`; fallback loops."""
-        size = 2 * order + 1
-        out = np.empty((s_arr.size, size, size), dtype=complex)
-        for i, si in enumerate(s_arr):
-            out[i] = self.dense(complex(si), order)
-        return out
+        """Vectorized dense kernel behind :meth:`dense_grid`.
 
-    def _diag_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray | None:
-        """Batched diagonal ``(len(s), 2*order+1)`` for diagonal operators.
-
-        Returns ``None`` for operators whose HTM is not structurally
-        diagonal.  :class:`SeriesOperator` uses this to replace a stacked
-        matmul with broadcast row/column scaling when one factor is an LTI
-        embedding — scaling by a diagonal is exactly what the matmul
-        computes, minus the arithmetic on the structural zeros.
+        The base implementation densifies the structured kernel.
+        Overriding this directly is deprecated (implement
+        :meth:`_structured_grid`); :class:`FeedbackOperator` keeps an
+        explicit override so the dense path stays a genuinely independent
+        stacked solve.
         """
-        return None
+        return np.asarray(
+            self._structured_kernel(s_arr, order, resolve_backend(None)).to_dense()
+        )
 
     def fingerprint(self) -> tuple:
         """Hashable, id-stable structural key for grid memoization.
@@ -147,7 +257,10 @@ class HarmonicOperator(ABC):
     def htm(self, s: complex, order: int) -> HTM:
         """Evaluate the truncated HTM snapshot at ``s``."""
         order = check_order("order", order, minimum=0)
-        return HTM(self.dense(complex(s), order), self._omega0, complex(s))
+        s_arr = np.array([complex(s)], dtype=complex)
+        with memo_bypass():
+            stack = self._dense_grid(s_arr, order)
+        return HTM.from_stack(stack, self._omega0, s_arr, 0)
 
     def element(self, s: complex, n: int, m: int, order: int | None = None) -> complex:
         """Single HTM element ``H_{n,m}(s)``.
@@ -210,16 +323,15 @@ class HarmonicOperator(ABC):
 class IdentityOperator(HarmonicOperator):
     """The identity system ``y = u``."""
 
-    def dense(self, s: complex, order: int) -> np.ndarray:
-        return np.eye(2 * order + 1, dtype=complex)
-
-    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
-        size = 2 * order + 1
-        eye = np.eye(size, dtype=complex)
-        return np.broadcast_to(eye, (s_arr.size, size, size))
-
-    def _diag_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
-        return np.ones((s_arr.size, 2 * order + 1), dtype=complex)
+    def _structured_grid(
+        self, s_arr: np.ndarray, order: int, backend: ComputeBackend
+    ) -> StructuredGrid:
+        ones = np.ones(2 * order + 1, dtype=complex)
+        return StructuredGrid.diagonal(
+            np.broadcast_to(ones, (s_arr.size, ones.size)),
+            order=order,
+            backend=backend,
+        )
 
     def fingerprint(self) -> tuple:
         return ("identity", self._omega0)
@@ -267,23 +379,12 @@ class LTIOperator(HarmonicOperator):
         )
         return flat.reshape(s_grid.shape)
 
-    def dense(self, s: complex, order: int) -> np.ndarray:
-        n = np.arange(-order, order + 1)
-        diag = self._transfer_values(s + 1j * n * self._omega0)
-        return np.diag(diag)
-
-    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
+    def _structured_grid(
+        self, s_arr: np.ndarray, order: int, backend: ComputeBackend
+    ) -> StructuredGrid:
         n = np.arange(-order, order + 1)
         diag = self._transfer_values(s_arr[:, None] + 1j * self._omega0 * n[None, :])
-        size = n.size
-        out = np.zeros((s_arr.size, size, size), dtype=complex)
-        idx = np.arange(size)
-        out[:, idx, idx] = diag
-        return out
-
-    def _diag_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
-        n = np.arange(-order, order + 1)
-        return self._transfer_values(s_arr[:, None] + 1j * self._omega0 * n[None, :])
+        return StructuredGrid.diagonal(diag, order=order, backend=backend)
 
     def fingerprint(self) -> tuple:
         return ("lti", self._omega0, _transfer_fingerprint(self.transfer))
@@ -296,15 +397,24 @@ class MultiplicationOperator(HarmonicOperator):
         super().__init__(series.omega0)
         self.series = series
 
-    def dense(self, s: complex, order: int) -> np.ndarray:
-        # The Toeplitz HTM is independent of s.
-        return self.series.toeplitz(2 * order + 1)
-
-    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
+    def _structured_grid(
+        self, s_arr: np.ndarray, order: int, backend: ComputeBackend
+    ) -> StructuredGrid:
+        # The Toeplitz HTM is s-independent: one broadcast constant per
+        # non-zero harmonic band, zero extra memory per grid point.
         size = 2 * order + 1
-        mat = self.series.toeplitz(size)
-        # s-independent: one Toeplitz block broadcast (zero-copy) over the grid.
-        return np.broadcast_to(mat, (s_arr.size, size, size))
+        coeffs = np.asarray(self.series.coefficients, dtype=complex)
+        offsets = np.arange(coeffs.size) - self.series.order
+        bands: dict[int, np.ndarray] = {}
+        for pk, k in zip(coeffs, offsets):
+            k = int(k)
+            if (pk == 0 and k != 0) or abs(k) > size - 1:
+                continue
+            bands[k] = np.broadcast_to(np.asarray(pk), (s_arr.size, size))
+        if not bands or set(bands) == {0}:
+            diag = bands.get(0, np.zeros((s_arr.size, size), dtype=complex))
+            return StructuredGrid.diagonal(diag, order=order, backend=backend)
+        return StructuredGrid.banded(bands, order=order, backend=backend)
 
     def fingerprint(self) -> tuple:
         return ("mult", self._omega0, self.series.coefficients.tobytes())
@@ -333,16 +443,20 @@ class SamplingOperator(HarmonicOperator):
         """The rank-one row factor: ``exp(-j m w0 offset)`` per input harmonic."""
         return np.conj(self.column_vector(order))
 
-    def dense(self, s: complex, order: int) -> np.ndarray:
+    def _structured_grid(
+        self, s_arr: np.ndarray, order: int, backend: ComputeBackend
+    ) -> StructuredGrid:
+        # s-independent rank one: the gain folds into the column factor and
+        # both factors broadcast (zero-copy) over the grid.
         gain = self._omega0 / (2 * np.pi)
-        col = self.column_vector(order)
+        column = gain * self.column_vector(order)
         row = self.row_vector(order)
-        return gain * np.outer(col, row)
-
-    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
-        size = 2 * order + 1
-        # s-independent rank-one outer product broadcast over the grid.
-        return np.broadcast_to(self.dense(0j, order), (s_arr.size, size, size))
+        return StructuredGrid.rank_one(
+            np.broadcast_to(column, (s_arr.size, column.size)),
+            np.broadcast_to(row, (s_arr.size, row.size)),
+            order=order,
+            backend=backend,
+        )
 
     def fingerprint(self) -> tuple:
         return ("sampling", self._omega0, self.offset)
@@ -360,44 +474,41 @@ class IsfIntegrationOperator(HarmonicOperator):
         super().__init__(isf.omega0)
         self.isf = isf
 
-    def dense(self, s: complex, order: int) -> np.ndarray:
-        return self._dense_grid(np.array([s], dtype=complex), order)[0].copy()
-
     def _nonzero_offsets(self) -> np.ndarray:
         """Toeplitz offsets ``k`` with ``v_k != 0`` (usually a handful)."""
         series = self.isf.series
         coeffs = series.coefficients
         return np.flatnonzero(coeffs) - series.order
 
-    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
+    def _structured_grid(
+        self, s_arr: np.ndarray, order: int, backend: ComputeBackend
+    ) -> StructuredGrid:
         size = 2 * order + 1
         n = np.arange(-order, order + 1)
         denom = s_arr[:, None] + 1j * n[None, :] * self._omega0  # (L, N)
-        out = np.zeros((s_arr.size, size, size), dtype=complex)
-        # Fill one Toeplitz band per non-zero ISF harmonic; structural zeros
-        # are never divided, so they stay exact zeros even at the integrator
-        # poles s = -j n w0.
+        offsets = [int(k) for k in self._nonzero_offsets() if abs(int(k)) <= size - 1]
+        if not offsets:
+            return StructuredGrid.diagonal(
+                np.zeros((s_arr.size, size), dtype=complex),
+                order=order,
+                backend=backend,
+            )
+        # One band per non-zero ISF harmonic; rows whose column index falls
+        # outside the truncation stay exact zeros and are never divided, so
+        # structural zeros survive even at the integrator poles s = -j n w0.
         idx = np.arange(size)
+        bands: dict[int, np.ndarray] = {}
         with np.errstate(divide="ignore"):
-            for k in self._nonzero_offsets():
+            for k in offsets:
+                vk = complex(self.isf.coefficient(k))
+                val = np.zeros((s_arr.size, size), dtype=complex)
                 rows = idx[(idx - k >= 0) & (idx - k < size)]
-                if rows.size == 0:
-                    continue
-                vk = complex(self.isf.coefficient(int(k)))
-                out[:, rows, rows - k] = vk / denom[:, rows]
-        return out
-
-    def _diag_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray | None:
-        offsets = self._nonzero_offsets()
-        if offsets.size == 0:
-            return np.zeros((s_arr.size, 2 * order + 1), dtype=complex)
-        if np.any(offsets != 0):
-            return None
-        # Time-invariant ISF: the diagonal integrator v0 / (s + j n w0).
-        n = np.arange(-order, order + 1)
-        v0 = complex(self.isf.coefficient(0))
-        with np.errstate(divide="ignore"):
-            return v0 / (s_arr[:, None] + 1j * n[None, :] * self._omega0)
+                if rows.size:
+                    val[:, rows] = vk / denom[:, rows]
+                bands[k] = val
+        if set(bands) == {0}:
+            return StructuredGrid.diagonal(bands[0], order=order, backend=backend)
+        return StructuredGrid.banded(bands, order=order, backend=backend)
 
     def fingerprint(self) -> tuple:
         return ("isf", self._omega0, self.isf.series.coefficients.tobytes())
@@ -412,41 +523,15 @@ class SeriesOperator(HarmonicOperator):
         self.second = second
         self.first = first
 
-    def dense(self, s: complex, order: int) -> np.ndarray:
-        return self.second.dense(s, order) @ self.first.dense(s, order)
-
-    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
-        # A diagonal factor turns the stacked matmul into broadcast scaling
-        # (what the matmul would compute, minus the structural-zero terms).
-        diag_second = self.second._diag_grid(s_arr, order)
-        if diag_second is not None:
-            # Fold a whole chain of diagonal left factors into one scaling.
-            inner = self.first
-            while isinstance(inner, SeriesOperator):
-                diag = inner.second._diag_grid(s_arr, order)
-                if diag is None:
-                    break
-                diag_second = diag_second * diag
-                inner = inner.first
-            obs.add("core.series.diag_fastpath", side="left")
-            return diag_second[:, :, None] * inner.dense_grid(s_arr, order)
-        diag_first = self.first._diag_grid(s_arr, order)
-        if diag_first is not None:
-            obs.add("core.series.diag_fastpath", side="right")
-            return self.second.dense_grid(s_arr, order) * diag_first[:, None, :]
-        obs.add("core.series.matmul")
-        return np.matmul(
-            self.second.dense_grid(s_arr, order), self.first.dense_grid(s_arr, order)
+    def _structured_grid(
+        self, s_arr: np.ndarray, order: int, backend: ComputeBackend
+    ) -> StructuredGrid:
+        # Structure composes symbolically: diagonal x diagonal stays an
+        # elementwise product, anything x rank-one stays factored, and only
+        # genuinely dense pairs fall back to a stacked matmul.
+        return self.second.evaluate(s_arr, order, backend=backend) @ self.first.evaluate(
+            s_arr, order, backend=backend
         )
-
-    def _diag_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray | None:
-        diag_second = self.second._diag_grid(s_arr, order)
-        if diag_second is None:
-            return None
-        diag_first = self.first._diag_grid(s_arr, order)
-        if diag_first is None:
-            return None
-        return diag_second * diag_first
 
     def fingerprint(self) -> tuple:
         return ("series", self.second.fingerprint(), self.first.fingerprint())
@@ -461,11 +546,12 @@ class ParallelOperator(HarmonicOperator):
         self.left = left
         self.right = right
 
-    def dense(self, s: complex, order: int) -> np.ndarray:
-        return self.left.dense(s, order) + self.right.dense(s, order)
-
-    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
-        return self.left.dense_grid(s_arr, order) + self.right.dense_grid(s_arr, order)
+    def _structured_grid(
+        self, s_arr: np.ndarray, order: int, backend: ComputeBackend
+    ) -> StructuredGrid:
+        return self.left.evaluate(s_arr, order, backend=backend) + self.right.evaluate(
+            s_arr, order, backend=backend
+        )
 
     def fingerprint(self) -> tuple:
         return ("parallel", self.left.fingerprint(), self.right.fingerprint())
@@ -479,39 +565,37 @@ class ScaledOperator(HarmonicOperator):
         self.inner = inner
         self.scalar = complex(scalar)
 
-    def dense(self, s: complex, order: int) -> np.ndarray:
-        return self.scalar * self.inner.dense(s, order)
-
-    def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
-        return self.scalar * self.inner.dense_grid(s_arr, order)
-
-    def _diag_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray | None:
-        inner = self.inner._diag_grid(s_arr, order)
-        if inner is None:
-            return None
-        return self.scalar * inner
+    def _structured_grid(
+        self, s_arr: np.ndarray, order: int, backend: ComputeBackend
+    ) -> StructuredGrid:
+        return self.inner.evaluate(s_arr, order, backend=backend).scale(self.scalar)
 
     def fingerprint(self) -> tuple:
         return ("scaled", self.scalar, self.inner.fingerprint())
 
 
 class FeedbackOperator(HarmonicOperator):
-    """Dense negative-feedback closure ``(I + G)^{-1} G`` (paper eq. 28).
+    """Negative-feedback closure ``(I + G)^{-1} G`` (paper eq. 28).
 
-    This is the brute-force route the paper contrasts with the rank-one SMW
-    closed form (:mod:`repro.core.rank_one`); it is kept as the reference
-    implementation and as the general path for loops whose forward operator
-    is *not* rank one.
+    Two genuinely independent evaluation routes coexist:
+
+    * :meth:`evaluate` composes structure — a rank-one open loop closes via
+      the SMW scalar denominator (paper eqs. 30–34, O(N) per grid point), a
+      diagonal loop closes elementwise;
+    * :meth:`dense_grid` / :meth:`dense` keep the brute-force stacked
+      ``np.linalg.solve`` as the reference implementation — the correctness
+      oracle the structured path is asserted against, and the general route
+      for loops with no exploitable structure.
     """
 
     def __init__(self, open_loop: HarmonicOperator):
         super().__init__(open_loop.omega0)
         self.open_loop = open_loop
 
-    def dense(self, s: complex, order: int) -> np.ndarray:
-        g = self.open_loop.dense(s, order)
-        eye = np.eye(g.shape[0], dtype=complex)
-        return np.linalg.solve(eye + g, g)
+    def _structured_grid(
+        self, s_arr: np.ndarray, order: int, backend: ComputeBackend
+    ) -> StructuredGrid:
+        return self.open_loop.evaluate(s_arr, order, backend=backend).feedback()
 
     def _dense_grid(self, s_arr: np.ndarray, order: int) -> np.ndarray:
         g = self.open_loop.dense_grid(s_arr, order)

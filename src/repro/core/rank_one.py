@@ -106,6 +106,53 @@ def smw_closed_loop(column: np.ndarray, row: np.ndarray) -> np.ndarray:
     return np.outer(column, row) / denom
 
 
+def smw_closed_loop_grid(
+    column: np.ndarray, row: np.ndarray, backend=None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched SMW closure over a grid, staying in factored rank-one form.
+
+    ``column`` and ``row`` are ``(L, N)`` stacks of the open-loop factors
+    ``G(s_l) = c_l r_l^T`` per grid point.  Returns the closed-loop factors
+    ``(column / (1 + lambda), row)`` — paper eq. (34) without ever forming a
+    matrix, O(N) per point.  The scalar reduction runs through the pluggable
+    kernel set of :mod:`repro.core.backend`.
+
+    Unlike the scalar :func:`smw_closed_loop`, grid points where
+    ``1 + lambda`` vanishes do **not** raise: they go to inf/nan — the same
+    behaviour as the batched dense solve this path replaces — and are
+    flagged through a warning health event when observability is enabled.
+    """
+    from repro.core.backend import resolve_backend
+
+    bk = resolve_backend(backend)
+    column = np.asarray(column, dtype=complex)
+    row = np.asarray(row, dtype=complex)
+    if column.ndim != 2 or column.shape != row.shape:
+        raise ValidationError(
+            "column and row must be (points, size) stacks of equal shape, got "
+            f"{column.shape} and {row.shape}"
+        )
+    lam = bk.rank_one_lambda(column, row)
+    denom = 1.0 + lam
+    if obs.enabled():
+        obs.add("core.rank_one.smw_closed_loop_grid", points=int(column.shape[0]))
+        mags = np.abs(denom[np.isfinite(denom)])
+        margin = float(np.min(mags)) if mags.size else 0.0
+        if margin < health.LAMBDA_SINGULAR_TOL:
+            obs.health_event(
+                "health.rank_one.near_singular",
+                margin,
+                health.LAMBDA_SINGULAR_TOL,
+                severity="warning",
+                direction="below",
+                message="|1 + lambda| near zero on the grid: points close to a closed-loop pole",
+                size=int(column.shape[1]),
+            )
+    with np.errstate(divide="ignore", invalid="ignore"):
+        closed = bk.smw_close_column(column, denom)
+    return closed, row
+
+
 def _solve_health(column: np.ndarray, row: np.ndarray, denom: complex) -> None:
     """Obs-enabled health probes for one SMW solve.
 

@@ -109,6 +109,20 @@ def _numpy_version() -> str | None:
         return None
 
 
+def _backend_name() -> str | None:
+    """The compute backend this run would resolve to (after any fallback).
+
+    Lazily imported and defensive: the manifest must never fail to build
+    because the core package is in a broken state.
+    """
+    try:
+        from repro.core.backend import default_backend_name
+
+        return default_backend_name()
+    except Exception:
+        return None
+
+
 def build_manifest(spec: Any, policy: Any = None) -> dict[str, Any]:
     """Capture the provenance of a run about to execute ``spec``."""
     manifest: dict[str, Any] = {
@@ -124,6 +138,7 @@ def build_manifest(spec: Any, policy: Any = None) -> dict[str, Any]:
         "git_sha": _git_sha(),
         "python": platform.python_version(),
         "numpy": _numpy_version(),
+        "backend": _backend_name(),
         "platform": platform.platform(),
         "obs": {
             "enabled": _spans.enabled(),

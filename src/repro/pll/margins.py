@@ -91,6 +91,7 @@ def compare_margins(
     omega_max_factor: float | None = None,
     points: int = 4000,
     grid: FrequencyGrid | None = None,
+    backend: str | None = None,
     **closed_loop_kwargs,
 ) -> EffectiveMargins:
     """Measure LTI and effective margins of one loop design.
@@ -100,7 +101,11 @@ def compare_margins(
     below the ``w0/2`` alias symmetry point, beyond which lambda repeats).
     Passing a :class:`~repro.core.grid.FrequencyGrid` instead pins the scan
     to that grid's bounds and point count, overriding the factor arguments.
+    ``backend`` selects the compute backend for any structured grid
+    evaluation underneath (forwarded to :class:`ClosedLoopHTM`).
     """
+    if backend is not None:
+        closed_loop_kwargs.setdefault("backend", backend)
     omega0 = pll.omega0
     if grid is not None:
         w_lo = float(grid.omega[0])
@@ -142,6 +147,7 @@ def margin_sweep(
     ratios: Sequence[float] | np.ndarray,
     designer: Callable[[float], PLL],
     points: int = 3000,
+    backend: str | None = None,
     **closed_loop_kwargs,
 ) -> list[EffectiveMargins]:
     """Sweep ``w_UG / w0`` and collect margins — the Fig. 7 data series.
@@ -154,7 +160,11 @@ def margin_sweep(
         Callable mapping a ratio to a :class:`PLL` (typically
         :func:`repro.pll.design.design_typical_loop` with everything else
         fixed).
+    backend:
+        Compute backend forwarded to every :func:`compare_margins` call.
     """
+    if backend is not None:
+        closed_loop_kwargs.setdefault("backend", backend)
     out = []
     for ratio in np.asarray(ratios, dtype=float):
         if not 0.0 < ratio < 0.5:

@@ -1,0 +1,147 @@
+"""Compute-backend registry: selection precedence, scoping, and fallback.
+
+The graceful-degradation contract is the load-bearing piece: this
+container has no numba, so resolving ``"numba"`` must hand back the numpy
+kernels while bumping ``core.backend.fallback`` and emitting a
+``health.backend.fallback`` warning event — never raising.
+"""
+
+import numpy as np
+import pytest
+
+from repro._errors import ValidationError
+from repro.core import backend as bk
+from repro.obs import spans as obs
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch):
+    monkeypatch.delenv(bk.ENV_VAR, raising=False)
+    bk.set_default_backend(None)
+    was_enabled = obs.enabled()
+    obs.disable()
+    obs.reset()
+    yield
+    bk.set_default_backend(None)
+    (obs.enable if was_enabled else obs.disable)()
+    obs.reset()
+
+
+def _numba_missing() -> bool:
+    try:
+        import numba  # noqa: F401
+
+        return False
+    except ImportError:
+        return True
+
+
+class TestRegistry:
+    def test_numpy_is_default_and_shared(self):
+        a = bk.resolve_backend(None)
+        b = bk.resolve_backend("numpy")
+        assert a is b and a.name == "numpy"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValidationError, match="unknown backend"):
+            bk.resolve_backend("no-such-backend")
+
+    def test_duplicate_registration_raises_unless_replace(self):
+        with pytest.raises(ValidationError, match="already registered"):
+            bk.register_backend("numpy", bk.NumpyBackend)
+        bk.register_backend("numpy", bk.NumpyBackend, replace=True)
+        assert bk.resolve_backend("numpy").name == "numpy"
+
+    def test_instance_passes_through(self):
+        inst = bk.NumpyBackend()
+        assert bk.resolve_backend(inst) is inst
+
+    def test_available_backends_reports_numba_importability(self):
+        table = bk.available_backends()
+        assert table["numpy"] is True
+        assert table["numba"] is (not _numba_missing())
+
+
+class TestPrecedence:
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(bk.ENV_VAR, "numpy")
+        assert bk.default_backend_name() == "numpy"
+
+    def test_scope_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(bk.ENV_VAR, "no-such-backend")
+        with bk.backend_scope("numpy"):
+            assert bk.resolve_backend(None).name == "numpy"
+        # Outside the scope the bogus env name is consulted again — loudly.
+        with pytest.raises(ValidationError):
+            bk.resolve_backend(None)
+
+    def test_explicit_argument_overrides_scope(self):
+        with bk.backend_scope("no-such-backend"):
+            assert bk.resolve_backend("numpy").name == "numpy"
+
+    def test_none_scope_is_passthrough(self, monkeypatch):
+        monkeypatch.setenv(bk.ENV_VAR, "numpy")
+        with bk.backend_scope(None):
+            assert bk.default_backend_name() == "numpy"
+
+    def test_scopes_nest_and_restore(self):
+        with bk.backend_scope("numpy"):
+            with bk.backend_scope("numba"):
+                assert bk._scoped_default() == "numba"
+            assert bk._scoped_default() == "numpy"
+        assert bk._scoped_default() is None
+
+
+@pytest.mark.skipif(not _numba_missing(), reason="numba is installed here")
+class TestFallbackWithoutNumba:
+    def test_resolve_falls_back_to_numpy(self):
+        resolved = bk.resolve_backend("numba")
+        assert resolved.name == "numpy"
+
+    def test_get_backend_still_raises(self):
+        with pytest.raises(bk.BackendUnavailable):
+            bk.get_backend("numba")
+
+    def test_fallback_counter_and_health_event(self):
+        obs.enable()
+        bk.resolve_backend("numba")
+        snap = obs.snapshot()
+        counters = {
+            name: entry for name, entry in snap["counters"].items()
+            if name.startswith("core.backend.fallback")
+        }
+        assert counters, sorted(snap["counters"])
+        assert sum(e["count"] for e in counters.values()) == 1
+        events = [
+            entry for name, entry in snap["events"].items()
+            if name.startswith("health.backend.fallback")
+        ]
+        assert len(events) == 1
+        assert events[0]["severity"] == "warning"
+
+    def test_fallback_is_silent_when_obs_disabled(self):
+        assert bk.resolve_backend("numba").name == "numpy"
+        assert obs.registry().is_empty()
+
+    def test_evaluate_through_numba_name_matches_numpy(self):
+        from repro.core.operators import FeedbackOperator, SamplingOperator
+
+        op = FeedbackOperator(SamplingOperator(2 * np.pi))
+        s = 1j * np.linspace(0.3, 2.9, 7)
+        via_numba = np.asarray(op.evaluate(s, 3, backend="numba").to_dense())
+        via_numpy = np.asarray(op.evaluate(s, 3, backend="numpy").to_dense())
+        np.testing.assert_allclose(via_numba, via_numpy, rtol=1e-13)
+
+
+class TestManifestRecordsBackend:
+    def test_build_manifest_carries_backend_name(self):
+        from repro.campaign import CampaignSpec, ListSpace
+        from repro.obs.manifest import build_manifest
+
+        spec = CampaignSpec.create(
+            name="m",
+            space=ListSpace.of([{"ratio": 0.1}]),
+            task="standard_metrics",
+        )
+        manifest = build_manifest(spec)
+        assert manifest["backend"] == "numpy"

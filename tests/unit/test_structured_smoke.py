@@ -1,0 +1,53 @@
+"""Tier-1 smoke for the structured-evaluation benchmark.
+
+Runs ``benchmarks/bench_structured.py`` machinery on a tiny grid so every
+CI pass exercises the structured-vs-dense-oracle comparison end to end,
+failing if the two paths diverge beyond 1e-9 relative or the closed loop
+loses its rank-one tag.  The full-size speedup assertion stays in the
+benchmark itself (timing on a loaded CI box is not a correctness signal;
+agreement and structure are).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+
+_BENCH_PATH = Path(__file__).parents[2] / "benchmarks" / "bench_structured.py"
+
+
+def _load_bench():
+    name = "bench_structured_smoke_target"
+    if name in sys.modules:
+        return sys.modules[name]
+    spec = importlib.util.spec_from_file_location(name, _BENCH_PATH)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_bench_module_exists():
+    assert _BENCH_PATH.is_file()
+
+
+def test_structured_and_dense_paths_agree():
+    bench = _load_bench()
+    result = bench.measure(points=16, order=4, repeats=1)
+    assert result.structure == "rank_one", result.summary()
+    assert result.max_rel_err < 1e-9, result.summary()
+    assert result.points == 16 and result.order == 4
+    assert result.dense_seconds > 0 and result.structured_seconds > 0
+    assert np.isfinite(result.speedup)
+    assert "max rel err" in result.summary()
+
+
+def test_stacks_elementwise_equal_on_tiny_grid():
+    bench = _load_bench()
+    op, omega0 = bench.closed_loop_operator()
+    s_arr = 1j * np.linspace(0.05, 0.45, 8) * omega0
+    structured = np.asarray(bench.structured_stack(op, s_arr, 3).to_dense())
+    reference = bench.dense_stack(op, s_arr, 3)
+    scale = float(np.max(np.abs(reference)))
+    assert np.allclose(structured, reference, rtol=1e-12, atol=1e-12 * scale)

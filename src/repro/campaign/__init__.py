@@ -53,6 +53,7 @@ from repro.campaign.spec import (
 from repro.campaign.store import ResultStore, StoreCorruptError
 from repro.campaign.tasks import available_tasks, get_task, register_task
 from repro.campaign.telemetry import CampaignTelemetry
+from repro.campaign.watch import poll_store
 from repro.campaign.watch import render as render_watch
 from repro.campaign.watch import watch as watch_campaign
 
@@ -73,6 +74,7 @@ __all__ = [
     "campaign_status",
     "get_task",
     "point_id",
+    "poll_store",
     "register_task",
     "render_watch",
     "resume_campaign",

@@ -371,9 +371,13 @@ def _pool_init(
     """
     from repro.core import memo
 
+    raw_bytes = cache_config.get("max_bytes")
+    raw_ttl = cache_config.get("ttl_seconds")
     memo.configure(
         enabled=bool(cache_config.get("enabled", True)),
         maxsize=int(cache_config.get("maxsize", 256)),
+        max_bytes=None if raw_bytes is None else int(raw_bytes),
+        ttl_seconds=None if raw_ttl is None else float(raw_ttl),
     )
     if obs_enabled:
         obs.enable()

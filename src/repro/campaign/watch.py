@@ -30,7 +30,45 @@ from repro.obs import heartbeat as obs_heartbeat
 from repro.obs import manifest as obs_manifest
 from repro.obs import stream as obs_stream
 
-__all__ = ["render", "watch"]
+__all__ = ["poll_store", "render", "watch"]
+
+
+def poll_store(store_path: str | Path) -> dict[str, Any]:
+    """One machine-readable liveness sample of a (possibly running) store.
+
+    The JSON-shaped sibling of :func:`render` — progress counts from the
+    store, the latest streaming-metrics sample (when the run streams), and
+    the run manifest.  This is what the serving layer's job-polling
+    endpoint returns, and what ``repro jobs`` prints: read-only,
+    torn-file tolerant, safe against a live writer or a SIGKILLed corpse.
+    """
+    store = ResultStore.open(store_path)
+    status = store.status()
+    out: dict[str, Any] = {
+        "name": status["name"],
+        "task": status["task"],
+        "points": status["points"],
+        "done": status["done"],
+        "failed": status["failed"],
+        "pending": status["pending"],
+        "complete": status["complete"],
+    }
+    summary = status.get("summary")
+    if summary:
+        out["wall_seconds"] = summary.get("wall_seconds")
+    manifest = obs_manifest.load_manifest(
+        obs_manifest.manifest_path(store.path)
+    )
+    if manifest:
+        out["manifest"] = {
+            key: manifest.get(key)
+            for key in ("spec_hash", "runs", "package_version", "git_sha")
+            if manifest.get(key) is not None
+        }
+    samples = obs_stream.read_stream(obs_stream.stream_path(store.path))
+    if samples:
+        out["stream"] = samples[-1]
+    return out
 
 _BAR_WIDTH = 32
 

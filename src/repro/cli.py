@@ -60,6 +60,19 @@ Benchmark baselines (:mod:`repro.obs.baseline`)::
 Diffs bench ``--json-out`` JSONL against the committed baseline and exits
 nonzero when a gated metric (``*_seconds`` lower-better, ``*speedup*``
 higher-better) degrades beyond the tolerance.
+
+Analysis service (:mod:`repro.serve`)::
+
+    python -m repro serve [--host H] [--port P] [--workers N]
+                    [--max-inflight N] [--cache-bytes B] [--cache-ttl S]
+                    [--cache-shards N] [--batch-window S]
+                    [--spill-threshold N] [--jobs-dir DIR] [--manifest FILE]
+    python -m repro jobs DIR_OR_STORE [--id JOB_ID]
+
+``serve`` runs the HTTP/JSON analysis server (endpoints and wire contract
+in ``docs/SERVING.md``); ``jobs`` inspects the background-job stores a
+server spilled heavy stability maps into — a jobs directory lists every
+job, a single store (or ``--id``) prints its full poll status.
 """
 
 from __future__ import annotations
@@ -289,6 +302,73 @@ def build_parser() -> argparse.ArgumentParser:
     compare_cmd.add_argument(
         "--report", default=None, help="also write the comparison as JSON to FILE"
     )
+
+    serve_cmd = commands.add_parser(
+        "serve", help="HTTP/JSON analysis server (micro-batching, caching)"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_cmd.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = any free port)"
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=4, help="compute thread-pool width"
+    )
+    serve_cmd.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission bound; past it requests get 429 + Retry-After",
+    )
+    serve_cmd.add_argument(
+        "--cache-shards", type=int, default=4, help="result-cache shard count"
+    )
+    serve_cmd.add_argument(
+        "--cache-entries", type=int, default=256, help="cache entries per shard"
+    )
+    serve_cmd.add_argument(
+        "--cache-bytes",
+        type=int,
+        default=None,
+        help="total result-cache byte budget (default unbounded)",
+    )
+    serve_cmd.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=None,
+        help="result-cache entry TTL in seconds (default no expiry)",
+    )
+    serve_cmd.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.005,
+        help="micro-batching window in seconds (default 0.005)",
+    )
+    serve_cmd.add_argument(
+        "--spill-threshold",
+        type=int,
+        default=64,
+        help="stability-map cells beyond which the request becomes a job",
+    )
+    serve_cmd.add_argument(
+        "--jobs-dir",
+        default=None,
+        help="directory for background-job stores (omitting disables jobs)",
+    )
+    serve_cmd.add_argument(
+        "--manifest",
+        default=None,
+        help="server manifest path (default <jobs-dir>/server.manifest.json)",
+    )
+
+    jobs_cmd = commands.add_parser(
+        "jobs", help="inspect the analysis server's background-job stores"
+    )
+    jobs_cmd.add_argument(
+        "store", help="jobs directory (lists jobs) or one job store JSONL"
+    )
+    jobs_cmd.add_argument(
+        "--id", default=None, help="job id to inspect within a jobs directory"
+    )
     return parser
 
 
@@ -302,6 +382,10 @@ def main(argv: list[str] | None = None) -> int:
             return _obs(args)
         if getattr(args, "command", None) == "bench":
             return _bench(args)
+        if getattr(args, "command", None) == "serve":
+            return _serve(args)
+        if getattr(args, "command", None) == "jobs":
+            return _jobs(args)
         return _report(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -381,6 +465,107 @@ def _bench(args) -> int:
         Path(args.report).write_text(comparison.to_json() + "\n")
         print(f"report: {args.report}")
     return 0 if comparison.ok else 1
+
+
+# -- serve / jobs subcommands ------------------------------------------------------
+
+
+def _serve(args) -> int:
+    import asyncio
+
+    from repro.serve import AnalysisServer, ServerConfig
+
+    if not 0 <= args.port <= 65535:
+        raise ValidationError(f"port must be in [0, 65535], got {args.port}")
+    if args.workers < 1:
+        raise ValidationError(f"--workers must be >= 1, got {args.workers}")
+    if args.max_inflight < 1:
+        raise ValidationError(
+            f"--max-inflight must be >= 1, got {args.max_inflight}"
+        )
+    if args.cache_bytes is not None and args.cache_bytes < 1:
+        raise ValidationError(
+            f"--cache-bytes must be positive, got {args.cache_bytes}"
+        )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+        cache_shards=args.cache_shards,
+        cache_entries=args.cache_entries,
+        cache_bytes=args.cache_bytes,
+        cache_ttl=args.cache_ttl,
+        batch_window=args.batch_window,
+        spill_threshold=args.spill_threshold,
+        jobs_dir=args.jobs_dir,
+        manifest_path=args.manifest,
+    )
+    server = AnalysisServer(config)
+
+    async def _run() -> None:
+        await server.start()
+        print(
+            f"repro serve: http://{config.host}:{server.port} "
+            f"({config.workers} workers, {config.max_inflight} in-flight max, "
+            f"jobs {'at ' + config.jobs_dir if config.jobs_dir else 'disabled'})"
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("repro serve: stopped")
+    except OSError as exc:  # bind failure: port in use, bad address, ...
+        raise ValidationError(
+            f"cannot bind {args.host}:{args.port}: {exc}"
+        ) from None
+    return 0
+
+
+def _jobs(args) -> int:
+    from repro.campaign.watch import poll_store
+
+    path = Path(args.store)
+    if not path.exists():
+        raise ValidationError(f"no jobs directory or store at {path}")
+    if args.id is not None:
+        if not path.is_dir():
+            raise ValidationError(
+                f"--id needs a jobs directory, but {path} is a file"
+            )
+        path = path / f"{args.id}.jsonl"
+        if not path.exists():
+            raise ValidationError(f"no job {args.id!r} in {path.parent}")
+
+    if path.is_dir():
+        stores = [
+            p
+            for p in sorted(path.glob("*.jsonl"))
+            if not p.name.endswith(".stream.jsonl")
+        ]
+        if not stores:
+            print(f"no jobs in {path}")
+            return 0
+        for store in stores:
+            try:
+                status = poll_store(store)
+            except ReproError as exc:
+                print(f"{store.stem}: unreadable ({exc})")
+                continue
+            state = "complete" if status["complete"] else "running/partial"
+            print(
+                f"{store.stem}: {state} — {status['done']} ok, "
+                f"{status['failed']} failed, {status['pending']} pending "
+                f"of {status['points']} [{status['task']}]"
+            )
+        return 0
+
+    print(json.dumps(poll_store(path), indent=2, sort_keys=True, default=str))
+    return 0
 
 
 # -- campaign subcommand -----------------------------------------------------------

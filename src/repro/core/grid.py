@@ -46,12 +46,13 @@ class FrequencyGrid:
     memoization key.
     """
 
-    __slots__ = ("_omega",)
+    __slots__ = ("_omega", "_s")
 
     def __init__(self, omega: Sequence[float] | np.ndarray):
         arr = as_float_array("omega", omega).copy()
         arr.flags.writeable = False
         object.__setattr__(self, "_omega", arr)
+        object.__setattr__(self, "_s", None)
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("FrequencyGrid is immutable")
@@ -103,8 +104,20 @@ class FrequencyGrid:
 
     @property
     def s(self) -> np.ndarray:
-        """The imaginary-axis Laplace points ``j omega``."""
-        return 1j * self._omega
+        """The imaginary-axis Laplace points ``j omega`` (read-only array).
+
+        Computed once and cached read-only: the serving micro-batcher and
+        the campaign batch dispatch both hand out slices of this array to
+        concurrent consumers, so a writable fresh copy per access would be
+        a silent aliasing hazard (a consumer mutating its "own" slice would
+        corrupt every other view of the same grid).
+        """
+        s = self._s
+        if s is None:
+            s = 1j * self._omega
+            s.flags.writeable = False
+            object.__setattr__(self, "_s", s)
+        return s
 
     def __len__(self) -> int:
         return int(self._omega.size)

@@ -37,6 +37,7 @@ __all__ = [
     "MANIFEST_VERSION",
     "build_manifest",
     "check_manifest",
+    "environment_info",
     "load_manifest",
     "manifest_path",
     "spec_fingerprint",
@@ -123,17 +124,13 @@ def _backend_name() -> str | None:
         return None
 
 
-def build_manifest(spec: Any, policy: Any = None) -> dict[str, Any]:
-    """Capture the provenance of a run about to execute ``spec``."""
-    manifest: dict[str, Any] = {
-        "kind": "campaign_manifest",
-        "version": MANIFEST_VERSION,
-        "created": time.time(),
-        "runs": 1,
-        "campaign": getattr(spec, "name", None),
-        "task": getattr(spec, "task_name", None) or "<callable>",
-        "points": len(spec),
-        "spec_hash": spec_fingerprint(spec),
+def environment_info() -> dict[str, Any]:
+    """The environment half of a manifest: versions, platform, obs switches.
+
+    Shared between campaign run manifests and the serving layer's server
+    manifest — the same provenance questions apply to both.
+    """
+    return {
         "package_version": _package_version(),
         "git_sha": _git_sha(),
         "python": platform.python_version(),
@@ -145,6 +142,21 @@ def build_manifest(spec: Any, policy: Any = None) -> dict[str, Any]:
             "stream": _stream.stream_requested(),
             "mem": _resources.tracemalloc_requested(),
         },
+    }
+
+
+def build_manifest(spec: Any, policy: Any = None) -> dict[str, Any]:
+    """Capture the provenance of a run about to execute ``spec``."""
+    manifest: dict[str, Any] = {
+        "kind": "campaign_manifest",
+        "version": MANIFEST_VERSION,
+        "created": time.time(),
+        "runs": 1,
+        "campaign": getattr(spec, "name", None),
+        "task": getattr(spec, "task_name", None) or "<callable>",
+        "points": len(spec),
+        "spec_hash": spec_fingerprint(spec),
+        **environment_info(),
     }
     if policy is not None and dataclasses.is_dataclass(policy):
         manifest["policy"] = dataclasses.asdict(policy)

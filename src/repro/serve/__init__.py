@@ -1,0 +1,59 @@
+"""repro.serve — analysis-as-a-service over the task adapters.
+
+A stdlib-only asyncio HTTP/JSON server that turns the per-design analyses
+(margins, noise summaries, closed-loop frequency responses, stability
+maps) into concurrent endpoints, with three serving-specific mechanisms:
+
+* **cross-request micro-batching** (:mod:`~repro.serve.batcher`) —
+  concurrent requests for the same design fingerprint coalesce into one
+  underlying evaluation on a merged frequency grid;
+* a **sharded TTL/byte-budget cache** (:mod:`~repro.serve.cache`) built
+  from :class:`~repro.core.memo.GridEvalCache` shards;
+* **job spill** (:mod:`~repro.serve.jobs`) — heavy stability maps run as
+  resumable background campaigns, polled via ``GET /v1/jobs/<id>``.
+
+Start from the shell::
+
+    python -m repro serve --port 8080 --jobs-dir jobs/
+
+or in-process::
+
+    from repro.serve import AnalysisServer, ServerConfig
+    server = AnalysisServer(ServerConfig(port=0))
+    await server.start()
+
+See ``docs/SERVING.md`` for the endpoint reference and wire contract.
+"""
+
+from repro.serve.app import AnalysisServer, ServerConfig, ServerStats
+from repro.serve.batcher import BatchStats, MicroBatcher
+from repro.serve.cache import Payload, ShardedGridCache
+from repro.serve.jobs import JobManager, job_id_for
+from repro.serve.protocol import (
+    MAX_BODY_BYTES,
+    ServeError,
+    design_fingerprint,
+    design_params,
+    dumps_bytes,
+    grid_from_request,
+    parse_json_body,
+)
+
+__all__ = [
+    "MAX_BODY_BYTES",
+    "AnalysisServer",
+    "BatchStats",
+    "JobManager",
+    "MicroBatcher",
+    "Payload",
+    "ServeError",
+    "ServerConfig",
+    "ServerStats",
+    "ShardedGridCache",
+    "design_fingerprint",
+    "design_params",
+    "dumps_bytes",
+    "grid_from_request",
+    "job_id_for",
+    "parse_json_body",
+]

@@ -1,0 +1,237 @@
+"""Cross-request micro-batching: coalesce same-fingerprint work.
+
+The highest-leverage serving optimisation for this workload: analysis
+requests are *fingerprint-addressable* (a design's canonical parameters
+hash to the campaign point id), and concurrent clients very often ask
+about the same design — dashboards refreshing, sweeps fanned out over
+HTTP, retries.  Instead of evaluating the same operator stack once per
+request, the :class:`MicroBatcher` holds each arriving request for a short
+batching window (default 5 ms); everything that lands on the same key in
+that window becomes **one** underlying ``evaluate()``/``dense_grid`` call:
+
+* **grid mode** — requests carry frequency grids; the batch leader merges
+  them (``np.unique`` of the concatenation: sorted, de-duplicated), the
+  compute callable runs once on the merged grid in a worker thread, and
+  each waiter gets its slice back via ``searchsorted`` index mapping.  A
+  waiter whose grid *is* the merged grid shares the result array directly
+  (read-only, zero copy).  Grid evaluation is elementwise across frequency
+  points, so merged-grid slices are bitwise identical to a serial
+  evaluation of the original grid — asserted by the equivalence tests.
+* **scalar mode** (``omega=None``) — pure deduplication: every waiter
+  shares the single computed result.
+
+Failure/cancellation semantics: a compute error propagates to every waiter
+of that batch (they asked the same question; they get the same answer).  A
+*cancelled* waiter (client disconnected mid-batch) never poisons the
+batch — remaining waiters still get their results, and a batch whose
+waiters have all been cancelled still completes its compute (the result
+lands in the serve cache, so the work is not wasted).
+
+The batcher is event-loop-confined: all bookkeeping mutations happen on
+the loop thread between awaits, so no locks are needed; only the compute
+callable runs in the executor.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.obs import spans as obs
+
+__all__ = ["BatchStats", "MicroBatcher"]
+
+
+class BatchStats:
+    """Plain counters the server surfaces via ``/v1/statz`` (obs-independent)."""
+
+    __slots__ = (
+        "requests",
+        "coalesced",
+        "batches",
+        "underlying_calls",
+        "errors",
+        "cancelled",
+        "merged_points",
+    )
+
+    def __init__(self) -> None:
+        self.requests = 0
+        self.coalesced = 0
+        self.batches = 0
+        self.underlying_calls = 0
+        self.errors = 0
+        self.cancelled = 0
+        self.merged_points = 0
+
+    def to_dict(self) -> dict[str, int | float]:
+        out = {name: getattr(self, name) for name in self.__slots__}
+        out["coalescing_ratio"] = (
+            self.coalesced / self.requests if self.requests else 0.0
+        )
+        return out
+
+
+class _Waiter:
+    __slots__ = ("omega", "future")
+
+    def __init__(self, omega: np.ndarray | None, future: asyncio.Future):
+        self.omega = omega
+        self.future = future
+
+
+class _PendingBatch:
+    __slots__ = ("key", "compute", "waiters", "flush_event")
+
+    def __init__(self, key: Any, compute: Callable[[np.ndarray | None], Any]):
+        self.key = key
+        self.compute = compute
+        self.waiters: list[_Waiter] = []
+        self.flush_event = asyncio.Event()
+
+
+class MicroBatcher:
+    """Coalesces concurrent same-key submissions into one compute call.
+
+    Parameters
+    ----------
+    window:
+        Batching window in seconds — how long the first request of a batch
+        waits for company.  Zero still coalesces whatever arrives in the
+        same event-loop tick.
+    max_batch:
+        Waiter count that triggers an immediate flush (latency guard under
+        a thundering herd).
+    executor:
+        ``concurrent.futures`` executor the compute callables run on
+        (``None`` = the loop's default thread pool).
+    """
+
+    def __init__(
+        self,
+        window: float = 0.005,
+        max_batch: int = 64,
+        executor=None,
+    ):
+        self.window = float(window)
+        self.max_batch = int(max_batch)
+        self.executor = executor
+        self.stats = BatchStats()
+        self._pending: dict[Any, _PendingBatch] = {}
+
+    def pending_keys(self) -> list[Any]:
+        return list(self._pending)
+
+    async def submit(
+        self,
+        key: Any,
+        omega: np.ndarray | None,
+        compute: Callable[[np.ndarray | None], Any],
+    ) -> Any:
+        """Join (or open) the batch for ``key``; returns this caller's slice.
+
+        ``compute`` receives the merged frequency grid (grid mode) or
+        ``None`` (scalar mode) and runs once per batch in the executor.
+        Only the *first* submitter's ``compute`` is used — same key must
+        mean same computation, which the fingerprint guarantees.
+        """
+        loop = asyncio.get_running_loop()
+        batch = self._pending.get(key)
+        self.stats.requests += 1
+        if batch is None:
+            batch = _PendingBatch(key, compute)
+            self._pending[key] = batch
+            loop.create_task(self._run_batch(batch))
+        else:
+            self.stats.coalesced += 1
+            if obs.enabled():
+                obs.add("serve.batch.coalesced")
+        future: asyncio.Future = loop.create_future()
+        batch.waiters.append(_Waiter(omega, future))
+        if len(batch.waiters) >= self.max_batch:
+            batch.flush_event.set()
+        try:
+            return await future
+        except asyncio.CancelledError:
+            self.stats.cancelled += 1
+            raise
+
+    async def _run_batch(self, batch: _PendingBatch) -> None:
+        try:
+            if self.window > 0:
+                try:
+                    await asyncio.wait_for(
+                        batch.flush_event.wait(), timeout=self.window
+                    )
+                except asyncio.TimeoutError:
+                    pass
+            else:
+                await asyncio.sleep(0)
+        finally:
+            # Close the batch *before* computing: late arrivals open a new one.
+            if self._pending.get(batch.key) is batch:
+                del self._pending[batch.key]
+        self.stats.batches += 1
+        self.stats.underlying_calls += 1
+        if obs.enabled():
+            obs.add("serve.batch.underlying")
+            obs.add("serve.batch.size", float(len(batch.waiters)))
+        merged = self._merge([w.omega for w in batch.waiters])
+        if merged is not None:
+            self.stats.merged_points += int(merged.size)
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(
+                self.executor, batch.compute, merged
+            )
+        except asyncio.CancelledError:  # pragma: no cover - loop teardown
+            raise
+        except Exception as exc:
+            self.stats.errors += 1
+            for waiter in batch.waiters:
+                if not waiter.future.done():
+                    waiter.future.set_exception(exc)
+            return
+        self._deliver(batch, merged, result)
+
+    @staticmethod
+    def _merge(omegas: list[np.ndarray | None]) -> np.ndarray | None:
+        """The union frequency grid (sorted, de-duplicated) or ``None``.
+
+        A batch is uniformly grid-mode or scalar-mode — the key embeds the
+        endpoint, and each endpoint picks one mode.
+        """
+        arrays = [np.asarray(w, dtype=float) for w in omegas if w is not None]
+        if not arrays:
+            return None
+        if len(arrays) == 1:
+            return arrays[0]
+        return np.unique(np.concatenate(arrays))
+
+    def _deliver(
+        self, batch: _PendingBatch, merged: np.ndarray | None, result: Any
+    ) -> None:
+        if isinstance(result, np.ndarray):
+            result = np.asarray(result)
+            result.flags.writeable = False
+        for waiter in batch.waiters:
+            if waiter.future.done():  # cancelled mid-batch
+                continue
+            if merged is None or waiter.omega is None:
+                waiter.future.set_result(result)
+                continue
+            omega = np.asarray(waiter.omega, dtype=float)
+            if omega.size == merged.size and np.array_equal(omega, merged):
+                waiter.future.set_result(result)
+                continue
+            indices = np.searchsorted(merged, omega)
+            try:
+                sliced = np.take(result, indices, axis=-1)
+            except Exception as exc:  # result not sliceable along frequency
+                waiter.future.set_exception(exc)
+                continue
+            if isinstance(sliced, np.ndarray):
+                sliced.flags.writeable = False
+            waiter.future.set_result(sliced)

@@ -56,6 +56,23 @@ class TestFrequencyGrid:
         with pytest.raises(AttributeError):
             grid.points = 7
 
+    def test_views_are_read_only(self):
+        """Both exposed arrays refuse writes — slices of them may be shared
+        across cached/batched results, so aliasing a writable buffer out of a
+        grid would let one consumer corrupt another's answer."""
+        grid = FrequencyGrid.linear(1.0, 2.0, 4)
+        assert not grid.omega.flags.writeable
+        assert not grid.s.flags.writeable
+        with pytest.raises(ValueError):
+            grid.omega[:] = 0.0
+        with pytest.raises(ValueError):
+            grid.s[1] = 0.0
+
+    def test_s_is_computed_once_and_cached(self):
+        grid = FrequencyGrid.linear(1.0, 2.0, 4)
+        assert grid.s is grid.s
+        assert np.allclose(grid.s, 1j * grid.omega)
+
     def test_equality_and_hash(self):
         a = FrequencyGrid.linear(1.0, 2.0, 4)
         b = FrequencyGrid.linear(1.0, 2.0, 4)

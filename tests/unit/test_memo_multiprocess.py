@@ -41,7 +41,7 @@ class TestSnapshot:
         assert restored == snap
         # Strictly builtin types: JSON-able too.
         assert all(
-            isinstance(v, (bool, int)) for v in snap.values()
+            v is None or isinstance(v, (bool, int, float)) for v in snap.values()
         ), snap
 
     def test_snapshot_deltas_track_activity(self):

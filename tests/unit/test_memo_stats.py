@@ -78,8 +78,9 @@ def test_clear_resets_byte_and_eviction_counters():
     cache.clear()
     stats = cache.stats()
     assert stats == {
-        "hits": 0, "misses": 0, "evictions": 0,
+        "hits": 0, "misses": 0, "evictions": 0, "expirations": 0,
         "entries": 0, "bytes": 0, "maxsize": 1,
+        "max_bytes": None, "ttl_seconds": None,
     }
 
 

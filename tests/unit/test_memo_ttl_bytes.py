@@ -1,0 +1,170 @@
+"""TTL and byte-budget eviction of the grid-evaluation memo cache.
+
+The serving layer keeps GridEvalCache instances alive for the process
+lifetime, so beyond the LRU entry count it needs bounded memory
+(``max_bytes``) and bounded staleness (``ttl_seconds``).  These tests pin
+the eviction semantics: byte budgets evict oldest-first but never the
+just-inserted entry, TTL expiry counts separately from evictions, and
+``configure()``/``snapshot()`` round-trip the new knobs.
+"""
+
+import numpy as np
+
+from repro.core.memo import GridEvalCache
+from repro.lti.transfer import TransferFunction
+
+
+class _Op:
+    """Minimal fingerprintable stand-in for an operator."""
+
+    def __init__(self, tag: str):
+        self._tag = tag.encode()
+
+    def fingerprint(self) -> bytes:
+        return self._tag
+
+
+def _value(points: int) -> np.ndarray:
+    return np.zeros((points, 3, 3), dtype=complex)
+
+
+S = 1j * np.linspace(0.1, 1.0, 4)
+
+
+class TestByteBudget:
+    def test_over_budget_evicts_oldest(self):
+        cache = GridEvalCache(maxsize=100, max_bytes=3 * _value(4).nbytes)
+        for i in range(5):
+            cache.store(_Op(f"op{i}"), S, 1, _value(4))
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["evictions"] == 2
+        assert stats["bytes"] <= 3 * _value(4).nbytes
+        # newest survive, oldest went
+        assert cache.lookup(_Op("op4"), S, 1) is not None
+        assert cache.lookup(_Op("op0"), S, 1) is None
+
+    def test_single_oversized_entry_is_kept(self):
+        """The just-inserted entry is never evicted, even alone over budget —
+        evicting it would thrash: every store would immediately vanish."""
+        cache = GridEvalCache(maxsize=100, max_bytes=8)
+        cache.store(_Op("big"), S, 1, _value(4))
+        assert cache.stats()["entries"] == 1
+        assert cache.lookup(_Op("big"), S, 1) is not None
+
+    def test_lru_touch_protects_entries(self):
+        cache = GridEvalCache(maxsize=100, max_bytes=2 * _value(4).nbytes)
+        cache.store(_Op("a"), S, 1, _value(4))
+        cache.store(_Op("b"), S, 1, _value(4))
+        assert cache.lookup(_Op("a"), S, 1) is not None  # touch a
+        cache.store(_Op("c"), S, 1, _value(4))  # evicts b, not a
+        assert cache.lookup(_Op("a"), S, 1) is not None
+        assert cache.lookup(_Op("b"), S, 1) is None
+
+
+class TestTTL:
+    def test_expired_entry_misses_and_counts(self, monkeypatch):
+        import repro.core.memo as memo
+
+        clock = [100.0]
+        monkeypatch.setattr(memo.time, "monotonic", lambda: clock[0])
+        cache = GridEvalCache(ttl_seconds=10.0)
+        cache.store(_Op("x"), S, 1, _value(4))
+        assert cache.lookup(_Op("x"), S, 1) is not None
+        clock[0] += 11.0
+        assert cache.lookup(_Op("x"), S, 1) is None
+        stats = cache.stats()
+        assert stats["expirations"] == 1
+        assert stats["entries"] == 0
+
+    def test_purge_expired(self, monkeypatch):
+        import repro.core.memo as memo
+
+        clock = [0.0]
+        monkeypatch.setattr(memo.time, "monotonic", lambda: clock[0])
+        cache = GridEvalCache(ttl_seconds=5.0)
+        for i in range(3):
+            cache.store(_Op(f"p{i}"), S, 1, _value(4))
+        clock[0] = 6.0
+        cache.store(_Op("fresh"), S, 1, _value(4))
+        assert cache.purge_expired() == 3
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["expirations"] == 3
+
+    def test_no_ttl_never_expires(self):
+        cache = GridEvalCache()
+        cache.store(_Op("x"), S, 1, _value(4))
+        assert cache.purge_expired() == 0
+        assert cache.lookup(_Op("x"), S, 1) is not None
+
+
+class TestConfigureAndSnapshot:
+    def test_configure_round_trips_new_knobs(self):
+        cache = GridEvalCache()
+        cache.configure(max_bytes=1024, ttl_seconds=2.5)
+        stats = cache.stats()
+        assert stats["max_bytes"] == 1024
+        assert stats["ttl_seconds"] == 2.5
+        cache.configure(max_bytes=None, ttl_seconds=None)
+        stats = cache.stats()
+        assert stats["max_bytes"] is None
+        assert stats["ttl_seconds"] is None
+
+    def test_configure_unset_leaves_knobs_alone(self):
+        cache = GridEvalCache(max_bytes=512, ttl_seconds=9.0)
+        cache.configure(maxsize=32)  # no byte/ttl arguments passed
+        stats = cache.stats()
+        assert stats["max_bytes"] == 512
+        assert stats["ttl_seconds"] == 9.0
+
+    def test_shrinking_byte_budget_evicts_immediately(self):
+        cache = GridEvalCache(maxsize=100)
+        for i in range(4):
+            cache.store(_Op(f"s{i}"), S, 1, _value(4))
+        cache.configure(max_bytes=_value(4).nbytes)
+        assert cache.stats()["entries"] == 1
+
+    def test_snapshot_includes_lifetime_fields(self):
+        cache = GridEvalCache(max_bytes=2048, ttl_seconds=30.0)
+        snap = cache.snapshot()
+        assert snap["max_bytes"] == 2048
+        assert snap["ttl_seconds"] == 30.0
+        assert snap["enabled"] is True
+        assert snap["expirations"] == 0
+
+
+class TestFetchPath:
+    def test_fetch_respects_ttl(self, monkeypatch):
+        """The compute-through path recomputes after expiry (fresh object)."""
+        import repro.core.memo as memo
+        from repro.core.operators import LTIOperator
+
+        clock = [0.0]
+        monkeypatch.setattr(memo.time, "monotonic", lambda: clock[0])
+        cache = GridEvalCache(ttl_seconds=1.0)
+        op = LTIOperator(TransferFunction([1.0], [1.0, 1.0]), 2 * np.pi)
+        calls = []
+
+        def compute(s_arr, order):
+            calls.append(1)
+            return np.ones((s_arr.size, 3, 3), dtype=complex)
+
+        first = cache.fetch(op, S, 1, compute)
+        again = cache.fetch(op, S, 1, compute)
+        assert again is first and len(calls) == 1
+        clock[0] = 2.0
+        refreshed = cache.fetch(op, S, 1, compute)
+        assert len(calls) == 2
+        assert refreshed is not first
+        assert np.allclose(refreshed, first)
+
+    def test_lookup_then_store_round_trip(self):
+        cache = GridEvalCache()
+        op = _Op("rt")
+        assert cache.lookup(op, S, 1) is None
+        cache.store(op, S, 1, _value(4))
+        value = cache.lookup(op, S, 1)
+        assert value is not None and not value.flags.writeable
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1

@@ -26,10 +26,19 @@ Kill the process mid-run and finish later with::
 
 or from the shell: ``python -m repro campaign resume margins.jsonl``.
 
+Scale past one machine with the shared-filesystem lease scheduler: any
+number of independently launched workers (``repro campaign worker``, or
+:func:`run_worker`) join one store, claim batch leases, steal expired
+ones from dead workers, and leave elastically — see
+:mod:`~repro.campaign.lease` and docs/CAMPAIGNS.md.
+
 Package layout: :mod:`~repro.campaign.spec` (parameter spaces, point
 ids), :mod:`~repro.campaign.tasks` (adapter registry),
-:mod:`~repro.campaign.executor` (pool/serial runner),
-:mod:`~repro.campaign.store` (JSONL persistence),
+:mod:`~repro.campaign.executor` (point execution, retries, batching),
+:mod:`~repro.campaign.scheduler` (serial/pool scheduler seam),
+:mod:`~repro.campaign.lease` (multi-host lease protocol),
+:mod:`~repro.campaign.vectorized` (stacked batch adapters),
+:mod:`~repro.campaign.store` (JSONL persistence + shard merge),
 :mod:`~repro.campaign.telemetry` (counters and cache visibility).
 """
 
@@ -40,6 +49,14 @@ from repro.campaign.executor import (
     campaign_status,
     resume_campaign,
     run_campaign,
+    run_point_batch,
+)
+from repro.campaign.lease import WorkerReport, run_worker
+from repro.campaign.scheduler import (
+    PoolScheduler,
+    Scheduler,
+    SerialScheduler,
+    resolve_scheduler,
 )
 from repro.campaign.spec import (
     CampaignSpec,
@@ -51,7 +68,13 @@ from repro.campaign.spec import (
     point_id,
 )
 from repro.campaign.store import ResultStore, StoreCorruptError
-from repro.campaign.tasks import available_tasks, get_task, register_task
+from repro.campaign.tasks import (
+    available_tasks,
+    get_batch_task,
+    get_task,
+    register_batch_task,
+    register_task,
+)
 from repro.campaign.telemetry import CampaignTelemetry
 from repro.campaign.watch import poll_store
 from repro.campaign.watch import render as render_watch
@@ -66,18 +89,27 @@ __all__ = [
     "ListSpace",
     "ParameterSpace",
     "PointTimeout",
+    "PoolScheduler",
     "ProductSpace",
     "ResultStore",
+    "Scheduler",
+    "SerialScheduler",
     "StoreCorruptError",
+    "WorkerReport",
     "ZipSpace",
     "available_tasks",
     "campaign_status",
+    "get_batch_task",
     "get_task",
     "point_id",
     "poll_store",
+    "register_batch_task",
     "register_task",
     "render_watch",
+    "resolve_scheduler",
     "resume_campaign",
     "run_campaign",
+    "run_point_batch",
+    "run_worker",
     "watch_campaign",
 ]

@@ -69,6 +69,7 @@ __all__ = [
     "campaign_status",
     "resume_campaign",
     "run_campaign",
+    "run_point_batch",
 ]
 
 
@@ -123,6 +124,19 @@ class ExecutionPolicy:
     memory_budget_mb:
         Per-point peak-RSS budget; points above it are flagged
         ``over_budget`` with a ``campaign.memory_budget`` health event.
+    scheduler:
+        Execution scheduler: ``"auto"`` (pool when it pays off, else
+        serial), ``"serial"``, ``"pool"``, or ``"lease"`` — the
+        shared-filesystem multi-host scheduler (requires a store; other
+        workers can join via ``repro campaign worker``).
+    vectorize:
+        Evaluate point batches through the task's registered vectorized
+        batch adapter when one exists (stacked-axis evaluation, bitwise
+        identical to the scalar path); ``False`` forces the scalar path.
+    lease_ttl:
+        Lease time-to-live in seconds for the lease scheduler.  A worker
+        renews its batch lease every ``lease_ttl / 3``; a lease older than
+        this is considered abandoned and reclaimed by another worker.
     """
 
     workers: int = 1
@@ -138,8 +152,17 @@ class ExecutionPolicy:
     stall_action: str = "flag"
     stream_interval: float = 1.0
     memory_budget_mb: float | None = None
+    scheduler: str = "auto"
+    vectorize: bool = True
+    lease_ttl: float = 30.0
 
     def __post_init__(self):
+        if self.scheduler not in ("auto", "serial", "pool", "lease"):
+            raise ValidationError(
+                "scheduler must be 'auto', 'serial', 'pool' or 'lease'"
+            )
+        if self.lease_ttl <= 0:
+            raise ValidationError("lease_ttl must be positive")
         if self.chunk_size < 1:
             raise ValidationError("chunk_size must be >= 1")
         if self.batch_size < 0:
@@ -328,16 +351,147 @@ def _run_point(
     return record
 
 
-def _pool_entry_batch(payloads: list[tuple]) -> list[dict[str, Any]]:
+def _slot_error(exc: BaseException) -> dict[str, Any]:
+    """Error payload for an exception captured (not raised) by a batch adapter."""
+    tb = traceback.format_exception(type(exc), exc, exc.__traceback__, limit=20)
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(tb),
+    }
+
+
+def run_point_batch(
+    payloads: list[tuple], vectorize: bool = True
+) -> list[dict[str, Any]]:
+    """Evaluate a batch of points, vectorized when the task supports it.
+
+    ``payloads`` are ``(task, point_id, params, timeout, attempt)`` tuples
+    (the :func:`_run_point` signature).  When ``vectorize`` is on and the
+    task has a registered batch adapter, the whole batch runs through one
+    stacked evaluation under a combined alarm budget of ``timeout * K``;
+    per-point records are still emitted (status, metrics/error, attempts)
+    with the batch's elapsed time divided evenly and the cache/obs/memory
+    deltas attributed to the first record (they are batch-level
+    quantities).  Records gain ``vectorized: true`` and ``batch_points``
+    so the provenance of every number is visible in the store.
+
+    Any failure of the batch *machinery* — the adapter raising, a timeout,
+    a malformed result — falls back to the scalar per-point path
+    (``campaign.vectorize_fallback`` counter), so a vectorization bug can
+    cost time but never correctness.  A single point's captured exception
+    is terminal for that slot only, exactly as the scalar adapter's raise
+    would have been.
+    """
+    from repro.campaign.tasks import get_batch_task
+
+    if len(payloads) < 2 or not vectorize:
+        return [_run_point(*payload) for payload in payloads]
+    task = payloads[0][0]
+    name = task if isinstance(task, str) else registered_name(task)
+    batch_fn = get_batch_task(name)
+    if batch_fn is None:
+        return [_run_point(*payload) for payload in payloads]
+
+    from repro.core import memo
+
+    timeout = payloads[0][3]
+    budget = None if timeout is None else float(timeout) * len(payloads)
+    before = memo.cache_snapshot()
+    obs_before = obs.snapshot() if obs.enabled() else None
+    mem_state = obs_resources.point_probe_begin()
+    obs_heartbeat.point_started(payloads[0][1])
+    started = time.perf_counter()
+    guard = _alarm_guard(budget)
+    outcomes: list[Any] | None = None
+    with obs.span(
+        "campaign.point_batch", task=_task_label(task), points=len(payloads)
+    ):
+        try:
+            with guard:
+                outcomes = list(batch_fn([dict(p[2]) for p in payloads]))
+            if len(outcomes) != len(payloads):
+                raise ValidationError(
+                    f"batch adapter returned {len(outcomes)} result(s) "
+                    f"for {len(payloads)} point(s)"
+                )
+        except (Exception, PointTimeout):
+            outcomes = None
+    elapsed = time.perf_counter() - started
+    if outcomes is None:
+        # Batch machinery failed: scalar fallback for every point (each
+        # _run_point re-arms its own per-point timeout and heartbeat).
+        obs.add("campaign.vectorize_fallback")
+        return [_run_point(*payload) for payload in payloads]
+
+    mem = obs_resources.point_probe_end(mem_state)
+    after = memo.cache_snapshot()
+    cache_delta = {
+        "hits": after["hits"] - before["hits"],
+        "misses": after["misses"] - before["misses"],
+        "bytes": int(after.get("bytes", 0)),
+    }
+    obs_delta = obs.delta(obs_before) if obs_before is not None else None
+    per_point = elapsed / len(payloads)
+    records: list[dict[str, Any]] = []
+    for slot, (payload, outcome) in enumerate(zip(payloads, outcomes)):
+        _task, pid, params, _timeout, attempt = payload
+        record: dict[str, Any] = {
+            "kind": "point",
+            "id": pid,
+            "params": dict(params),
+            "attempts": attempt,
+            "worker": os.getpid(),
+            "elapsed": per_point,
+            "vectorized": True,
+            "batch_points": len(payloads),
+        }
+        if isinstance(outcome, BaseException):
+            record["status"] = "failed"
+            record["error"] = _slot_error(outcome)
+        elif isinstance(outcome, Mapping):
+            record["status"] = "ok"
+            record["metrics"] = {str(k): float(v) for k, v in outcome.items()}
+        else:
+            record["status"] = "failed"
+            record["error"] = _slot_error(
+                ValidationError(
+                    "task must return a metric mapping, got "
+                    f"{type(outcome).__name__}"
+                )
+            )
+        if slot == 0:
+            record["mem"] = mem
+            record["cache"] = cache_delta
+            if obs_delta is not None:
+                record["obs"] = obs_delta
+        else:
+            record["mem"] = {}
+            record["cache"] = {
+                "hits": 0,
+                "misses": 0,
+                "bytes": cache_delta["bytes"],
+            }
+        records.append(record)
+        obs_heartbeat.point_finished()
+    return records
+
+
+def _pool_entry_batch(
+    payloads: list[tuple], vectorize: bool = False
+) -> list[dict[str, Any]]:
     """Module-level (picklable) batched pool entry point.
 
     One future carries a batch of points: the worker evaluates them
     back-to-back (sharing its warm grid cache) and ships all records in
     one pickle round-trip.  Per-point semantics are untouched —
     ``_run_point`` never raises, arms its own timeout, and emits its own
-    heartbeat/telemetry, so a batch is purely a transport envelope.
+    heartbeat/telemetry, so a batch is purely a transport envelope.  With
+    ``vectorize`` the batch additionally runs through the task's
+    registered vectorized adapter when one exists (see
+    :func:`run_point_batch`).
     """
-    return [_run_point(*payload) for payload in payloads]
+    return run_point_batch(payloads, vectorize=vectorize)
 
 
 def _auto_batch_size(pending: int, workers: int) -> int:
@@ -444,7 +598,7 @@ class _LivenessMonitor:
         return statistics.median(self._elapsed)
 
     def _flag_stall(
-        self, key: str, point_id: str | None, worker: int, elapsed: float,
+        self, key: str, point_id: str | None, worker: int | str, elapsed: float,
         reason: str,
     ) -> bool:
         if key in self._stall_flagged:
@@ -485,7 +639,9 @@ class _LivenessMonitor:
         for beat in obs_heartbeat.read_heartbeats(self.directory):
             if beat.get("phase") == "stopped":
                 continue
-            worker = int(beat.get("pid", 0))
+            # Keyed by hostname+pid so workers on different hosts sharing
+            # one store can never alias each other's stall state.
+            worker = obs_heartbeat.beat_worker(beat)
             point_id = beat.get("point_id")
             age = obs_heartbeat.beat_age(beat, now)
             point_elapsed = (
@@ -495,7 +651,7 @@ class _LivenessMonitor:
             )
             if age > self.stall_after:
                 if self._flag_stall(
-                    f"pid:{worker}", point_id, worker, age,
+                    f"worker:{worker}", point_id, worker, age,
                     f"silent for {age:.1f} s (no heartbeat)",
                 ):
                     stalled.append(point_id)
@@ -626,6 +782,41 @@ class _Coordinator:
             self._finalize(record)
         self._checkpoint()
 
+    # -- batched serial path (lease workers) -------------------------------------
+
+    def run_batch(self, queue: "deque[tuple[int, str, dict, int]]") -> None:
+        """Evaluate one claimed batch in-process, vectorized when possible.
+
+        The lease scheduler's per-batch execution: the whole queue goes
+        through :func:`run_point_batch` (one stacked evaluation when the
+        task has a batch adapter), and any point needing a retry is
+        re-run through the scalar serial path — identical retry, backoff
+        and timeout semantics to the other schedulers.
+        """
+        entries = list(queue)
+        queue.clear()
+        if not entries:
+            return
+        payloads = [
+            (self.task, pid, params, self.policy.timeout, attempt)
+            for _index, pid, params, attempt in entries
+        ]
+        records = run_point_batch(payloads, vectorize=self.policy.vectorize)
+        retry: deque = deque()
+        for entry, record in zip(entries, records):
+            index, pid, params, attempt = entry
+            if self._is_duplicate(record):
+                continue
+            if self._should_retry(record, attempt):
+                self._backoff(attempt)
+                retry.append((index, pid, params, attempt + 1))
+            else:
+                self._finalize(record)
+        if retry:
+            self.run_serial(retry)
+        else:
+            self._checkpoint()
+
     # -- pool path ---------------------------------------------------------------
 
     def run_pool(self, queue: "deque[tuple[int, str, dict, int]]") -> None:
@@ -674,6 +865,7 @@ class _Coordinator:
                                 (self.task, pid, params, policy.timeout, attempt)
                                 for _index, pid, params, attempt in batch
                             ],
+                            policy.vectorize,
                         )
                         inflight[future] = batch
                         for entry in batch:
@@ -849,6 +1041,34 @@ def _execute(
             current["runs"] = int(previous.get("runs", 0)) + 1
         obs_manifest.write_manifest(mpath, current)
 
+    if policy.scheduler == "lease":
+        # Multi-host path: this process becomes one lease worker against
+        # the shared store (others join via `repro campaign worker`).  The
+        # worker owns its telemetry, heartbeat, stream and shard store;
+        # records are merged back from the store + shards at the end.
+        if store is None:
+            raise ValidationError(
+                "the lease scheduler requires a result store (store_path=...)"
+            )
+        from repro.campaign import lease as lease_mod
+
+        store.close()
+        report = lease_mod.run_worker(
+            store.path,
+            policy=policy,
+            spec=spec,
+            progress=progress,
+            stream_to=stream_to,
+        )
+        merged = {r["id"]: r for r in store.merged_point_records()}
+        ordered = [merged[pid] for pid, _params in all_points if pid in merged]
+        return CampaignResult(
+            spec=spec,
+            records=tuple(ordered),
+            telemetry=report.telemetry,
+            store_path=store.path,
+        )
+
     heartbeat_dir: Path | None = None
     monitor: _LivenessMonitor | None = None
     if store is not None and policy.heartbeat_interval is not None:
@@ -880,28 +1100,24 @@ def _execute(
         spec.task, policy, telemetry, store, progress, monitor
     )
 
-    use_pool = policy.workers > 1 and len(pending) > 1
-    if use_pool and not isinstance(spec.task, str) and not _is_picklable(spec.task):
-        telemetry.note(
-            f"task {spec.task_name!r} is not picklable; using the serial path"
-        )
-        use_pool = False
+    from repro.campaign.scheduler import resolve_scheduler
+
+    scheduler, notes = resolve_scheduler(spec, policy, len(pending))
+    for note in notes:
+        telemetry.note(note)
     obs_resources.configure(policy.memory_budget_mb)
     try:
         if stream_emitter is not None:
             stream_emitter.start()
-        if use_pool:
-            telemetry.mode = "pool"
-            coordinator.run_pool(pending)
-        else:
-            telemetry.mode = "serial"
+        telemetry.mode = scheduler.name
+        if scheduler.name == "serial":
             telemetry.workers = 1
             obs_resources.ensure_tracemalloc()
             if heartbeat_dir is not None:
                 obs_heartbeat.ensure_emitter(
                     heartbeat_dir, policy.heartbeat_interval
                 )
-            coordinator.run_serial(pending)
+        scheduler.run(coordinator, pending)
     finally:
         telemetry.heartbeat_errors += obs_heartbeat.stop_emitter()
         if stream_emitter is not None:
@@ -1019,7 +1235,7 @@ def resume_campaign(
         )
     completed_records = {
         r["id"]: r
-        for r in store.point_records()
+        for r in store.merged_point_records()
         if r["status"] == "ok" or (not retry_failed and r["status"] == "failed")
     }
     return _execute(
@@ -1037,9 +1253,10 @@ def campaign_status(store_path: str | Path) -> dict[str, Any]:
     """Progress snapshot of a result store (see :meth:`ResultStore.status`).
 
     When the run wrote a manifest (``<store>.manifest.json``) it is
-    attached under ``"manifest"``.
+    attached under ``"manifest"``.  Counts merge worker shard stores when
+    any exist (lease-scheduler campaigns).
     """
-    status = ResultStore.open(store_path).status()
+    status = ResultStore.open(store_path).merged_status()
     manifest = obs_manifest.load_manifest(obs_manifest.manifest_path(store_path))
     if manifest is not None:
         status["manifest"] = manifest

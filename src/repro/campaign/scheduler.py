@@ -1,0 +1,114 @@
+"""Scheduler interface: how a campaign's pending points become records.
+
+PR 2's executor hard-wired two execution paths (serial and process pool)
+into ``_execute``.  Multi-host execution adds a third — the
+shared-filesystem lease scheduler — and this module is the seam between
+them: a :class:`Scheduler` drives a :class:`~repro.campaign.executor.
+_Coordinator` (which owns retries, dedup, checkpoints and telemetry —
+identical across schedulers) over the pending queue.
+
+``ExecutionPolicy.scheduler`` selects one:
+
+* ``"serial"`` — in-process, one point at a time.  The correctness
+  oracle; also the automatic fallback for unpicklable tasks.
+* ``"pool"`` — the PR 2/PR 6 ``ProcessPoolExecutor`` path with batched
+  dispatch and liveness monitoring.
+* ``"lease"`` — the multi-host path: the calling process becomes one
+  lease worker against the shared store, and any number of additional
+  ``repro campaign worker`` processes (on any host sharing the
+  filesystem) join, steal and leave elastically.  Resolved in
+  ``_execute`` before a coordinator exists, so it is not dispatched
+  through this module's ``run`` (the worker owns its own telemetry,
+  shard store, heartbeat and stream lifecycles — see
+  :mod:`repro.campaign.lease`).
+* ``"auto"`` — ``pool`` when it pays off (more than one worker *and*
+  more than one pending point *and* a picklable task), else ``serial``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro._errors import ValidationError
+from repro.campaign.spec import CampaignSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.campaign.executor import ExecutionPolicy, _Coordinator
+
+__all__ = [
+    "PoolScheduler",
+    "Scheduler",
+    "SerialScheduler",
+    "resolve_scheduler",
+]
+
+
+class Scheduler:
+    """Drives pending points to terminal records through a coordinator."""
+
+    #: Telemetry mode tag (``telemetry.mode``).
+    name: str = "?"
+
+    def run(
+        self, coordinator: "_Coordinator", pending: "deque[tuple[int, str, dict, int]]"
+    ) -> None:
+        raise NotImplementedError
+
+
+class SerialScheduler(Scheduler):
+    """One point at a time in the calling process (the correctness oracle)."""
+
+    name = "serial"
+
+    def run(self, coordinator, pending) -> None:
+        coordinator.run_serial(pending)
+
+
+class PoolScheduler(Scheduler):
+    """Batched ``ProcessPoolExecutor`` dispatch with serial fallback."""
+
+    name = "pool"
+
+    def run(self, coordinator, pending) -> None:
+        coordinator.run_pool(pending)
+
+
+def _is_picklable(obj: Any) -> bool:
+    try:
+        pickle.dumps(obj)
+        return True
+    except Exception:
+        return False
+
+
+def resolve_scheduler(
+    spec: CampaignSpec,
+    policy: "ExecutionPolicy",
+    pending_count: int,
+) -> tuple[Scheduler, list[str]]:
+    """Pick the in-process scheduler for a run; returns (scheduler, notes).
+
+    The lease scheduler never reaches here — ``_execute`` branches to the
+    worker loop before building a coordinator; calling this with
+    ``scheduler="lease"`` is a programming error.
+    """
+    if policy.scheduler == "lease":
+        raise ValidationError(
+            "lease scheduling is handled by repro.campaign.lease.run_worker"
+        )
+    notes: list[str] = []
+    if policy.scheduler == "serial":
+        return SerialScheduler(), notes
+    want_pool = policy.scheduler == "pool" or (
+        policy.workers > 1 and pending_count > 1
+    )
+    if want_pool and not isinstance(spec.task, str) and not _is_picklable(spec.task):
+        notes.append(
+            f"task {spec.task_name!r} is not picklable; using the serial path"
+        )
+        want_pool = False
+    if want_pool:
+        return PoolScheduler(), notes
+    return SerialScheduler(), notes

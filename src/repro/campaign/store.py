@@ -21,6 +21,23 @@ reader detects and ignores it (:meth:`ResultStore.records` skips an
 undecodable *last* line, while corruption elsewhere raises).  ``resume``
 therefore never double-counts a point: a point is complete iff its full
 terminal line made it to disk.
+
+Multi-writer campaigns (shards)
+-------------------------------
+The torn-tail repair truncates the file, which is only safe with a single
+writer.  Multi-host lease workers therefore never append to the main
+store: each worker owns a private *shard* store
+
+    <store>.shards/<worker-id>.jsonl
+
+(one writer per file, same format, same crash semantics) and readers
+merge the main store with every shard via :meth:`merged_point_records`.
+The merge keeps the last record per id within each file (so a retried-ok
+beats an earlier failure, as in the single-file case), then across files
+prefers ``ok`` over ``failed`` and otherwise the first file in
+deterministic order (main store first, shards sorted by name).  A worker
+killed mid-campaign leaves its shard behind; its completed points survive
+and its replacement — a different worker id — gets a fresh shard.
 """
 
 from __future__ import annotations
@@ -34,9 +51,14 @@ from typing import Any, Iterator, Mapping
 from repro._errors import ValidationError
 from repro.campaign.spec import CampaignSpec
 
-__all__ = ["ResultStore", "StoreCorruptError"]
+__all__ = ["ResultStore", "StoreCorruptError", "shard_dir"]
 
 FORMAT_VERSION = 1
+
+
+def shard_dir(store_path: str | Path) -> Path:
+    """The per-worker shard directory for a result store path."""
+    return Path(str(store_path) + ".shards")
 
 
 class StoreCorruptError(ValidationError):
@@ -101,6 +123,28 @@ class ResultStore:
             handle.flush()
             os.fsync(handle.fileno())
         return store
+
+    @classmethod
+    def open_shard(
+        cls, base_path: str | Path, worker: str, spec: CampaignSpec
+    ) -> "ResultStore":
+        """Open (creating if missing) this worker's private shard store.
+
+        Idempotent across worker restarts: an existing shard is reopened in
+        append mode, so a worker that crashed and was relaunched under the
+        *same* worker id keeps its completed records.  Creation is
+        atomic-enough because worker ids (hostname+pid) are unique among
+        live processes — two concurrent creators cannot share an id.
+        """
+        directory = shard_dir(base_path)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{worker}.jsonl"
+        if path.exists():
+            return cls.open(path)
+        try:
+            return cls.create(path, spec)
+        except ValidationError:
+            return cls.open(path)
 
     @classmethod
     def open(cls, path: str | Path) -> "ResultStore":
@@ -279,3 +323,83 @@ class ResultStore:
             "complete": total > 0 and done + failed >= total,
             "summary": summary,
         }
+
+    # -- multi-writer merge (lease-scheduler shards) -------------------------------
+
+    def shard_paths(self) -> list[Path]:
+        """Shard store files next to this store, in deterministic name order."""
+        directory = shard_dir(self.path)
+        if not directory.is_dir():
+            return []
+        return sorted(directory.glob("*.jsonl"))
+
+    def merged_point_records(self) -> list[dict[str, Any]]:
+        """Terminal point records merged across the main store and all shards.
+
+        Within each file the last record per id wins (a retried success
+        beats an earlier failure, exactly as :meth:`point_records`).  Across
+        files an ``ok`` record beats a ``failed`` one; between records of
+        equal status the earliest file in deterministic order wins (main
+        store first, then shards sorted by name), which makes the merge
+        independent of filesystem enumeration order.
+        """
+        merged: dict[str, dict[str, Any]] = {}
+        sources = [self.path, *self.shard_paths()]
+        for path in sources:
+            try:
+                per_file = ResultStore(path).point_records()
+            except (OSError, StoreCorruptError):
+                continue
+            for record in per_file:
+                pid = record["id"]
+                held = merged.get(pid)
+                if held is None:
+                    merged[pid] = record
+                elif held["status"] != "ok" and record["status"] == "ok":
+                    merged[pid] = record
+        return list(merged.values())
+
+    def terminal_record_counts(self) -> dict[str, int]:
+        """``point id -> number of terminal records`` across store + shards.
+
+        A well-behaved distributed run writes exactly one terminal record
+        per point; any id counting 2+ means the lease protocol let two
+        workers finish the same point (the CI smoke asserts this is empty
+        after a worker SIGKILL).
+        """
+        counts: dict[str, int] = {}
+        for path in [self.path, *self.shard_paths()]:
+            try:
+                records = ResultStore(path).records()
+                for record in records:
+                    if record.get("kind") == "point":
+                        counts[record["id"]] = counts.get(record["id"], 0) + 1
+            except (OSError, StoreCorruptError):
+                continue
+        return counts
+
+    def merged_completed_ids(self, include_failed: bool = True) -> set[str]:
+        """Point ids a resume/worker should skip, across store + shards."""
+        out = set()
+        for record in self.merged_point_records():
+            if record["status"] == "ok" or (
+                include_failed and record["status"] == "failed"
+            ):
+                out.add(record["id"])
+        return out
+
+    def merged_status(self) -> dict[str, Any]:
+        """Like :meth:`status` but counting points across store + shards."""
+        status = self.status()
+        points = self.merged_point_records()
+        done = sum(1 for r in points if r["status"] == "ok")
+        failed = sum(1 for r in points if r["status"] == "failed")
+        total = int(status["points"] or 0)
+        status.update(
+            done=done,
+            failed=failed,
+            pending=max(total - done - failed, 0),
+            complete=total > 0 and done + failed >= total,
+            shards=len(self.shard_paths()),
+        )
+        return status

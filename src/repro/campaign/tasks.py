@@ -38,17 +38,29 @@ from repro._errors import ValidationError
 from repro.pll.architecture import PLL
 
 __all__ = [
+    "BatchTaskAdapter",
     "TaskAdapter",
     "available_tasks",
     "design_from_params",
+    "get_batch_task",
     "get_task",
+    "register_batch_task",
     "register_task",
     "registered_name",
 ]
 
 TaskAdapter = Callable[[dict[str, Any]], dict[str, float]]
 
+#: A batch adapter evaluates many points in one call.  It receives the list
+#: of merged parameter dicts and returns one entry per point *in order*:
+#: either the metric mapping or the exception the scalar adapter would have
+#: raised for that point.  It must never raise for a single point's failure
+#: — a raised exception means the whole batch is unusable and the executor
+#: falls back to the scalar path for every point in it.
+BatchTaskAdapter = Callable[[list[dict[str, Any]]], "list[dict[str, float] | Exception]"]
+
 _REGISTRY: dict[str, TaskAdapter] = {}
+_BATCH_REGISTRY: dict[str, BatchTaskAdapter] = {}
 
 
 def register_task(name: str) -> Callable[[TaskAdapter], TaskAdapter]:
@@ -61,6 +73,34 @@ def register_task(name: str) -> Callable[[TaskAdapter], TaskAdapter]:
         return fn
 
     return deco
+
+
+def register_batch_task(name: str) -> Callable[[BatchTaskAdapter], BatchTaskAdapter]:
+    """Decorator: register a vectorized batch adapter for task ``name``.
+
+    The scalar adapter of the same name stays the correctness oracle: the
+    batch adapter must be bitwise-identical to calling it per point, and
+    the executor verifies nothing — tests do (``tests/unit/test_vectorized``).
+    """
+
+    def deco(fn: BatchTaskAdapter) -> BatchTaskAdapter:
+        if name in _BATCH_REGISTRY:
+            raise ValidationError(f"batch task {name!r} is already registered")
+        _BATCH_REGISTRY[name] = fn
+        return fn
+
+    return deco
+
+
+def get_batch_task(name: str | None) -> BatchTaskAdapter | None:
+    """The vectorized batch adapter for a task name, or ``None``."""
+    if name is None:
+        return None
+    # Importing the module registers the built-in batch adapters lazily so
+    # scalar-only users never pay for it.
+    from repro.campaign import vectorized  # noqa: F401
+
+    return _BATCH_REGISTRY.get(name)
 
 
 def get_task(name: str) -> TaskAdapter:
@@ -254,6 +294,32 @@ def band_map_task(params: dict[str, Any]) -> dict[str, float]:
         "baseband_peak_db": float(20.0 * np.log10(np.max(diag))),
         "max_conversion_gain": float(np.max(off)),
     }
+
+
+@register_task("design_summary")
+def design_summary_task(params: dict[str, Any]) -> dict[str, float]:
+    """Cheap per-design summary (loop constants only) — CI/smoke workhorse.
+
+    Designs the loop and reports its headline constants without any grid
+    evaluation, so thousand-point campaigns finish in seconds.  An optional
+    ``min_seconds`` parameter sleeps to simulate heavier points — used by
+    the distributed smoke test to hold leases long enough to SIGKILL a
+    worker mid-batch.
+    """
+    import time as _time
+
+    min_seconds = float(params.get("min_seconds", 0.0))
+    with _task_backend(params):
+        pll = design_from_params(params)
+        out = {
+            "omega0": float(pll.omega0),
+            "period": float(pll.period),
+            "ratio": float(params.get("ratio", float("nan"))),
+            "separation": float(params.get("separation", 4.0)),
+        }
+    if min_seconds > 0:
+        _time.sleep(min_seconds)
+    return out
 
 
 @register_task("noise_summary")

@@ -67,7 +67,7 @@ class CampaignTelemetry:
 
     total_points: int
     workers: int = 1
-    mode: str = "serial"  # "serial" | "pool"
+    mode: str = "serial"  # "serial" | "pool" | "lease-worker" (+fallback tags)
     done: int = 0
     failed: int = 0
     retried: int = 0
@@ -82,6 +82,11 @@ class CampaignTelemetry:
     stream_errors: int = 0  # stream-emitter exceptions (swallowed)
     heartbeat_errors: int = 0  # heartbeat-emitter exceptions (swallowed)
     timeout_degraded: int = 0  # points whose timeout could not be armed
+    # -- lease scheduler (multi-host; see repro.campaign.lease) ----------------
+    lease_claims: int = 0  # batch leases this worker claimed
+    lease_reclaims: int = 0  # expired leases this worker took over
+    lease_duplicates: int = 0  # batches finished after another worker marked done
+    lease_lost: int = 0  # own-lease renewals that found the lease taken
     memory_over_budget: int = 0  # points whose peak RSS exceeded the budget
     rss_peak_bytes: int = 0  # worst per-point peak RSS seen across workers
     notes: list[str] = field(default_factory=list)
@@ -280,6 +285,12 @@ class CampaignTelemetry:
                 "heartbeat_errors": self.heartbeat_errors,
                 "timeout_degraded": self.timeout_degraded,
             },
+            "lease": {
+                "claims": self.lease_claims,
+                "reclaims": self.lease_reclaims,
+                "duplicates": self.lease_duplicates,
+                "lost": self.lease_lost,
+            },
             "memory": {
                 "rss_peak_bytes": self.rss_peak_bytes,
                 "over_budget": self.memory_over_budget,
@@ -324,6 +335,13 @@ class CampaignTelemetry:
                 extra = "..." if len(self.straggler_ids) > 4 else ""
                 live_parts.append(f"{self.stragglers} straggler(s) [{ids}{extra}]")
             lines.append("live: " + ", ".join(live_parts))
+        if self.lease_claims or self.lease_reclaims:
+            lines.append(
+                f"leases: {self.lease_claims} claimed, "
+                f"{self.lease_reclaims} reclaimed, "
+                f"{self.lease_duplicates} duplicate batch(es), "
+                f"{self.lease_lost} lost renewal(s)"
+            )
         if self.memory_over_budget:
             lines.append(
                 f"memory: {self.memory_over_budget} point(s) over budget "

@@ -10,7 +10,12 @@ Tails the three live artifacts a campaign leaves next to its store —
 — and renders a single refreshing screen: a progress bar with an ETA
 derived from observed throughput, one line per live worker (phase,
 current point, elapsed, RSS, staleness), worst health-event counts, and
-the provenance header.  Everything is read-only and torn-file tolerant,
+the provenance header.  Multi-host lease campaigns merge naturally:
+progress counts come from :meth:`~repro.campaign.store.ResultStore.
+merged_status` (main store + worker shards), worker lines group by host
+when more than one host is beating, lease/batch progress gets its own
+line, and the ETA sums the per-worker throughputs observed in the shared
+stream file.  Everything is read-only and torn-file tolerant,
 so watching a run (or the corpse of a SIGKILLed one) can never perturb
 it.  ``--once`` renders a single frame and exits — that is what tests
 and CI use; interactively, the screen refreshes in place until the
@@ -43,7 +48,7 @@ def poll_store(store_path: str | Path) -> dict[str, Any]:
     torn-file tolerant, safe against a live writer or a SIGKILLed corpse.
     """
     store = ResultStore.open(store_path)
-    status = store.status()
+    status = store.merged_status()
     out: dict[str, Any] = {
         "name": status["name"],
         "task": status["task"],
@@ -53,6 +58,11 @@ def poll_store(store_path: str | Path) -> dict[str, Any]:
         "pending": status["pending"],
         "complete": status["complete"],
     }
+    if status.get("shards"):
+        out["shards"] = status["shards"]
+    leases = _lease_progress(store.path)
+    if leases is not None:
+        out["leases"] = leases
     summary = status.get("summary")
     if summary:
         out["wall_seconds"] = summary.get("wall_seconds")
@@ -101,20 +111,62 @@ def _fmt_bytes(n: float) -> str:
 def _eta_seconds(
     stream_records: list[dict[str, Any]], pending: int
 ) -> float | None:
-    """Pending / throughput, from the first->last stream samples."""
+    """Pending / throughput from the stream samples.
+
+    A shared stream file can interleave samples from several lease
+    workers (each tagged with its worker id), whose counters are
+    per-worker, not global — so samples are grouped by worker and the
+    observed throughputs *summed*.  With a single (untagged) coordinator
+    stream this reduces exactly to the classic first-vs-last estimate.
+    """
     if pending <= 0 or len(stream_records) < 2:
         return None
-    first, last = stream_records[0], stream_records[-1]
+    by_worker: dict[Any, list[dict[str, Any]]] = {}
+    for sample in stream_records:
+        by_worker.setdefault(sample.get("worker"), []).append(sample)
+    throughput = 0.0
+    for samples in by_worker.values():
+        if len(samples) < 2:
+            continue
+        first, last = samples[0], samples[-1]
+        try:
+            span = float(last["time"]) - float(first["time"])
+            gained = (int(last["done"]) + int(last["failed"])) - (
+                int(first["done"]) + int(first["failed"])
+            )
+        except (KeyError, TypeError, ValueError):
+            continue
+        if span <= 0 or gained <= 0:
+            continue
+        throughput += gained / span
+    if throughput <= 0:
+        return None
+    return pending / throughput
+
+
+def _lease_progress(store_path: Path) -> dict[str, int] | None:
+    """Batch-level lease counts for a lease-scheduled campaign, else None."""
+    from repro.campaign import lease as lease_mod
+
+    ldir = lease_mod.lease_dir(store_path)
+    plan_path = ldir / "plan.json"
+    if not plan_path.exists():
+        return None
     try:
-        span = float(last["time"]) - float(first["time"])
-        gained = (int(last["done"]) + int(last["failed"])) - (
-            int(first["done"]) + int(first["failed"])
-        )
-    except (KeyError, TypeError, ValueError):
+        import json
+
+        plan = json.loads(plan_path.read_text(encoding="utf-8"))
+        batches = plan["batches"]
+    except (OSError, ValueError, KeyError):
         return None
-    if span <= 0 or gained <= 0:
-        return None
-    return pending * span / gained
+    counts = {"batches": len(batches), "done": 0, "leased": 0, "expired": 0, "free": 0}
+    for batch in batches:
+        try:
+            state = lease_mod.lease_state(ldir, batch["id"], 30.0)
+        except (OSError, TypeError, KeyError):
+            continue
+        counts[state] = counts.get(state, 0) + 1
+    return counts
 
 
 def render(store_path: str | Path, now: float | None = None) -> str:
@@ -122,7 +174,7 @@ def render(store_path: str | Path, now: float | None = None) -> str:
     now = time.time() if now is None else now
     store_path = Path(store_path)
     store = ResultStore.open(store_path)
-    status = store.status()
+    status = store.merged_status()
     manifest = obs_manifest.load_manifest(obs_manifest.manifest_path(store_path))
     beats = obs_heartbeat.read_heartbeats(obs_heartbeat.heartbeat_dir(store_path))
     stream_file = obs_stream.stream_path(store_path)
@@ -152,7 +204,15 @@ def render(store_path: str | Path, now: float | None = None) -> str:
     lines.append(
         f"{_bar(done, failed, total)} {done + failed}/{total} "
         f"({percent:.0f}%) · {done} ok · {failed} failed · {pending} pending"
+        + (f" · {status['shards']} shard(s)" if status.get("shards") else "")
     )
+    leases = _lease_progress(store_path)
+    if leases is not None:
+        parts = [f"{leases['done']}/{leases['batches']} batches done"]
+        for state in ("leased", "expired", "free"):
+            if leases.get(state):
+                parts.append(f"{leases[state]} {state}")
+        lines.append("leases: " + " · ".join(parts))
 
     eta = _eta_seconds(stream_records, pending)
     if eta is not None:
@@ -163,8 +223,12 @@ def render(store_path: str | Path, now: float | None = None) -> str:
         interval = float(manifest["policy"].get("heartbeat_interval") or 5.0)
     live = [b for b in beats if b.get("phase") != "stopped"]
     if live:
-        lines.append(f"workers ({len(live)} live):")
+        by_host: dict[str, list[dict[str, Any]]] = {}
         for beat in live:
+            by_host.setdefault(str(beat.get("host") or "localhost"), []).append(beat)
+        multi_host = len(by_host) > 1
+
+        def _beat_line(beat: dict[str, Any], indent: str) -> str:
             age = obs_heartbeat.beat_age(beat, now)
             stale = age > 3.0 * interval
             phase = beat.get("phase", "?")
@@ -172,13 +236,29 @@ def render(store_path: str | Path, now: float | None = None) -> str:
             if beat.get("point_id"):
                 elapsed = float(beat.get("point_elapsed", 0.0)) + age
                 detail = f" {beat['point_id']} ({_fmt_seconds(elapsed)})"
-            lines.append(
-                f"  pid {beat.get('pid')}: {phase}{detail} · "
+            # `pid` alone collides across hosts; the full hostname-pid
+            # worker id disambiguates in the grouped (multi-host) view.
+            label = (
+                obs_heartbeat.beat_worker(beat)
+                if multi_host
+                else f"pid {beat.get('pid')}"
+            )
+            return (
+                f"{indent}{label}: {phase}{detail} · "
                 f"{beat.get('points_done', 0)} done · "
                 f"{_fmt_bytes(beat.get('rss_bytes', 0))} · "
                 f"beat {age:.1f}s ago"
                 + ("  ** STALLED? **" if stale else "")
             )
+
+        if multi_host:
+            lines.append(f"workers ({len(live)} live on {len(by_host)} hosts):")
+            for host in sorted(by_host):
+                lines.append(f"  {host}:")
+                lines.extend(_beat_line(b, "    ") for b in by_host[host])
+        else:
+            lines.append(f"workers ({len(live)} live):")
+            lines.extend(_beat_line(b, "  ") for b in live)
     elif beats:
         lines.append(f"workers: none live ({len(beats)} stopped)")
     elif not status["complete"]:

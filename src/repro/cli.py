@@ -20,6 +20,17 @@ Campaign engine (:mod:`repro.campaign`)::
     python -m repro campaign watch RESULTS.jsonl [--interval S] [--once]
     python -m repro campaign tasks
 
+Multi-host execution (shared-filesystem lease scheduler)::
+
+    python -m repro campaign init SPEC.json --out RESULTS.jsonl
+    python -m repro campaign worker RESULTS.jsonl   # on any host, any number
+
+``init`` creates the store and freezes the lease batch plan; each
+``worker`` invocation joins the campaign elastically — claiming batch
+leases, stealing expired ones from dead workers, and leaving when the
+point set is covered (or after ``--max-idle`` seconds with nothing
+claimable).  See ``docs/CAMPAIGNS.md`` ("Multi-host execution").
+
 ``SPEC.json`` holds a serialized :class:`repro.campaign.CampaignSpec`::
 
     {"name": "margins-map", "task": "margins",
@@ -171,6 +182,29 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="per-point peak-RSS budget; points above it are flagged",
         )
+        sub.add_argument(
+            "--scheduler",
+            choices=("auto", "serial", "pool", "lease"),
+            default="auto",
+            help="execution scheduler (default auto: pool when it pays off)",
+        )
+        sub.add_argument(
+            "--batch-size",
+            type=int,
+            default=0,
+            help="points per dispatch/lease batch (0 = auto)",
+        )
+        sub.add_argument(
+            "--no-vectorize",
+            action="store_true",
+            help="disable vectorized batch adapters (scalar per-point path)",
+        )
+        sub.add_argument(
+            "--lease-ttl",
+            type=float,
+            default=30.0,
+            help="lease expiry horizon in seconds (lease scheduler)",
+        )
 
     run_cmd = actions.add_parser("run", help="run a campaign spec file")
     run_cmd.add_argument("spec", help="path to the campaign spec JSON")
@@ -188,6 +222,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-failed", action="store_true", help="re-run terminally failed points too"
     )
     policy_flags(resume_cmd)
+
+    init_cmd = actions.add_parser(
+        "init", help="create a store + lease plan for multi-host workers"
+    )
+    init_cmd.add_argument("spec", help="path to the campaign spec JSON")
+    init_cmd.add_argument(
+        "--out", default=None, help="result store path (default <spec>.results.jsonl)"
+    )
+    init_cmd.add_argument(
+        "--overwrite", action="store_true", help="replace an existing result store"
+    )
+    init_cmd.add_argument(
+        "--batch-size", type=int, default=0, help="points per lease batch (0 = auto)"
+    )
+
+    worker_cmd = actions.add_parser(
+        "worker", help="join a campaign as one elastic lease worker"
+    )
+    worker_cmd.add_argument("results", help="path to the shared JSONL result store")
+    worker_cmd.add_argument(
+        "--max-idle",
+        type=float,
+        default=None,
+        help="leave after this many seconds with nothing claimable",
+    )
+    worker_cmd.add_argument(
+        "--poll-interval",
+        type=float,
+        default=None,
+        help="seconds between claim attempts when idle (default ttl/5)",
+    )
+    policy_flags(worker_cmd)
 
     status_cmd = actions.add_parser("status", help="print campaign progress")
     status_cmd.add_argument("results", help="path to the JSONL result store")
@@ -589,6 +655,10 @@ def _policy_from_args(args) -> "ExecutionPolicy":
         stall_action=args.stall_action,
         stream_interval=args.stream_interval,
         memory_budget_mb=args.memory_budget_mb,
+        scheduler=args.scheduler,
+        batch_size=args.batch_size,
+        vectorize=not args.no_vectorize,
+        lease_ttl=args.lease_ttl,
     )
 
 
@@ -635,12 +705,76 @@ def _campaign(args) -> int:
 
         return watch(args.results, interval=args.interval, once=args.once)
 
+    if args.campaign_command == "init":
+        from repro.campaign import CampaignSpec
+        from repro.campaign.lease import DEFAULT_LEASE_BATCH, ensure_plan, lease_dir
+        from repro.campaign.store import ResultStore
+
+        spec_path = Path(args.spec)
+        try:
+            spec_data = json.loads(spec_path.read_text())
+        except FileNotFoundError:
+            raise ValidationError(f"no campaign spec at {spec_path}") from None
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"{spec_path} is not valid JSON: {exc}") from None
+        spec = CampaignSpec.from_json(spec_data)
+        out = (
+            Path(args.out)
+            if args.out
+            else spec_path.with_suffix(".results.jsonl")
+        )
+        ResultStore.create(out, spec, overwrite=args.overwrite)
+        plan = ensure_plan(
+            lease_dir(out), spec, args.batch_size or DEFAULT_LEASE_BATCH
+        )
+        from repro.campaign import ExecutionPolicy
+        from repro.obs import manifest as obs_manifest
+
+        obs_manifest.write_manifest(
+            obs_manifest.manifest_path(out),
+            obs_manifest.build_manifest(
+                spec,
+                ExecutionPolicy(scheduler="lease", batch_size=args.batch_size),
+            ),
+        )
+        print(
+            f"initialized {out}: {plan['points']} point(s) in "
+            f"{len(plan['batches'])} lease batch(es)"
+        )
+        print(f"launch workers with: repro campaign worker {out}")
+        return 0
+
+    if args.campaign_command == "worker":
+        from repro.campaign.lease import run_worker
+
+        report = run_worker(
+            args.results,
+            policy=_policy_from_args(args),
+            max_idle=args.max_idle,
+            poll_interval=args.poll_interval,
+            progress=_progress_printer(args.quiet),
+            stream_to=_stream_path_from_args(args, args.results),
+        )
+        print(report.telemetry.summary())
+        print(
+            f"worker {report.worker}: {report.batches_done} batch(es), "
+            f"{report.points_done} ok, {report.points_failed} failed, "
+            f"{report.reclaims} reclaim(s), {report.duplicates} duplicate(s)"
+            + (" · wrote final summary" if report.finalized else "")
+        )
+        return 0 if report.points_failed == 0 else 1
+
     if args.campaign_command == "status":
         status = campaign_status(args.results)
         print(f"campaign: {status['name']} (task {status['task']})")
         print(
             f"points:   {status['done']} ok, {status['failed']} failed, "
             f"{status['pending']} pending of {status['points']}"
+            + (
+                f" (merged across {status['shards']} worker shard(s))"
+                if status.get("shards")
+                else ""
+            )
         )
         print(f"complete: {status['complete']}")
         summary = status.get("summary")

@@ -97,6 +97,39 @@ def _refine_crossing(
     )
 
 
+def crossover_from_samples(
+    response: ResponseLike,
+    grid: np.ndarray,
+    mags: np.ndarray,
+    omega_min: float,
+    omega_max: float,
+    which: str = "last",
+) -> float:
+    """Unity-gain crossover given precomputed ``|H|`` samples on ``grid``.
+
+    This is the scan+refine core of :func:`gain_crossover`, split out so
+    batch callers that already evaluated the response on the grid (e.g. one
+    stacked ``dense_grid`` call across a parameter axis) can reuse the
+    samples instead of re-evaluating.  Given identical samples it returns a
+    bit-identical result to :func:`gain_crossover` — same bracket selection,
+    same Brent refinement, same error message.
+    """
+    logmag = np.log(np.where(mags > 0, mags, np.finfo(float).tiny))
+    signs = np.sign(logmag)
+    idx = np.nonzero(np.diff(signs) != 0)[0]
+    if idx.size == 0:
+        raise ConvergenceError(
+            f"|H| never crosses unity on [{omega_min}, {omega_max}] "
+            f"(range [{mags.min():.3g}, {mags.max():.3g}])"
+        )
+    pick = idx[-1] if which == "last" else idx[0]
+
+    def objective(w: float) -> float:
+        return float(np.log(np.abs(response(np.array([w]))[0])))
+
+    return _refine_crossing(objective, grid[pick], grid[pick + 1])
+
+
 def gain_crossover(
     system,
     omega_min: float = 1e-3,
@@ -119,20 +152,7 @@ def gain_crossover(
     response = as_response(system)
     grid = _log_grid(omega_min, omega_max, points)
     mags = np.abs(response(grid))
-    logmag = np.log(np.where(mags > 0, mags, np.finfo(float).tiny))
-    signs = np.sign(logmag)
-    idx = np.nonzero(np.diff(signs) != 0)[0]
-    if idx.size == 0:
-        raise ConvergenceError(
-            f"|H| never crosses unity on [{omega_min}, {omega_max}] "
-            f"(range [{mags.min():.3g}, {mags.max():.3g}])"
-        )
-    pick = idx[-1] if which == "last" else idx[0]
-
-    def objective(w: float) -> float:
-        return float(np.log(np.abs(response(np.array([w]))[0])))
-
-    return _refine_crossing(objective, grid[pick], grid[pick + 1])
+    return crossover_from_samples(response, grid, mags, omega_min, omega_max, which)
 
 
 def phase_at(system, omega: float) -> float:
@@ -146,6 +166,7 @@ def phase_margin(
     omega_min: float = 1e-3,
     omega_max: float = 1e3,
     points: int = 2000,
+    w_ug: float | None = None,
 ) -> float:
     """Phase margin in degrees: ``180 + arg H(j omega_UG)``.
 
@@ -153,8 +174,14 @@ def phase_margin(
     crossover so that loops whose phase dips below -180 degrees (the fast-PLL
     failure mode the paper quantifies) report a *negative* margin instead of
     a wrapped-around positive one.
+
+    A caller that already knows the gain crossover (e.g. from a preceding
+    :func:`gain_crossover` call on the same response) may pass it as
+    ``w_ug`` to skip recomputing it; the result is identical by
+    construction since ``gain_crossover`` is deterministic.
     """
-    w_ug = gain_crossover(system, omega_min, omega_max, points)
+    if w_ug is None:
+        w_ug = gain_crossover(system, omega_min, omega_max, points)
     response = as_response(system)
     grid = _log_grid(omega_min, w_ug, max(points // 2, 64))
     phases = np.unwrap(np.angle(response(grid)))

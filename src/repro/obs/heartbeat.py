@@ -6,9 +6,12 @@ distinguishing "still crunching" from "wedged in a BLAS call".  Heartbeats
 close that gap.  Each worker process runs one daemon emitter thread that
 periodically rewrites a single small JSON file
 
-    <store>.heartbeats/<pid>.json
+    <store>.heartbeats/<hostname>-<pid>.json
 
-with its pid, current phase (``point`` / ``idle`` / ``stopped``), the point
+keyed by the process's *worker id* — hostname plus pid — so workers on
+different hosts sharing one store (the lease scheduler's multi-host mode)
+can never collide even when their pids coincide.  Each beat carries the
+worker id, host, pid, current phase (``point`` / ``idle`` / ``stopped``), the point
 id it is working on, how long that point has been running, how many points
 it has finished, its instantaneous RSS, and — when observability is on —
 its registry counter totals.  Writes are atomic (temp file + ``os.replace``)
@@ -26,6 +29,8 @@ from __future__ import annotations
 
 import json
 import os
+import re
+import socket
 import threading
 import time
 from pathlib import Path
@@ -37,20 +42,52 @@ from repro.obs import spans as _spans
 __all__ = [
     "HEARTBEAT_VERSION",
     "beat_age",
+    "beat_worker",
     "ensure_emitter",
     "heartbeat_dir",
+    "host_name",
     "point_finished",
     "point_started",
     "read_heartbeats",
     "stop_emitter",
+    "worker_id",
 ]
 
-HEARTBEAT_VERSION = 1
+HEARTBEAT_VERSION = 2
 
 
 def heartbeat_dir(store_path: str | Path) -> Path:
     """The per-run heartbeat directory for a result store path."""
     return Path(str(store_path) + ".heartbeats")
+
+
+_HOST_SANITIZE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def host_name() -> str:
+    """This machine's hostname, sanitized for use inside filenames."""
+    raw = socket.gethostname() or "localhost"
+    clean = _HOST_SANITIZE.sub("-", raw).strip("-.")
+    return clean or "localhost"
+
+
+def worker_id(pid: int | None = None, host: str | None = None) -> str:
+    """Globally unique worker identity: ``<hostname>-<pid>``.
+
+    Bare pids collide across hosts sharing one store; hostname+pid cannot
+    (two workers on one host have distinct pids, two hosts have distinct
+    names).  Used as the heartbeat filename, the shard-store name, the
+    lease owner, and the liveness-monitor key.
+    """
+    return f"{host or host_name()}-{os.getpid() if pid is None else int(pid)}"
+
+
+def beat_worker(beat: dict[str, Any]) -> str:
+    """The worker id a beat belongs to (reconstructed for v1 beats)."""
+    worker = beat.get("worker")
+    if isinstance(worker, str) and worker:
+        return worker
+    return worker_id(pid=int(beat.get("pid", 0)), host=beat.get("host") or "localhost")
 
 
 # ---------------------------------------------------------------------------
@@ -83,10 +120,13 @@ def _sample(phase: str | None = None) -> dict[str, Any]:
     now = time.time()
     with _lock:
         state = dict(_state)
+    host = host_name()
     beat: dict[str, Any] = {
         "kind": "heartbeat",
         "version": HEARTBEAT_VERSION,
         "pid": os.getpid(),
+        "host": host,
+        "worker": worker_id(host=host),
         "time": now,
         "phase": phase if phase is not None else state["phase"],
         "point_id": state["point_id"],
@@ -107,10 +147,10 @@ def _sample(phase: str | None = None) -> dict[str, Any]:
 
 
 def _write_atomic(directory: Path, beat: dict[str, Any]) -> None:
-    pid = beat["pid"]
-    tmp = directory / f".{pid}.tmp"
+    name = beat.get("worker") or str(beat["pid"])
+    tmp = directory / f".{name}.tmp"
     tmp.write_text(json.dumps(beat, sort_keys=True), encoding="utf-8")
-    os.replace(tmp, directory / f"{pid}.json")
+    os.replace(tmp, directory / f"{name}.json")
 
 
 class _Emitter:
@@ -194,7 +234,7 @@ def stop_emitter() -> int:
 
 
 def read_heartbeats(directory: str | Path) -> list[dict[str, Any]]:
-    """All parseable beats in ``directory``, sorted by pid.
+    """All parseable beats in ``directory``, sorted by (host, pid).
 
     Tolerant by construction: a missing directory yields ``[]``, and a
     file that cannot be parsed (e.g. mid-replace on a non-atomic
@@ -213,7 +253,7 @@ def read_heartbeats(directory: str | Path) -> list[dict[str, Any]]:
             continue
         if isinstance(beat, dict) and beat.get("kind") == "heartbeat":
             beats.append(beat)
-    return sorted(beats, key=lambda b: b.get("pid", 0))
+    return sorted(beats, key=lambda b: (str(b.get("host", "")), b.get("pid", 0)))
 
 
 def beat_age(beat: dict[str, Any], now: float | None = None) -> float:

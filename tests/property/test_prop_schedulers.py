@@ -1,0 +1,121 @@
+"""Property: every scheduler produces the same record set for a campaign.
+
+The serial path is the oracle; the pool and lease schedulers are
+allowed to differ only in *how* points reach terminal records — never in
+the records themselves (id, status, metrics, params), modulo ordering
+and per-run incidentals (elapsed, worker, tracebacks, batch tags).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import (
+    CampaignSpec,
+    ExecutionPolicy,
+    ListSpace,
+    ResultStore,
+    run_campaign,
+)
+from repro.campaign.lease import run_worker
+
+
+@st.composite
+def small_point_lists(draw):
+    """1-7 unique design points over the useful region (some may fail)."""
+    n = draw(st.integers(min_value=1, max_value=7))
+    ratios = draw(
+        st.lists(
+            st.floats(min_value=0.02, max_value=0.3),
+            min_size=n,
+            max_size=n,
+            unique=True,
+        )
+    )
+    separations = draw(
+        st.lists(
+            st.floats(min_value=2.0, max_value=9.0), min_size=n, max_size=n
+        )
+    )
+    return [
+        {"ratio": r, "separation": s} for r, s in zip(ratios, separations)
+    ]
+
+
+def _essentials(records):
+    """The scheduler-invariant projection of a record set, keyed by id."""
+    out = {}
+    for r in records:
+        essential = {
+            "status": r["status"],
+            "params": r["params"],
+            "attempts": r["attempts"],
+        }
+        if r["status"] == "ok":
+            essential["metrics"] = {
+                k: ("nan" if isinstance(v, float) and math.isnan(v) else v)
+                for k, v in r["metrics"].items()
+            }
+        else:
+            essential["error"] = r["error"]["message"]
+        out[r["id"]] = essential
+    return out
+
+
+class TestSchedulerEquivalence:
+    @given(points=small_point_lists())
+    @settings(max_examples=10, deadline=None)
+    def test_lease_matches_serial(self, points, tmp_path_factory):
+        spec = CampaignSpec.create(
+            name="prop", space=ListSpace.of(points), task="design_summary"
+        )
+        serial = run_campaign(
+            spec, policy=ExecutionPolicy(scheduler="serial", vectorize=False)
+        )
+        tmp = tmp_path_factory.mktemp("lease")
+        lease_result = run_campaign(
+            spec,
+            tmp / "r.jsonl",
+            policy=ExecutionPolicy(
+                scheduler="lease", batch_size=2, heartbeat_interval=None
+            ),
+        )
+        assert _essentials(lease_result.records) == _essentials(serial.records)
+        store = ResultStore.open(tmp / "r.jsonl")
+        assert max(store.terminal_record_counts().values()) == 1
+
+    @pytest.mark.campaign
+    def test_three_way_equivalence_with_stores(self, tmp_path):
+        points = [
+            {"ratio": 0.02 + 0.03 * i, "separation": 2.5 + 0.5 * i}
+            for i in range(9)
+        ]
+        spec = CampaignSpec.create(
+            name="prop3", space=ListSpace.of(points), task="design_summary"
+        )
+        serial = run_campaign(
+            spec,
+            tmp_path / "serial.jsonl",
+            policy=ExecutionPolicy(scheduler="serial", vectorize=False),
+        )
+        pool = run_campaign(
+            spec,
+            tmp_path / "pool.jsonl",
+            policy=ExecutionPolicy(scheduler="pool", workers=2, batch_size=3),
+        )
+        lease_store = tmp_path / "lease.jsonl"
+        ResultStore.create(lease_store, spec)
+        # Two sequential elastic workers share the lease store: the first
+        # covers everything, the second must change nothing.
+        run_worker(lease_store, batch_size=4, heartbeat_interval=None, max_idle=0.5)
+        run_worker(lease_store, batch_size=4, heartbeat_interval=None, max_idle=0.2)
+
+        oracle = _essentials(serial.records)
+        assert _essentials(pool.records) == oracle
+        merged = ResultStore.open(lease_store).merged_point_records()
+        assert _essentials(merged) == oracle
+        for path in (tmp_path / "serial.jsonl", tmp_path / "pool.jsonl", lease_store):
+            counts = ResultStore.open(path).terminal_record_counts()
+            assert max(counts.values()) == 1, path

@@ -1,0 +1,247 @@
+"""Distributed-tracing overhead — the span-event sink regression gate.
+
+The trace layer (:mod:`repro.obs.trace`) extends the obs "free when off"
+promise: with no sink configured and no context installed, every
+``record_event`` call is a single attribute read, and hot paths guard the
+surrounding ``time.time()`` bookkeeping on one global.  When tracing *is*
+on, each campaign point appends one JSONL span line — cheap, but not free.
+This bench pins both sides to numbers:
+
+* ``untraced`` — a serial campaign with obs enabled but no trace context
+  and no sink: the default path every ``REPRO_OBS=1`` user runs.
+* ``traced`` — the same campaign with a root :class:`TraceContext` stamped
+  into the manifest and a ``<store>.trace/`` sink configured, i.e. the
+  full distributed-tracing write path per point.
+
+Interleaved best-of-``repeats`` timing (same discipline as
+``bench_obs_overhead``); the traced-path overhead must stay under **25%**
+for these fast (~ms) points — real campaign points are slower, so their
+relative cost is lower still.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_trace.py`` (or through
+pytest); ``--smoke`` shrinks the campaign for CI, ``--json-out FILE``
+appends the machine-readable result line (``kind: "bench_trace"``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.campaign import CampaignSpec, ListSpace, run_campaign
+from repro.core.grid import FrequencyGrid
+from repro.core.memo import grid_cache
+from repro.obs import spans as obs
+from repro.obs import trace as obs_trace
+
+try:  # package import under pytest, flat import as a script
+    from benchmarks.bench_grid_eval import closed_loop_operator
+except ImportError:
+    from bench_grid_eval import closed_loop_operator
+
+POINTS = 40
+REPEATS = 5
+ATTEMPTS = 3  # re-measure before declaring a regression (noise gate)
+TRACE_OVERHEAD_BOUND = 0.25  # one JSONL append per ~ms point: < 25%
+
+
+def _trace_task(params):
+    """A realistically numeric (but quick) campaign point."""
+    op, omega0 = _trace_task.op
+    s_arr = FrequencyGrid.baseband(omega0 * params["scale"], points=120).s
+    grid = op.dense_grid(s_arr, 6)
+    return {"peak": float(np.abs(grid).max())}
+
+
+_trace_task.op = None  # populated lazily so import stays cheap
+
+
+@dataclass(frozen=True)
+class TraceOverheadResult:
+    """Serial campaign timings with tracing off vs on."""
+
+    points: int
+    repeats: int
+    untraced_seconds: float
+    traced_seconds: float
+    events: int
+
+    @property
+    def trace_overhead(self) -> float:
+        """Relative cost of the span-event sink over plain obs."""
+        return self.traced_seconds / self.untraced_seconds - 1.0
+
+    def summary(self) -> str:
+        return (
+            f"trace overhead ({self.points} campaign points, best of "
+            f"{self.repeats}): untraced {self.untraced_seconds * 1e3:.1f} ms, "
+            f"traced {self.traced_seconds * 1e3:.1f} ms "
+            f"({100 * self.trace_overhead:+.2f}%, "
+            f"{self.events} span events recorded)"
+        )
+
+    def json_line(self) -> str:
+        return json.dumps(
+            {
+                "kind": "bench_trace",
+                "points": self.points,
+                "repeats": self.repeats,
+                "untraced_seconds": round(self.untraced_seconds, 6),
+                "traced_seconds": round(self.traced_seconds, 6),
+                "trace_overhead": round(self.trace_overhead, 4),
+                "events": self.events,
+            },
+            sort_keys=True,
+        )
+
+
+def _campaign_spec(points: int) -> CampaignSpec:
+    if _trace_task.op is None:
+        _trace_task.op = closed_loop_operator()
+    return CampaignSpec.create(
+        name="bench-trace",
+        space=ListSpace.of([{"scale": 1.0 + 0.01 * i} for i in range(points)]),
+        task=_trace_task,
+    )
+
+
+def _timed_campaign(spec: CampaignSpec, root: Path, trace=None) -> float:
+    store = root / "run.jsonl"
+    grid_cache.clear()
+    start = time.perf_counter()
+    run_campaign(spec, store, trace=trace)
+    return time.perf_counter() - start
+
+
+def measure(points: int = POINTS, repeats: int = REPEATS) -> TraceOverheadResult:
+    """Time serial campaigns untraced vs traced, interleaved best-of-N."""
+    spec = _campaign_spec(points)
+    was_enabled = obs.enabled()
+    t_untraced = float("inf")
+    t_traced = float("inf")
+    events = 0
+    try:
+        obs.enable()
+        for _ in range(repeats):
+            # Untraced: obs on, but neither context nor sink — so every
+            # record_event call site reduces to its guard.
+            prev = obs_trace.campaign_context()
+            obs_trace.set_campaign(None)
+            try:
+                with tempfile.TemporaryDirectory() as tmp:
+                    t_untraced = min(
+                        t_untraced, _timed_campaign(spec, Path(tmp))
+                    )
+            finally:
+                obs_trace.set_campaign(prev)
+            # Traced: a root context flows through the executor, which
+            # configures a <store>.trace/ shard and records per-point spans.
+            with tempfile.TemporaryDirectory() as tmp:
+                root = Path(tmp)
+                t_traced = min(
+                    t_traced,
+                    _timed_campaign(spec, root, trace=obs_trace.new_context()),
+                )
+                events = len(
+                    obs_trace.load_store_events(root / "run.jsonl")
+                )
+    finally:
+        (obs.enable if was_enabled else obs.disable)()
+        obs.reset()
+        grid_cache.clear()
+    return TraceOverheadResult(
+        points=points,
+        repeats=repeats,
+        untraced_seconds=t_untraced,
+        traced_seconds=t_traced,
+        events=events,
+    )
+
+
+def measure_gated(
+    points: int = POINTS, repeats: int = REPEATS, attempts: int = ATTEMPTS
+) -> TraceOverheadResult:
+    """Measure up to ``attempts`` times; return the first in-bound result.
+
+    A handful of JSONL appends cannot cost a quarter of a numeric campaign
+    — an out-of-bound sample means the runner was busy.  Retrying before
+    failing keeps the gate meaningful on loaded CI machines; a *real*
+    regression fails every attempt.  The last result is returned if none
+    passes.
+    """
+    result = measure(points, repeats)
+    for _ in range(attempts - 1):
+        if result.trace_overhead < TRACE_OVERHEAD_BOUND:
+            break
+        result = measure(points, repeats)
+    return result
+
+
+# -- pytest entry points ---------------------------------------------------------
+
+
+def test_trace_overhead_in_bound():
+    """Per-point span recording stays under the traced-path bound."""
+    result = measure_gated(points=12, repeats=3)
+    assert result.trace_overhead < TRACE_OVERHEAD_BOUND, result.summary()
+    assert result.events >= 12, result.summary()
+
+
+def test_untraced_campaign_records_no_events():
+    """Without a context, a campaign store grows no trace shards."""
+    spec = _campaign_spec(4)
+    was_enabled = obs.enabled()
+    try:
+        obs.disable()
+        with tempfile.TemporaryDirectory() as tmp:
+            store = Path(tmp) / "run.jsonl"
+            run_campaign(spec, store)
+            assert not obs_trace.trace_dir(store).exists()
+            assert obs_trace.load_store_events(store) == []
+    finally:
+        (obs.enable if was_enabled else obs.disable)()
+        obs.reset()
+        grid_cache.clear()
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI-sized run (12 points, 3 repeats); the bound is still "
+        "asserted",
+    )
+    parser.add_argument(
+        "--json-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append the machine-readable JSON result line to FILE",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        result = measure_gated(points=12, repeats=3)
+    else:
+        result = measure_gated()
+    print(result.summary())
+    print(result.json_line())
+    if args.json_out is not None:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        with args.json_out.open("a") as fh:
+            fh.write(result.json_line() + "\n")
+    if result.trace_overhead >= TRACE_OVERHEAD_BOUND:
+        raise SystemExit(
+            f"trace overhead {100 * result.trace_overhead:.2f}% "
+            f">= {100 * TRACE_OVERHEAD_BOUND:.0f}% bound"
+        )
+
+
+if __name__ == "__main__":
+    main()

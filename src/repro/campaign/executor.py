@@ -61,6 +61,7 @@ from repro.obs import manifest as obs_manifest
 from repro.obs import resources as obs_resources
 from repro.obs import spans as obs
 from repro.obs import stream as obs_stream
+from repro.obs import trace as obs_trace
 
 __all__ = [
     "CampaignResult",
@@ -326,6 +327,21 @@ def _run_point(
     record["elapsed"] = time.perf_counter() - started
     record["mem"] = obs_resources.point_probe_end(mem_state)
     obs_heartbeat.point_finished()
+    campaign_ctx = obs_trace.campaign_context()
+    if campaign_ctx is not None:
+        # Child span per point: the record joins the request's trace, and a
+        # span event (absolute wall clock) lands in this worker's shard.
+        point_ctx = campaign_ctx.child()
+        record["trace"] = point_ctx.to_dict()
+        wall_end = time.time()
+        obs_trace.record_event(
+            "campaign.point",
+            point_ctx,
+            wall_end - record["elapsed"],
+            wall_end,
+            point=pid,
+            status=record["status"],
+        )
     if guard.degraded:
         record["timeout_degraded"] = True
         obs.add("campaign.timeout_unavailable")
@@ -474,6 +490,20 @@ def run_point_batch(
             }
         records.append(record)
         obs_heartbeat.point_finished()
+    campaign_ctx = obs_trace.campaign_context()
+    if campaign_ctx is not None:
+        wall_end = time.time()
+        batch_ctx = campaign_ctx.child()
+        obs_trace.record_event(
+            "campaign.point_batch",
+            batch_ctx,
+            wall_end - elapsed,
+            wall_end,
+            points=len(payloads),
+            task=_task_label(task),
+        )
+        for record in records:
+            record["trace"] = batch_ctx.child().to_dict()
     return records
 
 
@@ -509,6 +539,7 @@ def _pool_init(
     obs_enabled: bool = False,
     heartbeat_config: tuple[str, float] | None = None,
     memory_budget_mb: float | None = None,
+    trace_config: tuple[dict | None, str | None] | None = None,
 ) -> None:
     """Per-worker initializer: idempotently mirror the parent cache config.
 
@@ -539,6 +570,14 @@ def _pool_init(
         obs.disable()
     obs_resources.configure(memory_budget_mb)
     obs_resources.ensure_tracemalloc()
+    if trace_config is not None:
+        # The task envelope carries the campaign's trace context: workers
+        # inherit it so every record and span event joins the same trace.
+        ctx_data, sink_dir = trace_config
+        ctx = obs_trace.TraceContext.from_dict(ctx_data)
+        obs_trace.set_campaign(ctx)
+        if sink_dir and ctx is not None:
+            obs_trace.configure_sink(sink_dir)
     if heartbeat_config is not None:
         directory, interval = heartbeat_config
         obs_heartbeat.ensure_emitter(directory, float(interval))
@@ -842,6 +881,15 @@ class _Coordinator:
         inflight: dict[Any, list[tuple[int, str, dict, int]]] = {}
         entry_by_id: dict[str, tuple[int, str, dict, int]] = {}
         escalated: set[str] = set()
+        trace_ctx = obs_trace.campaign_context()
+        trace_config = None
+        if trace_ctx is not None:
+            sink_dir = (
+                str(obs_trace.trace_dir(self.store.path))
+                if self.store is not None and obs_trace.sink_configured()
+                else None
+            )
+            trace_config = (trace_ctx.to_dict(), sink_dir)
         try:
             with ProcessPoolExecutor(
                 max_workers=policy.workers,
@@ -851,6 +899,7 @@ class _Coordinator:
                     obs.enabled(),
                     heartbeat_config,
                     policy.memory_budget_mb,
+                    trace_config,
                 ),
             ) as pool:
                 while queue or inflight:
@@ -994,6 +1043,9 @@ def _stream_sample(
             out["workers_live"] = sum(
                 1 for b in beats if b.get("phase") != "stopped"
             )
+        ctx = obs_trace.campaign_context()
+        if ctx is not None:
+            out["trace_id"] = ctx.trace_id
         return out
 
     return sample
@@ -1008,6 +1060,7 @@ def _execute(
     *,
     resumed: bool = False,
     stream_to: str | Path | None = None,
+    trace: obs_trace.TraceContext | None = None,
 ) -> CampaignResult:
     all_points = list(spec.points())
     pending = deque(
@@ -1020,6 +1073,20 @@ def _execute(
         workers=max(int(policy.workers), 1),
         skipped=len(all_points) - len(pending),
     )
+
+    # Distributed trace context: explicit (a serve job spill), inherited
+    # from the store manifest (resume, lease workers), or minted fresh when
+    # observability is on — so every record/stream sample/health event this
+    # run produces is tagged with one trace_id.
+    trace_ctx = trace
+    if trace_ctx is None and store is not None:
+        existing = obs_manifest.load_manifest(
+            obs_manifest.manifest_path(store.path)
+        )
+        if existing is not None:
+            trace_ctx = obs_trace.TraceContext.from_dict(existing.get("trace"))
+    if trace_ctx is None and obs.enabled():
+        trace_ctx = obs_trace.new_context()
 
     # Run manifest: written on every run/resume, checked against the
     # previous manifest on resume (drift -> notes + warning health events).
@@ -1039,6 +1106,8 @@ def _execute(
                 )
             current["created"] = previous.get("created", current["created"])
             current["runs"] = int(previous.get("runs", 0)) + 1
+        if trace_ctx is not None:
+            current["trace"] = trace_ctx.to_dict()
         obs_manifest.write_manifest(mpath, current)
 
     if policy.scheduler == "lease":
@@ -1059,6 +1128,7 @@ def _execute(
             spec=spec,
             progress=progress,
             stream_to=stream_to,
+            trace=trace_ctx,
         )
         merged = {r["id"]: r for r in store.merged_point_records()}
         ordered = [merged[pid] for pid, _params in all_points if pid in merged]
@@ -1106,6 +1176,23 @@ def _execute(
     for note in notes:
         telemetry.note(note)
     obs_resources.configure(policy.memory_budget_mb)
+    # Install the campaign trace context (and, when a store exists, a
+    # per-worker span-event sink) for the duration of the run.  An already
+    # configured sink — the serve process logging to its own trace file —
+    # is kept: its single log then carries the campaign's events too.
+    prev_campaign_ctx = obs_trace.campaign_context()
+    own_sink = False
+    run_start = 0.0
+    if trace_ctx is not None:
+        obs_trace.set_campaign(trace_ctx)
+        run_start = time.time()
+        if (
+            store is not None
+            and obs.enabled()
+            and not obs_trace.sink_configured()
+        ):
+            obs_trace.configure_sink(obs_trace.trace_dir(store.path))
+            own_sink = True
     try:
         if stream_emitter is not None:
             stream_emitter.start()
@@ -1123,6 +1210,18 @@ def _execute(
         if stream_emitter is not None:
             stream_emitter.stop()
             telemetry.stream_errors += stream_emitter.errors
+        if trace_ctx is not None:
+            obs_trace.record_event(
+                "campaign.run",
+                trace_ctx,
+                run_start,
+                time.time(),
+                points=len(all_points),
+                resumed=resumed,
+            )
+            obs_trace.set_campaign(prev_campaign_ctx)
+            if own_sink:
+                obs_trace.close_sink()
 
     telemetry.finish()
     if store is not None:
@@ -1174,6 +1273,7 @@ def run_campaign(
     progress: ProgressCallback | None = None,
     overwrite: bool = False,
     stream_path: str | Path | None = None,
+    trace: obs_trace.TraceContext | None = None,
     **policy_overrides: Any,
 ) -> CampaignResult:
     """Run every point of ``spec``; optionally persist to a JSONL store.
@@ -1182,7 +1282,10 @@ def run_campaign(
     are shorthand for building an :class:`ExecutionPolicy`.  Passing
     ``stream_path=`` (or setting ``REPRO_OBS_STREAM=1``, which streams to
     ``<store>.stream.jsonl``) turns on the streaming-metrics emitter; both
-    require a store.
+    require a store.  ``trace=`` threads an upstream distributed trace
+    context (e.g. the serve request that spilled this campaign) into the
+    manifest and every record; with observability enabled a fresh context
+    is minted when none is given.
     """
     policy = _make_policy(policy, policy_overrides)
     store = (
@@ -1191,7 +1294,13 @@ def run_campaign(
         else None
     )
     return _execute(
-        spec, store, policy, progress, completed={}, stream_to=stream_path
+        spec,
+        store,
+        policy,
+        progress,
+        completed={},
+        stream_to=stream_path,
+        trace=trace,
     )
 
 
@@ -1204,6 +1313,7 @@ def resume_campaign(
     progress: ProgressCallback | None = None,
     retry_failed: bool = False,
     stream_path: str | Path | None = None,
+    trace: obs_trace.TraceContext | None = None,
     **policy_overrides: Any,
 ) -> CampaignResult:
     """Complete a partially-run campaign, skipping finished points.
@@ -1246,6 +1356,7 @@ def resume_campaign(
         completed=completed_records,
         resumed=True,
         stream_to=stream_path,
+        trace=trace,
     )
 
 

@@ -68,8 +68,11 @@ from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import ResultStore
 from repro.campaign.telemetry import CampaignTelemetry, ProgressCallback
 from repro.obs import heartbeat as obs_heartbeat
+from repro.obs import manifest as obs_manifest
 from repro.obs import resources as obs_resources
+from repro.obs import spans as obs
 from repro.obs import stream as obs_stream
+from repro.obs import trace as obs_trace
 
 __all__ = [
     "DEFAULT_LEASE_BATCH",
@@ -128,7 +131,10 @@ def partition_points(
 
 
 def ensure_plan(
-    directory: Path, spec: CampaignSpec, batch_size: int
+    directory: Path,
+    spec: CampaignSpec,
+    batch_size: int,
+    trace: "obs_trace.TraceContext | None" = None,
 ) -> dict[str, Any]:
     """Load the frozen batch plan, creating it atomically if absent.
 
@@ -136,6 +142,10 @@ def ensure_plan(
     everyone else — including workers launched with a different
     ``batch_size`` — loads and uses the frozen one, so all workers agree
     on the lease units.
+
+    ``trace`` is the originating request/campaign context; freezing it into
+    the plan means every lease worker that later joins — on any host —
+    inherits the same ``trace_id`` without any side channel.
     """
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / "plan.json"
@@ -147,6 +157,8 @@ def ensure_plan(
             "points": len(points),
             "batches": partition_points(points, batch_size),
         }
+        if trace is not None:
+            plan["trace"] = trace.to_dict()
         try:
             fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
         except FileExistsError:
@@ -440,11 +452,13 @@ class WorkerReport:
         }
 
 
-def _worker_stream_sample(telemetry: CampaignTelemetry, worker: str):
+def _worker_stream_sample(
+    telemetry: CampaignTelemetry, worker: str, trace_id: str | None = None
+):
     """Per-worker streaming sampler (samples carry the worker id)."""
 
     def sample() -> dict[str, Any]:
-        return {
+        out = {
             "worker": worker,
             "total": telemetry.total_points,
             "done": telemetry.done,
@@ -458,6 +472,9 @@ def _worker_stream_sample(telemetry: CampaignTelemetry, worker: str):
             "lease_reclaims": telemetry.lease_reclaims,
             "rss_bytes": obs_resources.current_rss_bytes(),
         }
+        if trace_id is not None:
+            out["trace_id"] = trace_id
+        return out
 
     return sample
 
@@ -473,6 +490,7 @@ def run_worker(
     poll_interval: float | None = None,
     progress: ProgressCallback | None = None,
     stream_to: str | Path | None = None,
+    trace: "obs_trace.TraceContext | None" = None,
     **policy_overrides: Any,
 ) -> WorkerReport:
     """Join a campaign as one elastic lease worker; return when done.
@@ -488,6 +506,13 @@ def run_worker(
 
     On campaign completion the workers race a finalize election; the
     single winner appends the summary line to the main store.
+
+    Trace context is resolved explicit ``trace`` -> frozen plan ->
+    store manifest; when one is found it becomes this process's campaign
+    context (so point records and health events are trace-tagged) and,
+    with observability enabled, span events (``lease.claim``,
+    ``lease.reclaim``, ``lease.idle``, ``lease.batch``, ``lease.worker``)
+    are appended to this worker's shard under ``<store>.trace/``.
     """
     from collections import deque
 
@@ -514,7 +539,28 @@ def run_worker(
         poll_interval = max(0.05, min(1.0, ttl / 5.0))
     ldir = lease_dir(store.path)
     batch_size = policy.batch_size or DEFAULT_LEASE_BATCH
-    plan = ensure_plan(ldir, spec, batch_size)
+    plan = ensure_plan(ldir, spec, batch_size, trace=trace)
+
+    # Trace resolution: explicit arg -> frozen plan -> store manifest.
+    trace_ctx = trace
+    if trace_ctx is None:
+        trace_ctx = obs_trace.TraceContext.from_dict(plan.get("trace"))
+    if trace_ctx is None:
+        manifest = obs_manifest.load_manifest(obs_manifest.manifest_path(store.path))
+        if manifest:
+            trace_ctx = obs_trace.TraceContext.from_dict(manifest.get("trace"))
+    prev_campaign_ctx = obs_trace.campaign_context()
+    own_sink = False
+    if trace_ctx is not None:
+        obs_trace.set_campaign(trace_ctx)
+        if obs.enabled() and not obs_trace.sink_configured():
+            obs_trace.configure_sink(
+                obs_trace.trace_dir(store.path), worker=worker
+            )
+            own_sink = True
+    worker_ctx = trace_ctx.child() if trace_ctx is not None else None
+    traced = worker_ctx is not None and obs_trace.sink_configured()
+
     all_points = list(spec.points())
     params_by_id = dict(all_points)
     index_by_id = {pid: i for i, (pid, _p) in enumerate(all_points)}
@@ -543,7 +589,11 @@ def run_worker(
         )
         stream_emitter = obs_stream.StreamEmitter(
             stream_file,
-            _worker_stream_sample(telemetry, worker),
+            _worker_stream_sample(
+                telemetry,
+                worker,
+                trace_id=trace_ctx.trace_id if trace_ctx is not None else None,
+            ),
             policy.stream_interval,
         )
         stream_emitter.start()
@@ -564,12 +614,29 @@ def run_worker(
             state = lease_state(ldir, bid, ttl)
             if state in ("done", "leased"):
                 continue
+            claim_start = time.time() if traced else 0.0
             if state == "free":
                 if not try_claim(ldir, bid, worker, ttl):
                     continue
+                if traced:
+                    obs_trace.record_event(
+                        "lease.claim",
+                        worker_ctx.child(),
+                        claim_start,
+                        time.time(),
+                        batch=bid,
+                    )
             else:  # expired
                 if not try_reclaim(ldir, bid, worker, ttl):
                     continue
+                if traced:
+                    obs_trace.record_event(
+                        "lease.reclaim",
+                        worker_ctx.child(),
+                        claim_start,
+                        time.time(),
+                        batch=bid,
+                    )
                 telemetry.lease_reclaims += 1
                 report.reclaims += 1
                 telemetry.note(f"reclaimed expired lease on batch {bid}")
@@ -578,6 +645,8 @@ def run_worker(
         return None
 
     idle_since: float | None = None
+    idle_wall: float | None = None
+    run_start = time.time() if traced else 0.0
     try:
         while True:
             completed = store.merged_completed_ids()
@@ -589,13 +658,21 @@ def run_worker(
                 now = time.monotonic()
                 if idle_since is None:
                     idle_since = now
+                    idle_wall = time.time() if traced else None
                 elif max_idle is not None and now - idle_since > max_idle:
                     break  # elastic scale-down: nothing claimable for a while
                 time.sleep(poll_interval)
                 continue
+            if traced and idle_wall is not None:
+                obs_trace.record_event(
+                    "lease.idle", worker_ctx.child(), idle_wall, time.time()
+                )
             idle_since = None
+            idle_wall = None
             bid = batch["id"]
             renewer.hold(bid)
+            batch_start = time.time() if traced else 0.0
+            pending = 0
             try:
                 # Re-read the merged set *after* claiming: points a dead
                 # worker already recorded must not be recomputed.
@@ -605,9 +682,19 @@ def run_worker(
                     for pid in batch["points"]
                     if pid not in completed
                 )
+                pending = len(entries)
                 coordinator.run_batch(entries)
             finally:
                 renewer.drop()
+            if traced:
+                obs_trace.record_event(
+                    "lease.batch",
+                    worker_ctx.child(),
+                    batch_start,
+                    time.time(),
+                    batch=bid,
+                    points=pending,
+                )
             if mark_done(ldir, bid, worker):
                 report.batches_done += 1
             else:
@@ -622,6 +709,24 @@ def run_worker(
             stream_emitter.stop()
             telemetry.stream_errors += stream_emitter.errors
         shard.close()
+        if traced:
+            now = time.time()
+            if idle_wall is not None:
+                obs_trace.record_event(
+                    "lease.idle", worker_ctx.child(), idle_wall, now
+                )
+            obs_trace.record_event(
+                "lease.worker",
+                worker_ctx,
+                run_start,
+                now,
+                batches=report.batches_done,
+                reclaims=report.reclaims,
+                complete=report.complete,
+            )
+        obs_trace.set_campaign(prev_campaign_ctx)
+        if own_sink:
+            obs_trace.close_sink()
 
     report.points_done = telemetry.done
     report.points_failed = telemetry.failed

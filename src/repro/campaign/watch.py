@@ -8,7 +8,8 @@ Tails the three live artifacts a campaign leaves next to its store —
 * ``<store>.manifest.json`` (run provenance)
 
 — and renders a single refreshing screen: a progress bar with an ETA
-derived from observed throughput, one line per live worker (phase,
+derived from observed throughput, a per-point latency quantile line
+(p50/p95/p99 over the merged records), one line per live worker (phase,
 current point, elapsed, RSS, staleness), worst health-event counts, and
 the provenance header.  Multi-host lease campaigns merge naturally:
 progress counts come from :meth:`~repro.campaign.store.ResultStore.
@@ -144,6 +145,27 @@ def _eta_seconds(
     return pending / throughput
 
 
+def _point_latency_quantiles(store: ResultStore) -> dict[str, float]:
+    """p50/p95/p99 of per-point elapsed seconds over all merged records.
+
+    Folds the record elapsed times into a decade histogram and inverts it —
+    the same estimator ``/v1/statz`` and ``repro obs summary`` use — so the
+    dashboard's latency line agrees with the other surfaces.
+    """
+    from repro.obs.registry import HistogramStat, histogram_quantiles
+
+    hist = HistogramStat("campaign.point.elapsed", {})
+    try:
+        records = store.merged_point_records()
+    except Exception:
+        return {}
+    for record in records:
+        value = record.get("elapsed")
+        if isinstance(value, (int, float)) and float(value) >= 0.0:
+            hist.observe(float(value))
+    return histogram_quantiles(hist)
+
+
 def _lease_progress(store_path: Path) -> dict[str, int] | None:
     """Batch-level lease counts for a lease-scheduled campaign, else None."""
     from repro.campaign import lease as lease_mod
@@ -217,6 +239,17 @@ def render(store_path: str | Path, now: float | None = None) -> str:
     eta = _eta_seconds(stream_records, pending)
     if eta is not None:
         lines.append(f"eta: ~{_fmt_seconds(eta)} at observed throughput")
+
+    quantiles = _point_latency_quantiles(store)
+    if quantiles:
+        lines.append(
+            "latency: "
+            + " · ".join(
+                f"{key}={quantiles[key]:.3g}s"
+                for key in ("p50", "p95", "p99")
+                if key in quantiles
+            )
+        )
 
     interval = 5.0
     if manifest and isinstance(manifest.get("policy"), dict):

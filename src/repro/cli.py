@@ -51,16 +51,21 @@ Observability reports (:mod:`repro.obs`)::
     python -m repro obs top RESULTS.jsonl -n 10 [--by wall|cpu|count]
     python -m repro obs health RESULTS.jsonl [-n 10] [--severity warning]
                     [--fail-on warning|error]
-    python -m repro obs export RESULTS.jsonl [--json | --csv | --trace out.json]
-                    [--out obs.json]
+    python -m repro obs export RESULTS.jsonl [MORE ...]
+                    [--json | --csv | --trace out.json] [--out obs.json]
+    python -m repro obs trace RESULTS.jsonl [--serve-log serve.trace.jsonl]
+                    [--trace-id HEX32] [--out trace.json]
 
 ``SOURCE`` is a campaign result store (the merged span/counter snapshot is
 read from its summary record) or a raw obs snapshot JSON, e.g. one written
-through ``REPRO_OBS_EXPORT=path``.  ``obs health`` reports the numerical
-health events the core probes emitted (see ``docs/OBSERVABILITY.md``) and,
-with ``--fail-on``, exits nonzero when events at or above that severity
-occurred — the CI gate.  ``--trace`` writes Chrome Trace Event Format for
-``chrome://tracing`` / Perfetto.
+through ``REPRO_OBS_EXPORT=path``; several sources merge into one view.
+``obs health`` reports the numerical health events the core probes emitted
+(see ``docs/OBSERVABILITY.md``) and, with ``--fail-on``, exits nonzero when
+events at or above that severity occurred — the CI gate.  ``--trace``
+writes Chrome Trace Event Format for ``chrome://tracing`` / Perfetto.
+``obs trace`` is the *distributed* collector: it merges the per-worker span
+shards under ``<store>.trace/`` (plus serve logs) into one Chrome trace
+with per-host/per-worker lanes and a critical-path summary.
 
 Benchmark baselines (:mod:`repro.obs.baseline`)::
 
@@ -78,6 +83,8 @@ Analysis service (:mod:`repro.serve`)::
                     [--max-inflight N] [--cache-bytes B] [--cache-ttl S]
                     [--cache-shards N] [--batch-window S]
                     [--spill-threshold N] [--jobs-dir DIR] [--manifest FILE]
+                    [--trace-log FILE] [--no-job-autostart]
+                    [--job-lease-batch N]
     python -m repro jobs DIR_OR_STORE [--id JOB_ID]
 
 ``serve`` runs the HTTP/JSON analysis server (endpoints and wire contract
@@ -279,8 +286,9 @@ def build_parser() -> argparse.ArgumentParser:
     def obs_source(sub: argparse.ArgumentParser) -> None:
         sub.add_argument(
             "source",
-            help="campaign results JSONL (run with REPRO_OBS=1) or an obs "
-            "snapshot JSON file",
+            nargs="+",
+            help="campaign results JSONL (run with REPRO_OBS=1) or obs "
+            "snapshot JSON file(s); multiple sources are merged",
         )
 
     summary_cmd = obs_actions.add_parser(
@@ -319,6 +327,35 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("wall", "cpu", "count"),
         default="wall",
         help="ranking key (default wall)",
+    )
+
+    trace_cmd = obs_actions.add_parser(
+        "trace",
+        help="merge distributed trace shards into one Chrome trace "
+        "+ critical-path summary",
+    )
+    trace_cmd.add_argument(
+        "store",
+        help="campaign/job store JSONL; its <store>.trace/ shards, "
+        "heartbeats, and stream samples are merged",
+    )
+    trace_cmd.add_argument(
+        "--serve-log",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="also merge a serve-process span log (repeatable)",
+    )
+    trace_cmd.add_argument(
+        "--trace-id",
+        default=None,
+        help="keep only events of this trace (default: all traces)",
+    )
+    trace_cmd.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the Chrome trace JSON to FILE (default <store>.trace.json)",
     )
 
     health_cmd = obs_actions.add_parser(
@@ -425,6 +462,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="server manifest path (default <jobs-dir>/server.manifest.json)",
     )
+    serve_cmd.add_argument(
+        "--trace-log",
+        default=None,
+        metavar="FILE",
+        help="record span events (distributed tracing) to this JSONL file",
+    )
+    serve_cmd.add_argument(
+        "--no-job-autostart",
+        action="store_true",
+        help="prepare spilled jobs (store + manifest + lease plan) but leave "
+        "execution to external `repro campaign worker` processes",
+    )
+    serve_cmd.add_argument(
+        "--job-lease-batch",
+        type=int,
+        default=None,
+        help="lease batch size frozen into prepared job plans",
+    )
 
     jobs_cmd = commands.add_parser(
         "jobs", help="inspect the analysis server's background-job stores"
@@ -471,7 +526,13 @@ def main(argv: list[str] | None = None) -> int:
 def _obs(args) -> int:
     from repro import obs
 
-    snapshot = obs.load_snapshot(args.source)
+    if args.obs_command == "trace":
+        return _obs_trace(args)
+    # Multiple sources (shard exports, per-host snapshots) merge into one
+    # registry view — same associative merge the campaign coordinator uses.
+    snapshot = obs.load_snapshot(args.source[0])
+    for extra in args.source[1:]:
+        snapshot = obs.merge_snapshots(snapshot, obs.load_snapshot(extra))
     if args.obs_command == "summary":
         print(obs.format_summary(snapshot))
         return 0
@@ -505,6 +566,39 @@ def _obs(args) -> int:
         print(f"wrote {args.out}")
     else:
         print(rendered, end="")
+    return 0
+
+
+def _obs_trace(args) -> int:
+    """Collector: merge a store's trace shards (+ serve logs) into one trace."""
+    from repro.obs import trace as obs_trace
+
+    store = Path(args.store)
+    if not store.exists():
+        raise ValidationError(f"no store at {store}")
+    for log in args.serve_log:
+        if not Path(log).exists():
+            raise ValidationError(f"no serve log at {log}")
+    document = obs_trace.build_chrome_trace(
+        store, serve_logs=args.serve_log, trace_id=args.trace_id
+    )
+    if not document["traceEvents"]:
+        print(
+            f"no trace events for {store} — run with REPRO_OBS=1 "
+            "(and a trace context) to record spans",
+            file=sys.stderr,
+        )
+        return 1
+    out = Path(args.out) if args.out else store.with_suffix(".trace.json")
+    out.write_text(json.dumps(document, sort_keys=True) + "\n")
+    hosts = document["otherData"]["hosts"]
+    print(
+        f"merged {len(document['traceEvents'])} events from "
+        f"{len(hosts)} host(s) ({', '.join(hosts)}); "
+        f"{len(document['traceIds'])} trace id(s)"
+    )
+    print(obs_trace.format_critical_path(document["criticalPath"]))
+    print(f"wrote {out}")
     return 0
 
 
@@ -566,6 +660,9 @@ def _serve(args) -> int:
         spill_threshold=args.spill_threshold,
         jobs_dir=args.jobs_dir,
         manifest_path=args.manifest,
+        trace_log=args.trace_log,
+        job_autostart=not args.no_job_autostart,
+        job_lease_batch=args.job_lease_batch,
     )
     server = AnalysisServer(config)
 

@@ -50,12 +50,14 @@ from repro.obs.manifest import (
     spec_fingerprint,
     write_manifest,
 )
+from repro.obs.prom import sanitize_metric_name, to_prometheus
 from repro.obs.registry import (
     CounterStat,
     HealthStat,
     HistogramStat,
     ObsRegistry,
     SpanStat,
+    histogram_quantiles,
     merge_snapshots,
     snapshot_delta,
 )
@@ -95,6 +97,16 @@ from repro.obs.stream import (
     stream_path,
     stream_requested,
 )
+from repro.obs.trace import (
+    TraceContext,
+    build_chrome_trace,
+    critical_path_summary,
+    format_critical_path,
+    format_traceparent,
+    new_context,
+    parse_traceparent,
+    trace_dir,
+)
 
 __all__ = [
     "CheckResult",
@@ -106,32 +118,41 @@ __all__ = [
     "Span",
     "SpanStat",
     "StreamEmitter",
+    "TraceContext",
     "add",
     "add_hook",
+    "build_chrome_trace",
     "build_manifest",
     "check_manifest",
+    "critical_path_summary",
     "current_rss_bytes",
     "delta",
     "disable",
     "enable",
     "enabled",
+    "format_critical_path",
     "format_health",
     "format_summary",
     "format_top",
+    "format_traceparent",
     "health_event",
     "heartbeat_dir",
+    "histogram_quantiles",
     "load_manifest",
     "load_snapshot",
     "manifest_path",
     "max_severity",
     "merge_snapshots",
+    "new_context",
     "observe",
+    "parse_traceparent",
     "peak_rss_bytes",
     "read_heartbeats",
     "read_stream",
     "registry",
     "remove_hook",
     "reset",
+    "sanitize_metric_name",
     "severity_counts",
     "snapshot",
     "snapshot_delta",
@@ -140,12 +161,14 @@ __all__ = [
     "stream_path",
     "stream_requested",
     "summary",
-    "tracemalloc_requested",
-    "write_manifest",
     "to_chrome_trace",
     "to_csv",
     "to_json",
+    "to_prometheus",
+    "trace_dir",
+    "tracemalloc_requested",
     "worst_events",
+    "write_manifest",
 ]
 
 

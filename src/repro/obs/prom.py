@@ -1,0 +1,175 @@
+"""Prometheus text-format exposition of the aggregate obs registry.
+
+Renders a registry snapshot (``repro.obs.snapshot()`` / merged snapshots)
+into the Prometheus text exposition format, so ``GET /v1/metricsz`` serves
+exactly the numbers ``repro obs summary`` prints:
+
+- span stats -> ``repro_span_seconds_total`` / ``repro_span_calls_total``
+  counters labelled by span path (and tags),
+- counters -> ``repro_<name>_total``,
+- decade histograms -> native Prometheus histograms with *cumulative*
+  ``le`` buckets at the decade upper bounds (a decade bucket ``k`` covers
+  ``[10^k, 10^(k+1))`` so its cumulative bound is ``10^(k+1)``),
+- health events -> ``repro_health_events_total`` labelled by event name,
+  severity, and direction.
+
+Everything is pure string formatting over an existing snapshot dict — no
+registry locks are held and nothing here runs unless a scraper asks.
+"""
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable, Mapping
+
+__all__ = ["to_prometheus", "sanitize_metric_name", "format_sample"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an obs name (dots, slashes, brackets) into a legal metric name."""
+    cleaned = _NAME_BAD_CHARS.sub("_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: Any) -> str:
+    text = str(value)
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize_metric_name(str(k))}="{_escape_label(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def format_sample(name: str, labels: Mapping[str, Any], value: float) -> str:
+    """One exposition line: ``name{labels} value``."""
+    if isinstance(value, float):
+        if math.isinf(value):
+            rendered = "+Inf" if value > 0 else "-Inf"
+        elif math.isnan(value):
+            rendered = "NaN"
+        elif value == int(value) and abs(value) < 1e15:
+            rendered = str(int(value))
+        else:
+            rendered = repr(value)
+    else:
+        rendered = str(value)
+    return f"{sanitize_metric_name(name)}{_render_labels(labels)} {rendered}"
+
+
+def _split_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert ``registry.bucket_key``: ``name[k=v,...]`` -> (name, labels)."""
+    if "[" not in key or not key.endswith("]"):
+        return key, {}
+    name, _, raw = key.partition("[")
+    labels: dict[str, str] = {}
+    for pair in raw[:-1].split(","):
+        if "=" in pair:
+            k, _, v = pair.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+def _decade_upper(decade: int) -> str:
+    """Cumulative ``le`` bound for decade bucket ``k``: 10^(k+1)."""
+    return f"{10.0 ** (decade + 1):g}"
+
+
+def _histogram_lines(key: str, entry: Mapping[str, Any]) -> Iterable[str]:
+    name, labels = _split_key(key)
+    metric = "repro_" + sanitize_metric_name(name)
+    yield f"# TYPE {metric} histogram"
+    buckets: dict[int, int] = {}
+    for raw_decade, count in (entry.get("buckets") or {}).items():
+        try:
+            buckets[int(raw_decade)] = int(count)
+        except (TypeError, ValueError):
+            continue
+    cumulative = 0
+    for decade in sorted(buckets):
+        cumulative += buckets[decade]
+        yield format_sample(
+            metric + "_bucket",
+            {**labels, "le": _decade_upper(decade)},
+            float(cumulative),
+        )
+    total_count = int(entry.get("count", cumulative))
+    yield format_sample(metric + "_bucket", {**labels, "le": "+Inf"}, float(total_count))
+    yield format_sample(metric + "_sum", labels, float(entry.get("total", 0.0)))
+    yield format_sample(metric + "_count", labels, float(total_count))
+
+
+def to_prometheus(snapshot: Mapping[str, Any] | None) -> str:
+    """Render a registry snapshot as Prometheus text exposition format."""
+    lines: list[str] = []
+    snapshot = snapshot or {}
+
+    spans = snapshot.get("spans") or {}
+    if spans:
+        lines.append("# HELP repro_span_seconds_total Cumulative wall seconds per span path.")
+        lines.append("# TYPE repro_span_seconds_total counter")
+        for key in sorted(spans):
+            name, labels = _split_key(key)
+            lines.append(
+                format_sample(
+                    "repro_span_seconds_total",
+                    {**labels, "path": name},
+                    float(spans[key].get("wall", 0.0)),
+                )
+            )
+        lines.append("# HELP repro_span_calls_total Completed span count per span path.")
+        lines.append("# TYPE repro_span_calls_total counter")
+        for key in sorted(spans):
+            name, labels = _split_key(key)
+            lines.append(
+                format_sample(
+                    "repro_span_calls_total",
+                    {**labels, "path": name},
+                    float(spans[key].get("count", 0)),
+                )
+            )
+
+    counters = snapshot.get("counters") or {}
+    for key in sorted(counters):
+        name, labels = _split_key(key)
+        metric = "repro_" + sanitize_metric_name(name) + "_total"
+        lines.append(f"# TYPE {sanitize_metric_name(metric)} counter")
+        lines.append(format_sample(metric, labels, float(counters[key].get("value", 0.0))))
+
+    for key in sorted(snapshot.get("histograms") or {}):
+        lines.extend(_histogram_lines(key, snapshot["histograms"][key]))
+
+    events = snapshot.get("events") or {}
+    if events:
+        lines.append("# HELP repro_health_events_total Health events by name and severity.")
+        lines.append("# TYPE repro_health_events_total counter")
+        for key in sorted(events):
+            entry = events[key]
+            name, labels = _split_key(key)
+            labels = {
+                **labels,
+                "event": name,
+                "severity": str(entry.get("severity", "warning")),
+                "direction": str(entry.get("direction", "high")),
+            }
+            lines.append(
+                format_sample(
+                    "repro_health_events_total", labels, float(entry.get("count", 0))
+                )
+            )
+
+    dropped = snapshot.get("events_dropped", 0)
+    lines.append("# TYPE repro_health_events_dropped_total counter")
+    lines.append(format_sample("repro_health_events_dropped_total", {}, float(dropped or 0)))
+
+    return "\n".join(lines) + "\n"

@@ -38,6 +38,7 @@ __all__ = [
     "ObsRegistry",
     "SpanStat",
     "bucket_key",
+    "histogram_quantiles",
     "merge_snapshots",
     "snapshot_delta",
 ]
@@ -176,6 +177,58 @@ class HistogramStat:
         }
 
 
+def histogram_quantiles(
+    entry: Mapping[str, Any] | "HistogramStat",
+    quantiles: tuple[float, ...] = (0.5, 0.95, 0.99),
+) -> dict[str, float]:
+    """Quantile estimates from a decade histogram.
+
+    Accepts either a :class:`HistogramStat` or its ``to_dict()`` form (bucket
+    keys may be ints or strings, as they are after a JSON round-trip).  The
+    rank is located exactly from the bucket counts; the value within the
+    containing decade ``[10^k, 10^(k+1))`` is interpolated geometrically
+    (uniform in log-space, matching how the decades are laid out) and clamped
+    to the histogram's observed ``[min, max]`` — so a single-valued histogram
+    reports that value exactly at every quantile.
+
+    Returns ``{"p50": ..., "p95": ..., "p99": ...}`` (keys follow the
+    requested quantiles); empty dict when the histogram has no samples.
+    """
+    if isinstance(entry, HistogramStat):
+        entry = entry.to_dict()
+    count = int(entry.get("count", 0))
+    if count <= 0:
+        return {}
+    buckets: dict[int, int] = {}
+    for raw, n in (entry.get("buckets") or {}).items():
+        try:
+            buckets[int(raw)] = buckets.get(int(raw), 0) + int(n)
+        except (TypeError, ValueError):
+            continue
+    vmin = float(entry.get("min", 0.0))
+    vmax = float(entry.get("max", vmin))
+    out: dict[str, float] = {}
+    ordered = sorted(buckets.items())
+    for q in quantiles:
+        q = min(1.0, max(0.0, float(q)))
+        label = f"p{q * 100:g}".replace(".", "_")
+        target = q * count
+        cumulative = 0
+        value = vmax
+        for decade, n in ordered:
+            if n <= 0:
+                continue
+            if cumulative + n >= target:
+                # position of the target rank inside this decade's samples
+                frac = (target - cumulative - 0.5) / n if n > 1 else 0.5
+                frac = min(1.0, max(0.0, frac))
+                value = 10.0 ** (decade + frac)
+                break
+            cumulative += n
+        out[label] = min(vmax, max(vmin, value))
+    return out
+
+
 def _is_worse(candidate: float, incumbent: float, direction: str) -> bool:
     """Whether ``candidate`` is a worse observation than ``incumbent``.
 
@@ -197,7 +250,7 @@ class HealthStat:
     """
 
     __slots__ = ("name", "tags", "severity", "direction", "count", "worst",
-                 "threshold", "message", "path")
+                 "threshold", "message", "path", "trace_id")
 
     def __init__(self, name: str, tags: Mapping[str, Any], severity: str,
                  direction: str = "above"):
@@ -210,9 +263,10 @@ class HealthStat:
         self.threshold = 0.0
         self.message = ""
         self.path: str | None = None
+        self.trace_id: str | None = None
 
     def record(self, value: float, threshold: float, message: str,
-               path: str | None) -> None:
+               path: str | None, trace_id: str | None = None) -> None:
         value = float(value)
         self.count += 1
         if self.worst is None or _is_worse(value, self.worst, self.direction):
@@ -220,6 +274,7 @@ class HealthStat:
             self.threshold = float(threshold)
             self.message = message
             self.path = path
+            self.trace_id = trace_id
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -233,6 +288,7 @@ class HealthStat:
             "threshold": self.threshold,
             "message": self.message,
             "path": self.path,
+            "trace_id": self.trace_id,
         }
 
 
@@ -290,6 +346,7 @@ class ObsRegistry:
         direction: str = "above",
         message: str = "",
         path: str | None = None,
+        trace_id: str | None = None,
     ) -> None:
         """Fold one health event into its ``(name, tags, severity)`` bucket."""
         key = f"{bucket_key(name, tags)}#{severity}"
@@ -302,7 +359,7 @@ class ObsRegistry:
                 stat = self._events[key] = HealthStat(
                     name, tags, severity, direction
                 )
-            stat.record(value, threshold, message, path)
+            stat.record(value, threshold, message, path, trace_id)
 
     # -- bulk access -------------------------------------------------------------
 
@@ -400,6 +457,7 @@ class ObsRegistry:
                     stat.threshold = float(entry.get("threshold", 0.0))
                     stat.message = str(entry.get("message", ""))
                     stat.path = entry.get("path")
+                    stat.trace_id = entry.get("trace_id")
             self._events_dropped += int(snapshot.get("events_dropped", 0) or 0)
 
 

@@ -143,12 +143,23 @@ def format_summary(snapshot: Mapping[str, Any]) -> str:
             )
     histograms = (snapshot.get("histograms") or {}).values()
     if histograms:
+        from repro.obs.registry import histogram_quantiles
+
         lines.append("histograms:")
         for stat in sorted(histograms, key=lambda h: h["name"]):
             mean = stat["total"] / stat["count"] if stat["count"] else 0.0
+            quantiles = histogram_quantiles(stat)
+            tail = ""
+            if quantiles:
+                tail = " " + " ".join(
+                    f"{key.replace('_', '.')}={quantiles[key]:.3g}"
+                    for key in ("p50", "p95", "p99")
+                    if key in quantiles
+                )
             lines.append(
                 f"  {_span_label(stat):<40}  n={stat['count']} "
                 f"mean={mean:g} min={stat['min']:g} max={stat['max']:g}"
+                f"{tail}"
             )
     if (snapshot.get("events") or {}) or snapshot.get("events_dropped"):
         from repro.obs.health import format_health

@@ -217,11 +217,19 @@ def health_event(
     any) is attached as provenance.  ``direction='above'`` marks values that
     should stay *below* the threshold (residuals, condition numbers);
     ``'below'`` marks values that should stay above it (``|1 + lambda|``).
+
+    When a distributed trace context is active (request- or campaign-level,
+    see :mod:`repro.obs.trace`), its ``trace_id`` is attached so a bad
+    ``|1 + lambda|`` margin on a lease worker joins back to the request
+    that asked for it.
     """
     if not _enabled:
         return
     stack = getattr(_local, "stack", None)
     path = stack[-1] if stack else None
+    from repro.obs import trace as _trace
+
+    ctx = _trace.context_or_campaign()
     _registry.record_event(
         name,
         severity,
@@ -231,6 +239,7 @@ def health_event(
         direction=direction,
         message=message,
         path=path,
+        trace_id=ctx.trace_id if ctx is not None else None,
     )
 
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import math
+import os
 import time
 import urllib.parse
 from pathlib import Path
@@ -48,7 +49,10 @@ from repro.campaign.spec import CampaignSpec, GridSpace
 from repro.campaign.store import ResultStore
 from repro.obs import health as obs_health
 from repro.obs import manifest as obs_manifest
+from repro.obs import prom as obs_prom
 from repro.obs import spans as obs
+from repro.obs import trace as obs_trace
+from repro.obs.registry import histogram_quantiles
 from repro.pll.closedloop import ClosedLoopHTM
 from repro.serve.batcher import MicroBatcher
 from repro.serve.cache import ShardedGridCache
@@ -99,7 +103,11 @@ class ServerConfig:
     spill_threshold: int = 64  # stability-map cells beyond which -> job
     jobs_dir: str | None = None  # None disables the job spill path
     job_workers: int = 1
+    job_autostart: bool = True  # False: only prepare store+lease plan for
+    #   an external `repro campaign worker` fleet on a shared jobs dir
+    job_lease_batch: int | None = None  # lease-plan batch size (None=default)
     manifest_path: str | None = None  # None -> <jobs_dir>/server.manifest.json
+    trace_log: str | None = None  # span-event JSONL; enables trace recording
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -117,6 +125,7 @@ class ServerStats:
         "cache_hits",
         "by_endpoint",
         "by_status",
+        "by_id_source",
     )
 
     def __init__(self) -> None:
@@ -128,11 +137,15 @@ class ServerStats:
         self.cache_hits = 0
         self.by_endpoint: dict[str, int] = {}
         self.by_status: dict[int, int] = {}
+        self.by_id_source: dict[str, int] = {}
 
     def record(self, endpoint: str, status: int) -> None:
         self.requests += 1
         self.by_endpoint[endpoint] = self.by_endpoint.get(endpoint, 0) + 1
         self.by_status[status] = self.by_status.get(status, 0) + 1
+
+    def record_id_source(self, source: str) -> None:
+        self.by_id_source[source] = self.by_id_source.get(source, 0) + 1
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -144,6 +157,7 @@ class ServerStats:
             "cache_hits": self.cache_hits,
             "by_endpoint": dict(self.by_endpoint),
             "by_status": {str(k): v for k, v in self.by_status.items()},
+            "by_id_source": dict(self.by_id_source),
         }
 
 
@@ -170,13 +184,19 @@ class AnalysisServer:
             window=self.config.batch_window, max_batch=self.config.max_batch
         )
         self.jobs: JobManager | None = (
-            JobManager(self.config.jobs_dir, workers=self.config.job_workers)
+            JobManager(
+                self.config.jobs_dir,
+                workers=self.config.job_workers,
+                autostart=self.config.job_autostart,
+                lease_batch=self.config.job_lease_batch,
+            )
             if self.config.jobs_dir
             else None
         )
         self._executor = None  # set in start(): ThreadPoolExecutor(workers)
         self._server: asyncio.base_events.Server | None = None
         self._inflight = 0
+        self._own_trace_sink = False  # True when start() configured trace_log
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -195,6 +215,12 @@ class AnalysisServer:
             thread_name_prefix="repro-serve",
         )
         self.batcher.executor = self._executor
+        if self.config.trace_log:
+            log = Path(self.config.trace_log)
+            if log.suffix not in (".jsonl", ".json"):
+                log = log.with_suffix(log.suffix + ".jsonl")
+            obs_trace.configure_sink(log)
+            self._own_trace_sink = True
         self._server = await asyncio.start_server(
             self._handle_client, host=self.config.host, port=self.config.port
         )
@@ -213,6 +239,9 @@ class AnalysisServer:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+        if self._own_trace_sink:
+            obs_trace.close_sink()
+            self._own_trace_sink = False
 
     def _write_manifest(self) -> None:
         """Record the serving configuration + environment, like a run manifest."""
@@ -247,7 +276,10 @@ class AnalysisServer:
                     )
                 except ValueError:
                     await self._respond(
-                        writer, 400, error_body(400, "bad_request_line", "unparseable request line")
+                        writer,
+                        400,
+                        error_body(400, "bad_request_line", "unparseable request line"),
+                        {"X-Request-Id": self._request_id(None)},
                     )
                     break
                 headers: dict[str, str] = {}
@@ -257,6 +289,7 @@ class AnalysisServer:
                         break
                     name, _, value = line.decode("latin-1").partition(":")
                     headers[name.strip().lower()] = value.strip()
+                request_id = self._request_id(headers)
                 try:
                     length = int(headers.get("content-length") or 0)
                 except ValueError:
@@ -274,10 +307,13 @@ class AnalysisServer:
                         writer,
                         413,
                         error_body(413, "body_too_large", f"body must be <= {MAX_BODY_BYTES} bytes"),
+                        {"X-Request-Id": request_id},
                     )
                     break
                 body = await reader.readexactly(length) if length else b""
-                status, payload, extra = await self._dispatch(method, target, body)
+                status, payload, extra = await self._dispatch(
+                    method, target, body, headers, request_id
+                )
                 keep_alive = (
                     version == "HTTP/1.1"
                     and headers.get("connection", "").lower() != "close"
@@ -307,47 +343,99 @@ class AnalysisServer:
         keep_alive: bool = False,
     ) -> None:
         body = payload if isinstance(payload, bytes) else dumps_bytes(payload)
+        extra = dict(extra_headers or {})
+        content_type = extra.pop("Content-Type", "application/json")
         head = [
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
-        for name, value in (extra_headers or {}).items():
+        for name, value in extra.items():
             head.append(f"{name}: {value}")
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
         writer.write(body)
         await writer.drain()
 
+    def _request_id(self, headers: Mapping[str, str] | None) -> str:
+        """Echo the client-supplied ``X-Request-Id`` or mint one.
+
+        Every response — including the early 400/413 and the 429/504/500
+        error paths — carries the id back, and ``/v1/statz`` counts how
+        many requests brought their own versus got one generated.
+        """
+        rid = (headers or {}).get("x-request-id", "").strip()
+        if rid:
+            self.stats.record_id_source("client")
+            return rid
+        self.stats.record_id_source("generated")
+        return os.urandom(8).hex()
+
     async def _dispatch(
-        self, method: str, target: str, raw: bytes
+        self,
+        method: str,
+        target: str,
+        raw: bytes,
+        headers: Mapping[str, str] | None = None,
+        request_id: str | None = None,
     ) -> tuple[int, Any, dict[str, str]]:
         """Route + run one request; always returns a JSON-able triple."""
+        headers = headers or {}
+        if request_id is None:
+            request_id = self._request_id(headers)
         parsed = urllib.parse.urlsplit(target)
         path = parsed.path.rstrip("/") or "/"
         query = dict(urllib.parse.parse_qsl(parsed.query))
         endpoint = path.split("/")[-1] if path != "/" else "root"
         if path.startswith("/v1/jobs/"):
             endpoint = "jobs"
+        # Server-side span context: a child of the client's traceparent when
+        # one was sent, else a fresh root when span events are being logged.
+        client_ctx = obs_trace.parse_traceparent(headers.get("traceparent"))
+        if client_ctx is not None:
+            ctx = client_ctx.child()
+        elif obs_trace.sink_configured():
+            ctx = obs_trace.new_context()
+        else:
+            ctx = None
         start = time.perf_counter()
-        status, payload, extra = await self._route(method, path, query, raw)
+        wall0 = time.time() if ctx is not None else 0.0
+        status, payload, extra = await self._route(method, path, query, raw, ctx)
         elapsed = time.perf_counter() - start
+        extra = dict(extra)
+        extra["X-Request-Id"] = request_id
+        if ctx is not None:
+            extra.setdefault("traceparent", ctx.traceparent())
+            obs_trace.record_event(
+                f"serve.request/{endpoint}",
+                ctx,
+                wall0,
+                time.time(),
+                status=status,
+                request_id=request_id,
+            )
         self.stats.record(endpoint, status)
         if obs.enabled():
             obs.add(f"serve.requests.{endpoint}")
             obs.observe(f"serve.latency.{endpoint}", elapsed)
             if status >= 500:
-                obs.health_event(
-                    "serve.request_failure",
-                    1.0,
-                    0.0,
-                    severity="error",
-                    message=f"{method} {path} -> {status}",
-                )
+                with obs_trace.activate(ctx):
+                    obs.health_event(
+                        "serve.request_failure",
+                        1.0,
+                        0.0,
+                        severity="error",
+                        message=f"{method} {path} -> {status}",
+                    )
         return status, payload, extra
 
     async def _route(
-        self, method: str, path: str, query: dict[str, str], raw: bytes
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str],
+        raw: bytes,
+        ctx: obs_trace.TraceContext | None = None,
     ) -> tuple[int, Any, dict[str, str]]:
         try:
             if method == "GET":
@@ -355,13 +443,22 @@ class AnalysisServer:
                     return 200, self._healthz(), {}
                 if path == "/v1/statz":
                     return 200, self._statz(), {}
+                if path == "/v1/metricsz":
+                    return (
+                        200,
+                        self._metricsz(),
+                        {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+                    )
                 if path.startswith("/v1/jobs/"):
                     job_id = path[len("/v1/jobs/") :]
                     return 200, await self._job_status(job_id, query), {}
                 raise ServeError(404, "unknown_route", f"no such resource: {path}")
             if method != "POST":
                 raise ServeError(405, "method_not_allowed", f"unsupported method {method}")
-            handlers: dict[str, Callable[[dict[str, Any]], Awaitable[Any]]] = {
+            handlers: dict[
+                str,
+                Callable[[dict[str, Any], obs_trace.TraceContext | None], Awaitable[Any]],
+            ] = {
                 "/v1/margins": self._margins,
                 "/v1/noise": self._noise,
                 "/v1/response": self._response,
@@ -386,10 +483,10 @@ class AnalysisServer:
             try:
                 if deadline is not None:
                     result = await asyncio.wait_for(
-                        handler(body), timeout=float(deadline)
+                        handler(body, ctx), timeout=float(deadline)
                     )
                 else:
-                    result = await handler(body)
+                    result = await handler(body, ctx)
             finally:
                 self._inflight -= 1
             if isinstance(result, tuple):  # (status, payload) handler override
@@ -432,12 +529,70 @@ class AnalysisServer:
             "cache": self.cache.stats(),
             "config": self.config.to_dict(),
         }
+        if obs.enabled():
+            quantiles: dict[str, dict[str, float]] = {}
+            snap = obs.snapshot()
+            for entry in (snap.get("histograms") or {}).values():
+                name = str(entry.get("name", ""))
+                if name.startswith("serve.latency."):
+                    q = histogram_quantiles(entry)
+                    if q:
+                        quantiles[name[len("serve.latency.") :]] = q
+            out["latency_quantiles"] = quantiles
         if self.jobs is not None:
             out["jobs"] = [
                 {k: job.get(k) for k in ("job_id", "running", "complete", "done", "failed", "pending")}
                 for job in self.jobs.list_jobs()
             ]
         return out
+
+    def _metricsz(self) -> bytes:
+        """The obs registry + server counters in Prometheus text format."""
+        lines = [obs_prom.to_prometheus(obs.snapshot()).rstrip("\n")]
+        stats = self.stats
+        for name, value in (
+            ("repro_serve_requests_total", stats.requests),
+            ("repro_serve_rejected_total", stats.rejected),
+            ("repro_serve_timeouts_total", stats.timeouts),
+            ("repro_serve_failures_total", stats.failures),
+            ("repro_serve_cache_hits_total", stats.cache_hits),
+        ):
+            lines.append(f"# TYPE {name} counter")
+            lines.append(obs_prom.format_sample(name, {}, float(value)))
+        lines.append("# TYPE repro_serve_requests_by_endpoint_total counter")
+        for endpoint in sorted(stats.by_endpoint):
+            lines.append(
+                obs_prom.format_sample(
+                    "repro_serve_requests_by_endpoint_total",
+                    {"endpoint": endpoint},
+                    float(stats.by_endpoint[endpoint]),
+                )
+            )
+        lines.append("# TYPE repro_serve_responses_total counter")
+        for status in sorted(stats.by_status):
+            lines.append(
+                obs_prom.format_sample(
+                    "repro_serve_responses_total",
+                    {"status": str(status)},
+                    float(stats.by_status[status]),
+                )
+            )
+        lines.append("# TYPE repro_serve_requests_by_id_source_total counter")
+        for source in sorted(stats.by_id_source):
+            lines.append(
+                obs_prom.format_sample(
+                    "repro_serve_requests_by_id_source_total",
+                    {"source": source},
+                    float(stats.by_id_source[source]),
+                )
+            )
+        lines.append("# TYPE repro_serve_uptime_seconds gauge")
+        lines.append(
+            obs_prom.format_sample(
+                "repro_serve_uptime_seconds", {}, time.monotonic() - stats.started
+            )
+        )
+        return ("\n".join(lines) + "\n").encode("utf-8")
 
     async def _job_status(self, job_id: str, query: dict[str, str]) -> dict[str, Any]:
         if self.jobs is None:
@@ -458,14 +613,22 @@ class AnalysisServer:
 
     # -- POST endpoints ------------------------------------------------------------
 
-    async def _margins(self, body: dict[str, Any]) -> dict[str, Any]:
-        return await self._scalar_endpoint("margins", body)
+    async def _margins(
+        self, body: dict[str, Any], ctx: obs_trace.TraceContext | None = None
+    ) -> dict[str, Any]:
+        return await self._scalar_endpoint("margins", body, ctx)
 
-    async def _noise(self, body: dict[str, Any]) -> dict[str, Any]:
-        return await self._scalar_endpoint("noise_summary", body, endpoint="noise")
+    async def _noise(
+        self, body: dict[str, Any], ctx: obs_trace.TraceContext | None = None
+    ) -> dict[str, Any]:
+        return await self._scalar_endpoint("noise_summary", body, ctx, endpoint="noise")
 
     async def _scalar_endpoint(
-        self, task_name: str, body: dict[str, Any], endpoint: str | None = None
+        self,
+        task_name: str,
+        body: dict[str, Any],
+        ctx: obs_trace.TraceContext | None = None,
+        endpoint: str | None = None,
     ) -> dict[str, Any]:
         """Shared scalar path: one metrics dict per design fingerprint.
 
@@ -481,12 +644,16 @@ class AnalysisServer:
             self.stats.cache_hits += 1
             return self._scalar_payload(params, fingerprint, cached, cached=True)
         task = campaign_tasks.get_task(task_name)
+        compute_ctx = ctx.child() if ctx is not None else None
 
         def compute(_merged: np.ndarray | None) -> dict[str, float]:
-            with obs.span(f"serve.request/{endpoint}", fingerprint=fingerprint):
-                return task(dict(params))
+            with obs_trace.activate(compute_ctx):
+                with obs.span(f"serve.request/{endpoint}", fingerprint=fingerprint):
+                    return task(dict(params))
 
-        metrics = await self.batcher.submit((fingerprint, endpoint), None, compute)
+        metrics = await self.batcher.submit(
+            (fingerprint, endpoint), None, compute, trace=ctx
+        )
         self.cache.store(fingerprint, None, metrics, flavor=flavor)
         return self._scalar_payload(params, fingerprint, metrics, cached=False)
 
@@ -504,7 +671,9 @@ class AnalysisServer:
             "cached": cached,
         }
 
-    async def _response(self, body: dict[str, Any]) -> dict[str, Any]:
+    async def _response(
+        self, body: dict[str, Any], ctx: obs_trace.TraceContext | None = None
+    ) -> dict[str, Any]:
         """Closed-loop baseband frequency response H00(j omega) on a grid.
 
         The grid endpoint exercises the full micro-batching mechanism:
@@ -522,18 +691,22 @@ class AnalysisServer:
         if cached is not None:
             self.stats.cache_hits += 1
             return self._response_payload(params, fingerprint, omega, cached, True)
+        compute_ctx = ctx.child() if ctx is not None else None
 
         def compute(merged: np.ndarray | None) -> np.ndarray:
             assert merged is not None
-            with obs.span(
-                "serve.request/response",
-                fingerprint=fingerprint,
-                points=int(merged.size),
-            ):
-                pll = campaign_tasks.design_from_params(params)
-                return ClosedLoopHTM(pll).frequency_response(merged)
+            with obs_trace.activate(compute_ctx):
+                with obs.span(
+                    "serve.request/response",
+                    fingerprint=fingerprint,
+                    points=int(merged.size),
+                ):
+                    pll = campaign_tasks.design_from_params(params)
+                    return ClosedLoopHTM(pll).frequency_response(merged)
 
-        h00 = await self.batcher.submit((fingerprint, "response"), omega, compute)
+        h00 = await self.batcher.submit(
+            (fingerprint, "response"), omega, compute, trace=ctx
+        )
         self.cache.store(fingerprint, omega, h00, flavor=flavor)
         return self._response_payload(params, fingerprint, omega, h00, False)
 
@@ -554,7 +727,9 @@ class AnalysisServer:
             "cached": cached,
         }
 
-    async def _stability_map(self, body: dict[str, Any]) -> Any:
+    async def _stability_map(
+        self, body: dict[str, Any], ctx: obs_trace.TraceContext | None = None
+    ) -> Any:
         """A (separation, ratio) stability map — inline when small, job when big.
 
         The request's parameter grid *is* a campaign spec; past the spill
@@ -572,9 +747,20 @@ class AnalysisServer:
                     f"({self.config.spill_threshold}) and the server has no jobs dir",
                 )
             loop = asyncio.get_running_loop()
+            job_ctx = ctx.child() if ctx is not None else None
+            spill_start = time.time() if ctx is not None else 0.0
             job_id = await loop.run_in_executor(
-                self._executor, self.jobs.submit, spec
+                self._executor, lambda: self.jobs.submit(spec, trace=job_ctx)
             )
+            if ctx is not None:
+                obs_trace.record_event(
+                    "serve.job.spill",
+                    job_ctx,
+                    spill_start,
+                    time.time(),
+                    job_id=job_id,
+                    cells=cells,
+                )
             if obs.enabled():
                 obs.add("serve.jobs.spilled")
             return 202, {
@@ -588,10 +774,12 @@ class AnalysisServer:
         if cached is not None:
             self.stats.cache_hits += 1
             return dict(cached, cached=True)
+        compute_ctx = ctx.child() if ctx is not None else None
 
         def compute(_merged: np.ndarray | None) -> dict[str, Any]:
-            with obs.span("serve.request/stability_map", cells=cells):
-                result = run_campaign(spec, workers=1)
+            with obs_trace.activate(compute_ctx):
+                with obs.span("serve.request/stability_map", cells=cells):
+                    result = run_campaign(spec, workers=1, trace=compute_ctx)
             return {
                 "cells": cells,
                 "fingerprint": fingerprint,
@@ -608,7 +796,7 @@ class AnalysisServer:
             }
 
         payload = await self.batcher.submit(
-            (fingerprint, "stability_map"), None, compute
+            (fingerprint, "stability_map"), None, compute, trace=ctx
         )
         self.cache.store(fingerprint, None, payload, flavor=flavor)
         return dict(payload, cached=False)

@@ -35,11 +35,13 @@ callable runs in the executor.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Any, Callable
 
 import numpy as np
 
 from repro.obs import spans as obs
+from repro.obs import trace as obs_trace
 
 __all__ = ["BatchStats", "MicroBatcher"]
 
@@ -75,11 +77,19 @@ class BatchStats:
 
 
 class _Waiter:
-    __slots__ = ("omega", "future")
+    __slots__ = ("omega", "future", "trace", "enqueued")
 
-    def __init__(self, omega: np.ndarray | None, future: asyncio.Future):
+    def __init__(
+        self,
+        omega: np.ndarray | None,
+        future: asyncio.Future,
+        trace: "obs_trace.TraceContext | None" = None,
+    ):
         self.omega = omega
         self.future = future
+        self.trace = trace
+        # wall-clock enqueue time, only read when tracing (queue-wait span)
+        self.enqueued = time.time() if trace is not None else 0.0
 
 
 class _PendingBatch:
@@ -129,6 +139,7 @@ class MicroBatcher:
         key: Any,
         omega: np.ndarray | None,
         compute: Callable[[np.ndarray | None], Any],
+        trace: "obs_trace.TraceContext | None" = None,
     ) -> Any:
         """Join (or open) the batch for ``key``; returns this caller's slice.
 
@@ -136,6 +147,10 @@ class MicroBatcher:
         ``None`` (scalar mode) and runs once per batch in the executor.
         Only the *first* submitter's ``compute`` is used — same key must
         mean same computation, which the fingerprint guarantees.
+
+        ``trace`` is the submitting request's trace context; the batch
+        records fan-in span links from its single underlying compute back
+        to every traced waiter (many requests -> one evaluation).
         """
         loop = asyncio.get_running_loop()
         batch = self._pending.get(key)
@@ -149,7 +164,7 @@ class MicroBatcher:
             if obs.enabled():
                 obs.add("serve.batch.coalesced")
         future: asyncio.Future = loop.create_future()
-        batch.waiters.append(_Waiter(omega, future))
+        batch.waiters.append(_Waiter(omega, future, trace))
         if len(batch.waiters) >= self.max_batch:
             batch.flush_event.set()
         try:
@@ -181,6 +196,12 @@ class MicroBatcher:
         merged = self._merge([w.omega for w in batch.waiters])
         if merged is not None:
             self.stats.merged_points += int(merged.size)
+        traced = (
+            [w for w in batch.waiters if w.trace is not None]
+            if obs_trace.sink_configured()
+            else []
+        )
+        compute_start = time.time() if traced else 0.0
         loop = asyncio.get_running_loop()
         try:
             result = await loop.run_in_executor(
@@ -194,7 +215,45 @@ class MicroBatcher:
                 if not waiter.future.done():
                     waiter.future.set_exception(exc)
             return
+        if traced:
+            self._record_batch_trace(batch, traced, compute_start)
         self._deliver(batch, merged, result)
+
+    @staticmethod
+    def _record_batch_trace(
+        batch: _PendingBatch, traced: list[_Waiter], compute_start: float
+    ) -> None:
+        """One batch span (child of the first traced waiter) with fan-in links.
+
+        The links carry every waiter's ``(trace_id, span_id)`` so the
+        collector can join N request traces to the single underlying
+        evaluation; the queue-wait span covers first-enqueue -> compute.
+        """
+        ctx = traced[0].trace.child()
+        links = [
+            {"trace_id": w.trace.trace_id, "span_id": w.trace.span_id}
+            for w in traced
+        ]
+        now = time.time()
+        obs_trace.record_event(
+            "serve.batch",
+            ctx,
+            compute_start,
+            now,
+            links=links,
+            waiters=len(batch.waiters),
+            key=str(batch.key),
+        )
+        wait_start = min(w.enqueued for w in traced)
+        if compute_start > wait_start:
+            obs_trace.record_event(
+                "serve.batch.wait",
+                ctx.child(),
+                wait_start,
+                compute_start,
+                waiters=len(traced),
+                key=str(batch.key),
+            )
 
     @staticmethod
     def _merge(omegas: list[np.ndarray | None]) -> np.ndarray | None:

@@ -32,6 +32,7 @@ from repro.campaign.spec import CampaignSpec
 from repro.campaign.watch import poll_store
 from repro.obs import manifest as obs_manifest
 from repro.obs import stream as obs_stream
+from repro.obs import trace as obs_trace
 
 __all__ = ["JobManager", "job_id_for"]
 
@@ -52,10 +53,18 @@ class JobManager:
     footprint (``workers`` raises it for dedicated job hosts).
     """
 
-    def __init__(self, jobs_dir: str | Path, workers: int = 1):
+    def __init__(
+        self,
+        jobs_dir: str | Path,
+        workers: int = 1,
+        autostart: bool = True,
+        lease_batch: int | None = None,
+    ):
         self.jobs_dir = Path(jobs_dir)
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
         self.workers = max(int(workers), 1)
+        self.autostart = bool(autostart)
+        self.lease_batch = lease_batch
         self._lock = threading.Lock()
         self._threads: dict[str, threading.Thread] = {}
         self._errors: dict[str, str] = {}
@@ -63,15 +72,30 @@ class JobManager:
     def store_path(self, job_id: str) -> Path:
         return self.jobs_dir / f"{job_id}.jsonl"
 
-    def submit(self, spec: CampaignSpec) -> str:
+    def submit(
+        self, spec: CampaignSpec, trace: "obs_trace.TraceContext | None" = None
+    ) -> str:
         """Start (or attach to) the job for ``spec``; returns its id.
 
         Idempotent by construction: an identical spec maps to the same
         store.  A live run is joined, a complete store is returned as-is,
         and a dead partial store (crashed server, SIGKILL) is resumed.
+
+        ``trace`` is the originating request's trace context; it is stamped
+        into the campaign manifest (and lease plan), so every record the
+        job produces — on this host or on an external lease worker —
+        carries the request's ``trace_id``.
+
+        With ``autostart=False`` the manager only *prepares* the job —
+        store, manifest, frozen lease plan — and leaves execution to an
+        external fleet of ``repro campaign worker`` processes (dedicated
+        job hosts pointed at a shared jobs directory).
         """
         job_id = job_id_for(spec)
         store = self.store_path(job_id)
+        if not self.autostart:
+            self._prepare(spec, store, trace)
+            return job_id
         with self._lock:
             thread = self._threads.get(job_id)
             if thread is not None and thread.is_alive():
@@ -79,7 +103,7 @@ class JobManager:
             self._errors.pop(job_id, None)
             thread = threading.Thread(
                 target=self._run,
-                args=(job_id, spec, store),
+                args=(job_id, spec, store, trace),
                 name=f"repro-job-{job_id}",
                 daemon=True,
             )
@@ -87,7 +111,46 @@ class JobManager:
             thread.start()
         return job_id
 
-    def _run(self, job_id: str, spec: CampaignSpec, store: Path) -> None:
+    def _prepare(
+        self,
+        spec: CampaignSpec,
+        store: Path,
+        trace: "obs_trace.TraceContext | None",
+    ) -> None:
+        """Create store + manifest + lease plan without executing anything.
+
+        Mirrors ``repro campaign init``: the lease plan is frozen with
+        O_EXCL, so concurrent submits of the same spec agree on one plan.
+        """
+        from repro.campaign.executor import ExecutionPolicy
+        from repro.campaign.lease import DEFAULT_LEASE_BATCH, ensure_plan, lease_dir
+        from repro.campaign.store import ResultStore
+
+        if not store.exists():
+            ResultStore.create(store, spec)
+        manifest = obs_manifest.build_manifest(
+            spec,
+            ExecutionPolicy(scheduler="lease", batch_size=self.lease_batch),
+        )
+        if trace is not None:
+            manifest["trace"] = trace.to_dict()
+        manifest_file = obs_manifest.manifest_path(store)
+        if obs_manifest.load_manifest(manifest_file) is None:
+            obs_manifest.write_manifest(manifest_file, manifest)
+        ensure_plan(
+            lease_dir(store),
+            spec,
+            self.lease_batch or DEFAULT_LEASE_BATCH,
+            trace=trace,
+        )
+
+    def _run(
+        self,
+        job_id: str,
+        spec: CampaignSpec,
+        store: Path,
+        trace: "obs_trace.TraceContext | None" = None,
+    ) -> None:
         stream = obs_stream.stream_path(store)
         try:
             if store.exists():
@@ -96,6 +159,7 @@ class JobManager:
                     spec=spec,
                     workers=self.workers,
                     stream_path=stream,
+                    trace=trace,
                 )
             else:
                 run_campaign(
@@ -103,6 +167,7 @@ class JobManager:
                     store,
                     workers=self.workers,
                     stream_path=stream,
+                    trace=trace,
                 )
         except Exception as exc:  # surfaced through status(), never raised
             with self._lock:

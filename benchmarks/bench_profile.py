@@ -1,0 +1,200 @@
+"""Sampling-profiler overhead — the "cheap when on" regression gate.
+
+The profiler's design bound is **< 5% overhead at the default 97 Hz**:
+a SIGPROF tick costs one walk of ``sys._current_frames()`` plus a dict
+update, ~10 µs, and at 97 Hz that is under 0.1% of a CPU-bound second —
+the 5% gate leaves room for single-core CI runners where the sampler's
+bookkeeping competes with the measured work.
+
+The measured workload is the same serial campaign as
+``bench_obs_overhead``'s live-telemetry gate (obs enabled, realistic
+numerics per point, ~100 ms per run — comfortably above the comparison
+noise floor), timed two ways:
+
+* ``obs`` — observability on, no profiler (the comparison baseline);
+* ``profiled`` — identical run with the process profiler sampling at
+  97 Hz in signal mode (CPU clock), the exact ``--profile`` code path.
+
+Interleaved best-of-N with the retry-before-fail discipline of the other
+overhead gates.  Run with ``PYTHONPATH=src python
+benchmarks/bench_profile.py``; ``--smoke`` shrinks the campaign for CI,
+``--json-out FILE`` appends the ``kind: "bench_profile"`` result line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.memo import grid_cache
+from repro.obs import profile as obs_profile
+from repro.obs import spans as obs
+
+try:  # package import under pytest, flat import as a script
+    from benchmarks.bench_obs_overhead import _campaign_spec, _timed_campaign
+except ImportError:
+    from bench_obs_overhead import _campaign_spec, _timed_campaign
+
+CAMPAIGN_POINTS = 40
+REPEATS = 5
+ATTEMPTS = 3  # re-measure before declaring a regression (noise gate)
+PROFILE_HZ = 97
+PROFILE_OVERHEAD_BOUND = 0.05  # the ISSUE acceptance bound: < 5% at 97 Hz
+
+
+@dataclass(frozen=True)
+class ProfileOverheadResult:
+    """Serial campaign timings with the sampler off vs on at ``hz``."""
+
+    points: int
+    repeats: int
+    hz: int
+    obs_seconds: float
+    profiled_seconds: float
+    samples: int
+
+    @property
+    def profile_overhead(self) -> float:
+        """Relative cost of 97 Hz sampling over an obs-only campaign."""
+        return self.profiled_seconds / self.obs_seconds - 1.0
+
+    def summary(self) -> str:
+        return (
+            f"profiler overhead ({self.points} campaign points, best of "
+            f"{self.repeats}): obs-only {self.obs_seconds * 1e3:.1f} ms, "
+            f"obs+profiler@{self.hz}Hz {self.profiled_seconds * 1e3:.1f} ms "
+            f"({100 * self.profile_overhead:+.2f}%), "
+            f"{self.samples} samples in the last profiled run"
+        )
+
+    def json_line(self) -> str:
+        return json.dumps(
+            {
+                "kind": "bench_profile",
+                "points": self.points,
+                "repeats": self.repeats,
+                "hz": self.hz,
+                "obs_seconds": round(self.obs_seconds, 6),
+                "profiled_seconds": round(self.profiled_seconds, 6),
+                "profile_overhead": round(self.profile_overhead, 4),
+                "samples": self.samples,
+            },
+            sort_keys=True,
+        )
+
+
+def measure(
+    points: int = CAMPAIGN_POINTS, repeats: int = REPEATS, hz: int = PROFILE_HZ
+) -> ProfileOverheadResult:
+    """Time serial campaigns with and without the 97 Hz sampler.
+
+    The profiler is started and stopped around each profiled run — the
+    lifecycle a ``--profile`` campaign pays — but no sink is configured,
+    so the delta isolates sampling itself (shard flushes are one atomic
+    write per second, already covered by the stream gate).  Interleaved
+    best-of-N, same discipline as ``bench_obs_overhead.measure``.
+    """
+    spec = _campaign_spec(points)
+    was_enabled = obs.enabled()
+    t_obs = float("inf")
+    t_profiled = float("inf")
+    samples = 0
+    try:
+        obs.enable()
+        for _ in range(repeats):
+            with tempfile.TemporaryDirectory() as tmp:
+                t_obs = min(t_obs, _timed_campaign(spec, Path(tmp)))
+            with tempfile.TemporaryDirectory() as tmp:
+                profiler = obs_profile.start(hz=hz)
+                try:
+                    t_profiled = min(
+                        t_profiled, _timed_campaign(spec, Path(tmp))
+                    )
+                finally:
+                    final = obs_profile.stop()
+                samples = int(final.get("samples", profiler.samples))
+    finally:
+        obs_profile.stop()
+        (obs.enable if was_enabled else obs.disable)()
+        obs.reset()
+        grid_cache.clear()
+    return ProfileOverheadResult(
+        points=points,
+        repeats=repeats,
+        hz=hz,
+        obs_seconds=t_obs,
+        profiled_seconds=t_profiled,
+        samples=samples,
+    )
+
+
+def measure_gated(
+    points: int = CAMPAIGN_POINTS,
+    repeats: int = REPEATS,
+    hz: int = PROFILE_HZ,
+    attempts: int = ATTEMPTS,
+) -> ProfileOverheadResult:
+    """Measure up to ``attempts`` times; return the first in-bound result.
+
+    A 97 Hz sampler cannot cost 5% of a numerics-bound campaign — an
+    out-of-bound sample means a loaded runner, not a regression.  A real
+    regression fails every attempt; the last result is returned if none
+    passes.
+    """
+    result = measure(points, repeats, hz)
+    for _ in range(attempts - 1):
+        if result.profile_overhead < PROFILE_OVERHEAD_BOUND:
+            break
+        result = measure(points, repeats, hz)
+    return result
+
+
+# -- pytest entry point -----------------------------------------------------------
+
+
+def test_profiler_overhead_under_five_percent():
+    """The acceptance bound: sampling at 97 Hz costs < 5% of the work."""
+    result = measure_gated(points=20, repeats=3)
+    assert result.profile_overhead < PROFILE_OVERHEAD_BOUND, result.summary()
+    assert result.samples > 0, "the profiled run must actually sample"
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI-sized run (20 points, 3 repeats); the <5%% bound is "
+        "still asserted",
+    )
+    parser.add_argument(
+        "--json-out",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="append the machine-readable JSON result line to FILE",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        result = measure_gated(points=20, repeats=3)
+    else:
+        result = measure_gated()
+    print(result.summary())
+    print(result.json_line())
+    if args.json_out is not None:
+        args.json_out.parent.mkdir(parents=True, exist_ok=True)
+        with args.json_out.open("a") as fh:
+            fh.write(result.json_line() + "\n")
+    if result.profile_overhead >= PROFILE_OVERHEAD_BOUND:
+        raise SystemExit(
+            f"profiler overhead {100 * result.profile_overhead:.2f}% "
+            f">= {100 * PROFILE_OVERHEAD_BOUND:.0f}% bound at {result.hz} Hz"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -58,6 +58,7 @@ from repro.campaign.tasks import TaskAdapter, get_task, registered_name
 from repro.campaign.telemetry import CampaignTelemetry, ProgressCallback
 from repro.obs import heartbeat as obs_heartbeat
 from repro.obs import manifest as obs_manifest
+from repro.obs import profile as obs_profile
 from repro.obs import resources as obs_resources
 from repro.obs import spans as obs
 from repro.obs import stream as obs_stream
@@ -138,6 +139,13 @@ class ExecutionPolicy:
         Lease time-to-live in seconds for the lease scheduler.  A worker
         renews its batch lease every ``lease_ttl / 3``; a lease older than
         this is considered abandoned and reclaimed by another worker.
+    profile:
+        Run the statistical sampling profiler (:mod:`repro.obs.profile`)
+        for the duration of the campaign — coordinator, pool workers and
+        lease workers alike.  With a store attached each process writes
+        its sample shard to ``<store>.profile/<worker>.json`` (merge with
+        ``repro obs profile STORE``).  ``REPRO_OBS_PROFILE=1`` in the
+        environment requests the same thing.
     """
 
     workers: int = 1
@@ -156,6 +164,7 @@ class ExecutionPolicy:
     scheduler: str = "auto"
     vectorize: bool = True
     lease_ttl: float = 30.0
+    profile: bool = False
 
     def __post_init__(self):
         if self.scheduler not in ("auto", "serial", "pool", "lease"):
@@ -521,7 +530,11 @@ def _pool_entry_batch(
     registered vectorized adapter when one exists (see
     :func:`run_point_batch`).
     """
-    return run_point_batch(payloads, vectorize=vectorize)
+    records = run_point_batch(payloads, vectorize=vectorize)
+    # Pool workers have no clean shutdown hook, so the profiler shard is
+    # flushed opportunistically (rate-limited) after each batch instead.
+    obs_profile.maybe_flush()
+    return records
 
 
 def _auto_batch_size(pending: int, workers: int) -> int:
@@ -540,6 +553,7 @@ def _pool_init(
     heartbeat_config: tuple[str, float] | None = None,
     memory_budget_mb: float | None = None,
     trace_config: tuple[dict | None, str | None] | None = None,
+    profile_config: tuple[int, str | None] | None = None,
 ) -> None:
     """Per-worker initializer: idempotently mirror the parent cache config.
 
@@ -581,6 +595,14 @@ def _pool_init(
     if heartbeat_config is not None:
         directory, interval = heartbeat_config
         obs_heartbeat.ensure_emitter(directory, float(interval))
+    if profile_config is not None:
+        # itimers are not inherited across fork, so each pool worker arms
+        # its own sampler; the task function runs in the worker's main
+        # thread, so SIGPROF-based CPU sampling works here.
+        hz, sink_dir = profile_config
+        obs_profile.start(hz=hz)
+        if sink_dir:
+            obs_profile.configure_sink(sink_dir)
 
 
 def _is_picklable(obj: Any) -> bool:
@@ -890,6 +912,14 @@ class _Coordinator:
                 else None
             )
             trace_config = (trace_ctx.to_dict(), sink_dir)
+        profile_config = None
+        if policy.profile or obs_profile.profile_requested():
+            profile_sink = (
+                str(obs_profile.profile_dir(self.store.path))
+                if self.store is not None
+                else None
+            )
+            profile_config = (obs_profile.requested_hz(), profile_sink)
         try:
             with ProcessPoolExecutor(
                 max_workers=policy.workers,
@@ -900,6 +930,7 @@ class _Coordinator:
                     heartbeat_config,
                     policy.memory_budget_mb,
                     trace_config,
+                    profile_config,
                 ),
             ) as pool:
                 while queue or inflight:
@@ -1193,6 +1224,21 @@ def _execute(
         ):
             obs_trace.configure_sink(obs_trace.trace_dir(store.path))
             own_sink = True
+    # Sampling profiler, same ownership discipline as the trace sink: a
+    # profiler already running (a serve process profiling itself while a
+    # spilled campaign runs inline) is left alone and simply attributes
+    # the campaign's samples too.
+    own_profiler = False
+    own_profile_sink = False
+    if (
+        (policy.profile or obs_profile.profile_requested())
+        and obs_profile.active() is None
+    ):
+        obs_profile.start()
+        own_profiler = True
+        if store is not None and not obs_profile.sink_configured():
+            obs_profile.configure_sink(obs_profile.profile_dir(store.path))
+            own_profile_sink = True
     try:
         if stream_emitter is not None:
             stream_emitter.start()
@@ -1210,6 +1256,10 @@ def _execute(
         if stream_emitter is not None:
             stream_emitter.stop()
             telemetry.stream_errors += stream_emitter.errors
+        if own_profiler:
+            obs_profile.stop()  # flushes the final shard when a sink is set
+            if own_profile_sink:
+                obs_profile.close_sink()
         if trace_ctx is not None:
             obs_trace.record_event(
                 "campaign.run",

@@ -69,6 +69,7 @@ from repro.campaign.store import ResultStore
 from repro.campaign.telemetry import CampaignTelemetry, ProgressCallback
 from repro.obs import heartbeat as obs_heartbeat
 from repro.obs import manifest as obs_manifest
+from repro.obs import profile as obs_profile
 from repro.obs import resources as obs_resources
 from repro.obs import spans as obs
 from repro.obs import stream as obs_stream
@@ -599,6 +600,23 @@ def run_worker(
         stream_emitter.start()
     obs_resources.configure(policy.memory_budget_mb)
     obs_resources.ensure_tracemalloc()
+    # Sampling profiler: same ownership discipline as the trace sink —
+    # an already-running profiler (serve process joining its own job) is
+    # left alone; otherwise this worker samples itself and flushes its
+    # shard to <store>.profile/<worker>.json after every batch.
+    own_profiler = False
+    own_profile_sink = False
+    if (
+        (policy.profile or obs_profile.profile_requested())
+        and obs_profile.active() is None
+    ):
+        obs_profile.start()
+        own_profiler = True
+        if not obs_profile.sink_configured():
+            obs_profile.configure_sink(
+                obs_profile.profile_dir(store.path), worker=worker
+            )
+            own_profile_sink = True
     renewer = _LeaseRenewer(ldir, worker, ttl)
     renewer.start()
 
@@ -684,6 +702,7 @@ def run_worker(
                 )
                 pending = len(entries)
                 coordinator.run_batch(entries)
+                obs_profile.maybe_flush()
             finally:
                 renewer.drop()
             if traced:
@@ -708,6 +727,10 @@ def run_worker(
         if stream_emitter is not None:
             stream_emitter.stop()
             telemetry.stream_errors += stream_emitter.errors
+        if own_profiler:
+            obs_profile.stop()  # flushes the final shard when a sink is set
+            if own_profile_sink:
+                obs_profile.close_sink()
         shard.close()
         if traced:
             now = time.time()

@@ -166,6 +166,50 @@ def _point_latency_quantiles(store: ResultStore) -> dict[str, float]:
     return histogram_quantiles(hist)
 
 
+def _profile_line(store_path: Path) -> str | None:
+    """Hottest frames from the store's profiler shards, if any exist."""
+    from repro.obs import profile as obs_profile
+
+    try:
+        profiles = obs_profile.load_store_profiles(store_path)
+        if not profiles:
+            return None
+        merged = obs_profile.merge_profiles(profiles)
+        top = obs_profile.top_frames(merged, n=3)
+    except Exception:
+        return None
+    if not merged.get("samples") or not top:
+        return None
+    parts = [f"{entry['frame']} {entry['fraction']:.0%}" for entry in top]
+    return (
+        "profile: " + " · ".join(parts)
+        + f" ({merged['samples']} samples @ {merged['hz']} Hz)"
+    )
+
+
+def _slo_line(store_path: Path) -> str | None:
+    """Worst SLO burn over the store's stream samples, if evaluable."""
+    from repro.obs import slo as obs_slo
+
+    try:
+        result = obs_slo.evaluate_store(store_path)
+    except Exception:
+        return None
+    slos = result.get("slos") or []
+    if not slos:
+        return None
+    worst_name, worst_burn = None, -1.0
+    for slo in slos:
+        for window in slo.get("windows", []):
+            burn = max(
+                float(window["short"]["burn"]), float(window["long"]["burn"])
+            )
+            if burn > worst_burn:
+                worst_name, worst_burn = slo["name"], burn
+    verdict = "BREACH" if result.get("breach") else "ok"
+    return f"slo: {verdict} · worst {worst_name} burning {worst_burn:.2g}x budget"
+
+
 def _lease_progress(store_path: Path) -> dict[str, int] | None:
     """Batch-level lease counts for a lease-scheduled campaign, else None."""
     from repro.campaign import lease as lease_mod
@@ -250,6 +294,14 @@ def render(store_path: str | Path, now: float | None = None) -> str:
                 if key in quantiles
             )
         )
+
+    profile_line = _profile_line(store_path)
+    if profile_line is not None:
+        lines.append(profile_line)
+    if stream_records:
+        slo_line = _slo_line(store_path)
+        if slo_line is not None:
+            lines.append(slo_line)
 
     interval = 5.0
     if manifest and isinstance(manifest.get("policy"), dict):

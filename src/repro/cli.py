@@ -55,6 +55,10 @@ Observability reports (:mod:`repro.obs`)::
                     [--json | --csv | --trace out.json] [--out obs.json]
     python -m repro obs trace RESULTS.jsonl [--serve-log serve.trace.jsonl]
                     [--trace-id HEX32] [--out trace.json]
+    python -m repro obs profile RESULTS.jsonl [--serve-profile FILE ...]
+                    [--out collapsed.txt] [--html flame.html] [--top N] [--json]
+    python -m repro obs slo RESULTS.jsonl [--spec slo.json]
+                    [--fail-on breach] [--json]
 
 ``SOURCE`` is a campaign result store (the merged span/counter snapshot is
 read from its summary record) or a raw obs snapshot JSON, e.g. one written
@@ -65,7 +69,12 @@ events at or above that severity occurred — the CI gate.  ``--trace``
 writes Chrome Trace Event Format for ``chrome://tracing`` / Perfetto.
 ``obs trace`` is the *distributed* collector: it merges the per-worker span
 shards under ``<store>.trace/`` (plus serve logs) into one Chrome trace
-with per-host/per-worker lanes and a critical-path summary.
+with per-host/per-worker lanes and a critical-path summary.  ``obs
+profile`` is its statistical-profiling sibling: it merges the per-worker
+sample shards under ``<store>.profile/`` (plus serve captures) into
+collapsed-stack text or a d3-flamegraph HTML page.  ``obs slo`` evaluates
+declarative SLOs (multi-window burn rates) over a store's stream samples;
+``--fail-on breach`` makes it a CI gate.
 
 Benchmark baselines (:mod:`repro.obs.baseline`)::
 
@@ -212,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
             default=30.0,
             help="lease expiry horizon in seconds (lease scheduler)",
         )
+        sub.add_argument(
+            "--profile",
+            action="store_true",
+            help="sample worker stacks into <store>.profile/ shards "
+            "(or REPRO_OBS_PROFILE=1); merge with `repro obs profile`",
+        )
 
     run_cmd = actions.add_parser("run", help="run a campaign spec file")
     run_cmd.add_argument("spec", help="path to the campaign spec JSON")
@@ -295,6 +310,11 @@ def build_parser() -> argparse.ArgumentParser:
         "summary", help="per-stage span/counter/histogram report"
     )
     obs_source(summary_cmd)
+    summary_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object instead of text",
+    )
 
     export_cmd = obs_actions.add_parser(
         "export", help="dump the merged obs snapshot"
@@ -328,6 +348,11 @@ def build_parser() -> argparse.ArgumentParser:
         default="wall",
         help="ranking key (default wall)",
     )
+    top_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON object instead of text",
+    )
 
     trace_cmd = obs_actions.add_parser(
         "trace",
@@ -356,6 +381,70 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write the Chrome trace JSON to FILE (default <store>.trace.json)",
+    )
+
+    profile_cmd = obs_actions.add_parser(
+        "profile",
+        help="merge statistical-profiler shards into collapsed stacks "
+        "or a flamegraph",
+    )
+    profile_cmd.add_argument(
+        "store",
+        help="campaign/job store JSONL (its <store>.profile/ shards are "
+        "merged) or a single profile JSON file",
+    )
+    profile_cmd.add_argument(
+        "--serve-profile",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="also merge a serve-process profile shard (repeatable)",
+    )
+    profile_cmd.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write collapsed stacks ('frame;frame count' lines) to FILE",
+    )
+    profile_cmd.add_argument(
+        "--html",
+        default=None,
+        metavar="FILE",
+        help="write a self-contained d3-flamegraph HTML page to FILE",
+    )
+    profile_cmd.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="print the N hottest frames instead of collapsed stacks",
+    )
+    profile_cmd.add_argument(
+        "--json", action="store_true", help="emit the merged profile as JSON"
+    )
+
+    slo_cmd = obs_actions.add_parser(
+        "slo", help="evaluate SLO burn rates over a store (and CI gate)"
+    )
+    slo_cmd.add_argument(
+        "source",
+        help="campaign/job result store JSONL (burn rates are computed "
+        "over its stream samples, else its terminal status)",
+    )
+    slo_cmd.add_argument(
+        "--spec",
+        default=None,
+        metavar="FILE",
+        help="SLO definitions JSON (default: the built-in campaign SLOs)",
+    )
+    slo_cmd.add_argument(
+        "--fail-on",
+        choices=("breach",),
+        default=None,
+        help="exit 1 when any SLO is burning through its budget",
+    )
+    slo_cmd.add_argument(
+        "--json", action="store_true", help="emit the evaluation as JSON"
     )
 
     health_cmd = obs_actions.add_parser(
@@ -469,6 +558,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="record span events (distributed tracing) to this JSONL file",
     )
     serve_cmd.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the statistical sampling profiler for the server's lifetime",
+    )
+    serve_cmd.add_argument(
+        "--profile-hz",
+        type=int,
+        default=97,
+        help="sampling rate for --profile and /v1/profilez (default 97)",
+    )
+    serve_cmd.add_argument(
+        "--profile-log",
+        default=None,
+        metavar="PATH",
+        help="flush the always-on profile to PATH (.json file or directory)",
+    )
+    serve_cmd.add_argument(
+        "--slo-spec",
+        default=None,
+        metavar="FILE",
+        help="SLO definitions JSON for /v1/sloz (default: serve SLOs)",
+    )
+    serve_cmd.add_argument(
+        "--slo-interval",
+        type=float,
+        default=10.0,
+        help="seconds between SLO burn-rate samples (default 10)",
+    )
+    serve_cmd.add_argument(
         "--no-job-autostart",
         action="store_true",
         help="prepare spilled jobs (store + manifest + lease plan) but leave "
@@ -528,16 +646,30 @@ def _obs(args) -> int:
 
     if args.obs_command == "trace":
         return _obs_trace(args)
+    if args.obs_command == "profile":
+        return _obs_profile(args)
+    if args.obs_command == "slo":
+        return _obs_slo(args)
     # Multiple sources (shard exports, per-host snapshots) merge into one
     # registry view — same associative merge the campaign coordinator uses.
     snapshot = obs.load_snapshot(args.source[0])
     for extra in args.source[1:]:
         snapshot = obs.merge_snapshots(snapshot, obs.load_snapshot(extra))
     if args.obs_command == "summary":
-        print(obs.format_summary(snapshot))
+        if args.json:
+            from repro.obs.report import summary_json
+
+            print(json.dumps(summary_json(snapshot), sort_keys=True))
+        else:
+            print(obs.format_summary(snapshot))
         return 0
     if args.obs_command == "top":
-        print(obs.format_top(snapshot, n=args.count, by=args.by))
+        if args.json:
+            from repro.obs.report import top_json
+
+            print(json.dumps(top_json(snapshot, n=args.count, by=args.by), sort_keys=True))
+        else:
+            print(obs.format_top(snapshot, n=args.count, by=args.by))
         return 0
     if args.obs_command == "health":
         from repro.obs.health import format_health, max_severity, severity_rank
@@ -602,6 +734,80 @@ def _obs_trace(args) -> int:
     return 0
 
 
+def _obs_profile(args) -> int:
+    """Collector: merge a store's profile shards (+ serve captures)."""
+    from repro.obs import profile as obs_profile
+
+    store = Path(args.store)
+    profiles = list(obs_profile.load_store_profiles(store))
+    single = obs_profile.read_profile(store)
+    if single is not None:
+        profiles.append(single)
+    for log in args.serve_profile:
+        prof = obs_profile.read_profile(log)
+        if prof is None:
+            raise ValidationError(f"no profile at {log}")
+        profiles.append(prof)
+    if not profiles:
+        print(
+            f"no profile shards for {store} — run with --profile "
+            "(or REPRO_OBS_PROFILE=1) to record samples",
+            file=sys.stderr,
+        )
+        return 1
+    merged = obs_profile.merge_profiles(profiles)
+    if args.json:
+        print(json.dumps(merged, sort_keys=True))
+        return 0
+    wrote = False
+    if args.out:
+        Path(args.out).write_text(obs_profile.to_collapsed(merged))
+        print(f"wrote {args.out}")
+        wrote = True
+    if args.html:
+        Path(args.html).write_text(
+            obs_profile.to_flamegraph_html(
+                merged, title=f"repro profile: {store.name}"
+            )
+        )
+        print(f"wrote {args.html}")
+        wrote = True
+    if wrote or args.top:
+        workers = merged.get("workers") or []
+        print(
+            f"{merged['samples']} sample(s) at {merged['hz']} Hz from "
+            f"{len(workers)} worker(s) ({merged['clock']} clock), "
+            f"{merged['dropped']} dropped"
+        )
+        for entry in obs_profile.top_frames(merged, n=args.top or 5):
+            print(
+                f"  {entry['frame']}: {entry['fraction']:.0%} self "
+                f"({entry['self']} sample(s))"
+            )
+        return 0
+    print(obs_profile.to_collapsed(merged), end="")
+    return 0
+
+
+def _obs_slo(args) -> int:
+    """Evaluate SLO burn rates over a store; optionally gate CI on breach."""
+    from repro.obs import slo as obs_slo
+
+    source = Path(args.source)
+    if not source.exists():
+        raise ValidationError(f"no store at {source}")
+    definitions = obs_slo.load_slo_spec(args.spec) if args.spec else None
+    result = obs_slo.evaluate_store(source, definitions)
+    if args.json:
+        print(json.dumps(result, sort_keys=True))
+    else:
+        print(obs_slo.format_slo_report(result))
+    if args.fail_on == "breach" and result["breach"]:
+        print("slo gate: budget burn breach (--fail-on breach)", file=sys.stderr)
+        return 1
+    return 0
+
+
 # -- bench subcommand --------------------------------------------------------------
 
 
@@ -619,6 +825,7 @@ def _bench(args) -> int:
         current,
         tolerance=parse_tolerance(args.tolerance),
         min_seconds=args.min_seconds,
+        baseline_label=args.baseline,
     )
     print(comparison.summary())
     if args.report:
@@ -663,6 +870,11 @@ def _serve(args) -> int:
         trace_log=args.trace_log,
         job_autostart=not args.no_job_autostart,
         job_lease_batch=args.job_lease_batch,
+        profile=args.profile,
+        profile_hz=args.profile_hz,
+        profile_log=args.profile_log,
+        slo_spec=args.slo_spec,
+        slo_interval=args.slo_interval,
     )
     server = AnalysisServer(config)
 
@@ -756,6 +968,7 @@ def _policy_from_args(args) -> "ExecutionPolicy":
         batch_size=args.batch_size,
         vectorize=not args.no_vectorize,
         lease_ttl=args.lease_ttl,
+        profile=args.profile,
     )
 
 

@@ -50,6 +50,16 @@ from repro.obs.manifest import (
     spec_fingerprint,
     write_manifest,
 )
+from repro.obs.profile import (
+    Profiler,
+    load_store_profiles,
+    merge_profiles,
+    profile_dir,
+    profile_requested,
+    to_collapsed,
+    to_flamegraph_html,
+    top_frames,
+)
 from repro.obs.prom import sanitize_metric_name, to_prometheus
 from repro.obs.registry import (
     CounterStat,
@@ -68,6 +78,19 @@ from repro.obs.report import (
     to_chrome_trace,
     to_csv,
     to_json,
+)
+from repro.obs.slo import (
+    BurnWindow,
+    SLISpec,
+    SLODefinition,
+    SLOMonitor,
+    default_campaign_slos,
+    default_serve_slos,
+    evaluate_slos,
+    evaluate_store,
+    format_slo_report,
+    load_slo_spec,
+    parse_slo_spec,
 )
 from repro.obs.resources import (
     current_rss_bytes,
@@ -109,12 +132,17 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "BurnWindow",
     "CheckResult",
     "CounterStat",
     "HealthStat",
     "HistogramStat",
     "NullSpan",
     "ObsRegistry",
+    "Profiler",
+    "SLISpec",
+    "SLODefinition",
+    "SLOMonitor",
     "Span",
     "SpanStat",
     "StreamEmitter",
@@ -126,12 +154,17 @@ __all__ = [
     "check_manifest",
     "critical_path_summary",
     "current_rss_bytes",
+    "default_campaign_slos",
+    "default_serve_slos",
     "delta",
     "disable",
     "enable",
     "enabled",
+    "evaluate_slos",
+    "evaluate_store",
     "format_critical_path",
     "format_health",
+    "format_slo_report",
     "format_summary",
     "format_top",
     "format_traceparent",
@@ -139,14 +172,20 @@ __all__ = [
     "heartbeat_dir",
     "histogram_quantiles",
     "load_manifest",
+    "load_slo_spec",
     "load_snapshot",
+    "load_store_profiles",
     "manifest_path",
     "max_severity",
+    "merge_profiles",
     "merge_snapshots",
     "new_context",
     "observe",
+    "parse_slo_spec",
     "parse_traceparent",
     "peak_rss_bytes",
+    "profile_dir",
+    "profile_requested",
     "read_heartbeats",
     "read_stream",
     "registry",
@@ -162,9 +201,12 @@ __all__ = [
     "stream_requested",
     "summary",
     "to_chrome_trace",
+    "to_collapsed",
     "to_csv",
+    "to_flamegraph_html",
     "to_json",
     "to_prometheus",
+    "top_frames",
     "trace_dir",
     "tracemalloc_requested",
     "worst_events",

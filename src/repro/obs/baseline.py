@@ -134,6 +134,7 @@ class BenchComparison:
     deltas: list[MetricDelta] = field(default_factory=list)
     missing_kinds: list[str] = field(default_factory=list)
     new_kinds: list[str] = field(default_factory=list)
+    baseline_label: str = "BENCH_baseline.json"
 
     @property
     def regressions(self) -> list[MetricDelta]:
@@ -182,7 +183,11 @@ class BenchComparison:
         for kind in self.missing_kinds:
             lines.append(f"  {kind}: in baseline but absent from current run")
         for kind in self.new_kinds:
-            lines.append(f"  {kind}: new bench kind (no baseline yet)")
+            lines.append(
+                f"  {kind}: no baseline entry with kind '{kind}' in "
+                f"{self.baseline_label} — this bench is NOT gated; append its "
+                f"--json-out line to {self.baseline_label} to start gating it"
+            )
         if self.ok:
             lines.append("result: PASS")
         else:
@@ -195,13 +200,21 @@ def compare_benchmarks(
     current: Mapping[str, Mapping[str, Any]],
     tolerance: float = 0.25,
     min_seconds: float = DEFAULT_MIN_SECONDS,
+    baseline_label: str = "BENCH_baseline.json",
 ) -> BenchComparison:
     """Compare two kind-keyed bench record sets (see :func:`load_bench_lines`).
+
+    ``baseline_label`` names the baseline file in human-readable output so
+    the un-gated-bench hint points at the file the user must actually edit.
 
     Raises :class:`ValidationError` when no bench kind overlaps — that is a
     wiring mistake (wrong files), not a clean pass.
     """
-    comparison = BenchComparison(tolerance=float(tolerance), min_seconds=min_seconds)
+    comparison = BenchComparison(
+        tolerance=float(tolerance),
+        min_seconds=min_seconds,
+        baseline_label=str(baseline_label),
+    )
     shared = sorted(set(baseline) & set(current))
     comparison.missing_kinds = sorted(set(baseline) - set(current))
     comparison.new_kinds = sorted(set(current) - set(baseline))

@@ -29,9 +29,11 @@ __all__ = [
     "format_summary",
     "format_top",
     "load_snapshot",
+    "summary_json",
     "to_chrome_trace",
     "to_csv",
     "to_json",
+    "top_json",
 ]
 
 
@@ -333,6 +335,70 @@ def to_chrome_trace(snapshot: Mapping[str, Any]) -> str:
     return json.dumps(
         {"displayTimeUnit": "ms", "traceEvents": trace_events}, indent=2
     )
+
+
+def summary_json(snapshot: Mapping[str, Any]) -> dict[str, Any]:
+    """Machine-readable counterpart of :func:`format_summary`.
+
+    One JSON-safe object with the same sections the human table prints —
+    spans (wall-sorted), counters, histograms with quantiles, and health
+    events — so CI and dashboards stop scraping the text output.
+    """
+    from repro.obs.health import severity_counts
+    from repro.obs.registry import histogram_quantiles
+
+    spans = sorted(_span_rows(snapshot), key=lambda s: -s["wall"])
+    histograms = []
+    for stat in sorted(
+        (snapshot.get("histograms") or {}).values(), key=lambda h: h["name"]
+    ):
+        entry = dict(stat)
+        entry["quantiles"] = histogram_quantiles(stat)
+        entry["mean"] = (
+            stat["total"] / stat["count"] if stat.get("count") else 0.0
+        )
+        histograms.append(entry)
+    return {
+        "kind": "obs_summary",
+        "spans": [dict(s) for s in spans],
+        "span_buckets": len(spans),
+        "span_calls": sum(int(s.get("count", 0)) for s in spans),
+        "wall_seconds": sum(float(s.get("wall", 0.0)) for s in spans),
+        "counters": [
+            dict(c)
+            for c in sorted(
+                (snapshot.get("counters") or {}).values(),
+                key=lambda c: c["name"],
+            )
+        ],
+        "histograms": histograms,
+        "health": {
+            "events": [
+                dict(e) for e in (snapshot.get("events") or {}).values()
+            ],
+            "severity_counts": severity_counts(snapshot),
+            "dropped": int(snapshot.get("events_dropped", 0) or 0),
+        },
+    }
+
+
+def top_json(
+    snapshot: Mapping[str, Any], n: int = 10, by: str = "wall"
+) -> dict[str, Any]:
+    """Machine-readable counterpart of :func:`format_top`."""
+    if by not in ("wall", "cpu", "count"):
+        raise ValidationError(f"top ordering must be wall/cpu/count, got {by!r}")
+    ranked = sorted(_span_rows(snapshot), key=lambda s: -s[by])[: max(int(n), 1)]
+    rows = []
+    for rank, stat in enumerate(ranked, start=1):
+        row = dict(stat)
+        row["rank"] = rank
+        row["label"] = _span_label(stat)
+        row["mean"] = (
+            stat["wall"] / stat["count"] if stat.get("count") else 0.0
+        )
+        rows.append(row)
+    return {"kind": "obs_top", "by": by, "spans": rows}
 
 
 def format_top(snapshot: Mapping[str, Any], n: int = 10, by: str = "wall") -> str:

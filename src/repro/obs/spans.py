@@ -60,6 +60,7 @@ __all__ = [
     "registry",
     "remove_hook",
     "reset",
+    "set_profile_paths",
     "snapshot",
     "span",
 ]
@@ -70,6 +71,18 @@ _enabled: bool = os.environ.get("REPRO_OBS", "").strip().lower() in _TRUTHY
 _registry = ObsRegistry()
 _local = threading.local()
 _hooks: list[Callable[[dict[str, Any]], None]] = []
+
+# Installed by repro.obs.profile while a sampler is running: a plain
+# {thread_id: active span path} dict the sampler can read cross-thread
+# (thread-locals cannot be).  ``None`` — the default — keeps the span
+# hot path at one extra global read.
+_profile_paths: dict[int, str] | None = None
+
+
+def set_profile_paths(registry: dict[int, str] | None) -> None:
+    """Install (or remove) the profiler's cross-thread span-path registry."""
+    global _profile_paths
+    _profile_paths = registry
 
 
 def enabled() -> bool:
@@ -154,6 +167,9 @@ class Span:
         if stack:
             self.path = f"{stack[-1]}/{self.name}"
         stack.append(self.path)
+        profiled = _profile_paths
+        if profiled is not None:
+            profiled[threading.get_ident()] = self.path
         self._wall0 = time.perf_counter()
         self._cpu0 = time.process_time()
         return self
@@ -164,6 +180,13 @@ class Span:
         stack = _stack()
         if stack and stack[-1] == self.path:
             stack.pop()
+        profiled = _profile_paths
+        if profiled is not None:
+            tid = threading.get_ident()
+            if stack:
+                profiled[tid] = stack[-1]
+            else:
+                profiled.pop(tid, None)
         _registry.record_span(
             self.path, self.tags, wall, cpu, threading.get_ident()
         )

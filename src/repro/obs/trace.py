@@ -47,6 +47,7 @@ __all__ = [
     "current",
     "activate",
     "set_campaign",
+    "set_profile_traces",
     "campaign_context",
     "context_or_campaign",
     "trace_dir",
@@ -163,6 +164,17 @@ def format_traceparent(ctx: TraceContext) -> str:
 _local = threading.local()
 _campaign_ctx: TraceContext | None = None
 
+# Installed by repro.obs.profile while a sampler is running: a plain
+# {thread_id: trace_id} dict readable cross-thread (the thread-local
+# stack is not).  ``None`` keeps activate() at one extra global read.
+_profile_traces: dict[int, str] | None = None
+
+
+def set_profile_traces(registry: dict[int, str] | None) -> None:
+    """Install (or remove) the profiler's cross-thread trace-id registry."""
+    global _profile_traces
+    _profile_traces = registry
+
 
 def current() -> TraceContext | None:
     stack = getattr(_local, "stack", None)
@@ -181,11 +193,21 @@ def activate(ctx: TraceContext | None) -> Iterator[TraceContext | None]:
     if stack is None:
         stack = _local.stack = []
     stack.append(ctx)
+    profiled = _profile_traces
+    if profiled is not None:
+        profiled[threading.get_ident()] = ctx.trace_id
     try:
         yield ctx
     finally:
         if stack and stack[-1] is ctx:
             stack.pop()
+        profiled = _profile_traces
+        if profiled is not None:
+            tid = threading.get_ident()
+            if stack:
+                profiled[tid] = stack[-1].trace_id
+            else:
+                profiled.pop(tid, None)
 
 
 def set_campaign(ctx: TraceContext | None) -> None:

@@ -49,7 +49,9 @@ from repro.campaign.spec import CampaignSpec, GridSpace
 from repro.campaign.store import ResultStore
 from repro.obs import health as obs_health
 from repro.obs import manifest as obs_manifest
+from repro.obs import profile as obs_profile
 from repro.obs import prom as obs_prom
+from repro.obs import slo as obs_slo
 from repro.obs import spans as obs
 from repro.obs import trace as obs_trace
 from repro.obs.registry import histogram_quantiles
@@ -108,6 +110,11 @@ class ServerConfig:
     job_lease_batch: int | None = None  # lease-plan batch size (None=default)
     manifest_path: str | None = None  # None -> <jobs_dir>/server.manifest.json
     trace_log: str | None = None  # span-event JSONL; enables trace recording
+    profile: bool = False  # always-on statistical sampling profiler
+    profile_hz: int = 97  # sampling rate for the always-on profiler
+    profile_log: str | None = None  # profile shard (.json file or directory)
+    slo_spec: str | None = None  # SLO definitions JSON; None -> serve defaults
+    slo_interval: float = 10.0  # seconds between SLO burn-rate samples
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -197,6 +204,12 @@ class AnalysisServer:
         self._server: asyncio.base_events.Server | None = None
         self._inflight = 0
         self._own_trace_sink = False  # True when start() configured trace_log
+        self._own_profiler = False  # True when start() armed the sampler
+        self._own_profile_sink = False
+        self._profilez_busy = False  # one on-demand capture at a time
+        self._env_info: dict[str, Any] = {}  # cached environment_info()
+        self._slo_monitor: obs_slo.SLOMonitor | None = None
+        self._slo_task: asyncio.Task | None = None
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -221,9 +234,26 @@ class AnalysisServer:
                 log = log.with_suffix(log.suffix + ".jsonl")
             obs_trace.configure_sink(log)
             self._own_trace_sink = True
+        # Environment identity is computed once (the git lookup shells out)
+        # and merged into every /v1/healthz response.
+        self._env_info = obs_manifest.environment_info()
+        if self.config.profile or obs_profile.profile_requested():
+            if obs_profile.active() is None:
+                obs_profile.start(hz=self.config.profile_hz)
+                self._own_profiler = True
+            if self.config.profile_log and not obs_profile.sink_configured():
+                obs_profile.configure_sink(self.config.profile_log)
+                self._own_profile_sink = True
+        definitions = (
+            obs_slo.load_slo_spec(self.config.slo_spec)
+            if self.config.slo_spec
+            else obs_slo.default_serve_slos()
+        )
+        self._slo_monitor = obs_slo.SLOMonitor(definitions)
         self._server = await asyncio.start_server(
             self._handle_client, host=self.config.host, port=self.config.port
         )
+        self._slo_task = asyncio.get_running_loop().create_task(self._slo_loop())
         self._write_manifest()
 
     async def serve_forever(self) -> None:
@@ -232,6 +262,13 @@ class AnalysisServer:
             await self._server.serve_forever()
 
     async def stop(self) -> None:
+        if self._slo_task is not None:
+            self._slo_task.cancel()
+            try:
+                await self._slo_task
+            except asyncio.CancelledError:
+                pass
+            self._slo_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -239,6 +276,12 @@ class AnalysisServer:
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
+        if self._own_profiler:
+            obs_profile.stop()  # flushes the final shard when a sink is set
+            self._own_profiler = False
+        if self._own_profile_sink:
+            obs_profile.close_sink()
+            self._own_profile_sink = False
         if self._own_trace_sink:
             obs_trace.close_sink()
             self._own_trace_sink = False
@@ -443,6 +486,10 @@ class AnalysisServer:
                     return 200, self._healthz(), {}
                 if path == "/v1/statz":
                     return 200, self._statz(), {}
+                if path == "/v1/sloz":
+                    return 200, self._sloz(), {}
+                if path == "/v1/profilez":
+                    return await self._profilez(query)
                 if path == "/v1/metricsz":
                     return (
                         200,
@@ -515,12 +562,99 @@ class AnalysisServer:
     def _healthz(self) -> dict[str, Any]:
         counts = obs_health.severity_counts(obs.snapshot()) if obs.enabled() else {}
         degraded = bool(counts.get("error") or counts.get("fatal"))
+        env = self._env_info
         return {
             "status": "degraded" if degraded else "ok",
             "uptime_seconds": time.monotonic() - self.stats.started,
             "inflight": self._inflight,
             "health_events": counts,
+            "version": env.get("package_version"),
+            "git_sha": env.get("git_sha"),
+            "python": env.get("python"),
+            "numpy": env.get("numpy"),
         }
+
+    # -- SLO burn-rate monitoring ----------------------------------------------------
+
+    def _slo_sample_once(self) -> None:
+        """Feed one cumulative-counter sample to the SLO monitor."""
+        monitor = self._slo_monitor
+        if monitor is None:
+            return
+        stats = self.stats
+        sample: dict[str, Any] = {
+            "requests": float(stats.requests),
+            "failures": float(stats.failures + stats.timeouts),
+            "rejected": float(stats.rejected),
+        }
+        snap = obs.snapshot() if obs.enabled() else None
+        if snap is not None:
+            counts = obs_health.severity_counts(snap)
+            if counts:
+                sample["health"] = counts
+        monitor.sample(sample, snapshot=snap)
+
+    async def _slo_loop(self) -> None:
+        """Background sampler driving multi-window burn-rate evaluation."""
+        interval = max(float(self.config.slo_interval), 0.1)
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                self._slo_sample_once()
+                monitor = self._slo_monitor
+                if monitor is not None:
+                    monitor.evaluate()  # emits obs.slo.burn events on breach
+            except Exception:
+                pass  # monitoring must never take down the server
+
+    def _sloz(self) -> dict[str, Any]:
+        if self._slo_monitor is None:
+            raise ServeError(503, "slo_disabled", "server started without SLOs")
+        self._slo_sample_once()
+        return self._slo_monitor.evaluate()
+
+    # -- on-demand profile capture ---------------------------------------------------
+
+    async def _profilez(self, query: dict[str, str]) -> tuple[int, Any, dict[str, str]]:
+        """Capture ``seconds`` of stack samples and return collapsed stacks.
+
+        With the always-on profiler running this is a pure snapshot delta;
+        otherwise a temporary sampler is armed for the window (thread mode —
+        the capture runs on the compute pool, not the main thread).
+        """
+        try:
+            seconds = float(query.get("seconds", "5"))
+            hz = int(query.get("hz", str(self.config.profile_hz)))
+        except ValueError:
+            raise ServeError(
+                400, "invalid_profile_params", "seconds and hz must be numeric"
+            ) from None
+        if not 0 < seconds <= 60:
+            raise ServeError(
+                400, "invalid_profile_params", "seconds must be in (0, 60]"
+            )
+        if self._profilez_busy:
+            raise ServeError(
+                429,
+                "profile_busy",
+                "a profile capture is already running",
+                retry_after=seconds,
+            )
+        self._profilez_busy = True
+        try:
+            loop = asyncio.get_running_loop()
+            profile = await loop.run_in_executor(
+                self._executor, lambda: obs_profile.capture(seconds, hz=hz)
+            )
+        finally:
+            self._profilez_busy = False
+        if query.get("format") == "json":
+            return 200, profile, {}
+        return (
+            200,
+            obs_profile.to_collapsed(profile).encode("utf-8"),
+            {"Content-Type": "text/plain; charset=utf-8"},
+        )
 
     def _statz(self) -> dict[str, Any]:
         out = {

@@ -136,6 +136,20 @@ def test_new_and_missing_kinds_reported_not_fatal():
     assert comparison.ok
 
 
+def test_new_kind_hint_names_the_baseline_file():
+    current = [BASELINE[0], {"kind": "bench_new", "x_seconds": 1.0}]
+    comparison = compare_benchmarks(
+        _records(BASELINE), _records(current), baseline_label="BENCH_main.json"
+    )
+    summary = comparison.summary()
+    assert "no baseline entry with kind 'bench_new' in BENCH_main.json" in summary
+    assert "NOT gated" in summary
+    assert "append its --json-out line to BENCH_main.json" in summary
+    # The default label points at the repo's canonical baseline file.
+    default = compare_benchmarks(_records(BASELINE), _records(current))
+    assert "BENCH_baseline.json" in default.summary()
+
+
 # -- CLI --------------------------------------------------------------------------
 
 

@@ -1,0 +1,100 @@
+"""Prometheus exposition edge cases: empty registry, escaping, odd values.
+
+The happy path (spans/counters/histograms render) is covered in
+``test_obs.py``; this file pins the text-format 0.0.4 corner rules that
+scrapers are strict about — label escaping, the ``+Inf`` bucket on
+empty histograms, and exact value rendering.
+"""
+
+from repro.obs.prom import format_sample, sanitize_metric_name, to_prometheus
+
+
+# -- empty / missing snapshots ----------------------------------------------------
+
+
+def test_empty_registry_renders_only_the_dropped_counter():
+    for snapshot in (None, {}, {"spans": {}, "counters": {}, "histograms": {}}):
+        text = to_prometheus(snapshot)
+        assert text.endswith("\n")
+        lines = [l for l in text.splitlines() if not l.startswith("#")]
+        assert lines == ["repro_health_events_dropped_total 0"]
+
+
+# -- label escaping ---------------------------------------------------------------
+
+
+def test_label_values_escape_quotes_backslashes_newlines():
+    line = format_sample(
+        "m", {"path": 'C:\\tmp\\"x"\nnext'}, 1.0
+    )
+    # Real backslash, quote, and newline become \\ \" \n (two-char escapes).
+    assert line == 'm{path="C:\\\\tmp\\\\\\"x\\"\\nnext"} 1'
+    assert "\n" not in line  # a raw newline would corrupt the exposition
+
+
+def test_label_names_are_sanitized_but_values_preserved():
+    line = format_sample("m", {"bad-label!": "weird value, kept"}, 2.0)
+    assert line == 'm{bad_label_="weird value, kept"} 2'
+
+
+def test_metric_name_sanitization():
+    assert sanitize_metric_name("serve.latency[ep=margins]") == (
+        "serve_latency_ep_margins_"
+    )
+    assert sanitize_metric_name("9lives").startswith("_")
+    assert sanitize_metric_name("") == "_"
+
+
+# -- value rendering --------------------------------------------------------------
+
+
+def test_special_float_values_render_per_text_format():
+    assert format_sample("m", {}, float("inf")).endswith(" +Inf")
+    assert format_sample("m", {}, float("-inf")).endswith(" -Inf")
+    assert format_sample("m", {}, float("nan")).endswith(" NaN")
+    assert format_sample("m", {}, 3.0) == "m 3"
+    assert format_sample("m", {}, 0.25) == "m 0.25"
+
+
+# -- histograms -------------------------------------------------------------------
+
+
+def test_zero_observation_histogram_still_emits_inf_sum_count():
+    snapshot = {
+        "histograms": {"quiet.hist": {"count": 0, "total": 0.0, "buckets": {}}}
+    }
+    lines = to_prometheus(snapshot).splitlines()
+    assert "# TYPE repro_quiet_hist histogram" in lines
+    assert 'repro_quiet_hist_bucket{le="+Inf"} 0' in lines
+    assert "repro_quiet_hist_sum 0" in lines
+    assert "repro_quiet_hist_count 0" in lines
+
+
+def test_histogram_buckets_are_cumulative_and_sorted():
+    snapshot = {
+        "histograms": {
+            "h": {"count": 6, "total": 1.5,
+                  # deliberately unsorted, with one garbage decade key
+                  "buckets": {"0": 1, "-2": 2, "-1": 3, "x": 9}},
+        }
+    }
+    lines = to_prometheus(snapshot).splitlines()
+    buckets = [l for l in lines if "_bucket" in l]
+    assert buckets == [
+        'repro_h_bucket{le="0.1"} 2',
+        'repro_h_bucket{le="1"} 5',
+        'repro_h_bucket{le="10"} 6',
+        'repro_h_bucket{le="+Inf"} 6',
+    ]
+
+
+def test_histogram_labels_survive_into_every_series():
+    snapshot = {
+        "histograms": {
+            "h[worker=w-1]": {"count": 1, "total": 0.5, "buckets": {"-1": 1}},
+        }
+    }
+    text = to_prometheus(snapshot)
+    assert 'repro_h_bucket{le="1",worker="w-1"} 1' in text
+    assert 'repro_h_sum{worker="w-1"} 0.5' in text
+    assert 'repro_h_count{worker="w-1"} 1' in text
